@@ -1,0 +1,39 @@
+//! Bench E12/B1: explicit-state exploration of the communicating-automata
+//! systems (deadlock/orphan/reception checks), on the case studies and the
+//! scalable families.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zooid_cfsm::check_protocol;
+use zooid_mpst::generators;
+
+fn bench_cfsm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cfsm_explore_bound2");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    let protocols = vec![
+        ("ring3".to_owned(), generators::ring3()),
+        ("pipeline".to_owned(), generators::pipeline()),
+        ("ping_pong".to_owned(), generators::ping_pong()),
+        ("two_buyer".to_owned(), generators::two_buyer()),
+        ("ring/6".to_owned(), generators::ring_n(6)),
+        ("chain/5".to_owned(), generators::chain_n(5)),
+        ("fanout/5".to_owned(), generators::fanout_n(5)),
+        ("branching/5".to_owned(), generators::branching(5)),
+    ];
+    for (name, g) in &protocols {
+        group.bench_with_input(BenchmarkId::from_parameter(name), g, |b, g| {
+            b.iter(|| {
+                let report = check_protocol(std::hint::black_box(g), 2, 500_000).expect("projectable");
+                assert!(report.is_safe());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cfsm);
+criterion_main!(benches);

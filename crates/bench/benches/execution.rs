@@ -1,0 +1,43 @@
+//! Bench E13: end-to-end execution of certified sessions on the in-memory
+//! runtime (throughput of the extraction + transport path), for each
+//! terminating case study and for a fixed number of pipeline rounds.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zooid_bench::{all_case_studies, CaseStudy};
+use zooid_runtime::SessionHarness;
+
+fn run_case(case: &CaseStudy) {
+    let mut harness = SessionHarness::new(case.protocol.clone());
+    for (role, wt) in &case.endpoints {
+        let cert = case
+            .protocol
+            .implement(role, wt.clone(), &case.externals)
+            .expect("certifiable");
+        harness.add_endpoint(cert, case.externals.clone()).expect("unique role");
+    }
+    if let Some(limit) = case.max_steps {
+        harness.with_max_steps(limit);
+        harness.with_recv_timeout(Duration::from_millis(500));
+    }
+    let report = harness.run().expect("session runs");
+    assert!(report.compliant, "{:?}", report.violations);
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_execution");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    for case in all_case_studies() {
+        group.bench_function(BenchmarkId::from_parameter(case.name), |b| {
+            b.iter(|| run_case(&case));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_execution);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Bench E6/B1: inductive projection of global types onto all their
+//! participants, over the scalable protocol families.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zooid_bench::scaling_protocols;
+use zooid_mpst::projection::project_all;
+
+fn bench_projection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("projection");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for (name, g) in scaling_protocols(&[2, 8, 32, 128]) {
+        group.bench_with_input(BenchmarkId::from_parameter(&name), &g, |b, g| {
+            b.iter(|| project_all(std::hint::black_box(g)).expect("projectable"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_projection);
+criterion_main!(benches);

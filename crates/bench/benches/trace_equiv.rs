@@ -1,0 +1,50 @@
+//! Bench E9/E10: the bounded step-correspondence and trace-equivalence
+//! checkers (Theorems 3.16, 3.17 and 3.21) on the paper's protocols.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zooid_mpst::generators;
+use zooid_mpst::trace_equiv::{check_step_soundness, check_trace_equivalence};
+
+fn bench_trace_equiv(c: &mut Criterion) {
+    let cases = [
+        ("ring3", generators::ring3()),
+        ("pipeline", generators::pipeline()),
+        ("ping_pong", generators::ping_pong()),
+        ("two_buyer", generators::two_buyer()),
+    ];
+
+    let mut group = c.benchmark_group("step_soundness_depth4");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for (name, g) in &cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), g, |b, g| {
+            b.iter(|| {
+                let report = check_step_soundness(std::hint::black_box(g), 4).expect("projectable");
+                assert!(report.holds);
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("trace_equivalence_depth5");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for (name, g) in &cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), g, |b, g| {
+            b.iter(|| {
+                let report = check_trace_equivalence(std::hint::black_box(g), 5).expect("projectable");
+                assert!(report.holds);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_equiv);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Bench E11/B1: type checking of the certified case-study endpoints (the
+//! `of_lt` judgement the DSL re-derives at certification time), plus the full
+//! certification step of `Protocol::implement`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zooid_bench::all_case_studies;
+use zooid_proc::type_check;
+
+fn bench_typecheck(c: &mut Criterion) {
+    let cases = all_case_studies();
+
+    let mut group = c.benchmark_group("type_check");
+    group
+        .sample_size(50)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for case in &cases {
+        for (role, wt) in &case.endpoints {
+            let id = format!("{}/{}", case.name, role);
+            group.bench_function(BenchmarkId::from_parameter(id), |b| {
+                b.iter(|| {
+                    type_check(
+                        std::hint::black_box(wt.proc()),
+                        std::hint::black_box(wt.local_type()),
+                        &case.externals,
+                    )
+                    .expect("well-typed")
+                });
+            });
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("certification");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for case in &cases {
+        for (role, wt) in &case.endpoints {
+            let id = format!("{}/{}", case.name, role);
+            group.bench_function(BenchmarkId::from_parameter(id), |b| {
+                b.iter(|| {
+                    case.protocol
+                        .implement(role, wt.clone(), &case.externals)
+                        .expect("certifiable")
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_typecheck);
+criterion_main!(benches);

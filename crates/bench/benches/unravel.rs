@@ -1,0 +1,25 @@
+//! Bench B1: unravelling global types into their semantic trees (the graph
+//! construction underlying every coinductive check).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zooid_bench::scaling_protocols;
+use zooid_mpst::global::unravel_global;
+
+fn bench_unravel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unravel");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for (name, g) in scaling_protocols(&[2, 8, 32, 128]) {
+        group.bench_with_input(BenchmarkId::from_parameter(&name), &g, |b, g| {
+            b.iter(|| unravel_global(std::hint::black_box(g)).expect("well-formed"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_unravel);
+criterion_main!(benches);

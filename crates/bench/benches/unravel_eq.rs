@@ -1,0 +1,40 @@
+//! Bench E3: equality up to unravelling — the decision procedure that stands
+//! in for the paper's "simple proof by coinduction" when a process implements
+//! an unrolling of its projected local type (§5.1).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zooid_dsl::unravel_eq;
+use zooid_mpst::generators;
+use zooid_mpst::projection::project;
+use zooid_mpst::Role;
+
+fn bench_unravel_eq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unravel_eq_unrollings");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    // Compare each projection of the ping-pong and chain protocols with its
+    // n-fold unrolling, for growing n.
+    let alice = project(&generators::ping_pong(), &Role::new("Alice")).expect("projectable");
+    let chain_head = project(&generators::chain_n(4), &Role::new("w0")).expect("projectable");
+    for unrollings in [1usize, 4, 16, 64] {
+        for (name, base) in [("ping_pong_alice", &alice), ("chain4_w0", &chain_head)] {
+            let mut unrolled = base.clone();
+            for _ in 0..unrollings {
+                unrolled = unrolled.unfold_once();
+            }
+            let id = format!("{name}/{unrollings}");
+            group.bench_function(BenchmarkId::from_parameter(id), |b| {
+                b.iter(|| assert!(unravel_eq(std::hint::black_box(base), std::hint::black_box(&unrolled))));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_unravel_eq);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Multiparty compatibility: project a global type, compile every projection
+//! to a machine, compose and explore.
+//!
+//! This is the executable form of the guarantee that the paper's well-typed
+//! processes inherit from the metatheory (deadlock freedom and liveness,
+//! §1 and §4.3): for every case-study protocol the evaluation harness runs
+//! [`check_protocol`] and reports the verdicts (experiment E12).
+
+use zooid_mpst::global::GlobalType;
+use zooid_mpst::projection::project_all;
+
+use crate::error::{CfsmError, Result};
+use crate::machine::Cfsm;
+use crate::system::{ExplorationOutcome, System};
+
+/// The safety/liveness verdicts for one protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SafetyReport {
+    /// Number of participants.
+    pub participants: usize,
+    /// Total number of machine states across all participants.
+    pub machine_states: usize,
+    /// The raw exploration outcome.
+    pub outcome: ExplorationOutcome,
+}
+
+impl SafetyReport {
+    /// No deadlock, orphan message or reception error was found.
+    pub fn is_safe(&self) -> bool {
+        self.outcome.is_safe()
+    }
+
+    /// Every reachable configuration can keep making progress (and reach
+    /// termination, when the protocol terminates at all).
+    pub fn is_live(&self) -> bool {
+        self.outcome.live
+    }
+
+    /// Whether exploration covered the whole (bounded) state space.
+    pub fn is_exhaustive(&self) -> bool {
+        !self.outcome.truncated
+    }
+}
+
+/// Projects `global` onto every participant, builds the system of
+/// communicating machines and explores it with the given channel bound and
+/// configuration limit.
+///
+/// # Errors
+///
+/// Fails if the protocol is ill-formed or not projectable.
+pub fn check_protocol(
+    global: &GlobalType,
+    channel_bound: usize,
+    max_configs: usize,
+) -> Result<SafetyReport> {
+    let projections = project_all(global).map_err(CfsmError::Projection)?;
+    let machines = projections
+        .into_iter()
+        .map(|(role, local)| Cfsm::from_local_type(role, &local))
+        .collect::<Result<Vec<_>>>()?;
+    let machine_states = machines.iter().map(Cfsm::state_count).sum();
+    let participants = machines.len();
+    let system = System::new(machines)?;
+    let outcome = system.explore(channel_bound, max_configs);
+    Ok(SafetyReport {
+        participants,
+        machine_states,
+        outcome,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zooid_mpst::generators;
+
+    #[test]
+    fn the_paper_protocols_are_safe_and_live() {
+        for (name, g) in [
+            ("ring3", generators::ring3()),
+            ("pipeline", generators::pipeline()),
+            ("ping_pong", generators::ping_pong()),
+            ("two_buyer", generators::two_buyer()),
+        ] {
+            let report = check_protocol(&g, 2, 100_000).unwrap();
+            assert!(report.is_safe(), "{name} not safe: {:?}", report.outcome);
+            assert!(report.is_live(), "{name} not live");
+            assert!(report.is_exhaustive(), "{name} truncated");
+            assert_eq!(report.participants, g.participants().len());
+            assert!(report.machine_states >= report.participants);
+        }
+    }
+
+    #[test]
+    fn generated_families_are_safe() {
+        for n in [2, 4, 8] {
+            let report = check_protocol(&generators::ring_n(n), 1, 100_000).unwrap();
+            assert!(report.is_safe());
+        }
+        let fan = check_protocol(&generators::fanout_n(4), 1, 100_000).unwrap();
+        assert!(fan.is_safe());
+        let branch = check_protocol(&generators::branching(4), 1, 100_000).unwrap();
+        assert!(branch.is_safe() && branch.is_live());
+    }
+
+    #[test]
+    fn unprojectable_protocols_are_rejected() {
+        use zooid_mpst::global::GlobalType;
+        use zooid_mpst::{Label, Role, Sort};
+        let r = Role::new;
+        let g_prime = GlobalType::msg(
+            r("Alice"),
+            r("Bob"),
+            vec![
+                (
+                    Label::new("l1"),
+                    Sort::Nat,
+                    GlobalType::msg1(r("Bob"), r("Carol"), "l", Sort::Nat, GlobalType::End),
+                ),
+                (
+                    Label::new("l2"),
+                    Sort::Nat,
+                    GlobalType::msg1(r("Alice"), r("Carol"), "l", Sort::Nat, GlobalType::End),
+                ),
+            ],
+        );
+        assert!(matches!(
+            check_protocol(&g_prime, 2, 1000),
+            Err(CfsmError::Projection(_))
+        ));
+    }
+}

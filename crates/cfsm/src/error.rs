@@ -1,0 +1,65 @@
+//! Error types for the CFSM layer.
+
+use std::fmt;
+
+use zooid_mpst::Role;
+
+/// A specialised `Result` for CFSM operations.
+pub type Result<T> = std::result::Result<T, CfsmError>;
+
+/// Errors produced while compiling or composing communicating automata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CfsmError {
+    /// The local type could not be compiled (ill-formed).
+    IllFormedLocalType(zooid_mpst::Error),
+    /// The global type could not be projected (so no system can be built).
+    Projection(zooid_mpst::Error),
+    /// Two machines claim the same role.
+    DuplicateRole {
+        /// The duplicated role.
+        role: Role,
+    },
+    /// A system was built with no machines.
+    EmptySystem,
+}
+
+impl fmt::Display for CfsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfsmError::IllFormedLocalType(e) => write!(f, "ill-formed local type: {e}"),
+            CfsmError::Projection(e) => write!(f, "projection failed: {e}"),
+            CfsmError::DuplicateRole { role } => {
+                write!(f, "two machines claim the role `{role}`")
+            }
+            CfsmError::EmptySystem => f.write_str("a system needs at least one machine"),
+        }
+    }
+}
+
+impl std::error::Error for CfsmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CfsmError::IllFormedLocalType(e) | CfsmError::Projection(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase() {
+        let cases = [
+            CfsmError::DuplicateRole {
+                role: Role::new("p"),
+            },
+            CfsmError::EmptySystem,
+        ];
+        for e in cases {
+            assert!(e.to_string().chars().next().unwrap().is_lowercase());
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Equality of local types up to unravelling (§5.1).
+//!
+//! A process often implements an *unrolling* of its projected local type —
+//! e.g. `alice4` in §5.1, whose inferred type unfolds the recursion once. In
+//! the Coq development a small coinductive proof shows the two types unravel
+//! to the same local tree; here that proof obligation is the decision
+//! procedure [`unravel_eq`].
+
+use zooid_mpst::local::{unravel_local, LocalType};
+
+/// Decides whether two local types unravel to the same (bisimilar) local
+/// tree, i.e. whether they prescribe the same behaviour up to unfolding of
+/// recursion.
+///
+/// Ill-formed types (unguarded or open) are never equal to anything,
+/// including themselves.
+///
+/// # Examples
+///
+/// ```
+/// use zooid_dsl::unravel_eq;
+/// use zooid_mpst::local::LocalType;
+/// use zooid_mpst::{Role, Sort};
+///
+/// let l = LocalType::rec(LocalType::send1(Role::new("q"), "ping", Sort::Nat, LocalType::var(0)));
+/// assert!(unravel_eq(&l, &l.unfold_once()));
+/// assert!(!unravel_eq(&l, &LocalType::End));
+/// ```
+pub fn unravel_eq(a: &LocalType, b: &LocalType) -> bool {
+    match (unravel_local(a), unravel_local(b)) {
+        (Ok(ta), Ok(tb)) => ta.equivalent(&tb),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zooid_mpst::common::branch::Branch;
+    use zooid_mpst::{Role, Sort};
+
+    fn r(name: &str) -> Role {
+        Role::new(name)
+    }
+
+    fn ping_type() -> LocalType {
+        LocalType::rec(LocalType::Send {
+            to: r("Bob"),
+            branches: vec![
+                Branch::new("l1", Sort::Unit, LocalType::End),
+                Branch::new(
+                    "l2",
+                    Sort::Nat,
+                    LocalType::recv1(r("Bob"), "l3", Sort::Nat, LocalType::var(0)),
+                ),
+            ],
+        })
+    }
+
+    #[test]
+    fn unravel_eq_is_reflexive_and_symmetric_on_well_formed_types() {
+        let l = ping_type();
+        assert!(unravel_eq(&l, &l));
+        assert!(unravel_eq(&l, &l.unfold_once()));
+        assert!(unravel_eq(&l.unfold_once(), &l));
+    }
+
+    #[test]
+    fn unravel_eq_is_transitive_across_multiple_unrollings() {
+        let l = ping_type();
+        let twice = l.unfold_once().unfold_once();
+        assert!(unravel_eq(&l, &twice));
+    }
+
+    #[test]
+    fn different_behaviours_are_distinguished() {
+        let l = ping_type();
+        let other = LocalType::rec(LocalType::send1(r("Bob"), "l1", Sort::Unit, LocalType::var(0)));
+        assert!(!unravel_eq(&l, &other));
+        assert!(!unravel_eq(&l, &LocalType::End));
+    }
+
+    #[test]
+    fn ill_formed_types_are_never_equal() {
+        let bad = LocalType::rec(LocalType::var(0));
+        assert!(!unravel_eq(&bad, &bad));
+        assert!(!unravel_eq(&bad, &LocalType::End));
+    }
+}

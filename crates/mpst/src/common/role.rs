@@ -1,0 +1,94 @@
+//! Protocol participants (also called *roles*).
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// A participant of a multiparty protocol.
+///
+/// Roles are compared by name. They are cheap to clone (the name is reference
+/// counted), so protocol descriptions can mention the same role many times
+/// without repeated allocation.
+///
+/// # Examples
+///
+/// ```
+/// use zooid_mpst::Role;
+///
+/// let alice = Role::new("Alice");
+/// assert_eq!(alice.name(), "Alice");
+/// assert_eq!(alice, Role::new("Alice"));
+/// assert_ne!(alice, Role::new("Bob"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Role(Arc<str>);
+
+impl Role {
+    /// Creates a role with the given name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Role(Arc::from(name.as_ref()))
+    }
+
+    /// Returns the role's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Role {
+    fn from(name: &str) -> Self {
+        Role::new(name)
+    }
+}
+
+impl From<String> for Role {
+    fn from(name: String) -> Self {
+        Role::new(name)
+    }
+}
+
+impl AsRef<str> for Role {
+    fn as_ref(&self) -> &str {
+        self.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_is_by_name() {
+        assert_eq!(Role::new("p"), Role::new("p"));
+        assert_ne!(Role::new("p"), Role::new("q"));
+    }
+
+    #[test]
+    fn display_shows_name() {
+        assert_eq!(Role::new("Seller").to_string(), "Seller");
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Role = "A".into();
+        let b: Role = String::from("A").into();
+        assert_eq!(a, b);
+        assert_eq!(a.as_ref(), "A");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut v = vec![Role::new("C"), Role::new("A"), Role::new("B")];
+        v.sort();
+        let names: Vec<_> = v.iter().map(Role::name).collect();
+        assert_eq!(names, ["A", "B", "C"]);
+    }
+}

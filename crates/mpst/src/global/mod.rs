@@ -1,0 +1,26 @@
+//! Global session types and their semantics.
+//!
+//! Mirrors the `Global/` folder of the Coq development:
+//!
+//! * [`syntax`] — inductive global types (`Global/Syntax.v`);
+//! * [`tree`] — semantic global trees (`Global/Tree.v`);
+//! * [`unravel`] — the unravelling relation between them (`Global/Unravel.v`);
+//! * [`prefix`] — execution prefixes with in-flight messages (the paper's
+//!   `ig_ty`, Remark A.6);
+//! * [`semantics`] — the labelled transition system and trace admissibility
+//!   (`Global/Semantics.v`).
+
+pub mod prefix;
+pub mod semantics;
+pub mod syntax;
+pub mod tree;
+pub mod unravel;
+
+pub use prefix::GlobalPrefix;
+pub use semantics::{
+    enabled_global_actions, global_step, global_traces_from, global_traces_up_to,
+    is_global_trace_prefix, run_global_trace,
+};
+pub use syntax::GlobalType;
+pub use tree::{GlobalTree, GlobalTreeNode, NodeId};
+pub use unravel::{g_unravels_to, unravel_global};

@@ -1,0 +1,469 @@
+//! The labelled transition system of global trees and its trace semantics
+//! (Definitions 3.13, 3.19 / A.29, A.36, `Global/Semantics.v`).
+
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+use crate::common::actions::Action;
+use crate::common::arena::NodeId;
+use crate::common::branch::Branch;
+use crate::common::role::Role;
+use crate::common::trace::Trace;
+use crate::global::prefix::GlobalPrefix;
+use crate::global::tree::{GlobalTree, GlobalTreeNode};
+
+/// One step of the global LTS (Definition 3.13): attempts to perform `action`
+/// from the execution state `prefix` of the protocol `tree`.
+///
+/// Returns the successor state, or `None` if the action is not enabled. The
+/// four rules are:
+///
+/// * `[g-step-send]` — a pending message commits to the action's label and
+///   becomes in-flight;
+/// * `[g-step-recv]` — an in-flight message is delivered and the protocol
+///   continues with the selected branch;
+/// * `[g-step-str1]` — an action whose subject is not involved in a pending
+///   message may happen under it, provided *every* branch can perform it;
+/// * `[g-step-str2]` — an action whose subject is not the receiver of an
+///   in-flight message may happen under it (in the selected branch).
+pub fn global_step(
+    tree: &GlobalTree,
+    prefix: &GlobalPrefix,
+    action: &Action,
+) -> Option<GlobalPrefix> {
+    let head = prefix.expand(tree);
+    match &head {
+        GlobalPrefix::Inj(_) => None, // a terminated protocol performs no action
+        GlobalPrefix::Msg { from, to, branches } => {
+            // [g-step-send]
+            if action.is_send() && action.from() == from && action.to() == to {
+                if let Some(j) = branches
+                    .iter()
+                    .position(|b| &b.label == action.label() && &b.sort == action.sort())
+                {
+                    return Some(GlobalPrefix::Sent {
+                        from: from.clone(),
+                        to: to.clone(),
+                        selected: j,
+                        branches: branches.clone(),
+                    });
+                }
+            }
+            // [g-step-str1]
+            if action.subject() != from && action.subject() != to {
+                let stepped: Option<Vec<Branch<GlobalPrefix>>> = branches
+                    .iter()
+                    .map(|b| {
+                        global_step(tree, &b.cont, action).map(|cont| Branch {
+                            label: b.label.clone(),
+                            sort: b.sort.clone(),
+                            cont,
+                        })
+                    })
+                    .collect();
+                if let Some(branches) = stepped {
+                    return Some(GlobalPrefix::Msg {
+                        from: from.clone(),
+                        to: to.clone(),
+                        branches,
+                    });
+                }
+            }
+            None
+        }
+        GlobalPrefix::Sent {
+            from,
+            to,
+            selected,
+            branches,
+        } => {
+            let chosen = &branches[*selected];
+            // [g-step-recv]
+            if action.is_recv()
+                && action.from() == from
+                && action.to() == to
+                && action.label() == &chosen.label
+                && action.sort() == &chosen.sort
+            {
+                return Some(chosen.cont.clone());
+            }
+            // [g-step-str2]
+            if action.subject() != to {
+                if let Some(cont) = global_step(tree, &chosen.cont, action) {
+                    let mut branches = branches.clone();
+                    branches[*selected].cont = cont;
+                    return Some(GlobalPrefix::Sent {
+                        from: from.clone(),
+                        to: to.clone(),
+                        selected: *selected,
+                        branches,
+                    });
+                }
+            }
+            None
+        }
+    }
+}
+
+/// The set of actions enabled in the execution state `prefix` of `tree`,
+/// i.e. the actions `a` for which [`global_step`] succeeds.
+pub fn enabled_global_actions(tree: &GlobalTree, prefix: &GlobalPrefix) -> Vec<Action> {
+    let mut candidates = Vec::new();
+    let mut seen: HashSet<(NodeId, Vec<Role>)> = HashSet::new();
+    collect_prefix(tree, prefix, &BTreeSet::new(), &mut seen, &mut candidates);
+    // Deduplicate while keeping a stable order, then keep only the candidates
+    // that genuinely step (the structural rules impose conditions — e.g. that
+    // *all* branches can perform the action — that the optimistic collection
+    // above does not check).
+    let mut unique: Vec<Action> = Vec::new();
+    for a in candidates {
+        if !unique.contains(&a) {
+            unique.push(a);
+        }
+    }
+    unique
+        .into_iter()
+        .filter(|a| global_step(tree, prefix, a).is_some())
+        .collect()
+}
+
+fn collect_prefix(
+    tree: &GlobalTree,
+    prefix: &GlobalPrefix,
+    blocked: &BTreeSet<Role>,
+    seen: &mut HashSet<(NodeId, Vec<Role>)>,
+    out: &mut Vec<Action>,
+) {
+    match prefix {
+        GlobalPrefix::Inj(id) => collect_tree(tree, *id, blocked, seen, out),
+        GlobalPrefix::Msg { from, to, branches } => {
+            if !blocked.contains(from) {
+                for b in branches {
+                    out.push(Action::send(
+                        from.clone(),
+                        to.clone(),
+                        b.label.clone(),
+                        b.sort.clone(),
+                    ));
+                }
+            }
+            let mut inner = blocked.clone();
+            inner.insert(from.clone());
+            inner.insert(to.clone());
+            for b in branches {
+                collect_prefix(tree, &b.cont, &inner, seen, out);
+            }
+        }
+        GlobalPrefix::Sent {
+            from,
+            to,
+            selected,
+            branches,
+        } => {
+            let chosen = &branches[*selected];
+            if !blocked.contains(to) {
+                out.push(Action::recv(
+                    to.clone(),
+                    from.clone(),
+                    chosen.label.clone(),
+                    chosen.sort.clone(),
+                ));
+            }
+            let mut inner = blocked.clone();
+            inner.insert(to.clone());
+            collect_prefix(tree, &chosen.cont, &inner, seen, out);
+        }
+    }
+}
+
+fn collect_tree(
+    tree: &GlobalTree,
+    id: NodeId,
+    blocked: &BTreeSet<Role>,
+    seen: &mut HashSet<(NodeId, Vec<Role>)>,
+    out: &mut Vec<Action>,
+) {
+    let key = (id, blocked.iter().cloned().collect::<Vec<_>>());
+    if !seen.insert(key) {
+        return;
+    }
+    match tree.node(id) {
+        GlobalTreeNode::End => {}
+        GlobalTreeNode::Msg { from, to, branches } => {
+            if !blocked.contains(from) {
+                for b in branches {
+                    out.push(Action::send(
+                        from.clone(),
+                        to.clone(),
+                        b.label.clone(),
+                        b.sort.clone(),
+                    ));
+                }
+            }
+            let mut inner = blocked.clone();
+            inner.insert(from.clone());
+            inner.insert(to.clone());
+            for b in branches {
+                collect_tree(tree, b.cont, &inner, seen, out);
+            }
+        }
+    }
+}
+
+/// Checks whether `trace` is admissible as a *prefix* of an execution of the
+/// protocol: every action can be performed in sequence from `prefix`
+/// (Definition 3.19, restricted to finite prefixes).
+pub fn is_global_trace_prefix(tree: &GlobalTree, prefix: &GlobalPrefix, trace: &Trace) -> bool {
+    run_global_trace(tree, prefix, trace).is_some()
+}
+
+/// Runs `trace` from `prefix`, returning the final state if every action is
+/// enabled in sequence.
+pub fn run_global_trace(
+    tree: &GlobalTree,
+    prefix: &GlobalPrefix,
+    trace: &Trace,
+) -> Option<GlobalPrefix> {
+    let mut current = prefix.clone();
+    for action in trace.iter() {
+        current = global_step(tree, &current, action)?;
+    }
+    Some(current)
+}
+
+/// Enumerates every admissible trace prefix of length at most `depth`
+/// starting from the initial state of `tree`.
+///
+/// This is the bounded, executable counterpart of the paper's coinductive
+/// `trg` relation (Definition 3.19): a possibly-infinite admissible trace is
+/// represented by the set of its finite prefixes, and two protocols have the
+/// same admissible traces iff their prefix sets agree at every depth.
+pub fn global_traces_up_to(tree: &GlobalTree, depth: usize) -> BTreeSet<Trace> {
+    global_traces_from(tree, &GlobalPrefix::initial(tree), depth)
+}
+
+/// Enumerates every admissible trace prefix of length at most `depth`
+/// starting from `prefix`.
+pub fn global_traces_from(
+    tree: &GlobalTree,
+    prefix: &GlobalPrefix,
+    depth: usize,
+) -> BTreeSet<Trace> {
+    let mut out = BTreeSet::new();
+    let mut queue: VecDeque<(GlobalPrefix, Trace)> = VecDeque::new();
+    queue.push_back((prefix.clone(), Trace::empty()));
+    while let Some((state, trace)) = queue.pop_front() {
+        out.insert(trace.clone());
+        if trace.len() >= depth {
+            continue;
+        }
+        for action in enabled_global_actions(tree, &state) {
+            if let Some(next) = global_step(tree, &state, &action) {
+                queue.push_back((next, trace.snoc(action)));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::label::Label;
+    use crate::common::sort::Sort;
+    use crate::global::syntax::GlobalType;
+    use crate::global::unravel::unravel_global;
+    use crate::Role;
+
+    fn r(name: &str) -> Role {
+        Role::new(name)
+    }
+    fn l(name: &str) -> Label {
+        Label::new(name)
+    }
+
+    /// p -> q : l(nat). end
+    fn single_exchange() -> GlobalTree {
+        unravel_global(&GlobalType::msg1(
+            r("p"),
+            r("q"),
+            "l",
+            Sort::Nat,
+            GlobalType::End,
+        ))
+        .unwrap()
+    }
+
+    /// The ring protocol of §2.3: Alice -> Bob, Bob -> Carol, Carol -> Alice.
+    fn ring() -> GlobalTree {
+        let g = GlobalType::msg1(
+            r("Alice"),
+            r("Bob"),
+            "l",
+            Sort::Nat,
+            GlobalType::msg1(
+                r("Bob"),
+                r("Carol"),
+                "l",
+                Sort::Nat,
+                GlobalType::msg1(r("Carol"), r("Alice"), "l", Sort::Nat, GlobalType::End),
+            ),
+        );
+        unravel_global(&g).unwrap()
+    }
+
+    #[test]
+    fn g_step_send_then_recv_reaches_end() {
+        // Figure 4: the two asynchronous stages of a single exchange.
+        let t = single_exchange();
+        let p0 = GlobalPrefix::initial(&t);
+        let send = Action::send(r("p"), r("q"), l("l"), Sort::Nat);
+        let recv = send.dual();
+
+        let p1 = global_step(&t, &p0, &send).expect("send enabled");
+        assert!(matches!(p1, GlobalPrefix::Sent { .. }));
+        assert_eq!(p1.in_flight(), 1);
+
+        // The receive is enabled only after the send.
+        assert!(global_step(&t, &p0, &recv).is_none());
+        let p2 = global_step(&t, &p1, &recv).expect("recv enabled after send");
+        assert!(p2.is_terminated(&t));
+    }
+
+    #[test]
+    fn g_step_send_requires_matching_label_and_sort() {
+        let t = single_exchange();
+        let p0 = GlobalPrefix::initial(&t);
+        let wrong_label = Action::send(r("p"), r("q"), l("other"), Sort::Nat);
+        let wrong_sort = Action::send(r("p"), r("q"), l("l"), Sort::Bool);
+        assert!(global_step(&t, &p0, &wrong_label).is_none());
+        assert!(global_step(&t, &p0, &wrong_sort).is_none());
+    }
+
+    #[test]
+    fn g_step_str1_allows_independent_roles_to_run_ahead() {
+        // p -> q : l(nat). a -> b : m(bool). end
+        // a may send to b before p's message is delivered or even sent?
+        // No: before p sends, a's send is *under* the p->q prefix and rule
+        // [g-step-str1] requires the subject (a) to differ from p and q,
+        // which holds, so it is enabled.
+        let g = GlobalType::msg1(
+            r("p"),
+            r("q"),
+            "l",
+            Sort::Nat,
+            GlobalType::msg1(r("a"), r("b"), "m", Sort::Bool, GlobalType::End),
+        );
+        let t = unravel_global(&g).unwrap();
+        let p0 = GlobalPrefix::initial(&t);
+        let a_sends = Action::send(r("a"), r("b"), l("m"), Sort::Bool);
+        let stepped = global_step(&t, &p0, &a_sends).expect("str1 step enabled");
+        assert!(matches!(stepped, GlobalPrefix::Msg { .. }));
+        // Afterwards p can still send and q receive, and then b receives.
+        let p_sends = Action::send(r("p"), r("q"), l("l"), Sort::Nat);
+        let q_recvs = p_sends.dual();
+        let b_recvs = a_sends.dual();
+        let s1 = global_step(&t, &stepped, &p_sends).unwrap();
+        let s2 = global_step(&t, &s1, &q_recvs).unwrap();
+        let s3 = global_step(&t, &s2, &b_recvs).unwrap();
+        assert!(s3.is_terminated(&t));
+    }
+
+    #[test]
+    fn g_step_str1_blocks_dependent_roles() {
+        // In the ring, Bob cannot forward to Carol before receiving from
+        // Alice: Bob is the receiver of the pending Alice->Bob message, so
+        // [g-step-str1] does not apply to an action whose subject is Bob.
+        let t = ring();
+        let p0 = GlobalPrefix::initial(&t);
+        let bob_sends = Action::send(r("Bob"), r("Carol"), l("l"), Sort::Nat);
+        assert!(global_step(&t, &p0, &bob_sends).is_none());
+        assert!(!enabled_global_actions(&t, &p0).contains(&bob_sends));
+    }
+
+    #[test]
+    fn g_step_str2_allows_sender_to_continue_before_delivery() {
+        // p -> q : l(nat). p -> s : m(nat). end: after p sends to q (message
+        // in flight), p may immediately send to s ([g-step-str2], subject p
+        // differs from the receiver q).
+        let g = GlobalType::msg1(
+            r("p"),
+            r("q"),
+            "l",
+            Sort::Nat,
+            GlobalType::msg1(r("p"), r("s"), "m", Sort::Nat, GlobalType::End),
+        );
+        let t = unravel_global(&g).unwrap();
+        let p0 = GlobalPrefix::initial(&t);
+        let first = Action::send(r("p"), r("q"), l("l"), Sort::Nat);
+        let second = Action::send(r("p"), r("s"), l("m"), Sort::Nat);
+        let s1 = global_step(&t, &p0, &first).unwrap();
+        let s2 = global_step(&t, &s1, &second).expect("str2 step enabled");
+        assert_eq!(s2.in_flight(), 2);
+        // But q's receive of the first message is also still enabled.
+        assert!(global_step(&t, &s1, &first.dual()).is_some());
+    }
+
+    #[test]
+    fn enabled_actions_of_initial_ring() {
+        let t = ring();
+        let p0 = GlobalPrefix::initial(&t);
+        let enabled = enabled_global_actions(&t, &p0);
+        // Only Alice's send is enabled initially (Bob and Carol are blocked
+        // behind their receives).
+        assert_eq!(enabled, vec![Action::send(r("Alice"), r("Bob"), l("l"), Sort::Nat)]);
+    }
+
+    #[test]
+    fn enabled_actions_terminate_on_recursive_protocols() {
+        // mu X. p -> q : l(nat). q -> p : m(nat). X
+        let g = GlobalType::rec(GlobalType::msg1(
+            r("p"),
+            r("q"),
+            "l",
+            Sort::Nat,
+            GlobalType::msg1(r("q"), r("p"), "m", Sort::Nat, GlobalType::var(0)),
+        ));
+        let t = unravel_global(&g).unwrap();
+        let enabled = enabled_global_actions(&t, &GlobalPrefix::initial(&t));
+        assert_eq!(enabled.len(), 1);
+        assert_eq!(enabled[0], Action::send(r("p"), r("q"), l("l"), Sort::Nat));
+    }
+
+    #[test]
+    fn trace_prefix_checking() {
+        let t = ring();
+        let p0 = GlobalPrefix::initial(&t);
+        let a1 = Action::send(r("Alice"), r("Bob"), l("l"), Sort::Nat);
+        let a2 = a1.dual();
+        let good = Trace::from(vec![a1.clone(), a2.clone()]);
+        let bad = Trace::from(vec![a2, a1]);
+        assert!(is_global_trace_prefix(&t, &p0, &good));
+        assert!(!is_global_trace_prefix(&t, &p0, &bad));
+        assert!(is_global_trace_prefix(&t, &p0, &Trace::empty()));
+    }
+
+    #[test]
+    fn full_ring_execution_reaches_termination() {
+        let t = ring();
+        let p0 = GlobalPrefix::initial(&t);
+        let mut actions = Vec::new();
+        for (from, to) in [("Alice", "Bob"), ("Bob", "Carol"), ("Carol", "Alice")] {
+            let s = Action::send(r(from), r(to), l("l"), Sort::Nat);
+            actions.push(s.clone());
+            actions.push(s.dual());
+        }
+        let end = run_global_trace(&t, &p0, &Trace::from(actions)).expect("trace admissible");
+        assert!(end.is_terminated(&t));
+    }
+
+    #[test]
+    fn bounded_trace_enumeration_contains_expected_prefixes() {
+        let t = single_exchange();
+        let traces = global_traces_up_to(&t, 2);
+        let send = Action::send(r("p"), r("q"), l("l"), Sort::Nat);
+        assert!(traces.contains(&Trace::empty()));
+        assert!(traces.contains(&Trace::from(vec![send.clone()])));
+        assert!(traces.contains(&Trace::from(vec![send.clone(), send.dual()])));
+        assert_eq!(traces.len(), 3);
+    }
+}

@@ -1,0 +1,22 @@
+//! Local session types and their semantics.
+//!
+//! Mirrors the `Local/` folder of the Coq development:
+//!
+//! * [`syntax`] — inductive local types (`Local/Syntax.v`);
+//! * [`tree`] — semantic local trees (`Local/Tree.v`);
+//! * [`unravel`] — the unravelling relation between them (`Local/Unravel.v`);
+//! * [`semantics`] — queue environments, local environments and the
+//!   environment LTS (`Local/Semantics.v`).
+
+pub mod semantics;
+pub mod syntax;
+pub mod tree;
+pub mod unravel;
+
+pub use semantics::{
+    enabled_local_actions, is_local_trace_prefix, local_step, local_traces_up_to, run_local_trace,
+    Configuration, LocalEndpoint, LocalEnv, QueueEnv,
+};
+pub use syntax::LocalType;
+pub use tree::{LocalTree, LocalTreeNode};
+pub use unravel::{l_unravels_to, unravel_local};

@@ -1,0 +1,531 @@
+//! Queue environments, local environments and the environment LTS
+//! (Definitions 3.7, 3.9, 3.14, 3.20 / `Local/Semantics.v`).
+//!
+//! The asynchronous semantics of a whole protocol, seen from the local side,
+//! is a transition system over *configurations*: a [`LocalEnv`] mapping each
+//! participant to (a cursor into) its local tree, paired with a [`QueueEnv`]
+//! holding the in-transit messages of every ordered pair of participants.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::common::actions::Action;
+use crate::common::arena::NodeId;
+use crate::common::label::Label;
+use crate::common::role::Role;
+use crate::common::sort::Sort;
+use crate::common::trace::Trace;
+use crate::local::tree::{LocalTree, LocalTreeNode};
+
+/// A queue environment (Definition 3.7): one FIFO queue of `(label, sort)`
+/// messages per ordered pair of participants.
+///
+/// # Examples
+///
+/// ```
+/// use zooid_mpst::local::QueueEnv;
+/// use zooid_mpst::{Label, Role, Sort};
+///
+/// let mut q = QueueEnv::empty();
+/// q.enq(&Role::new("p"), &Role::new("q"), Label::new("l"), Sort::Nat);
+/// assert_eq!(q.total_messages(), 1);
+/// let (label, sort) = q.deq(&Role::new("p"), &Role::new("q")).unwrap();
+/// assert_eq!((label.name(), sort), ("l", Sort::Nat));
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueueEnv {
+    queues: BTreeMap<(Role, Role), VecDeque<(Label, Sort)>>,
+}
+
+impl QueueEnv {
+    /// The empty queue environment `ε`.
+    pub fn empty() -> Self {
+        QueueEnv::default()
+    }
+
+    /// Enqueues a message sent from `from` to `to` (the paper's `enq`).
+    pub fn enq(&mut self, from: &Role, to: &Role, label: Label, sort: Sort) {
+        self.queues
+            .entry((from.clone(), to.clone()))
+            .or_default()
+            .push_back((label, sort));
+    }
+
+    /// Dequeues the oldest in-transit message from `from` to `to`, if any
+    /// (the paper's `deq`).
+    pub fn deq(&mut self, from: &Role, to: &Role) -> Option<(Label, Sort)> {
+        let key = (from.clone(), to.clone());
+        let queue = self.queues.get_mut(&key)?;
+        let msg = queue.pop_front();
+        if queue.is_empty() {
+            self.queues.remove(&key);
+        }
+        msg
+    }
+
+    /// The oldest in-transit message from `from` to `to`, without removing
+    /// it.
+    pub fn peek(&self, from: &Role, to: &Role) -> Option<&(Label, Sort)> {
+        self.queues
+            .get(&(from.clone(), to.clone()))
+            .and_then(|q| q.front())
+    }
+
+    /// The whole queue from `from` to `to`, oldest message first.
+    pub fn queue(&self, from: &Role, to: &Role) -> Vec<(Label, Sort)> {
+        self.queues
+            .get(&(from.clone(), to.clone()))
+            .map(|q| q.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Returns `true` if no message is in transit anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.queues.values().all(VecDeque::is_empty)
+    }
+
+    /// Total number of in-transit messages across all queues.
+    pub fn total_messages(&self) -> usize {
+        self.queues.values().map(VecDeque::len).sum()
+    }
+
+    /// Iterates over the non-empty queues as `((from, to), messages)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&(Role, Role), &VecDeque<(Label, Sort)>)> {
+        self.queues.iter().filter(|(_, q)| !q.is_empty())
+    }
+}
+
+impl fmt::Display for QueueEnv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("ε");
+        }
+        for ((from, to), queue) in self.iter() {
+            write!(f, "({from},{to}): [")?;
+            for (i, (l, s)) in queue.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{l}({s})")?;
+            }
+            write!(f, "] ")?;
+        }
+        Ok(())
+    }
+}
+
+/// A single participant's view inside a [`LocalEnv`]: its unravelled local
+/// tree and the node it is currently at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalEndpoint {
+    tree: Arc<LocalTree>,
+    current: NodeId,
+}
+
+impl LocalEndpoint {
+    /// Creates an endpoint positioned at the root of the given local tree.
+    pub fn new(tree: LocalTree) -> Self {
+        let current = tree.root();
+        LocalEndpoint {
+            tree: Arc::new(tree),
+            current,
+        }
+    }
+
+    /// The underlying local tree.
+    pub fn tree(&self) -> &LocalTree {
+        &self.tree
+    }
+
+    /// The node the endpoint is currently at.
+    pub fn current(&self) -> NodeId {
+        self.current
+    }
+
+    /// The tree node the endpoint is currently at.
+    pub fn node(&self) -> &LocalTreeNode {
+        self.tree.node(self.current)
+    }
+
+    /// Returns `true` if the endpoint has terminated (`end_c`).
+    pub fn is_ended(&self) -> bool {
+        self.node().is_end()
+    }
+
+    /// The endpoint advanced to the given node of the same tree.
+    #[must_use]
+    pub fn advanced_to(&self, id: NodeId) -> Self {
+        LocalEndpoint {
+            tree: Arc::clone(&self.tree),
+            current: id,
+        }
+    }
+}
+
+/// A local environment (Definition 3.9): a finite map from participants to
+/// their local behaviours.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LocalEnv {
+    entries: BTreeMap<Role, LocalEndpoint>,
+}
+
+impl LocalEnv {
+    /// The empty environment.
+    pub fn new() -> Self {
+        LocalEnv::default()
+    }
+
+    /// Adds (or replaces) the behaviour of `role`.
+    pub fn insert(&mut self, role: Role, tree: LocalTree) {
+        self.entries.insert(role, LocalEndpoint::new(tree));
+    }
+
+    /// The behaviour of `role`, if it is part of the environment.
+    pub fn get(&self, role: &Role) -> Option<&LocalEndpoint> {
+        self.entries.get(role)
+    }
+
+    /// The participants of the environment.
+    pub fn roles(&self) -> BTreeSet<Role> {
+        self.entries.keys().cloned().collect()
+    }
+
+    /// Number of participants.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the environment has no participants.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns `true` if every participant has terminated.
+    pub fn all_ended(&self) -> bool {
+        self.entries.values().all(LocalEndpoint::is_ended)
+    }
+
+    /// Iterates over `(role, endpoint)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Role, &LocalEndpoint)> {
+        self.entries.iter()
+    }
+
+    fn with_endpoint(&self, role: &Role, endpoint: LocalEndpoint) -> LocalEnv {
+        let mut entries = self.entries.clone();
+        entries.insert(role.clone(), endpoint);
+        LocalEnv { entries }
+    }
+}
+
+/// A configuration of the local semantics: a local environment together with
+/// a queue environment. This is the `(E, Q)` of Definitions 3.11 and 3.14.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Configuration {
+    /// The behaviours of all participants.
+    pub env: LocalEnv,
+    /// The in-transit messages.
+    pub queues: QueueEnv,
+}
+
+impl Configuration {
+    /// A configuration with the given environment and no message in transit.
+    pub fn initial(env: LocalEnv) -> Self {
+        Configuration {
+            env,
+            queues: QueueEnv::empty(),
+        }
+    }
+
+    /// Returns `true` if the configuration is terminal: every participant has
+    /// terminated and no message is in transit (the base case of Definition
+    /// 3.20).
+    pub fn is_terminal(&self) -> bool {
+        self.env.all_ended() && self.queues.is_empty()
+    }
+}
+
+/// One step of the environment LTS (Definition 3.14): attempts to perform
+/// `action` from `config`.
+///
+/// * `[l-step-send]` — the sender's local tree offers a send with the
+///   action's label; the sender advances and the message is enqueued.
+/// * `[l-step-recv]` — the receiver's local tree expects a receive from the
+///   action's sender, and the oldest in-transit message between them carries
+///   the action's label; the receiver advances and the message is dequeued.
+pub fn local_step(config: &Configuration, action: &Action) -> Option<Configuration> {
+    match action {
+        a if a.is_send() => {
+            let sender = a.from();
+            let endpoint = config.env.get(sender)?;
+            let LocalTreeNode::Send { to, branches } = endpoint.node() else {
+                return None;
+            };
+            if to != a.to() {
+                return None;
+            }
+            let branch = branches
+                .iter()
+                .find(|b| &b.label == a.label() && &b.sort == a.sort())?;
+            let env = config
+                .env
+                .with_endpoint(sender, endpoint.advanced_to(branch.cont));
+            let mut queues = config.queues.clone();
+            queues.enq(a.from(), a.to(), a.label().clone(), a.sort().clone());
+            Some(Configuration { env, queues })
+        }
+        a => {
+            let receiver = a.to();
+            let endpoint = config.env.get(receiver)?;
+            let LocalTreeNode::Recv { from, branches } = endpoint.node() else {
+                return None;
+            };
+            if from != a.from() {
+                return None;
+            }
+            let branch = branches
+                .iter()
+                .find(|b| &b.label == a.label() && &b.sort == a.sort())?;
+            let head = config.queues.peek(a.from(), a.to())?;
+            if &head.0 != a.label() || &head.1 != a.sort() {
+                return None;
+            }
+            let env = config
+                .env
+                .with_endpoint(receiver, endpoint.advanced_to(branch.cont));
+            let mut queues = config.queues.clone();
+            queues.deq(a.from(), a.to());
+            Some(Configuration { env, queues })
+        }
+    }
+}
+
+/// The set of actions enabled in `config`, i.e. the actions `a` for which
+/// [`local_step`] succeeds.
+pub fn enabled_local_actions(config: &Configuration) -> Vec<Action> {
+    let mut out = Vec::new();
+    for (role, endpoint) in config.env.iter() {
+        match endpoint.node() {
+            LocalTreeNode::End => {}
+            LocalTreeNode::Send { to, branches } => {
+                for b in branches {
+                    out.push(Action::send(
+                        role.clone(),
+                        to.clone(),
+                        b.label.clone(),
+                        b.sort.clone(),
+                    ));
+                }
+            }
+            LocalTreeNode::Recv { from, branches } => {
+                if let Some((label, sort)) = config.queues.peek(from, role) {
+                    if branches
+                        .iter()
+                        .any(|b| &b.label == label && &b.sort == sort)
+                    {
+                        out.push(Action::recv(
+                            role.clone(),
+                            from.clone(),
+                            label.clone(),
+                            sort.clone(),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out.retain(|a| local_step(config, a).is_some());
+    out
+}
+
+/// Runs `trace` from `config`, returning the final configuration if every
+/// action is enabled in sequence.
+pub fn run_local_trace(config: &Configuration, trace: &Trace) -> Option<Configuration> {
+    let mut current = config.clone();
+    for action in trace.iter() {
+        current = local_step(&current, action)?;
+    }
+    Some(current)
+}
+
+/// Checks whether `trace` is admissible as a prefix of an execution of the
+/// configuration (Definition 3.20, restricted to finite prefixes).
+pub fn is_local_trace_prefix(config: &Configuration, trace: &Trace) -> bool {
+    run_local_trace(config, trace).is_some()
+}
+
+/// Enumerates every admissible trace prefix of length at most `depth`
+/// starting from `config`; the executable counterpart of the coinductive
+/// `trl` relation.
+pub fn local_traces_up_to(config: &Configuration, depth: usize) -> BTreeSet<Trace> {
+    let mut out = BTreeSet::new();
+    let mut queue: VecDeque<(Configuration, Trace)> = VecDeque::new();
+    queue.push_back((config.clone(), Trace::empty()));
+    while let Some((state, trace)) = queue.pop_front() {
+        out.insert(trace.clone());
+        if trace.len() >= depth {
+            continue;
+        }
+        for action in enabled_local_actions(&state) {
+            if let Some(next) = local_step(&state, &action) {
+                queue.push_back((next, trace.snoc(action)));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::syntax::LocalType;
+    use crate::local::unravel::unravel_local;
+
+    fn r(name: &str) -> Role {
+        Role::new(name)
+    }
+    fn l(name: &str) -> Label {
+        Label::new(name)
+    }
+
+    /// The configuration of Example 3.12 before p's message is delivered:
+    /// E(p) = ?[q];l(S). ?[q];l(S) ... , E(q) = ?[p];l(S). !(p);l(S) ...,
+    /// Q(p,q) = [(l, S)].
+    fn example_3_12() -> Configuration {
+        let p_tree = unravel_local(&LocalType::rec(LocalType::recv1(
+            r("q"),
+            "l",
+            Sort::Nat,
+            LocalType::var(0),
+        )))
+        .unwrap();
+        let q_tree = unravel_local(&LocalType::recv1(
+            r("p"),
+            "l",
+            Sort::Nat,
+            LocalType::rec(LocalType::send1(r("p"), "l", Sort::Nat, LocalType::var(0))),
+        ))
+        .unwrap();
+        let mut env = LocalEnv::new();
+        env.insert(r("p"), p_tree);
+        env.insert(r("q"), q_tree);
+        let mut queues = QueueEnv::empty();
+        queues.enq(&r("p"), &r("q"), l("l"), Sort::Nat);
+        Configuration { env, queues }
+    }
+
+    #[test]
+    fn queue_env_is_fifo() {
+        let mut q = QueueEnv::empty();
+        q.enq(&r("p"), &r("q"), l("a"), Sort::Nat);
+        q.enq(&r("p"), &r("q"), l("b"), Sort::Bool);
+        assert_eq!(q.total_messages(), 2);
+        assert_eq!(q.peek(&r("p"), &r("q")).unwrap().0, l("a"));
+        assert_eq!(q.deq(&r("p"), &r("q")).unwrap().0, l("a"));
+        assert_eq!(q.deq(&r("p"), &r("q")).unwrap().0, l("b"));
+        assert_eq!(q.deq(&r("p"), &r("q")), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn queues_are_per_ordered_pair() {
+        let mut q = QueueEnv::empty();
+        q.enq(&r("p"), &r("q"), l("a"), Sort::Nat);
+        assert!(q.peek(&r("q"), &r("p")).is_none());
+        assert_eq!(q.queue(&r("p"), &r("q")).len(), 1);
+        assert!(q.queue(&r("q"), &r("p")).is_empty());
+    }
+
+    #[test]
+    fn l_step_send_enqueues_and_advances() {
+        // E(p) = ![q];l(nat).end, E(q) = ?[p];l(nat).end, empty queues.
+        let mut env = LocalEnv::new();
+        env.insert(
+            r("p"),
+            unravel_local(&LocalType::send1(r("q"), "l", Sort::Nat, LocalType::End)).unwrap(),
+        );
+        env.insert(
+            r("q"),
+            unravel_local(&LocalType::recv1(r("p"), "l", Sort::Nat, LocalType::End)).unwrap(),
+        );
+        let c0 = Configuration::initial(env);
+        assert!(!c0.is_terminal());
+
+        let send = Action::send(r("p"), r("q"), l("l"), Sort::Nat);
+        let recv = send.dual();
+
+        // The receive is not enabled before the send.
+        assert!(local_step(&c0, &recv).is_none());
+
+        let c1 = local_step(&c0, &send).expect("send enabled");
+        assert_eq!(c1.queues.total_messages(), 1);
+        assert!(c1.env.get(&r("p")).unwrap().is_ended());
+
+        let c2 = local_step(&c1, &recv).expect("recv enabled after send");
+        assert!(c2.is_terminal());
+    }
+
+    #[test]
+    fn l_step_recv_requires_queue_head_to_match() {
+        let mut env = LocalEnv::new();
+        env.insert(
+            r("q"),
+            unravel_local(&LocalType::recv1(r("p"), "l", Sort::Nat, LocalType::End)).unwrap(),
+        );
+        let mut queues = QueueEnv::empty();
+        queues.enq(&r("p"), &r("q"), l("other"), Sort::Nat);
+        let c = Configuration { env, queues };
+        let recv = Action::recv(r("q"), r("p"), l("l"), Sort::Nat);
+        assert!(local_step(&c, &recv).is_none());
+        assert!(enabled_local_actions(&c).is_empty());
+    }
+
+    #[test]
+    fn example_3_12_configuration_steps() {
+        let c = example_3_12();
+        // q can receive the enqueued message; p cannot do anything yet.
+        let enabled = enabled_local_actions(&c);
+        assert_eq!(enabled.len(), 1);
+        assert_eq!(enabled[0], Action::recv(r("q"), r("p"), l("l"), Sort::Nat));
+        let c1 = local_step(&c, &enabled[0]).unwrap();
+        // Now q sends to p forever: q's send and afterwards p's receive.
+        let q_sends = Action::send(r("q"), r("p"), l("l"), Sort::Nat);
+        let c2 = local_step(&c1, &q_sends).expect("q send enabled");
+        let p_recvs = q_sends.dual();
+        let c3 = local_step(&c2, &p_recvs).expect("p recv enabled");
+        assert!(!c3.is_terminal());
+    }
+
+    #[test]
+    fn trace_running_and_enumeration() {
+        let mut env = LocalEnv::new();
+        env.insert(
+            r("p"),
+            unravel_local(&LocalType::send1(r("q"), "l", Sort::Nat, LocalType::End)).unwrap(),
+        );
+        env.insert(
+            r("q"),
+            unravel_local(&LocalType::recv1(r("p"), "l", Sort::Nat, LocalType::End)).unwrap(),
+        );
+        let c0 = Configuration::initial(env);
+        let send = Action::send(r("p"), r("q"), l("l"), Sort::Nat);
+        let full = Trace::from(vec![send.clone(), send.dual()]);
+        assert!(is_local_trace_prefix(&c0, &full));
+        assert!(run_local_trace(&c0, &full).unwrap().is_terminal());
+
+        let traces = local_traces_up_to(&c0, 2);
+        assert_eq!(traces.len(), 3);
+        assert!(traces.contains(&full));
+    }
+
+    #[test]
+    fn env_accessors() {
+        let c = example_3_12();
+        assert_eq!(c.env.len(), 2);
+        assert!(!c.env.is_empty());
+        assert_eq!(c.env.roles().len(), 2);
+        assert!(c.env.get(&r("nobody")).is_none());
+        assert!(!c.env.all_ended());
+    }
+}

@@ -1,0 +1,178 @@
+//! Unravelling of local types into semantic local trees
+//! (Definition 3.3 / A.13, `Local/Unravel.v`).
+
+use std::collections::HashMap;
+
+use crate::common::arena::NodeId;
+use crate::common::branch::Branch;
+use crate::error::Result;
+use crate::local::syntax::LocalType;
+use crate::local::tree::{LocalTree, LocalTreeNode};
+
+/// Unravels a closed, guarded local type into its semantic tree.
+///
+/// See [`unravel_global`](crate::global::unravel_global) for the construction;
+/// the local rules are `[l-unr-end]`, `[l-unr-rec]`, `[l-unr-send]` and
+/// `[l-unr-recv]`.
+///
+/// # Errors
+///
+/// Returns an error if the type is not well-formed (see
+/// [`LocalType::well_formed`]).
+///
+/// # Examples
+///
+/// ```
+/// use zooid_mpst::local::{unravel_local, LocalType};
+/// use zooid_mpst::{Role, Sort};
+///
+/// let l = LocalType::rec(LocalType::send1(Role::new("q"), "ping", Sort::Nat, LocalType::var(0)));
+/// let tree = unravel_local(&l).unwrap();
+/// assert_eq!(tree.len(), 1); // a single node looping on itself
+/// ```
+pub fn unravel_local(l: &LocalType) -> Result<LocalTree> {
+    l.well_formed()?;
+    let mut builder = Builder::default();
+    let root = builder.node_of(l);
+    Ok(LocalTree::from_parts(builder.nodes, root))
+}
+
+/// Decides the unravelling relation `L ℜ Lc`: does `tree` represent the
+/// infinite unfolding of `l`?
+///
+/// Returns `false` when `l` is not well-formed.
+pub fn l_unravels_to(l: &LocalType, tree: &LocalTree) -> bool {
+    match unravel_local(l) {
+        Ok(t) => t.equivalent(tree),
+        Err(_) => false,
+    }
+}
+
+#[derive(Default)]
+struct Builder {
+    nodes: Vec<LocalTreeNode>,
+    memo: HashMap<LocalType, NodeId>,
+}
+
+impl Builder {
+    fn node_of(&mut self, l: &LocalType) -> NodeId {
+        let head = l.unfold_head();
+        if let Some(&id) = self.memo.get(&head) {
+            return id;
+        }
+        let id = NodeId::new(self.nodes.len());
+        self.nodes.push(LocalTreeNode::End);
+        self.memo.insert(head.clone(), id);
+        let node = match &head {
+            LocalType::End => LocalTreeNode::End,
+            LocalType::Send { to, branches } => LocalTreeNode::Send {
+                to: to.clone(),
+                branches: self.branches(branches),
+            },
+            LocalType::Recv { from, branches } => LocalTreeNode::Recv {
+                from: from.clone(),
+                branches: self.branches(branches),
+            },
+            LocalType::Rec(_) | LocalType::Var(_) => {
+                unreachable!("unfold_head returns a head-normal form of a closed type")
+            }
+        };
+        self.nodes[id.index()] = node;
+        id
+    }
+
+    fn branches(&mut self, branches: &[Branch<LocalType>]) -> Vec<Branch<NodeId>> {
+        branches
+            .iter()
+            .map(|b| Branch {
+                label: b.label.clone(),
+                sort: b.sort.clone(),
+                cont: self.node_of(&b.cont),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::role::Role;
+    use crate::common::sort::Sort;
+
+    fn r(name: &str) -> Role {
+        Role::new(name)
+    }
+
+    #[test]
+    fn end_unravels_to_end() {
+        let t = unravel_local(&LocalType::End).unwrap();
+        assert!(t.is_ended());
+        assert!(l_unravels_to(&LocalType::End, &t));
+    }
+
+    #[test]
+    fn unrolling_preserves_the_unravelling() {
+        let l = LocalType::rec(LocalType::recv1(r("p"), "l", Sort::Nat, LocalType::var(0)));
+        let t = unravel_local(&l).unwrap();
+        assert!(l_unravels_to(&l.unfold_once(), &t));
+    }
+
+    #[test]
+    fn ping_pong_alice_unrollings_are_equivalent() {
+        // The two local types compared in §5.1: alice_lt and the once-unrolled
+        // variant inferred for alice4. They unravel to the same local tree.
+        let alice_lt = LocalType::rec(LocalType::Send {
+            to: r("Bob"),
+            branches: vec![
+                Branch::new("l1", Sort::Unit, LocalType::End),
+                Branch::new(
+                    "l2",
+                    Sort::Nat,
+                    LocalType::recv1(r("Bob"), "l3", Sort::Nat, LocalType::var(0)),
+                ),
+            ],
+        });
+        let alice4_lt = LocalType::Send {
+            to: r("Bob"),
+            branches: vec![
+                Branch::new("l1", Sort::Unit, LocalType::End),
+                Branch::new(
+                    "l2",
+                    Sort::Nat,
+                    LocalType::rec(LocalType::recv1(
+                        r("Bob"),
+                        "l3",
+                        Sort::Nat,
+                        LocalType::Send {
+                            to: r("Bob"),
+                            branches: vec![
+                                Branch::new("l1", Sort::Unit, LocalType::End),
+                                Branch::new("l2", Sort::Nat, LocalType::var(0)),
+                            ],
+                        },
+                    )),
+                ),
+            ],
+        };
+        let t1 = unravel_local(&alice_lt).unwrap();
+        let t2 = unravel_local(&alice4_lt).unwrap();
+        assert!(t1.equivalent(&t2));
+        assert!(l_unravels_to(&alice4_lt, &t1));
+    }
+
+    #[test]
+    fn different_protocols_are_not_identified() {
+        let l1 = LocalType::send1(r("q"), "a", Sort::Nat, LocalType::End);
+        let l2 = LocalType::send1(r("q"), "b", Sort::Nat, LocalType::End);
+        let t1 = unravel_local(&l1).unwrap();
+        assert!(!l_unravels_to(&l2, &t1));
+    }
+
+    #[test]
+    fn ill_formed_types_do_not_unravel() {
+        let bad = LocalType::rec(LocalType::var(0));
+        assert!(unravel_local(&bad).is_err());
+        let t = unravel_local(&LocalType::End).unwrap();
+        assert!(!l_unravels_to(&bad, &t));
+    }
+}

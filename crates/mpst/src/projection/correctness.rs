@@ -1,0 +1,139 @@
+//! The executable counterpart of Theorem 3.6: *unravelling preserves
+//! projections* (`Projection/Correctness.v`, theorem `ic_proj`).
+
+use crate::common::role::Role;
+use crate::error::Result;
+use crate::global::syntax::GlobalType;
+use crate::global::unravel::unravel_global;
+use crate::local::unravel::unravel_local;
+use crate::projection::cproject::is_cprojection;
+use crate::projection::iproject::project;
+
+/// Checks Theorem 3.6 for a given global type and participant: if the
+/// inductive projection `G ↾ r = L` is defined, then the unravelling of `L`
+/// is a coinductive projection of the unravelling of `G`.
+///
+/// Returns `Ok(true)` when the theorem instance holds, `Ok(false)` when it is
+/// violated (which would indicate a bug in one of the three components —
+/// this is what the property-based test-suite asserts never happens).
+///
+/// # Errors
+///
+/// Propagates failures of the *hypotheses*: the type being ill-formed or not
+/// inductively projectable onto `role`. Such cases do not constitute
+/// counterexamples to the theorem, whose statement assumes them.
+///
+/// # Examples
+///
+/// ```
+/// use zooid_mpst::global::GlobalType;
+/// use zooid_mpst::projection::unravelling_preserves_projection;
+/// use zooid_mpst::{Role, Sort};
+///
+/// let g = GlobalType::rec(GlobalType::msg1(
+///     Role::new("p"), Role::new("q"), "ping", Sort::Nat, GlobalType::var(0)));
+/// assert!(unravelling_preserves_projection(&g, &Role::new("p")).unwrap());
+/// assert!(unravelling_preserves_projection(&g, &Role::new("q")).unwrap());
+/// ```
+pub fn unravelling_preserves_projection(global: &GlobalType, role: &Role) -> Result<bool> {
+    let local = project(global, role)?;
+    let gtree = unravel_global(global)?;
+    let ltree = unravel_local(&local)?;
+    Ok(is_cprojection(&gtree, role, &ltree))
+}
+
+/// Checks Theorem 3.6 for every participant of the global type.
+///
+/// # Errors
+///
+/// See [`unravelling_preserves_projection`].
+pub fn unravelling_preserves_all_projections(global: &GlobalType) -> Result<bool> {
+    for role in global.participants() {
+        if !unravelling_preserves_projection(global, &role)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::label::Label;
+    use crate::common::sort::Sort;
+
+    fn r(name: &str) -> Role {
+        Role::new(name)
+    }
+
+    #[test]
+    fn theorem_3_6_holds_for_the_ring() {
+        let ring = GlobalType::msg1(
+            r("Alice"),
+            r("Bob"),
+            "l",
+            Sort::Nat,
+            GlobalType::msg1(
+                r("Bob"),
+                r("Carol"),
+                "l",
+                Sort::Nat,
+                GlobalType::msg1(r("Carol"), r("Alice"), "l", Sort::Nat, GlobalType::End),
+            ),
+        );
+        assert!(unravelling_preserves_all_projections(&ring).unwrap());
+        // Also holds for a non-participant (both sides are `end`).
+        assert!(unravelling_preserves_projection(&ring, &r("Zoe")).unwrap());
+    }
+
+    #[test]
+    fn theorem_3_6_holds_for_the_recursive_pipeline() {
+        let pipeline = GlobalType::rec(GlobalType::msg1(
+            r("Alice"),
+            r("Bob"),
+            "l",
+            Sort::Nat,
+            GlobalType::msg1(r("Bob"), r("Carol"), "l", Sort::Nat, GlobalType::var(0)),
+        ));
+        assert!(unravelling_preserves_all_projections(&pipeline).unwrap());
+    }
+
+    #[test]
+    fn theorem_3_6_holds_for_branching_protocols() {
+        let ping_pong = GlobalType::rec(GlobalType::msg(
+            r("Alice"),
+            r("Bob"),
+            vec![
+                (Label::new("quit"), Sort::Unit, GlobalType::End),
+                (
+                    Label::new("ping"),
+                    Sort::Nat,
+                    GlobalType::msg1(r("Bob"), r("Alice"), "pong", Sort::Nat, GlobalType::var(0)),
+                ),
+            ],
+        ));
+        assert!(unravelling_preserves_all_projections(&ping_pong).unwrap());
+    }
+
+    #[test]
+    fn hypothesis_failures_are_reported_as_errors() {
+        // Not inductively projectable onto Carol (Example 3.5's G').
+        let g_prime = GlobalType::msg(
+            r("Alice"),
+            r("Bob"),
+            vec![
+                (
+                    Label::new("l1"),
+                    Sort::Nat,
+                    GlobalType::msg1(r("Bob"), r("Carol"), "l", Sort::Nat, GlobalType::End),
+                ),
+                (
+                    Label::new("l2"),
+                    Sort::Nat,
+                    GlobalType::msg1(r("Alice"), r("Carol"), "l", Sort::Nat, GlobalType::End),
+                ),
+            ],
+        );
+        assert!(unravelling_preserves_projection(&g_prime, &r("Carol")).is_err());
+    }
+}

@@ -1,0 +1,653 @@
+//! Coinductive projection of global trees (and execution prefixes) onto
+//! participants (Definition 3.4 / A.17, Figure 3b, `Projection/CProject.v`).
+//!
+//! The paper defines projection on trees as a *coinductive relation*
+//! `Gc ↾c r Lc`. On the finite graph representation used here that relation
+//! is decidable, and we expose it in two forms:
+//!
+//! * [`is_cprojection`] / [`is_prefix_cprojection`] — the relation itself, as
+//!   a checker (a greatest-fixpoint computation over pairs of nodes);
+//! * [`cproject`] — a *computation* of the projection: it constructs a
+//!   candidate local tree and then validates it with the checker, returning
+//!   [`Error::NotProjectable`] when the protocol has no projection onto the
+//!   participant.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::common::arena::NodeId;
+use crate::common::branch::Branch;
+use crate::common::role::Role;
+use crate::error::{Error, Result};
+use crate::global::prefix::GlobalPrefix;
+use crate::global::tree::{GlobalTree, GlobalTreeNode};
+use crate::local::tree::{LocalTree, LocalTreeNode};
+
+/// Decides the coinductive projection relation `Gc ↾c r Lc` between the root
+/// of `tree` and the root of `local`.
+///
+/// # Examples
+///
+/// ```
+/// use zooid_mpst::global::{unravel_global, GlobalType};
+/// use zooid_mpst::local::{unravel_local, LocalType};
+/// use zooid_mpst::projection::{cproject, is_cprojection};
+/// use zooid_mpst::{Role, Sort};
+///
+/// let g = GlobalType::msg1(Role::new("p"), Role::new("q"), "l", Sort::Nat, GlobalType::End);
+/// let gt = unravel_global(&g).unwrap();
+/// let lt = unravel_local(&LocalType::send1(Role::new("q"), "l", Sort::Nat, LocalType::End)).unwrap();
+/// assert!(is_cprojection(&gt, &Role::new("p"), &lt));
+/// assert_eq!(cproject(&gt, &Role::new("p")).unwrap().len(), lt.len());
+/// ```
+pub fn is_cprojection(tree: &GlobalTree, role: &Role, local: &LocalTree) -> bool {
+    let mut assumed = HashSet::new();
+    check_tree(tree, tree.root(), role, local, local.root(), &mut assumed)
+}
+
+/// Decides the coinductive projection relation between an arbitrary node of
+/// `tree` and an arbitrary node of `local`.
+pub fn is_cprojection_at(
+    tree: &GlobalTree,
+    gnode: NodeId,
+    role: &Role,
+    local: &LocalTree,
+    lnode: NodeId,
+) -> bool {
+    let mut assumed = HashSet::new();
+    check_tree(tree, gnode, role, local, lnode, &mut assumed)
+}
+
+/// Decides the coinductive projection relation between an execution prefix
+/// (the paper's `ig_ty`, with possibly in-flight messages) and a position
+/// `lnode` in the local tree `local`.
+///
+/// The additional rules for in-flight messages are `[co-proj-send-2]` (the
+/// projection of everyone but the receiver is the projection of the selected
+/// continuation) and `[co-proj-recv-2]` (the receiver still sees the full
+/// external choice).
+pub fn is_prefix_cprojection(
+    tree: &GlobalTree,
+    prefix: &GlobalPrefix,
+    role: &Role,
+    local: &LocalTree,
+    lnode: NodeId,
+) -> bool {
+    let mut assumed = HashSet::new();
+    check_prefix(tree, prefix, role, local, lnode, &mut assumed)
+}
+
+fn check_tree(
+    tree: &GlobalTree,
+    g: NodeId,
+    role: &Role,
+    local: &LocalTree,
+    l: NodeId,
+    assumed: &mut HashSet<(NodeId, NodeId)>,
+) -> bool {
+    if !assumed.insert((g, l)) {
+        return true;
+    }
+    // [co-proj-end]: non-participants project to end_c.
+    if !tree.part_of(role, g) {
+        return local.node(l).is_end();
+    }
+    match tree.node(g) {
+        GlobalTreeNode::End => false, // part_of never holds at end_c
+        GlobalTreeNode::Msg { from, to, branches } => {
+            if role == from {
+                // [co-proj-send-1]
+                match local.node(l) {
+                    LocalTreeNode::Send {
+                        to: lto,
+                        branches: lbs,
+                    } if lto == to => branches_correspond(tree, branches, role, local, lbs, assumed),
+                    _ => false,
+                }
+            } else if role == to {
+                // [co-proj-recv-1]
+                match local.node(l) {
+                    LocalTreeNode::Recv {
+                        from: lfrom,
+                        branches: lbs,
+                    } if lfrom == from => {
+                        branches_correspond(tree, branches, role, local, lbs, assumed)
+                    }
+                    _ => false,
+                }
+            } else {
+                // [co-proj-cont]: every continuation involves the role and
+                // projects to the *same* local behaviour.
+                branches.iter().all(|b| {
+                    tree.part_of(role, b.cont)
+                        && check_tree(tree, b.cont, role, local, l, assumed)
+                })
+            }
+        }
+    }
+}
+
+fn branches_correspond(
+    tree: &GlobalTree,
+    gbranches: &[Branch<NodeId>],
+    role: &Role,
+    local: &LocalTree,
+    lbranches: &[Branch<NodeId>],
+    assumed: &mut HashSet<(NodeId, NodeId)>,
+) -> bool {
+    if gbranches.len() != lbranches.len() {
+        return false;
+    }
+    gbranches.iter().all(|gb| {
+        lbranches
+            .iter()
+            .find(|lb| lb.label == gb.label)
+            .is_some_and(|lb| {
+                lb.sort == gb.sort && check_tree(tree, gb.cont, role, local, lb.cont, assumed)
+            })
+    })
+}
+
+fn check_prefix(
+    tree: &GlobalTree,
+    prefix: &GlobalPrefix,
+    role: &Role,
+    local: &LocalTree,
+    l: NodeId,
+    assumed: &mut HashSet<(NodeId, NodeId)>,
+) -> bool {
+    if !prefix_part_of(tree, prefix, role) {
+        return local.node(l).is_end();
+    }
+    match prefix {
+        GlobalPrefix::Inj(g) => check_tree(tree, *g, role, local, l, assumed),
+        GlobalPrefix::Msg { from, to, branches } => {
+            if role == from {
+                match local.node(l) {
+                    LocalTreeNode::Send {
+                        to: lto,
+                        branches: lbs,
+                    } if lto == to => {
+                        prefix_branches_correspond(tree, branches, role, local, lbs, assumed)
+                    }
+                    _ => false,
+                }
+            } else if role == to {
+                match local.node(l) {
+                    LocalTreeNode::Recv {
+                        from: lfrom,
+                        branches: lbs,
+                    } if lfrom == from => {
+                        prefix_branches_correspond(tree, branches, role, local, lbs, assumed)
+                    }
+                    _ => false,
+                }
+            } else {
+                branches.iter().all(|b| {
+                    prefix_part_of(tree, &b.cont, role)
+                        && check_prefix(tree, &b.cont, role, local, l, assumed)
+                })
+            }
+        }
+        GlobalPrefix::Sent {
+            from,
+            to,
+            selected,
+            branches,
+        } => {
+            if role == to {
+                // [co-proj-recv-2]
+                match local.node(l) {
+                    LocalTreeNode::Recv {
+                        from: lfrom,
+                        branches: lbs,
+                    } if lfrom == from => {
+                        prefix_branches_correspond(tree, branches, role, local, lbs, assumed)
+                    }
+                    _ => false,
+                }
+            } else {
+                // [co-proj-send-2]
+                check_prefix(tree, &branches[*selected].cont, role, local, l, assumed)
+            }
+        }
+    }
+}
+
+fn prefix_branches_correspond(
+    tree: &GlobalTree,
+    gbranches: &[Branch<GlobalPrefix>],
+    role: &Role,
+    local: &LocalTree,
+    lbranches: &[Branch<NodeId>],
+    assumed: &mut HashSet<(NodeId, NodeId)>,
+) -> bool {
+    if gbranches.len() != lbranches.len() {
+        return false;
+    }
+    gbranches.iter().all(|gb| {
+        lbranches
+            .iter()
+            .find(|lb| lb.label == gb.label)
+            .is_some_and(|lb| {
+                lb.sort == gb.sort && check_prefix(tree, &gb.cont, role, local, lb.cont, assumed)
+            })
+    })
+}
+
+/// The `part_of` predicate lifted from trees to execution prefixes.
+pub fn prefix_part_of(tree: &GlobalTree, prefix: &GlobalPrefix, role: &Role) -> bool {
+    match prefix {
+        GlobalPrefix::Inj(g) => tree.part_of(role, *g),
+        GlobalPrefix::Msg { from, to, branches } => {
+            from == role
+                || to == role
+                || branches
+                    .iter()
+                    .any(|b| prefix_part_of(tree, &b.cont, role))
+        }
+        GlobalPrefix::Sent {
+            from,
+            to,
+            branches,
+            ..
+        } => {
+            from == role
+                || to == role
+                || branches
+                    .iter()
+                    .any(|b| prefix_part_of(tree, &b.cont, role))
+        }
+    }
+}
+
+/// Computes the coinductive projection of `tree` onto `role`.
+///
+/// The construction first identifies, with a union–find pass, which global
+/// nodes must share a projection (the continuations of choices the role does
+/// not take part in, rule `[co-proj-cont]`) and which project to `end_c`
+/// (rule `[co-proj-end]`); it then builds the candidate local tree and
+/// validates it against the relation checker [`is_cprojection`]. Coinductive
+/// projection is strictly more permissive than the inductive
+/// [`project`](crate::projection::project): Example A.19's global type is
+/// projectable here but not there (see the tests).
+///
+/// # Errors
+///
+/// [`Error::NotProjectable`] when no local tree satisfies the relation.
+pub fn cproject(tree: &GlobalTree, role: &Role) -> Result<LocalTree> {
+    let candidate = build_candidate(tree, role)?;
+    if is_cprojection(tree, role, &candidate) {
+        Ok(candidate)
+    } else {
+        Err(Error::NotProjectable {
+            role: role.clone(),
+            reason: "branches of a choice the participant does not take part in prescribe \
+                     different behaviours for it"
+                .to_owned(),
+        })
+    }
+}
+
+/// Union–find over global nodes (plus one extra class for `end_c`).
+struct Classes {
+    parent: Vec<usize>,
+}
+
+impl Classes {
+    fn new(n: usize) -> Self {
+        Classes {
+            parent: (0..=n).collect(),
+        }
+    }
+
+    fn end_class(&self) -> usize {
+        self.parent.len() - 1
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+fn build_candidate(tree: &GlobalTree, role: &Role) -> Result<LocalTree> {
+    let n = tree.len();
+    let mut classes = Classes::new(n);
+    let end_class = classes.end_class();
+
+    // Group nodes that must share a projection.
+    for (id, node) in tree.iter() {
+        if !tree.part_of(role, id) {
+            classes.union(id.index(), end_class);
+            continue;
+        }
+        if let GlobalTreeNode::Msg { from, to, branches } = node {
+            if from != role && to != role {
+                for b in branches {
+                    classes.union(id.index(), b.cont.index());
+                }
+            }
+        }
+    }
+
+    // Pick, for every class, the node that determines its local behaviour:
+    // a node in which the role is directly involved, or `end_c`.
+    let mut representative: HashMap<usize, Option<NodeId>> = HashMap::new();
+    for (id, node) in tree.iter() {
+        let class = classes.find(id.index());
+        if class == classes.find(end_class) {
+            continue;
+        }
+        let involved = matches!(node, GlobalTreeNode::Msg { from, to, .. } if from == role || to == role);
+        let entry = representative.entry(class).or_insert(None);
+        if involved && entry.is_none() {
+            *entry = Some(id);
+        }
+    }
+
+    // Build the local arena, one node per reachable class.
+    let mut nodes: Vec<LocalTreeNode> = Vec::new();
+    let mut class_to_lnode: HashMap<usize, NodeId> = HashMap::new();
+    let root_class = classes.find(tree.root().index());
+    let end_root = classes.find(end_class);
+    let root_lnode = build_class(
+        tree,
+        role,
+        root_class,
+        end_root,
+        &mut classes,
+        &representative,
+        &mut nodes,
+        &mut class_to_lnode,
+    )?;
+    Ok(LocalTree::from_parts(nodes, root_lnode))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_class(
+    tree: &GlobalTree,
+    role: &Role,
+    class: usize,
+    end_root: usize,
+    classes: &mut Classes,
+    representative: &HashMap<usize, Option<NodeId>>,
+    nodes: &mut Vec<LocalTreeNode>,
+    class_to_lnode: &mut HashMap<usize, NodeId>,
+) -> Result<NodeId> {
+    if let Some(&id) = class_to_lnode.get(&class) {
+        return Ok(id);
+    }
+    let lnode = NodeId::new(nodes.len());
+    nodes.push(LocalTreeNode::End);
+    class_to_lnode.insert(class, lnode);
+
+    if class == end_root {
+        return Ok(lnode); // stays End
+    }
+    let rep = representative.get(&class).copied().flatten();
+    let Some(rep) = rep else {
+        // A class of merge nodes with no directly-involved representative:
+        // the role takes part somewhere (part_of holds) but the choice can
+        // loop without ever reaching it on some branch; such protocols have
+        // no projection.
+        return Err(Error::NotProjectable {
+            role: role.clone(),
+            reason: "a choice the participant is not involved in never reaches it on some branch"
+                .to_owned(),
+        });
+    };
+    let GlobalTreeNode::Msg { from, to, branches } = tree.node(rep).clone() else {
+        unreachable!("representatives are message nodes involving the role");
+    };
+    let mut lbranches = Vec::with_capacity(branches.len());
+    for b in &branches {
+        let child_class = {
+            let c = classes.find(b.cont.index());
+            if !tree.part_of(role, b.cont) {
+                classes.find(end_root)
+            } else {
+                c
+            }
+        };
+        let child = build_class(
+            tree,
+            role,
+            child_class,
+            end_root,
+            classes,
+            representative,
+            nodes,
+            class_to_lnode,
+        )?;
+        lbranches.push(Branch {
+            label: b.label.clone(),
+            sort: b.sort.clone(),
+            cont: child,
+        });
+    }
+    let node = if &from == role {
+        LocalTreeNode::Send {
+            to,
+            branches: lbranches,
+        }
+    } else {
+        LocalTreeNode::Recv {
+            from,
+            branches: lbranches,
+        }
+    };
+    nodes[lnode.index()] = node;
+    Ok(lnode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::label::Label;
+    use crate::common::sort::Sort;
+    use crate::global::syntax::GlobalType;
+    use crate::global::unravel::unravel_global;
+    use crate::local::syntax::LocalType;
+    use crate::local::unravel::unravel_local;
+    use crate::projection::iproject::project;
+
+    fn r(name: &str) -> Role {
+        Role::new(name)
+    }
+    fn l(name: &str) -> Label {
+        Label::new(name)
+    }
+
+    fn ring() -> GlobalType {
+        GlobalType::msg1(
+            r("Alice"),
+            r("Bob"),
+            "l",
+            Sort::Nat,
+            GlobalType::msg1(
+                r("Bob"),
+                r("Carol"),
+                "l",
+                Sort::Nat,
+                GlobalType::msg1(r("Carol"), r("Alice"), "l", Sort::Nat, GlobalType::End),
+            ),
+        )
+    }
+
+    #[test]
+    fn cproject_agrees_with_inductive_projection_on_the_ring() {
+        let gt = unravel_global(&ring()).unwrap();
+        for role in ["Alice", "Bob", "Carol"] {
+            let inductive = unravel_local(&project(&ring(), &r(role)).unwrap()).unwrap();
+            let coinductive = cproject(&gt, &r(role)).unwrap();
+            assert!(
+                inductive.equivalent(&coinductive),
+                "projections disagree for {role}"
+            );
+            assert!(is_cprojection(&gt, &r(role), &inductive));
+        }
+    }
+
+    #[test]
+    fn non_participant_projects_to_end() {
+        let gt = unravel_global(&ring()).unwrap();
+        let lt = cproject(&gt, &r("Zoe")).unwrap();
+        assert!(lt.is_ended());
+        assert!(is_cprojection(&gt, &r("Zoe"), &LocalTree::end()));
+    }
+
+    #[test]
+    fn checker_rejects_wrong_projection() {
+        let gt = unravel_global(&ring()).unwrap();
+        // Alice's projection given to Bob must be rejected.
+        let alice = unravel_local(&project(&ring(), &r("Alice")).unwrap()).unwrap();
+        assert!(!is_cprojection(&gt, &r("Bob"), &alice));
+        // And the end tree is not a projection for a participant.
+        assert!(!is_cprojection(&gt, &r("Alice"), &LocalTree::end()));
+    }
+
+    #[test]
+    fn example_a_19_is_coinductively_projectable() {
+        // G = p -> q : { l0(nat). G0, l1(nat). G1 } where G0 and G1 unravel
+        // to the same tree: inductive projection onto r fails (see the
+        // iproject tests) but coinductive projection succeeds and gives the
+        // infinite ?[p];l(nat) stream.
+        let g0 = GlobalType::rec(GlobalType::msg1(
+            r("p"),
+            r("r"),
+            "l",
+            Sort::Nat,
+            GlobalType::var(0),
+        ));
+        let g1 = GlobalType::msg1(r("p"), r("r"), "l", Sort::Nat, g0.clone());
+        let g = GlobalType::msg(
+            r("p"),
+            r("q"),
+            vec![(l("l0"), Sort::Nat, g0.clone()), (l("l1"), Sort::Nat, g1)],
+        );
+        let gt = unravel_global(&g).unwrap();
+        let proj = cproject(&gt, &r("r")).unwrap();
+        let expected = unravel_local(&LocalType::rec(LocalType::recv1(
+            r("p"),
+            "l",
+            Sort::Nat,
+            LocalType::var(0),
+        )))
+        .unwrap();
+        assert!(proj.equivalent(&expected));
+        assert!(is_cprojection(&gt, &r("r"), &expected));
+    }
+
+    #[test]
+    fn unprojectable_merge_is_detected() {
+        // Example 3.5's G': Carol hears from different senders depending on a
+        // choice she does not observe.
+        let g_prime = GlobalType::msg(
+            r("Alice"),
+            r("Bob"),
+            vec![
+                (
+                    l("l1"),
+                    Sort::Nat,
+                    GlobalType::msg1(r("Bob"), r("Carol"), "l", Sort::Nat, GlobalType::End),
+                ),
+                (
+                    l("l2"),
+                    Sort::Nat,
+                    GlobalType::msg1(r("Alice"), r("Carol"), "l", Sort::Nat, GlobalType::End),
+                ),
+            ],
+        );
+        let gt = unravel_global(&g_prime).unwrap();
+        assert!(matches!(
+            cproject(&gt, &r("Carol")),
+            Err(Error::NotProjectable { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_requires_every_branch_to_reach_the_participant() {
+        // p -> q : { stop(unit). end ; more(nat). p -> r : l(nat). end }:
+        // r is part of the protocol but one branch never involves it, so the
+        // coinductive merge ([co-proj-cont]) fails for r.
+        let g = GlobalType::msg(
+            r("p"),
+            r("q"),
+            vec![
+                (l("stop"), Sort::Unit, GlobalType::End),
+                (
+                    l("more"),
+                    Sort::Nat,
+                    GlobalType::msg1(r("p"), r("r"), "l", Sort::Nat, GlobalType::End),
+                ),
+            ],
+        );
+        let gt = unravel_global(&g).unwrap();
+        assert!(cproject(&gt, &r("r")).is_err());
+    }
+
+    #[test]
+    fn prefix_projection_follows_the_two_asynchronous_stages() {
+        // Figure 4: project the three stages of a single exchange onto the
+        // sender p and the receiver q.
+        let g = GlobalType::msg1(r("p"), r("q"), "l", Sort::Nat, GlobalType::End);
+        let gt = unravel_global(&g).unwrap();
+        let p_tree = unravel_local(&LocalType::send1(r("q"), "l", Sort::Nat, LocalType::End)).unwrap();
+        let q_tree = unravel_local(&LocalType::recv1(r("p"), "l", Sort::Nat, LocalType::End)).unwrap();
+        let ended = LocalTree::end();
+
+        // Stage 1: nothing sent yet.
+        let stage1 = GlobalPrefix::initial(&gt);
+        assert!(is_prefix_cprojection(&gt, &stage1, &r("p"), &p_tree, p_tree.root()));
+        assert!(is_prefix_cprojection(&gt, &stage1, &r("q"), &q_tree, q_tree.root()));
+
+        // Stage 2: message in flight. p has already finished; q still waits.
+        let stage2 = match stage1.expand(&gt) {
+            GlobalPrefix::Msg { from, to, branches } => GlobalPrefix::Sent {
+                from,
+                to,
+                selected: 0,
+                branches,
+            },
+            _ => unreachable!(),
+        };
+        assert!(is_prefix_cprojection(&gt, &stage2, &r("p"), &ended, ended.root()));
+        assert!(!is_prefix_cprojection(&gt, &stage2, &r("p"), &p_tree, p_tree.root()));
+        assert!(is_prefix_cprojection(&gt, &stage2, &r("q"), &q_tree, q_tree.root()));
+
+        // Stage 3: delivered. Both are done.
+        let stage3 = GlobalPrefix::Inj(match gt.node(gt.root()) {
+            GlobalTreeNode::Msg { branches, .. } => branches[0].cont,
+            GlobalTreeNode::End => unreachable!(),
+        });
+        assert!(is_prefix_cprojection(&gt, &stage3, &r("p"), &ended, ended.root()));
+        assert!(is_prefix_cprojection(&gt, &stage3, &r("q"), &ended, ended.root()));
+    }
+
+    #[test]
+    fn recursive_pipeline_cprojects_onto_all_roles() {
+        let pipeline = GlobalType::rec(GlobalType::msg1(
+            r("Alice"),
+            r("Bob"),
+            "l",
+            Sort::Nat,
+            GlobalType::msg1(r("Bob"), r("Carol"), "l", Sort::Nat, GlobalType::var(0)),
+        ));
+        let gt = unravel_global(&pipeline).unwrap();
+        for role in ["Alice", "Bob", "Carol"] {
+            let via_type = unravel_local(&project(&pipeline, &r(role)).unwrap()).unwrap();
+            let via_tree = cproject(&gt, &r(role)).unwrap();
+            assert!(via_type.equivalent(&via_tree), "role {role}");
+        }
+    }
+}

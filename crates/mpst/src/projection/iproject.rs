@@ -1,0 +1,449 @@
+//! Inductive projection of global types onto participants
+//! (Definition 3.4 / A.15, Figure 3a, `Projection/IProject.v`).
+
+use crate::common::branch::Branch;
+use crate::common::role::Role;
+use crate::error::{Error, Result};
+use crate::global::syntax::GlobalType;
+use crate::local::syntax::LocalType;
+
+/// Projects a global type onto a participant, following Figure 3a.
+///
+/// Projection is a *partial* function: it fails (with
+/// [`Error::NotProjectable`]) when the behaviour of `role` cannot be read off
+/// the global type — most importantly when, in a choice `role` is not part
+/// of, the branches prescribe different behaviours for `role` (rule
+/// `[proj-cont]` requires all branch projections to be equal; this is the
+/// "plain merge" of the MPST literature).
+///
+/// One deviation from the paper's Figure 3a is made for recursion, following
+/// common practice in the MPST literature: when the body of a `mu` projects
+/// to a type in which the bound variable can only occur unguarded (i.e. the
+/// participant takes no part in the loop), the projection is `end` rather
+/// than an unguarded — hence ill-formed — recursive type. This agrees with
+/// the coinductive projection, which maps non-participants to `end_c`
+/// (`[co-proj-end]`).
+///
+/// # Errors
+///
+/// * [`Error::NotProjectable`] if one of the projection rules fails;
+/// * any well-formedness error of the input type.
+///
+/// # Examples
+///
+/// Example 3.5 of the paper: the second global type projects onto `Carol`,
+/// the first does not.
+///
+/// ```
+/// use zooid_mpst::global::GlobalType;
+/// use zooid_mpst::projection::project;
+/// use zooid_mpst::{Label, Role, Sort};
+///
+/// let alice = Role::new("Alice");
+/// let bob = Role::new("Bob");
+/// let carol = Role::new("Carol");
+/// let to_carol = || GlobalType::msg1(bob.clone(), carol.clone(), "l", Sort::Nat, GlobalType::End);
+///
+/// // G: both branches give Carol the same behaviour — projectable.
+/// let g = GlobalType::msg(alice.clone(), bob.clone(), vec![
+///     (Label::new("l1"), Sort::Nat, to_carol()),
+///     (Label::new("l2"), Sort::Bool, to_carol()),
+/// ]);
+/// assert!(project(&g, &carol).is_ok());
+///
+/// // G': the branches disagree on who contacts Carol — not projectable.
+/// let g_prime = GlobalType::msg(alice.clone(), bob.clone(), vec![
+///     (Label::new("l1"), Sort::Nat, to_carol()),
+///     (Label::new("l2"), Sort::Nat,
+///      GlobalType::msg1(alice.clone(), carol.clone(), "l", Sort::Nat, GlobalType::End)),
+/// ]);
+/// assert!(project(&g_prime, &carol).is_err());
+/// ```
+pub fn project(global: &GlobalType, role: &Role) -> Result<LocalType> {
+    global.well_formed()?;
+    project_rec(global, role)
+}
+
+fn project_rec(global: &GlobalType, role: &Role) -> Result<LocalType> {
+    match global {
+        // [proj-end]
+        GlobalType::End => Ok(LocalType::End),
+        // [proj-var]
+        GlobalType::Var(i) => Ok(LocalType::Var(*i)),
+        // [proj-rec]
+        GlobalType::Rec(body) => {
+            let projected = project_rec(body, role)?;
+            if mu_would_be_unguarded(&projected) {
+                // The participant plays no part in the loop body: its view of
+                // the protocol is the terminated one.
+                Ok(LocalType::End)
+            } else if !projected.free_vars().contains(&0) {
+                // The bound variable never occurs (the participant leaves the
+                // loop on every path), so the binder is dropped; outer
+                // indices are re-aligned by the substitution.
+                Ok(projected.subst_top(&LocalType::End))
+            } else {
+                Ok(LocalType::rec(projected))
+            }
+        }
+        GlobalType::Msg { from, to, branches } => {
+            if role == from {
+                // [proj-send]
+                let bs = project_branches(branches, role)?;
+                Ok(LocalType::Send {
+                    to: to.clone(),
+                    branches: bs,
+                })
+            } else if role == to {
+                // [proj-recv]
+                let bs = project_branches(branches, role)?;
+                Ok(LocalType::Recv {
+                    from: from.clone(),
+                    branches: bs,
+                })
+            } else {
+                // [proj-cont]: all branches must prescribe the same behaviour
+                // for `role` (plain merge).
+                let mut projections = branches
+                    .iter()
+                    .map(|b| project_rec(&b.cont, role))
+                    .collect::<Result<Vec<_>>>()?;
+                let first = projections.swap_remove(0);
+                for other in &projections {
+                    if other != &first {
+                        return Err(Error::NotProjectable {
+                            role: role.clone(),
+                            reason: format!(
+                                "branches of {from}->{to} prescribe different behaviours \
+                                 for a participant not involved in the choice: `{first}` \
+                                 versus `{other}`"
+                            ),
+                        });
+                    }
+                }
+                Ok(first)
+            }
+        }
+    }
+}
+
+fn project_branches(
+    branches: &[Branch<GlobalType>],
+    role: &Role,
+) -> Result<Vec<Branch<LocalType>>> {
+    branches
+        .iter()
+        .map(|b| {
+            Ok(Branch {
+                label: b.label.clone(),
+                sort: b.sort.clone(),
+                cont: project_rec(&b.cont, role)?,
+            })
+        })
+        .collect()
+}
+
+/// Would `mu X. body` be unguarded? True when `body` is a (possibly
+/// `mu`-wrapped) bare variable, which happens exactly when the participant
+/// does not occur in the loop.
+fn mu_would_be_unguarded(body: &LocalType) -> bool {
+    match body {
+        LocalType::Var(_) => true,
+        LocalType::Rec(inner) => mu_would_be_unguarded(inner),
+        _ => false,
+    }
+}
+
+/// Projects a global type onto every one of its participants, returning the
+/// pairs in the participants' natural order.
+///
+/// This is the underlying operation of the DSL's `\project` notation (§5.1):
+/// it fails if the protocol is not projectable onto *some* participant.
+///
+/// # Errors
+///
+/// See [`project`].
+pub fn project_all(global: &GlobalType) -> Result<Vec<(Role, LocalType)>> {
+    global
+        .participants()
+        .into_iter()
+        .map(|role| {
+            let local = project(global, &role)?;
+            Ok((role, local))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::label::Label;
+    use crate::common::sort::Sort;
+
+    fn r(name: &str) -> Role {
+        Role::new(name)
+    }
+    fn l(name: &str) -> Label {
+        Label::new(name)
+    }
+
+    /// The ring protocol of §2.3.
+    fn ring() -> GlobalType {
+        GlobalType::msg1(
+            r("Alice"),
+            r("Bob"),
+            "l",
+            Sort::Nat,
+            GlobalType::msg1(
+                r("Bob"),
+                r("Carol"),
+                "l",
+                Sort::Nat,
+                GlobalType::msg1(r("Carol"), r("Alice"), "l", Sort::Nat, GlobalType::End),
+            ),
+        )
+    }
+
+    #[test]
+    fn ring_projects_onto_alice_as_in_section_2_3() {
+        // L = ![Bob];l(nat). ?[Carol];l(nat). end
+        let expected = LocalType::send1(
+            r("Bob"),
+            "l",
+            Sort::Nat,
+            LocalType::recv1(r("Carol"), "l", Sort::Nat, LocalType::End),
+        );
+        assert_eq!(project(&ring(), &r("Alice")).unwrap(), expected);
+    }
+
+    #[test]
+    fn ring_projects_onto_bob_and_carol() {
+        let bob = project(&ring(), &r("Bob")).unwrap();
+        assert_eq!(
+            bob,
+            LocalType::recv1(
+                r("Alice"),
+                "l",
+                Sort::Nat,
+                LocalType::send1(r("Carol"), "l", Sort::Nat, LocalType::End)
+            )
+        );
+        let carol = project(&ring(), &r("Carol")).unwrap();
+        assert_eq!(
+            carol,
+            LocalType::recv1(
+                r("Bob"),
+                "l",
+                Sort::Nat,
+                LocalType::send1(r("Alice"), "l", Sort::Nat, LocalType::End)
+            )
+        );
+    }
+
+    #[test]
+    fn projection_onto_non_participant_is_end() {
+        assert_eq!(project(&ring(), &r("Nobody")).unwrap(), LocalType::End);
+    }
+
+    #[test]
+    fn example_3_5_projectable_variant() {
+        // Both branches give Carol the same behaviour (receive a nat from
+        // Bob), so projection succeeds and equals ?[Bob];l(nat).end.
+        let to_carol = GlobalType::msg1(r("Bob"), r("Carol"), "l", Sort::Nat, GlobalType::End);
+        let g = GlobalType::msg(
+            r("Alice"),
+            r("Bob"),
+            vec![
+                (l("l1"), Sort::Nat, to_carol.clone()),
+                (l("l2"), Sort::Bool, to_carol),
+            ],
+        );
+        assert_eq!(
+            project(&g, &r("Carol")).unwrap(),
+            LocalType::recv1(r("Bob"), "l", Sort::Nat, LocalType::End)
+        );
+    }
+
+    #[test]
+    fn example_3_5_unprojectable_variant() {
+        // In one branch Carol hears from Bob, in the other from Alice: the
+        // merge fails ([proj-cont]).
+        let g_prime = GlobalType::msg(
+            r("Alice"),
+            r("Bob"),
+            vec![
+                (
+                    l("l1"),
+                    Sort::Nat,
+                    GlobalType::msg1(r("Bob"), r("Carol"), "l", Sort::Nat, GlobalType::End),
+                ),
+                (
+                    l("l2"),
+                    Sort::Nat,
+                    GlobalType::msg1(r("Alice"), r("Carol"), "l", Sort::Nat, GlobalType::End),
+                ),
+            ],
+        );
+        assert!(matches!(
+            project(&g_prime, &r("Carol")),
+            Err(Error::NotProjectable { .. })
+        ));
+        // It still projects fine onto the roles involved in the choice.
+        assert!(project(&g_prime, &r("Alice")).is_ok());
+        assert!(project(&g_prime, &r("Bob")).is_ok());
+    }
+
+    #[test]
+    fn example_a_19_is_not_inductively_projectable() {
+        // G = p -> q : { l0(nat). G0, l1(nat). G1 } with
+        // G0 = mu X. p -> r : l(nat). X and G1 = p -> r : l(nat). G0:
+        // the branches project onto r to syntactically different (although
+        // unravelling-equivalent) local types, so inductive projection fails.
+        let g0 = GlobalType::rec(GlobalType::msg1(
+            r("p"),
+            r("r"),
+            "l",
+            Sort::Nat,
+            GlobalType::var(0),
+        ));
+        let g1 = GlobalType::msg1(r("p"), r("r"), "l", Sort::Nat, g0.clone());
+        let g = GlobalType::msg(
+            r("p"),
+            r("q"),
+            vec![(l("l0"), Sort::Nat, g0), (l("l1"), Sort::Nat, g1)],
+        );
+        assert!(matches!(
+            project(&g, &r("r")),
+            Err(Error::NotProjectable { .. })
+        ));
+    }
+
+    #[test]
+    fn recursive_pipeline_projects_onto_all_roles() {
+        // pipeline = mu X. Alice -> Bob : l(nat). Bob -> Carol : l(nat). X (§5.1)
+        let pipeline = GlobalType::rec(GlobalType::msg1(
+            r("Alice"),
+            r("Bob"),
+            "l",
+            Sort::Nat,
+            GlobalType::msg1(r("Bob"), r("Carol"), "l", Sort::Nat, GlobalType::var(0)),
+        ));
+        let alice = project(&pipeline, &r("Alice")).unwrap();
+        let bob = project(&pipeline, &r("Bob")).unwrap();
+        let carol = project(&pipeline, &r("Carol")).unwrap();
+        assert_eq!(
+            alice,
+            LocalType::rec(LocalType::send1(r("Bob"), "l", Sort::Nat, LocalType::var(0)))
+        );
+        assert_eq!(
+            bob,
+            LocalType::rec(LocalType::recv1(
+                r("Alice"),
+                "l",
+                Sort::Nat,
+                LocalType::send1(r("Carol"), "l", Sort::Nat, LocalType::var(0))
+            ))
+        );
+        assert_eq!(
+            carol,
+            LocalType::rec(LocalType::recv1(r("Bob"), "l", Sort::Nat, LocalType::var(0)))
+        );
+    }
+
+    #[test]
+    fn participant_outside_a_loop_projects_to_end() {
+        // mu X. p -> q : l(nat). X projected onto r is end (r is not part of
+        // the protocol at all).
+        let g = GlobalType::rec(GlobalType::msg1(
+            r("p"),
+            r("q"),
+            "l",
+            Sort::Nat,
+            GlobalType::var(0),
+        ));
+        assert_eq!(project(&g, &r("r")).unwrap(), LocalType::End);
+    }
+
+    #[test]
+    fn projections_of_well_formed_types_are_well_formed() {
+        for role in ["Alice", "Bob", "Carol"] {
+            let p = project(&ring(), &r(role)).unwrap();
+            assert!(p.well_formed().is_ok(), "projection onto {role}");
+        }
+    }
+
+    #[test]
+    fn project_all_lists_every_participant() {
+        let all = project_all(&ring()).unwrap();
+        let roles: Vec<_> = all.iter().map(|(role, _)| role.name().to_owned()).collect();
+        assert_eq!(roles, ["Alice", "Bob", "Carol"]);
+    }
+
+    #[test]
+    fn ill_formed_inputs_are_rejected() {
+        let bad = GlobalType::rec(GlobalType::var(0));
+        assert!(project(&bad, &r("p")).is_err());
+    }
+
+    #[test]
+    fn two_buyer_projects_onto_b_as_in_figure_10() {
+        // two_buyer = A -> S : ItemId(nat). S -> A : Quote(nat).
+        //             S -> B : Quote(nat). A -> B : Propose(nat).
+        //             B -> S : { Accept(nat). S -> B : Date(nat). end
+        //                      ; Reject(unit). end }
+        let b_chooses = GlobalType::msg(
+            r("B"),
+            r("S"),
+            vec![
+                (
+                    l("Accept"),
+                    Sort::Nat,
+                    GlobalType::msg1(r("S"), r("B"), "Date", Sort::Nat, GlobalType::End),
+                ),
+                (l("Reject"), Sort::Unit, GlobalType::End),
+            ],
+        );
+        let two_buyer = GlobalType::msg1(
+            r("A"),
+            r("S"),
+            "ItemId",
+            Sort::Nat,
+            GlobalType::msg1(
+                r("S"),
+                r("A"),
+                "Quote",
+                Sort::Nat,
+                GlobalType::msg1(
+                    r("S"),
+                    r("B"),
+                    "Quote",
+                    Sort::Nat,
+                    GlobalType::msg1(r("A"), r("B"), "Propose", Sort::Nat, b_chooses),
+                ),
+            ),
+        );
+        let blt = project(&two_buyer, &r("B")).unwrap();
+        let expected = LocalType::recv1(
+            r("S"),
+            "Quote",
+            Sort::Nat,
+            LocalType::recv1(
+                r("A"),
+                "Propose",
+                Sort::Nat,
+                LocalType::Send {
+                    to: r("S"),
+                    branches: vec![
+                        Branch::new(
+                            "Accept",
+                            Sort::Nat,
+                            LocalType::recv1(r("S"), "Date", Sort::Nat, LocalType::End),
+                        ),
+                        Branch::new("Reject", Sort::Unit, LocalType::End),
+                    ],
+                },
+            ),
+        );
+        assert_eq!(blt, expected);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the MPST metatheory layer: invariants of
+//! substitution and unfolding, queue-environment laws, unravelling and
+//! projection properties over the randomised protocol family.
+
+use proptest::prelude::*;
+
+use zooid_mpst::generators::{self, RandomProtocol};
+use zooid_mpst::global::{unravel_global, GlobalType};
+use zooid_mpst::local::{unravel_local, QueueEnv};
+use zooid_mpst::projection::{cproject, is_cprojection, project, project_all};
+use zooid_mpst::{Label, Role, Sort};
+
+fn random_protocol(seed: u64) -> GlobalType {
+    generators::random_global(seed, &RandomProtocol::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The generator only produces well-formed protocols.
+    #[test]
+    fn generated_protocols_are_well_formed(seed in any::<u64>()) {
+        prop_assert!(random_protocol(seed).well_formed().is_ok());
+    }
+
+    /// Unfolding recursion preserves well-formedness, participants and the
+    /// unravelling (equi-recursion, [g-unr-rec]).
+    #[test]
+    fn unfolding_is_transparent(seed in any::<u64>()) {
+        let g = random_protocol(seed);
+        let unfolded = g.unfold_once();
+        prop_assert!(unfolded.well_formed().is_ok());
+        prop_assert_eq!(g.participants(), unfolded.participants());
+        let t1 = unravel_global(&g).unwrap();
+        let t2 = unravel_global(&unfolded).unwrap();
+        prop_assert!(t1.bisimilar(t1.root(), &t2, t2.root()));
+    }
+
+    /// The unravelling arena never has more nodes than the syntactic size of
+    /// the protocol (regularity bound).
+    #[test]
+    fn unravelling_is_bounded_by_the_syntax(seed in any::<u64>()) {
+        let g = random_protocol(seed);
+        let tree = unravel_global(&g).unwrap();
+        prop_assert!(tree.len() <= g.size() + 1);
+    }
+
+    /// Inductive projections, when defined, are well-formed local types whose
+    /// partners are participants of the protocol, and they satisfy the
+    /// coinductive projection relation after unravelling (Theorem 3.6 again,
+    /// stated structurally).
+    #[test]
+    fn projections_are_well_formed_and_coherent(seed in any::<u64>()) {
+        let g = random_protocol(seed);
+        let participants = g.participants();
+        if let Ok(all) = project_all(&g) {
+            let gtree = unravel_global(&g).unwrap();
+            for (role, local) in all {
+                prop_assert!(local.well_formed().is_ok());
+                for partner in local.partners() {
+                    prop_assert!(participants.contains(&partner));
+                }
+                let ltree = unravel_local(&local).unwrap();
+                prop_assert!(is_cprojection(&gtree, &role, &ltree));
+            }
+        }
+    }
+
+    /// Coinductive projection is at least as permissive as inductive
+    /// projection, and both agree up to bisimilarity when the latter exists.
+    #[test]
+    fn coinductive_projection_extends_inductive_projection(seed in any::<u64>()) {
+        let g = random_protocol(seed);
+        let gtree = unravel_global(&g).unwrap();
+        for role in g.participants() {
+            if let Ok(inductive) = project(&g, &role) {
+                let via_type = unravel_local(&inductive).unwrap();
+                let via_tree = cproject(&gtree, &role).unwrap();
+                prop_assert!(via_type.equivalent(&via_tree));
+            }
+        }
+    }
+
+    /// A role that does not occur in the protocol coinductively projects to
+    /// `end_c`, and whenever the (stricter, partial) inductive projection is
+    /// defined for it, it is `end` too.
+    #[test]
+    fn non_participants_project_to_end(seed in any::<u64>()) {
+        let g = random_protocol(seed);
+        let outsider = Role::new("outsider-role");
+        prop_assert!(!g.participants().contains(&outsider));
+        let gtree = unravel_global(&g).unwrap();
+        prop_assert!(is_cprojection(&gtree, &outsider, &zooid_mpst::local::LocalTree::end()));
+        if let Ok(local) = project(&g, &outsider) {
+            prop_assert_eq!(local, zooid_mpst::local::LocalType::End);
+        }
+    }
+
+    /// Queue environments are FIFO per ordered pair and enq/deq are inverse.
+    #[test]
+    fn queue_environments_are_fifo(labels in proptest::collection::vec(0u8..8, 1..20)) {
+        let p = Role::new("p");
+        let q = Role::new("q");
+        let mut env = QueueEnv::empty();
+        for l in &labels {
+            env.enq(&p, &q, Label::new(format!("l{l}")), Sort::Nat);
+        }
+        prop_assert_eq!(env.total_messages(), labels.len());
+        for l in &labels {
+            let (label, _) = env.deq(&p, &q).unwrap();
+            prop_assert_eq!(label, Label::new(format!("l{l}")));
+        }
+        prop_assert!(env.is_empty());
+        prop_assert!(env.deq(&p, &q).is_none());
+    }
+
+    /// The scalable generator families are always projectable and their
+    /// participant counts match the requested size.
+    #[test]
+    fn generator_families_scale(n in 2usize..10) {
+        let ring = generators::ring_n(n);
+        prop_assert_eq!(ring.participants().len(), n);
+        prop_assert!(project_all(&ring).is_ok());
+        let chain = generators::chain_n(n);
+        prop_assert!(project_all(&chain).is_ok());
+        let fan = generators::fanout_n(n);
+        prop_assert_eq!(fan.participants().len(), n + 1);
+        prop_assert!(project_all(&fan).is_ok());
+    }
+}

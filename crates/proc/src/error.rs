@@ -1,0 +1,171 @@
+//! Error types for the process layer.
+
+use std::fmt;
+
+use zooid_mpst::{Label, Role, Sort};
+
+/// A specialised `Result` for process-layer operations.
+pub type Result<T> = std::result::Result<T, ProcError>;
+
+/// Errors produced by expression evaluation, process typing and the process
+/// semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProcError {
+    /// An expression variable is not bound.
+    UnboundVariable {
+        /// The missing variable.
+        name: String,
+    },
+    /// An expression or payload has a different sort than expected.
+    SortMismatch {
+        /// What the context required.
+        expected: Sort,
+        /// What was found.
+        found: Sort,
+        /// Where the mismatch occurred.
+        context: String,
+    },
+    /// An arithmetic or logical operation was applied to values of the wrong
+    /// shape.
+    IllTypedOperation {
+        /// Description of the offending operation.
+        context: String,
+    },
+    /// Division or subtraction underflow/overflow on naturals.
+    ArithmeticError {
+        /// Description of the failure.
+        context: String,
+    },
+    /// An external action was used but not declared (or not registered).
+    UnknownExternal {
+        /// The missing action name.
+        name: String,
+    },
+    /// A process does not have the local type it was checked against.
+    TypeError {
+        /// Why the typing rule failed.
+        reason: String,
+    },
+    /// A `send`/`recv` refers to a label that the local type does not offer.
+    UnknownLabel {
+        /// The offending label.
+        label: Label,
+        /// The communication partner.
+        partner: Role,
+    },
+    /// A receive does not implement every alternative of its local type
+    /// (rule `[p-ty-recv]` requires all of them).
+    MissingAlternative {
+        /// The label that is not handled.
+        label: Label,
+    },
+    /// A jump refers to a recursion binder that is not in scope.
+    UnboundJump {
+        /// de Bruijn index of the jump.
+        index: u32,
+    },
+    /// The process attempted a communication the runtime cannot perform
+    /// (wrong state, closed peer, bad payload, ...).
+    Stuck {
+        /// Description of the attempted step.
+        context: String,
+    },
+    /// An error bubbled up from the session-type layer (ill-formed or
+    /// unprojectable protocol).
+    Mpst(zooid_mpst::Error),
+}
+
+impl fmt::Display for ProcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcError::UnboundVariable { name } => write!(f, "unbound variable `{name}`"),
+            ProcError::SortMismatch {
+                expected,
+                found,
+                context,
+            } => write!(f, "expected sort {expected} but found {found} in {context}"),
+            ProcError::IllTypedOperation { context } => {
+                write!(f, "ill-typed operation: {context}")
+            }
+            ProcError::ArithmeticError { context } => write!(f, "arithmetic error: {context}"),
+            ProcError::UnknownExternal { name } => write!(f, "unknown external action `{name}`"),
+            ProcError::TypeError { reason } => write!(f, "process is not well-typed: {reason}"),
+            ProcError::UnknownLabel { label, partner } => {
+                write!(f, "label `{label}` is not offered in the exchange with `{partner}`")
+            }
+            ProcError::MissingAlternative { label } => {
+                write!(f, "receive does not handle the alternative `{label}`")
+            }
+            ProcError::UnboundJump { index } => {
+                write!(f, "jump to an unbound recursion variable (index {index})")
+            }
+            ProcError::Stuck { context } => write!(f, "process is stuck: {context}"),
+            ProcError::Mpst(e) => write!(f, "session-type error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProcError::Mpst(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<zooid_mpst::Error> for ProcError {
+    fn from(e: zooid_mpst::Error) -> Self {
+        ProcError::Mpst(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_without_trailing_punctuation() {
+        let cases = vec![
+            ProcError::UnboundVariable { name: "x".into() },
+            ProcError::SortMismatch {
+                expected: Sort::Nat,
+                found: Sort::Bool,
+                context: "payload of send".into(),
+            },
+            ProcError::IllTypedOperation {
+                context: "adding a bool".into(),
+            },
+            ProcError::ArithmeticError {
+                context: "nat underflow".into(),
+            },
+            ProcError::UnknownExternal { name: "compute".into() },
+            ProcError::TypeError {
+                reason: "finish against a send type".into(),
+            },
+            ProcError::UnknownLabel {
+                label: Label::new("l"),
+                partner: Role::new("q"),
+            },
+            ProcError::MissingAlternative {
+                label: Label::new("l2"),
+            },
+            ProcError::UnboundJump { index: 1 },
+            ProcError::Stuck {
+                context: "receive on a closed channel".into(),
+            },
+        ];
+        for e in cases {
+            let msg = e.to_string();
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+            assert!(!msg.ends_with('.'), "{msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<ProcError>();
+    }
+}

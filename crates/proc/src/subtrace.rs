@@ -1,0 +1,133 @@
+//! The complete-subtrace relation (Definition 4.6, `subtrace` in `Local.v`).
+
+use zooid_mpst::{Role, Trace};
+
+/// Decides `t1 ⪯p t2`: is `t1` a *complete subtrace* of `t2` for participant
+/// `p`?
+///
+/// Every action of `t2` whose subject is `p` must occur in `t1`, in the same
+/// relative position — i.e. `t1` is exactly `t2` with (some of) the actions
+/// of *other* participants removed. This is the relation used by Theorem 4.7
+/// to state that a well-typed process's trace is contained in a trace of the
+/// global protocol.
+///
+/// Both traces are finite prefixes here; the coinductive relation of the
+/// paper is approximated the same way as trace admissibility (see
+/// [`Trace`]).
+///
+/// # Examples
+///
+/// ```
+/// use zooid_mpst::{Action, Label, Role, Sort, Trace};
+/// use zooid_proc::is_complete_subtrace;
+///
+/// let p = Role::new("p");
+/// let a = Action::send(p.clone(), Role::new("q"), Label::new("l"), Sort::Nat);
+/// let other = Action::send(Role::new("x"), Role::new("y"), Label::new("m"), Sort::Bool);
+///
+/// let global = Trace::from(vec![other.clone(), a.clone(), other.dual()]);
+/// let local = Trace::from(vec![a.clone()]);
+/// assert!(is_complete_subtrace(&local, &global, &p));
+/// // Dropping p's own action is not allowed.
+/// assert!(!is_complete_subtrace(&Trace::empty(), &global, &p));
+/// ```
+pub fn is_complete_subtrace(t1: &Trace, t2: &Trace, p: &Role) -> bool {
+    subtrace(t1.actions(), t2.actions(), p)
+}
+
+fn subtrace(t1: &[zooid_mpst::Action], t2: &[zooid_mpst::Action], p: &Role) -> bool {
+    match t2.split_first() {
+        None => t1.is_empty(),
+        Some((a2, rest2)) => {
+            if a2.subject() != p {
+                // Actions of other participants may be skipped.
+                subtrace(t1, rest2, p)
+            } else {
+                // Actions of p must be matched exactly and in order.
+                match t1.split_first() {
+                    Some((a1, rest1)) => a1 == a2 && subtrace(rest1, rest2, p),
+                    None => false,
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: the restriction of `t` to the actions whose subject is `p`
+/// is always a complete subtrace of `t`; this helper returns it.
+pub fn projection_of_trace(t: &Trace, p: &Role) -> Trace {
+    t.restrict_to_subject(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zooid_mpst::{Action, Label, Sort};
+
+    fn p() -> Role {
+        Role::new("p")
+    }
+
+    fn p_act(i: usize) -> Action {
+        Action::send(p(), Role::new("q"), Label::new(format!("l{i}")), Sort::Nat)
+    }
+
+    fn other_act(i: usize) -> Action {
+        Action::send(
+            Role::new("x"),
+            Role::new("y"),
+            Label::new(format!("m{i}")),
+            Sort::Nat,
+        )
+    }
+
+    #[test]
+    fn empty_is_subtrace_of_empty() {
+        assert!(is_complete_subtrace(&Trace::empty(), &Trace::empty(), &p()));
+    }
+
+    #[test]
+    fn other_participants_actions_may_be_skipped() {
+        let t2 = Trace::from(vec![other_act(0), p_act(1), other_act(2), p_act(3)]);
+        let t1 = Trace::from(vec![p_act(1), p_act(3)]);
+        assert!(is_complete_subtrace(&t1, &t2, &p()));
+        assert!(is_complete_subtrace(&Trace::empty(), &Trace::from(vec![other_act(0)]), &p()));
+    }
+
+    #[test]
+    fn own_actions_cannot_be_skipped_or_reordered() {
+        let t2 = Trace::from(vec![p_act(1), p_act(2)]);
+        assert!(!is_complete_subtrace(&Trace::from(vec![p_act(2)]), &t2, &p()));
+        assert!(!is_complete_subtrace(
+            &Trace::from(vec![p_act(2), p_act(1)]),
+            &t2,
+            &p()
+        ));
+        assert!(is_complete_subtrace(&Trace::from(vec![p_act(1), p_act(2)]), &t2, &p()));
+    }
+
+    #[test]
+    fn extra_actions_in_the_subtrace_are_rejected() {
+        let t2 = Trace::from(vec![other_act(0)]);
+        let t1 = Trace::from(vec![p_act(1)]);
+        assert!(!is_complete_subtrace(&t1, &t2, &p()));
+    }
+
+    #[test]
+    fn restriction_is_always_a_complete_subtrace() {
+        let t = Trace::from(vec![other_act(0), p_act(1), p_act(2), other_act(3), p_act(4)]);
+        let restricted = projection_of_trace(&t, &p());
+        assert_eq!(restricted.len(), 3);
+        assert!(is_complete_subtrace(&restricted, &t, &p()));
+    }
+
+    #[test]
+    fn the_relation_is_sensitive_to_the_participant() {
+        let q = Role::new("q");
+        // q is the receiver of p's sends, so p's sends are not q-subject
+        // actions and the empty trace is a complete q-subtrace.
+        let t = Trace::from(vec![p_act(0)]);
+        assert!(is_complete_subtrace(&Trace::empty(), &t, &q));
+        assert!(!is_complete_subtrace(&Trace::empty(), &t, &p()));
+    }
+}

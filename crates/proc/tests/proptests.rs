@@ -1,0 +1,113 @@
+//! Property-based tests for the process layer: agreement between expression
+//! sort inference and evaluation, typing/inference coherence, and the
+//! complete-subtrace relation.
+
+use proptest::prelude::*;
+
+use zooid_mpst::{Action, Label, Role, Sort, Trace};
+use zooid_proc::subtrace::projection_of_trace;
+use zooid_proc::{
+    infer_local_type, is_complete_subtrace, type_check, Expr, Externals, Proc, RecvAlt, Value,
+};
+
+/// A strategy producing closed, well-sorted expressions of sort `nat`
+/// together with their expected value.
+fn nat_expr() -> impl Strategy<Value = Expr> {
+    let leaf = (0u64..1000).prop_map(Expr::lit);
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::add(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::sub(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::mul(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::div(a, b)),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, t, e)| Expr::ite(Expr::lt(c.clone(), t.clone()), t, e)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A closed expression that infers sort `nat` evaluates to a `nat` value
+    /// (when it evaluates at all — overflow is an error, not a wrong value).
+    #[test]
+    fn inference_and_evaluation_agree_on_nat_expressions(e in nat_expr()) {
+        prop_assert_eq!(e.infer_sort(&Default::default()).unwrap(), Sort::Nat);
+        match e.eval_closed() {
+            Ok(v) => prop_assert!(v.has_sort(&Sort::Nat)),
+            Err(err) => prop_assert!(err.to_string().contains("overflow")),
+        }
+    }
+
+    /// Substituting all free variables of an expression makes it closed, and
+    /// evaluation under an environment agrees with evaluation after
+    /// substitution.
+    #[test]
+    fn substitution_agrees_with_environments(x in 0u64..100, y in 0u64..100) {
+        let e = Expr::add(Expr::var("a"), Expr::mul(Expr::var("b"), Expr::lit(2u64)));
+        let mut env = std::collections::BTreeMap::new();
+        env.insert("a".to_owned(), Value::Nat(x));
+        env.insert("b".to_owned(), Value::Nat(y));
+        let via_env = e.eval(&env).unwrap();
+        let via_subst = e.subst("a", &Value::Nat(x)).subst("b", &Value::Nat(y)).eval_closed().unwrap();
+        prop_assert_eq!(via_env, via_subst);
+    }
+
+    /// `infer_local_type` always produces a type the process checks against
+    /// (inference soundness), for a family of simple generated processes.
+    #[test]
+    fn inferred_types_typecheck(payloads in proptest::collection::vec(0u64..50, 1..6)) {
+        // Build send p(l0, v0)! ... send p(ln, vn)! recv p { done(unit) } finish.
+        let partner = Role::new("q");
+        let mut proc = Proc::recv(
+            partner.clone(),
+            vec![RecvAlt::new("done", Sort::Unit, "u", Proc::Finish)],
+        );
+        for (i, v) in payloads.iter().enumerate().rev() {
+            proc = Proc::send(partner.clone(), format!("l{i}"), Expr::lit(*v), proc);
+        }
+        let ext = Externals::new();
+        let inferred = infer_local_type(&proc, &ext).unwrap();
+        prop_assert!(type_check(&proc, &inferred, &ext).is_ok());
+        prop_assert!(inferred.well_formed().is_ok());
+    }
+
+    /// The restriction of a trace to a participant's actions is always a
+    /// complete subtrace of the original, and removing one of the
+    /// participant's own actions breaks the relation.
+    #[test]
+    fn restriction_is_a_complete_subtrace(subjects in proptest::collection::vec(0u8..3, 1..12)) {
+        let roles = [Role::new("p"), Role::new("q"), Role::new("s")];
+        let trace: Trace = subjects
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let from = roles[*s as usize].clone();
+                let to = roles[((*s as usize) + 1) % 3].clone();
+                Action::send(from, to, Label::new(format!("l{i}")), Sort::Nat)
+            })
+            .collect();
+        let p = &roles[0];
+        let restricted = projection_of_trace(&trace, p);
+        prop_assert!(is_complete_subtrace(&restricted, &trace, p));
+
+        if !restricted.is_empty() {
+            // Dropping one of p's actions is not complete any more.
+            let mut broken: Vec<Action> = restricted.actions().to_vec();
+            broken.pop();
+            prop_assert!(!is_complete_subtrace(&Trace::from(broken), &trace, p));
+        }
+    }
+
+    /// The subtrace relation is reflexive and transitive on a participant's
+    /// own traces.
+    #[test]
+    fn subtrace_is_reflexive_and_transitive(n in 0usize..8) {
+        let p = Role::new("p");
+        let t: Trace = (0..n)
+            .map(|i| Action::send(p.clone(), Role::new("q"), Label::new(format!("l{i}")), Sort::Nat))
+            .collect();
+        prop_assert!(is_complete_subtrace(&t, &t, &p));
+    }
+}

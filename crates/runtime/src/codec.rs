@@ -1,0 +1,260 @@
+//! Wire format for messages: a small, self-describing binary encoding of
+//! labels and values, standing in for OCaml's `Marshal` module (§4.5).
+//!
+//! The format is deliberately simple: every value is encoded as a one-byte
+//! tag followed by its payload, with `u64`/`i64` in big-endian and
+//! length-prefixed strings and sequences. Frames on the wire are the encoded
+//! message preceded by a `u32` length (see [`crate::tcp`]); the in-memory
+//! transport uses the same encoding so that both paths exercise the codec.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use zooid_mpst::Label;
+use zooid_proc::Value;
+
+use crate::error::{Result, RuntimeError};
+
+/// A message as it travels between endpoints: a label and a payload value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// The label selecting the branch of the protocol.
+    pub label: Label,
+    /// The payload.
+    pub value: Value,
+}
+
+impl Message {
+    /// Creates a message.
+    pub fn new(label: impl Into<Label>, value: Value) -> Self {
+        Message {
+            label: label.into(),
+            value,
+        }
+    }
+}
+
+const TAG_UNIT: u8 = 0;
+const TAG_NAT: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_BOOL_FALSE: u8 = 3;
+const TAG_BOOL_TRUE: u8 = 4;
+const TAG_STR: u8 = 5;
+const TAG_INL: u8 = 6;
+const TAG_INR: u8 = 7;
+const TAG_PAIR: u8 = 8;
+const TAG_SEQ: u8 = 9;
+
+/// Encodes a message into a byte buffer.
+pub fn encode_message(message: &Message) -> Bytes {
+    let mut buf = BytesMut::new();
+    put_str(&mut buf, message.label.name());
+    put_value(&mut buf, &message.value);
+    buf.freeze()
+}
+
+/// Decodes a message from a byte buffer.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::Codec`] on truncated or malformed input, including
+/// trailing bytes.
+pub fn decode_message(mut bytes: &[u8]) -> Result<Message> {
+    let label = get_str(&mut bytes)?;
+    let value = get_value(&mut bytes)?;
+    if !bytes.is_empty() {
+        return Err(RuntimeError::Codec {
+            reason: format!("{} trailing bytes after the payload", bytes.len()),
+        });
+    }
+    Ok(Message {
+        label: Label::new(label),
+        value,
+    })
+}
+
+fn put_value(buf: &mut BytesMut, value: &Value) {
+    match value {
+        Value::Unit => buf.put_u8(TAG_UNIT),
+        Value::Nat(n) => {
+            buf.put_u8(TAG_NAT);
+            buf.put_u64(*n);
+        }
+        Value::Int(n) => {
+            buf.put_u8(TAG_INT);
+            buf.put_i64(*n);
+        }
+        Value::Bool(false) => buf.put_u8(TAG_BOOL_FALSE),
+        Value::Bool(true) => buf.put_u8(TAG_BOOL_TRUE),
+        Value::Str(s) => {
+            buf.put_u8(TAG_STR);
+            put_str(buf, s);
+        }
+        Value::Inl(inner) => {
+            buf.put_u8(TAG_INL);
+            put_value(buf, inner);
+        }
+        Value::Inr(inner) => {
+            buf.put_u8(TAG_INR);
+            put_value(buf, inner);
+        }
+        Value::Pair(a, b) => {
+            buf.put_u8(TAG_PAIR);
+            put_value(buf, a);
+            put_value(buf, b);
+        }
+        Value::Seq(items) => {
+            buf.put_u8(TAG_SEQ);
+            buf.put_u32(u32::try_from(items.len()).unwrap_or(u32::MAX));
+            for item in items {
+                put_value(buf, item);
+            }
+        }
+    }
+}
+
+fn get_value(bytes: &mut &[u8]) -> Result<Value> {
+    let tag = get_u8(bytes)?;
+    Ok(match tag {
+        TAG_UNIT => Value::Unit,
+        TAG_NAT => Value::Nat(get_u64(bytes)?),
+        TAG_INT => Value::Int(get_u64(bytes)? as i64),
+        TAG_BOOL_FALSE => Value::Bool(false),
+        TAG_BOOL_TRUE => Value::Bool(true),
+        TAG_STR => Value::Str(get_str(bytes)?),
+        TAG_INL => Value::inl(get_value(bytes)?),
+        TAG_INR => Value::inr(get_value(bytes)?),
+        TAG_PAIR => {
+            let a = get_value(bytes)?;
+            let b = get_value(bytes)?;
+            Value::pair(a, b)
+        }
+        TAG_SEQ => {
+            let len = get_u32(bytes)? as usize;
+            let mut items = Vec::with_capacity(len.min(1024));
+            for _ in 0..len {
+                items.push(get_value(bytes)?);
+            }
+            Value::Seq(items)
+        }
+        other => {
+            return Err(RuntimeError::Codec {
+                reason: format!("unknown value tag {other}"),
+            })
+        }
+    })
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(u32::try_from(s.len()).unwrap_or(u32::MAX));
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(bytes: &mut &[u8]) -> Result<String> {
+    let len = get_u32(bytes)? as usize;
+    if bytes.len() < len {
+        return Err(RuntimeError::Codec {
+            reason: "truncated string".to_owned(),
+        });
+    }
+    let (head, rest) = bytes.split_at(len);
+    let s = std::str::from_utf8(head)
+        .map_err(|_| RuntimeError::Codec {
+            reason: "string is not valid utf-8".to_owned(),
+        })?
+        .to_owned();
+    *bytes = rest;
+    Ok(s)
+}
+
+fn get_u8(bytes: &mut &[u8]) -> Result<u8> {
+    if bytes.is_empty() {
+        return Err(RuntimeError::Codec {
+            reason: "truncated frame".to_owned(),
+        });
+    }
+    let v = bytes[0];
+    bytes.advance(1);
+    Ok(v)
+}
+
+fn get_u32(bytes: &mut &[u8]) -> Result<u32> {
+    if bytes.len() < 4 {
+        return Err(RuntimeError::Codec {
+            reason: "truncated integer".to_owned(),
+        });
+    }
+    Ok(bytes.get_u32())
+}
+
+fn get_u64(bytes: &mut &[u8]) -> Result<u64> {
+    if bytes.len() < 8 {
+        return Err(RuntimeError::Codec {
+            reason: "truncated integer".to_owned(),
+        });
+    }
+    Ok(bytes.get_u64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(value: Value) {
+        let msg = Message::new("some_label", value);
+        let encoded = encode_message(&msg);
+        let decoded = decode_message(&encoded).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn round_trips_every_value_shape() {
+        round_trip(Value::Unit);
+        round_trip(Value::Nat(u64::MAX));
+        round_trip(Value::Int(-42));
+        round_trip(Value::Bool(true));
+        round_trip(Value::Bool(false));
+        round_trip(Value::Str("héllo world".into()));
+        round_trip(Value::inl(Value::Nat(1)));
+        round_trip(Value::inr(Value::pair(Value::Bool(true), Value::Unit)));
+        round_trip(Value::Seq(vec![Value::Nat(1), Value::Nat(2), Value::Nat(3)]));
+        round_trip(Value::Seq(vec![]));
+        round_trip(Value::pair(
+            Value::Seq(vec![Value::Str("a".into())]),
+            Value::inl(Value::Int(0)),
+        ));
+    }
+
+    #[test]
+    fn labels_with_unicode_round_trip() {
+        let msg = Message::new("étiquette", Value::Unit);
+        assert_eq!(decode_message(&encode_message(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let msg = Message::new("l", Value::Nat(7));
+        let encoded = encode_message(&msg);
+        for cut in 0..encoded.len() {
+            assert!(
+                decode_message(&encoded[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let msg = Message::new("l", Value::Nat(7));
+        let mut encoded = encode_message(&msg).to_vec();
+        encoded.push(0);
+        assert!(decode_message(&encoded).is_err());
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        // A frame with a valid label and an invalid value tag.
+        let mut buf = BytesMut::new();
+        put_str(&mut buf, "l");
+        buf.put_u8(200);
+        assert!(decode_message(&buf).is_err());
+    }
+}

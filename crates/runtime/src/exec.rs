@@ -1,0 +1,409 @@
+//! The endpoint executor: runs a process against a [`Transport`].
+//!
+//! This is the counterpart of the paper's extraction (`extract_proc`,
+//! Appendix B) composed with a `ProcessMonad` instance: the process is
+//! interpreted action by action, communication is delegated to the
+//! transport, internal actions (`if`, `read`, `write`, `interact`) are
+//! executed in place, and the endpoint's own trace is recorded so that it can
+//! be checked against the protocol afterwards (or live, by the
+//! [`monitor`](crate::monitor)).
+
+use zooid_mpst::{Role, Sort, Trace};
+use zooid_proc::semantics::admin_normalize;
+use zooid_proc::{erase, Externals, Proc, Value, ValueAction};
+
+use crate::error::{Result, RuntimeError};
+use crate::transport::Transport;
+
+/// Options controlling one endpoint execution.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    /// Stop (with [`EndpointStatus::StepLimitReached`]) after this many
+    /// visible communications. `None` runs until the process finishes or
+    /// fails — which never happens for protocols that loop forever, so
+    /// benchmarks and examples of recursive protocols set a limit.
+    pub max_steps: Option<usize>,
+}
+
+impl ExecOptions {
+    /// Options with a step limit.
+    pub fn with_max_steps(max_steps: usize) -> Self {
+        ExecOptions {
+            max_steps: Some(max_steps),
+        }
+    }
+}
+
+/// How an endpoint execution ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EndpointStatus {
+    /// The process reached `finish`.
+    Finished,
+    /// The configured step limit was reached before the process finished.
+    StepLimitReached,
+    /// The execution failed (transport error, unexpected message, runtime
+    /// error in an expression or external action, ...).
+    Failed {
+        /// Human-readable description of the failure.
+        error: String,
+    },
+}
+
+impl EndpointStatus {
+    /// Returns `true` if the endpoint finished its protocol normally.
+    pub fn is_finished(&self) -> bool {
+        matches!(self, EndpointStatus::Finished)
+    }
+}
+
+/// What happened during one endpoint execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndpointReport {
+    /// The role the endpoint played.
+    pub role: Role,
+    /// Every visible communication the endpoint performed, with values.
+    pub actions: Vec<ValueAction>,
+    /// How the execution ended.
+    pub status: EndpointStatus,
+}
+
+impl EndpointReport {
+    /// The endpoint's trace with payload values erased (the trace that the
+    /// metatheory — Theorem 4.7 — talks about).
+    pub fn erased_trace(&self) -> Trace {
+        self.actions.iter().map(erase).collect()
+    }
+
+    /// Number of visible communications performed.
+    pub fn steps(&self) -> usize {
+        self.actions.len()
+    }
+}
+
+/// Runs `proc` as `role` over `transport`, with the given external actions.
+///
+/// Failures are reported in the returned [`EndpointReport::status`] rather
+/// than as an `Err`, so that the partial trace leading up to a failure is
+/// preserved (the session harness and the failure-injection tests rely on
+/// this).
+pub fn execute(
+    proc: &Proc,
+    role: &Role,
+    transport: &mut dyn Transport,
+    externals: &Externals,
+    options: &ExecOptions,
+) -> EndpointReport {
+    execute_with_observer(proc, role, transport, externals, options, |_| {})
+}
+
+/// Like [`execute`], additionally calling `observer` with every visible
+/// action as soon as it has happened (used to drive the live
+/// [`TraceMonitor`](crate::monitor::TraceMonitor)).
+pub fn execute_with_observer(
+    proc: &Proc,
+    role: &Role,
+    transport: &mut dyn Transport,
+    externals: &Externals,
+    options: &ExecOptions,
+    mut observer: impl FnMut(&ValueAction),
+) -> EndpointReport {
+    let mut actions = Vec::new();
+    let status = run_loop(
+        proc,
+        role,
+        transport,
+        externals,
+        options,
+        &mut actions,
+        &mut observer,
+    )
+    .unwrap_or_else(|err| EndpointStatus::Failed {
+        error: err.to_string(),
+    });
+    EndpointReport {
+        role: role.clone(),
+        actions,
+        status,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_loop(
+    proc: &Proc,
+    role: &Role,
+    transport: &mut dyn Transport,
+    externals: &Externals,
+    options: &ExecOptions,
+    actions: &mut Vec<ValueAction>,
+    observer: &mut impl FnMut(&ValueAction),
+) -> Result<EndpointStatus> {
+    let mut current = proc.clone();
+    let mut steps = 0usize;
+    loop {
+        current = admin_normalize(&current, externals)?;
+        while matches!(current, Proc::Loop(_)) {
+            current = admin_normalize(&current.unfold_once(), externals)?;
+        }
+        match current {
+            Proc::Finish => return Ok(EndpointStatus::Finished),
+            Proc::Jump(i) => {
+                return Err(RuntimeError::Process(zooid_proc::ProcError::UnboundJump {
+                    index: i,
+                }))
+            }
+            Proc::Send {
+                ref to,
+                ref label,
+                ref payload,
+                ref cont,
+            } => {
+                if let Some(limit) = options.max_steps {
+                    if steps >= limit {
+                        return Ok(EndpointStatus::StepLimitReached);
+                    }
+                }
+                let value = payload.eval_closed()?;
+                let action = ValueAction::send(
+                    role.clone(),
+                    to.clone(),
+                    label.clone(),
+                    sort_of_value(&value),
+                    value.clone(),
+                );
+                // Observe the send *before* handing the message to the
+                // transport: once the frame is in flight the receiver may
+                // report its receive at any moment, and the monitor must see
+                // the send first to recognise the interleaving as a valid
+                // asynchronous trace.
+                observer(&action);
+                transport.send(to, label, &value)?;
+                actions.push(action);
+                steps += 1;
+                current = (**cont).clone();
+            }
+            Proc::Recv { ref from, ref alts } => {
+                if let Some(limit) = options.max_steps {
+                    if steps >= limit {
+                        return Ok(EndpointStatus::StepLimitReached);
+                    }
+                }
+                let (label, value) = transport.recv(from)?;
+                let Some(alt) = alts.iter().find(|a| a.label == label) else {
+                    return Err(RuntimeError::UnexpectedMessage {
+                        from: from.clone(),
+                        label,
+                    });
+                };
+                if !value.has_sort(&alt.sort) {
+                    return Err(RuntimeError::BadPayload {
+                        from: from.clone(),
+                        label,
+                    });
+                }
+                let action = ValueAction::recv(
+                    role.clone(),
+                    from.clone(),
+                    label,
+                    alt.sort.clone(),
+                    value.clone(),
+                );
+                observer(&action);
+                actions.push(action);
+                steps += 1;
+                current = alt.cont.subst_value(&alt.var, &value);
+            }
+            Proc::Loop(_)
+            | Proc::Cond { .. }
+            | Proc::Read { .. }
+            | Proc::Write { .. }
+            | Proc::Interact { .. } => {
+                unreachable!("admin_normalize removed internal actions and loops")
+            }
+        }
+    }
+}
+
+/// The canonical sort of a concrete value (used to label the recorded
+/// actions of sends, whose payloads are already evaluated).
+fn sort_of_value(value: &Value) -> Sort {
+    match value {
+        Value::Unit => Sort::Unit,
+        Value::Nat(_) => Sort::Nat,
+        Value::Int(_) => Sort::Int,
+        Value::Bool(_) => Sort::Bool,
+        Value::Str(_) => Sort::Str,
+        Value::Inl(v) | Value::Inr(v) => Sort::sum(sort_of_value(v), Sort::Unit),
+        Value::Pair(a, b) => Sort::prod(sort_of_value(a), sort_of_value(b)),
+        Value::Seq(vs) => Sort::seq(vs.first().map(sort_of_value).unwrap_or(Sort::Unit)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::InMemoryNetwork;
+    use std::time::Duration;
+    use zooid_proc::{Expr, RecvAlt};
+
+    fn r(name: &str) -> Role {
+        Role::new(name)
+    }
+
+    #[test]
+    fn a_single_exchange_runs_to_completion() {
+        let mut net = InMemoryNetwork::new([r("p"), r("q")]);
+        let mut tp = net.take_endpoint(&r("p")).unwrap();
+        let mut tq = net.take_endpoint(&r("q")).unwrap();
+
+        let sender = Proc::send(r("q"), "l", Expr::lit(7u64), Proc::Finish);
+        let receiver = Proc::recv1(r("p"), "l", Sort::Nat, "x", Proc::Finish);
+
+        let handle = std::thread::spawn(move || {
+            execute(&receiver, &r("q"), &mut tq, &Externals::new(), &ExecOptions::default())
+        });
+        let sender_report = execute(
+            &sender,
+            &r("p"),
+            &mut tp,
+            &Externals::new(),
+            &ExecOptions::default(),
+        );
+        let receiver_report = handle.join().unwrap();
+
+        assert!(sender_report.status.is_finished());
+        assert!(receiver_report.status.is_finished());
+        assert_eq!(sender_report.steps(), 1);
+        assert_eq!(receiver_report.steps(), 1);
+        assert_eq!(receiver_report.actions[0].value, Value::Nat(7));
+        assert_eq!(
+            sender_report.erased_trace().actions()[0],
+            receiver_report.erased_trace().actions()[0].dual()
+        );
+    }
+
+    #[test]
+    fn received_values_flow_into_later_sends() {
+        // q echoes x + 1 back to p.
+        let mut net = InMemoryNetwork::new([r("p"), r("q")]);
+        let mut tp = net.take_endpoint(&r("p")).unwrap();
+        let mut tq = net.take_endpoint(&r("q")).unwrap();
+
+        let p = Proc::send(
+            r("q"),
+            "req",
+            Expr::lit(41u64),
+            Proc::recv1(r("q"), "resp", Sort::Nat, "y", Proc::Finish),
+        );
+        let q = Proc::recv1(
+            r("p"),
+            "req",
+            Sort::Nat,
+            "x",
+            Proc::send(
+                r("p"),
+                "resp",
+                Expr::add(Expr::var("x"), Expr::lit(1u64)),
+                Proc::Finish,
+            ),
+        );
+        let handle = std::thread::spawn(move || {
+            execute(&q, &r("q"), &mut tq, &Externals::new(), &ExecOptions::default())
+        });
+        let p_report = execute(&p, &r("p"), &mut tp, &Externals::new(), &ExecOptions::default());
+        handle.join().unwrap();
+        assert_eq!(p_report.actions[1].value, Value::Nat(42));
+    }
+
+    #[test]
+    fn step_limit_stops_recursive_processes() {
+        let mut net = InMemoryNetwork::new([r("p"), r("q")]);
+        let mut tp = net.take_endpoint(&r("p")).unwrap();
+        // p sends forever; we stop it after 10 messages.
+        let p = Proc::loop_(Proc::send(r("q"), "tick", Expr::lit(0u64), Proc::Jump(0)));
+        let report = execute(
+            &p,
+            &r("p"),
+            &mut tp,
+            &Externals::new(),
+            &ExecOptions::with_max_steps(10),
+        );
+        assert_eq!(report.status, EndpointStatus::StepLimitReached);
+        assert_eq!(report.steps(), 10);
+    }
+
+    #[test]
+    fn unexpected_labels_fail_the_execution_with_a_partial_trace() {
+        let mut net = InMemoryNetwork::new([r("p"), r("q")]);
+        let mut tp = net.take_endpoint(&r("p")).unwrap();
+        let mut tq = net.take_endpoint(&r("q")).unwrap();
+        // p sends a label q does not expect.
+        tp.send(&r("q"), &zooid_mpst::Label::new("bogus"), &Value::Unit)
+            .unwrap();
+        let q = Proc::recv1(r("p"), "expected", Sort::Unit, "x", Proc::Finish);
+        let report = execute(&q, &r("q"), &mut tq, &Externals::new(), &ExecOptions::default());
+        match report.status {
+            EndpointStatus::Failed { error } => assert!(error.contains("unexpected message")),
+            other => panic!("expected failure, got {other:?}"),
+        }
+        assert!(report.actions.is_empty());
+    }
+
+    #[test]
+    fn bad_payload_sorts_are_detected() {
+        let mut net = InMemoryNetwork::new([r("p"), r("q")]);
+        let mut tp = net.take_endpoint(&r("p")).unwrap();
+        let mut tq = net.take_endpoint(&r("q")).unwrap();
+        tp.send(&r("q"), &zooid_mpst::Label::new("l"), &Value::Bool(true))
+            .unwrap();
+        let q = Proc::recv1(r("p"), "l", Sort::Nat, "x", Proc::Finish);
+        let report = execute(&q, &r("q"), &mut tq, &Externals::new(), &ExecOptions::default());
+        match report.status {
+            EndpointStatus::Failed { error } => assert!(error.contains("wrong sort")),
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn waiting_on_a_silent_peer_times_out() {
+        let mut net = InMemoryNetwork::new([r("p"), r("q")]);
+        let mut tq = net.take_endpoint(&r("q")).unwrap();
+        tq.set_timeout(Duration::from_millis(20));
+        let q = Proc::recv1(r("p"), "l", Sort::Nat, "x", Proc::Finish);
+        let report = execute(&q, &r("q"), &mut tq, &Externals::new(), &ExecOptions::default());
+        match report.status {
+            EndpointStatus::Failed { error } => assert!(error.contains("timed out")),
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn external_actions_run_during_execution() {
+        let mut net = InMemoryNetwork::new([r("p"), r("q")]);
+        let mut tp = net.take_endpoint(&r("p")).unwrap();
+        let mut tq = net.take_endpoint(&r("q")).unwrap();
+
+        let mut ext = Externals::new();
+        ext.register_interact("double", Sort::Nat, Sort::Nat, |v| {
+            Value::Nat(v.as_nat().unwrap() * 2)
+        });
+
+        // p reads nothing; it interacts to compute 21 * 2 and sends it.
+        let p = Proc::interact(
+            "double",
+            Expr::lit(21u64),
+            "y",
+            Proc::send(r("q"), "l", Expr::var("y"), Proc::Finish),
+        );
+        let q = Proc::recv(
+            r("p"),
+            vec![RecvAlt::new("l", Sort::Nat, "x", Proc::Finish)],
+        );
+        let handle = std::thread::spawn(move || {
+            execute(&q, &r("q"), &mut tq, &Externals::new(), &ExecOptions::default())
+        });
+        let p_report = execute(&p, &r("p"), &mut tp, &ext, &ExecOptions::default());
+        let q_report = handle.join().unwrap();
+        assert!(p_report.status.is_finished());
+        assert_eq!(q_report.actions[0].value, Value::Nat(42));
+    }
+}

@@ -1,0 +1,44 @@
+//! Execution substrate for certified Zooid processes (§4.4–§4.5 of the
+//! paper: extraction, the process monad and the OCaml/Lwt runtime).
+//!
+//! The paper extracts Coq processes to OCaml values in a `ProcessMonad`, then
+//! runs them with an Lwt/TCP runtime that supplies the transport and the
+//! serialisation. This crate plays both parts:
+//!
+//! * [`transport`] — the [`Transport`] trait is the counterpart of the
+//!   process monad's communication operations (`send`, `recv`); the
+//!   [`transport::InMemoryNetwork`] gives every ordered pair of roles its own
+//!   FIFO channel (the queue environments of §3.3, realised with crossbeam
+//!   channels), and [`tcp`] provides the §4.5 TCP transport with
+//!   `Server`/`Client` connection specs;
+//! * [`codec`] — a length-delimited binary encoding of messages, standing in
+//!   for OCaml's `Marshal` module;
+//! * [`exec`] — the interpreter that runs a certified process against a
+//!   transport (the counterpart of `extract_proc` composed with the monad
+//!   instance), recording the endpoint's trace;
+//! * [`monitor`] — an online protocol-compliance monitor that replays
+//!   observed actions against the global type's LTS (the "dynamic
+//!   monitoring" application of type-level transition systems mentioned in
+//!   §1);
+//! * [`harness`] — a multi-threaded session harness that wires every
+//!   certified endpoint of a protocol to an in-memory network, runs them to
+//!   completion and reports the traces together with the monitor's verdict.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod codec;
+pub mod error;
+pub mod exec;
+pub mod harness;
+pub mod monitor;
+pub mod tcp;
+pub mod transport;
+
+pub use codec::Message;
+pub use error::{Result, RuntimeError};
+pub use exec::{execute, EndpointReport, EndpointStatus, ExecOptions};
+pub use harness::{SessionHarness, SessionReport};
+pub use monitor::TraceMonitor;
+pub use transport::{InMemoryNetwork, Transport};

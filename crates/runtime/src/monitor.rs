@@ -1,0 +1,155 @@
+//! Online protocol-compliance monitoring.
+//!
+//! The paper motivates type-level transition systems with, among other
+//! things, "dynamic monitoring of components in distributed systems" (§1).
+//! A [`TraceMonitor`] is exactly that: it holds the global type's semantic
+//! tree and an execution prefix, and replays every observed action through
+//! the global LTS (Definition 3.13). Actions the protocol does not allow are
+//! recorded as violations; a system whose every communication passes through
+//! the monitor therefore gets its protocol compliance checked at run time.
+
+use zooid_mpst::global::{global_step, unravel_global, GlobalPrefix, GlobalTree, GlobalType};
+use zooid_mpst::{Action, Trace};
+
+use crate::error::Result;
+
+/// An online monitor replaying observed actions against a global protocol.
+#[derive(Debug, Clone)]
+pub struct TraceMonitor {
+    tree: GlobalTree,
+    prefix: GlobalPrefix,
+    trace: Trace,
+    violations: Vec<String>,
+}
+
+impl TraceMonitor {
+    /// Creates a monitor for the given protocol.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the protocol is ill-formed.
+    pub fn new(global: &GlobalType) -> Result<Self> {
+        let tree = unravel_global(global).map_err(zooid_proc::ProcError::from)?;
+        let prefix = GlobalPrefix::initial(&tree);
+        Ok(TraceMonitor {
+            tree,
+            prefix,
+            trace: Trace::empty(),
+            violations: Vec::new(),
+        })
+    }
+
+    /// Feeds one observed action to the monitor.
+    ///
+    /// Returns `true` if the protocol allows the action in the current
+    /// state; otherwise the action is recorded as a violation (and the
+    /// monitor's state is left unchanged, so subsequent compliant actions
+    /// are still recognised).
+    pub fn observe(&mut self, action: &Action) -> bool {
+        match global_step(&self.tree, &self.prefix, action) {
+            Some(next) => {
+                self.prefix = next;
+                self.trace.push(action.clone());
+                true
+            }
+            None => {
+                self.violations.push(format!(
+                    "action {action} is not allowed by the protocol after {}",
+                    self.trace
+                ));
+                false
+            }
+        }
+    }
+
+    /// The compliant part of the observed trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The violations observed so far.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Returns `true` if no violation has been observed.
+    pub fn is_compliant(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Returns `true` if the protocol has run to completion (every exchange
+    /// performed and delivered).
+    pub fn is_complete(&self) -> bool {
+        self.prefix.is_terminated(&self.tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zooid_mpst::{Label, Role, Sort};
+
+    fn r(name: &str) -> Role {
+        Role::new(name)
+    }
+
+    fn ring() -> GlobalType {
+        GlobalType::msg1(
+            r("Alice"),
+            r("Bob"),
+            "l",
+            Sort::Nat,
+            GlobalType::msg1(
+                r("Bob"),
+                r("Carol"),
+                "l",
+                Sort::Nat,
+                GlobalType::msg1(r("Carol"), r("Alice"), "l", Sort::Nat, GlobalType::End),
+            ),
+        )
+    }
+
+    #[test]
+    fn a_compliant_run_is_accepted_and_completes() {
+        let mut monitor = TraceMonitor::new(&ring()).unwrap();
+        for (from, to) in [("Alice", "Bob"), ("Bob", "Carol"), ("Carol", "Alice")] {
+            let send = Action::send(r(from), r(to), Label::new("l"), Sort::Nat);
+            assert!(monitor.observe(&send));
+            assert!(monitor.observe(&send.dual()));
+        }
+        assert!(monitor.is_compliant());
+        assert!(monitor.is_complete());
+        assert_eq!(monitor.trace().len(), 6);
+        assert!(monitor.violations().is_empty());
+    }
+
+    #[test]
+    fn out_of_order_actions_are_violations() {
+        let mut monitor = TraceMonitor::new(&ring()).unwrap();
+        // Bob tries to forward before receiving from Alice.
+        let premature = Action::send(r("Bob"), r("Carol"), Label::new("l"), Sort::Nat);
+        assert!(!monitor.observe(&premature));
+        assert!(!monitor.is_compliant());
+        assert_eq!(monitor.violations().len(), 1);
+        // The monitor keeps working for the legitimate continuation.
+        let first = Action::send(r("Alice"), r("Bob"), Label::new("l"), Sort::Nat);
+        assert!(monitor.observe(&first));
+    }
+
+    #[test]
+    fn wrong_labels_and_sorts_are_violations() {
+        let mut monitor = TraceMonitor::new(&ring()).unwrap();
+        let wrong_label = Action::send(r("Alice"), r("Bob"), Label::new("zzz"), Sort::Nat);
+        let wrong_sort = Action::send(r("Alice"), r("Bob"), Label::new("l"), Sort::Bool);
+        assert!(!monitor.observe(&wrong_label));
+        assert!(!monitor.observe(&wrong_sort));
+        assert_eq!(monitor.violations().len(), 2);
+        assert!(!monitor.is_complete());
+    }
+
+    #[test]
+    fn ill_formed_protocols_are_rejected() {
+        let bad = GlobalType::rec(GlobalType::var(0));
+        assert!(TraceMonitor::new(&bad).is_err());
+    }
+}

@@ -1,0 +1,244 @@
+//! TCP transport with `Server`/`Client` connection specifications (§4.5).
+//!
+//! The paper's runtime asks each participant for a `conn_desc list`: for
+//! every peer, either wait for a connection (`Server addr`) or initiate one
+//! (`Client addr`). [`TcpTransport::connect`] implements the same handshake;
+//! frames are the [`codec`](crate::codec) encoding preceded by a big-endian
+//! `u32` length.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use zooid_mpst::{Label, Role};
+use zooid_proc::Value;
+
+use crate::codec::{decode_message, encode_message, Message};
+use crate::error::{Result, RuntimeError};
+use crate::transport::Transport;
+
+/// How to establish the connection towards one peer (the paper's
+/// `connection_spec`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectionSpec {
+    /// Bind the address and wait for the peer to connect.
+    Server(SocketAddr),
+    /// Connect to the peer's address (retrying until it is up or the
+    /// timeout elapses).
+    Client(SocketAddr),
+}
+
+/// The connection description for one peer (the paper's `conn_desc`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnDesc {
+    /// The peer this entry connects to.
+    pub role_to: Role,
+    /// How to reach it.
+    pub spec: ConnectionSpec,
+}
+
+impl ConnDesc {
+    /// Creates a server-side entry: wait for `role_to` on `addr`.
+    pub fn server(role_to: Role, addr: SocketAddr) -> Self {
+        ConnDesc {
+            role_to,
+            spec: ConnectionSpec::Server(addr),
+        }
+    }
+
+    /// Creates a client-side entry: connect to `role_to` at `addr`.
+    pub fn client(role_to: Role, addr: SocketAddr) -> Self {
+        ConnDesc {
+            role_to,
+            spec: ConnectionSpec::Client(addr),
+        }
+    }
+}
+
+/// A TCP transport: one framed stream per peer.
+#[derive(Debug)]
+pub struct TcpTransport {
+    me: Role,
+    streams: BTreeMap<Role, TcpStream>,
+}
+
+impl TcpTransport {
+    /// Establishes connections to every peer according to the given
+    /// descriptions, exactly like the paper's `execute_extracted_process`
+    /// does before running the endpoint.
+    ///
+    /// `Client` entries retry for up to `connect_timeout`, since the peer's
+    /// `Server` socket may not be listening yet.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a bind, accept or connect fails (after retries).
+    pub fn connect(me: Role, descs: &[ConnDesc], connect_timeout: Duration) -> Result<Self> {
+        let mut streams = BTreeMap::new();
+        for desc in descs {
+            let stream = match desc.spec {
+                ConnectionSpec::Server(addr) => {
+                    let listener = TcpListener::bind(addr)?;
+                    let (stream, _) = listener.accept()?;
+                    stream
+                }
+                ConnectionSpec::Client(addr) => {
+                    let deadline = Instant::now() + connect_timeout;
+                    loop {
+                        match TcpStream::connect(addr) {
+                            Ok(stream) => break stream,
+                            Err(e) if Instant::now() >= deadline => return Err(e.into()),
+                            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                        }
+                    }
+                }
+            };
+            stream.set_nodelay(true)?;
+            streams.insert(desc.role_to.clone(), stream);
+        }
+        Ok(TcpTransport { me, streams })
+    }
+
+    /// Builds a transport from already-established streams (useful for tests
+    /// and for embedding into other connection managers).
+    pub fn from_streams(me: Role, streams: BTreeMap<Role, TcpStream>) -> Self {
+        TcpTransport { me, streams }
+    }
+
+    fn stream_mut(&mut self, role: &Role) -> Result<&mut TcpStream> {
+        self.streams
+            .get_mut(role)
+            .ok_or_else(|| RuntimeError::UnknownPeer { role: role.clone() })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, to: &Role, label: &Label, value: &Value) -> Result<()> {
+        let frame = encode_message(&Message::new(label.clone(), value.clone()));
+        let stream = self.stream_mut(to)?;
+        let len =
+            u32::try_from(frame.len()).map_err(|_| RuntimeError::Codec {
+                reason: "frame larger than 4 GiB".to_owned(),
+            })?;
+        stream.write_all(&len.to_be_bytes())?;
+        stream.write_all(&frame)?;
+        stream.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self, from: &Role) -> Result<(Label, Value)> {
+        let stream = self.stream_mut(from)?;
+        let mut len_buf = [0u8; 4];
+        stream.read_exact(&mut len_buf)?;
+        let len = u32::from_be_bytes(len_buf) as usize;
+        let mut frame = vec![0u8; len];
+        stream.read_exact(&mut frame)?;
+        let message = decode_message(&frame)?;
+        Ok((message.label, message.value))
+    }
+
+    fn local_role(&self) -> &Role {
+        &self.me
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{IpAddr, Ipv4Addr};
+
+    fn r(name: &str) -> Role {
+        Role::new(name)
+    }
+
+    /// Builds a connected pair of TCP transports over the loopback interface.
+    fn loopback_pair() -> (TcpTransport, TcpTransport) {
+        let listener = TcpListener::bind((IpAddr::V4(Ipv4Addr::LOCALHOST), 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client_side = std::thread::spawn(move || TcpStream::connect(addr).unwrap());
+        let (server_stream, _) = listener.accept().unwrap();
+        let client_stream = client_side.join().unwrap();
+
+        let mut p_streams = BTreeMap::new();
+        p_streams.insert(r("q"), server_stream);
+        let mut q_streams = BTreeMap::new();
+        q_streams.insert(r("p"), client_stream);
+        (
+            TcpTransport::from_streams(r("p"), p_streams),
+            TcpTransport::from_streams(r("q"), q_streams),
+        )
+    }
+
+    #[test]
+    fn framed_messages_round_trip_over_tcp() {
+        let (mut p, mut q) = loopback_pair();
+        p.send(&r("q"), &Label::new("l"), &Value::pair(Value::Nat(1), Value::Str("hi".into())))
+            .unwrap();
+        p.send(&r("q"), &Label::new("m"), &Value::Bool(true)).unwrap();
+        assert_eq!(
+            q.recv(&r("p")).unwrap(),
+            (
+                Label::new("l"),
+                Value::pair(Value::Nat(1), Value::Str("hi".into()))
+            )
+        );
+        assert_eq!(q.recv(&r("p")).unwrap(), (Label::new("m"), Value::Bool(true)));
+        assert_eq!(p.local_role(), &r("p"));
+        assert_eq!(q.local_role(), &r("q"));
+    }
+
+    #[test]
+    fn unknown_peers_are_rejected() {
+        let (mut p, _q) = loopback_pair();
+        assert!(matches!(
+            p.send(&r("nobody"), &Label::new("l"), &Value::Unit),
+            Err(RuntimeError::UnknownPeer { .. })
+        ));
+    }
+
+    #[test]
+    fn connect_establishes_a_session_between_two_threads() {
+        // Reserve a port, then release it for the server side to bind.
+        let probe = TcpListener::bind((IpAddr::V4(Ipv4Addr::LOCALHOST), 0)).unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+
+        let server = std::thread::spawn(move || {
+            let descs = [ConnDesc::server(r("q"), addr)];
+            let mut transport =
+                TcpTransport::connect(r("p"), &descs, Duration::from_secs(5)).unwrap();
+            transport
+                .send(&r("q"), &Label::new("hello"), &Value::Nat(99))
+                .unwrap();
+            transport.recv(&r("q")).unwrap()
+        });
+        let client = std::thread::spawn(move || {
+            let descs = [ConnDesc::client(r("p"), addr)];
+            let mut transport =
+                TcpTransport::connect(r("q"), &descs, Duration::from_secs(5)).unwrap();
+            let received = transport.recv(&r("p")).unwrap();
+            transport
+                .send(&r("p"), &Label::new("ack"), &Value::Unit)
+                .unwrap();
+            received
+        });
+        let server_got = server.join().unwrap();
+        let client_got = client.join().unwrap();
+        assert_eq!(client_got, (Label::new("hello"), Value::Nat(99)));
+        assert_eq!(server_got, (Label::new("ack"), Value::Unit));
+    }
+
+    #[test]
+    fn conn_desc_constructors() {
+        let addr: SocketAddr = "127.0.0.1:7777".parse().unwrap();
+        assert_eq!(
+            ConnDesc::server(r("q"), addr).spec,
+            ConnectionSpec::Server(addr)
+        );
+        assert_eq!(
+            ConnDesc::client(r("q"), addr).spec,
+            ConnectionSpec::Client(addr)
+        );
+    }
+}

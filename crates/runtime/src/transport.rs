@@ -1,0 +1,251 @@
+//! Transports: how an endpoint exchanges messages with its peers.
+//!
+//! A [`Transport`] is the communication half of the paper's `ProcessMonad`
+//! (Figure 8): the process is written against it and never sees sockets or
+//! channels. The [`InMemoryNetwork`] realises the queue environments of §3.3
+//! directly — one unbounded FIFO channel per ordered pair of roles — and is
+//! what the session harness and the benchmarks use; [`crate::tcp`] provides
+//! the TCP transport of §4.5.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use zooid_mpst::{Label, Role};
+use zooid_proc::Value;
+
+use crate::codec::{decode_message, encode_message, Message};
+use crate::error::{Result, RuntimeError};
+
+/// A connection from one endpoint to all its peers.
+///
+/// The executor calls [`Transport::send`] and [`Transport::recv`]; different
+/// implementations provide in-memory channels, TCP sockets, or anything else
+/// capable of carrying framed messages.
+pub trait Transport {
+    /// Sends a message to the given peer.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the peer is unknown or unreachable.
+    fn send(&mut self, to: &Role, label: &Label, value: &Value) -> Result<()>;
+
+    /// Receives the next message from the given peer, blocking until one
+    /// arrives (or the transport's timeout elapses).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the peer is unknown, disconnected, times out, or sends a
+    /// malformed frame.
+    fn recv(&mut self, from: &Role) -> Result<(Label, Value)>;
+
+    /// The role this transport belongs to.
+    fn local_role(&self) -> &Role;
+}
+
+/// An in-memory network connecting a set of roles with one FIFO channel per
+/// ordered pair, carrying encoded frames.
+///
+/// # Examples
+///
+/// ```
+/// use zooid_runtime::transport::{InMemoryNetwork, Transport};
+/// use zooid_mpst::{Label, Role};
+/// use zooid_proc::Value;
+///
+/// let mut net = InMemoryNetwork::new([Role::new("p"), Role::new("q")]);
+/// let mut p = net.take_endpoint(&Role::new("p")).unwrap();
+/// let mut q = net.take_endpoint(&Role::new("q")).unwrap();
+/// p.send(&Role::new("q"), &Label::new("l"), &Value::Nat(7)).unwrap();
+/// assert_eq!(q.recv(&Role::new("p")).unwrap(), (Label::new("l"), Value::Nat(7)));
+/// ```
+#[derive(Debug)]
+pub struct InMemoryNetwork {
+    endpoints: BTreeMap<Role, InMemoryTransport>,
+}
+
+impl InMemoryNetwork {
+    /// Creates a network connecting the given roles.
+    pub fn new(roles: impl IntoIterator<Item = Role>) -> Self {
+        let roles: Vec<Role> = roles.into_iter().collect();
+        let mut senders: BTreeMap<Role, BTreeMap<Role, Sender<Vec<u8>>>> = BTreeMap::new();
+        let mut receivers: BTreeMap<Role, BTreeMap<Role, Receiver<Vec<u8>>>> = BTreeMap::new();
+        for from in &roles {
+            for to in &roles {
+                if from == to {
+                    continue;
+                }
+                let (tx, rx) = unbounded();
+                senders.entry(from.clone()).or_default().insert(to.clone(), tx);
+                receivers.entry(to.clone()).or_default().insert(from.clone(), rx);
+            }
+        }
+        let endpoints = roles
+            .iter()
+            .map(|role| {
+                (
+                    role.clone(),
+                    InMemoryTransport {
+                        me: role.clone(),
+                        outgoing: senders.remove(role).unwrap_or_default(),
+                        incoming: receivers.remove(role).unwrap_or_default(),
+                        timeout: Duration::from_secs(5),
+                    },
+                )
+            })
+            .collect();
+        InMemoryNetwork { endpoints }
+    }
+
+    /// Removes and returns the endpoint transport of a role (each endpoint is
+    /// usually moved into its own thread).
+    pub fn take_endpoint(&mut self, role: &Role) -> Option<InMemoryTransport> {
+        self.endpoints.remove(role)
+    }
+
+    /// The roles whose endpoints have not been taken yet.
+    pub fn remaining_roles(&self) -> Vec<Role> {
+        self.endpoints.keys().cloned().collect()
+    }
+}
+
+/// One endpoint of an [`InMemoryNetwork`].
+pub struct InMemoryTransport {
+    me: Role,
+    outgoing: BTreeMap<Role, Sender<Vec<u8>>>,
+    incoming: BTreeMap<Role, Receiver<Vec<u8>>>,
+    timeout: Duration,
+}
+
+impl InMemoryTransport {
+    /// Sets how long [`Transport::recv`] waits before reporting a timeout
+    /// (default: 5 seconds).
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+}
+
+impl fmt::Debug for InMemoryTransport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InMemoryTransport")
+            .field("role", &self.me)
+            .field("peers", &self.outgoing.keys().collect::<Vec<_>>())
+            .field("timeout", &self.timeout)
+            .finish()
+    }
+}
+
+impl Transport for InMemoryTransport {
+    fn send(&mut self, to: &Role, label: &Label, value: &Value) -> Result<()> {
+        let sender = self
+            .outgoing
+            .get(to)
+            .ok_or_else(|| RuntimeError::UnknownPeer { role: to.clone() })?;
+        let frame = encode_message(&Message::new(label.clone(), value.clone()));
+        sender
+            .send(frame.to_vec())
+            .map_err(|_| RuntimeError::Disconnected { role: to.clone() })
+    }
+
+    fn recv(&mut self, from: &Role) -> Result<(Label, Value)> {
+        let receiver = self
+            .incoming
+            .get(from)
+            .ok_or_else(|| RuntimeError::UnknownPeer { role: from.clone() })?;
+        let frame = receiver.recv_timeout(self.timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => RuntimeError::Timeout { from: from.clone() },
+            RecvTimeoutError::Disconnected => RuntimeError::Disconnected { role: from.clone() },
+        })?;
+        let message = decode_message(&frame)?;
+        Ok((message.label, message.value))
+    }
+
+    fn local_role(&self) -> &Role {
+        &self.me
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(name: &str) -> Role {
+        Role::new(name)
+    }
+    fn l(name: &str) -> Label {
+        Label::new(name)
+    }
+
+    #[test]
+    fn messages_are_delivered_in_fifo_order() {
+        let mut net = InMemoryNetwork::new([r("p"), r("q")]);
+        let mut p = net.take_endpoint(&r("p")).unwrap();
+        let mut q = net.take_endpoint(&r("q")).unwrap();
+        p.send(&r("q"), &l("a"), &Value::Nat(1)).unwrap();
+        p.send(&r("q"), &l("b"), &Value::Nat(2)).unwrap();
+        assert_eq!(q.recv(&r("p")).unwrap(), (l("a"), Value::Nat(1)));
+        assert_eq!(q.recv(&r("p")).unwrap(), (l("b"), Value::Nat(2)));
+    }
+
+    #[test]
+    fn channels_are_per_ordered_pair() {
+        let mut net = InMemoryNetwork::new([r("p"), r("q"), r("s")]);
+        let mut p = net.take_endpoint(&r("p")).unwrap();
+        let mut q = net.take_endpoint(&r("q")).unwrap();
+        let mut s = net.take_endpoint(&r("s")).unwrap();
+        // p sends to s and q; each receives only its own message.
+        p.send(&r("s"), &l("for_s"), &Value::Unit).unwrap();
+        p.send(&r("q"), &l("for_q"), &Value::Unit).unwrap();
+        assert_eq!(q.recv(&r("p")).unwrap().0, l("for_q"));
+        assert_eq!(s.recv(&r("p")).unwrap().0, l("for_s"));
+    }
+
+    #[test]
+    fn unknown_peers_are_rejected() {
+        let mut net = InMemoryNetwork::new([r("p"), r("q")]);
+        let mut p = net.take_endpoint(&r("p")).unwrap();
+        assert!(matches!(
+            p.send(&r("z"), &l("l"), &Value::Unit),
+            Err(RuntimeError::UnknownPeer { .. })
+        ));
+        assert!(matches!(
+            p.recv(&r("z")),
+            Err(RuntimeError::UnknownPeer { .. })
+        ));
+        assert_eq!(p.local_role(), &r("p"));
+    }
+
+    #[test]
+    fn receiving_from_a_silent_peer_times_out() {
+        let mut net = InMemoryNetwork::new([r("p"), r("q")]);
+        let mut p = net.take_endpoint(&r("p")).unwrap();
+        p.set_timeout(Duration::from_millis(20));
+        assert!(matches!(
+            p.recv(&r("q")),
+            Err(RuntimeError::Timeout { .. })
+        ));
+    }
+
+    #[test]
+    fn receiving_from_a_dropped_peer_reports_disconnection() {
+        let mut net = InMemoryNetwork::new([r("p"), r("q")]);
+        let mut p = net.take_endpoint(&r("p")).unwrap();
+        let q = net.take_endpoint(&r("q")).unwrap();
+        drop(q);
+        p.set_timeout(Duration::from_secs(1));
+        assert!(matches!(
+            p.recv(&r("q")),
+            Err(RuntimeError::Disconnected { .. })
+        ));
+    }
+
+    #[test]
+    fn remaining_roles_shrinks_as_endpoints_are_taken() {
+        let mut net = InMemoryNetwork::new([r("p"), r("q")]);
+        assert_eq!(net.remaining_roles().len(), 2);
+        net.take_endpoint(&r("p")).unwrap();
+        assert_eq!(net.remaining_roles(), vec![r("q")]);
+        assert!(net.take_endpoint(&r("p")).is_none());
+    }
+}

@@ -1,0 +1,63 @@
+//! Property-based tests for the wire codec: arbitrary values round-trip, and
+//! corrupted frames never decode into a different message silently... they
+//! either decode to the original or fail.
+
+use proptest::prelude::*;
+
+use zooid_runtime::codec::{decode_message, encode_message, Message};
+use zooid_proc::Value;
+
+/// A strategy for arbitrary payload values (bounded depth).
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Unit),
+        any::<u64>().prop_map(Value::Nat),
+        any::<i64>().prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+        "[a-zA-Z0-9 ]{0,16}".prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(3, 32, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Value::inl),
+            inner.clone().prop_map(Value::inr),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Value::pair(a, b)),
+            proptest::collection::vec(inner, 0..4).prop_map(Value::Seq),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_message_round_trips(label in "[a-zA-Z_][a-zA-Z0-9_]{0,12}", value in value_strategy()) {
+        let msg = Message::new(label, value);
+        let encoded = encode_message(&msg);
+        let decoded = decode_message(&encoded).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn truncations_never_decode_to_the_original(value in value_strategy(), cut_fraction in 0.0f64..1.0) {
+        let msg = Message::new("label", value);
+        let encoded = encode_message(&msg);
+        let cut = ((encoded.len() as f64) * cut_fraction) as usize;
+        if cut < encoded.len() {
+            match decode_message(&encoded[..cut]) {
+                // Truncation may still parse if the dropped suffix was not
+                // needed... but then it must not silently equal the original
+                // unless nothing was actually dropped.
+                Ok(decoded) => prop_assert!(decoded != msg || cut == encoded.len()),
+                Err(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn appending_garbage_is_always_rejected(value in value_strategy(), garbage in 1usize..8) {
+        let msg = Message::new("l", value);
+        let mut encoded = encode_message(&msg).to_vec();
+        encoded.extend(std::iter::repeat(0xAA).take(garbage));
+        prop_assert!(decode_message(&encoded).is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! The offloading client/server pair of §4.1: a server `q` that keeps adding
+//! a constant to whatever the client sends, and a client `p` that keeps
+//! asking until the running value exceeds a threshold.
+//!
+//! This example exercises the part of the DSL that mixes computation
+//! (expressions, conditionals) with communication, and runs the two
+//! endpoints over the *TCP* transport of §4.5 instead of the in-memory
+//! harness, with a compliance monitor checking the client's trace afterwards.
+//!
+//! Run with `cargo run --example calculator`.
+
+use std::collections::BTreeMap;
+use std::net::{IpAddr, Ipv4Addr, TcpListener, TcpStream};
+
+use zooid::dsl::builder::{self, BranchAlt, SelectAlt};
+use zooid::dsl::Protocol;
+use zooid::mpst::global::GlobalType;
+use zooid::mpst::local::LocalType;
+use zooid::mpst::{Label, Role, Sort};
+use zooid::proc::{erase, Expr, Externals};
+use zooid::runtime::exec::{execute, ExecOptions};
+use zooid::runtime::tcp::TcpTransport;
+use zooid::runtime::TraceMonitor;
+
+/// The server adds this to every request.
+const M: u64 = 7;
+/// The client stops once the value exceeds this threshold.
+const N: u64 = 50;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let p = Role::new("p");
+    let q = Role::new("q");
+
+    // G = mu X. p -> q : { l1(nat). q -> p : l1(nat). X ; l2(unit). end }
+    let g = GlobalType::rec(GlobalType::msg(
+        p.clone(),
+        q.clone(),
+        vec![
+            (
+                Label::new("l1"),
+                Sort::Nat,
+                GlobalType::msg1(q.clone(), p.clone(), "l1", Sort::Nat, GlobalType::var(0)),
+            ),
+            (Label::new("l2"), Sort::Unit, GlobalType::End),
+        ],
+    ));
+    let protocol = Protocol::new("calculator", g)?;
+    println!("protocol: {protocol}");
+
+    // The server (procq of §4.1): loop { recv p { l1(x). send p (l1, x+M).
+    // jump ; l2(_). finish } }.
+    let server = builder::loop_(builder::branch(
+        p.clone(),
+        vec![
+            BranchAlt::new(
+                "l1",
+                Sort::Nat,
+                "x",
+                builder::send(
+                    p.clone(),
+                    "l1",
+                    Sort::Nat,
+                    Expr::add(Expr::var("x"), Expr::lit(M)),
+                    builder::jump(0),
+                )?,
+            ),
+            BranchAlt::new("l2", Sort::Unit, "_u", builder::finish()),
+        ],
+    )?)?;
+
+    // The client (procp of §4.1): send q (l1, 0)! loop { recv q (l1, x)?
+    //   select q [ case x > N => l2, ()! finish | otherwise => l1, x ! jump ] }.
+    let client_loop = builder::loop_(builder::recv1(
+        q.clone(),
+        "l1",
+        Sort::Nat,
+        "x",
+        builder::select(
+            q.clone(),
+            vec![
+                SelectAlt::case(
+                    Expr::lt(Expr::lit(N), Expr::var("x")),
+                    "l2",
+                    Sort::Unit,
+                    Expr::unit(),
+                    builder::finish(),
+                ),
+                SelectAlt::otherwise("l1", Sort::Nat, Expr::var("x"), builder::jump(0)),
+            ],
+        )?,
+    )?)?;
+    let client = builder::select(
+        q.clone(),
+        vec![
+            SelectAlt::otherwise("l1", Sort::Nat, Expr::lit(0u64), client_loop),
+            SelectAlt::skip(
+                "l2",
+                Sort::Unit,
+                LocalType::End,
+            ),
+        ],
+    )?;
+
+    let ext = Externals::new();
+    let client_cert = protocol.implement(&p, client, &ext)?;
+    let server_cert = protocol.implement(&q, server, &ext)?;
+    println!("both endpoints certified");
+
+    // Run the two endpoints over TCP on the loopback interface.
+    let listener = TcpListener::bind((IpAddr::V4(Ipv4Addr::LOCALHOST), 0))?;
+    let addr = listener.local_addr()?;
+    let server_proc = server_cert.proc().clone();
+    let server_role = q.clone();
+    let client_role = p.clone();
+    let server_thread = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        let mut streams = BTreeMap::new();
+        streams.insert(client_role, stream);
+        let mut transport = TcpTransport::from_streams(server_role.clone(), streams);
+        execute(
+            &server_proc,
+            &server_role,
+            &mut transport,
+            &Externals::new(),
+            &ExecOptions::default(),
+        )
+    });
+
+    let stream = TcpStream::connect(addr)?;
+    let mut streams = BTreeMap::new();
+    streams.insert(q.clone(), stream);
+    let mut transport = TcpTransport::from_streams(p.clone(), streams);
+    let client_report = execute(
+        client_cert.proc(),
+        &p,
+        &mut transport,
+        &Externals::new(),
+        &ExecOptions::default(),
+    );
+    let server_report = server_thread.join().expect("server thread");
+
+    println!("\nclient finished: {:?}", client_report.status);
+    println!("server finished: {:?}", server_report.status);
+    println!("client exchanged {} messages", client_report.steps());
+    let last_reply = client_report
+        .actions
+        .iter()
+        .rev()
+        .find(|a| !a.is_send)
+        .expect("client received something");
+    println!("last value received by the client: {}", last_reply.value);
+
+    // Check the client's trace against the protocol after the fact: every
+    // action of the client must be accepted by the global LTS in order
+    // (receives of the server's replies included).
+    let mut monitor = TraceMonitor::new(protocol.global())?;
+    for action in &client_report.actions {
+        // The monitor tracks the whole protocol, so reconstruct the missing
+        // half of each exchange: the server's receive right after the
+        // client's send, and the server's send right before the client's
+        // receive.
+        let erased = erase(action);
+        if action.is_send {
+            monitor.observe(&erased);
+            monitor.observe(&erased.dual());
+        } else {
+            monitor.observe(&erased.dual());
+            monitor.observe(&erased);
+        }
+    }
+    println!("client trace compliant: {}", monitor.is_compliant());
+    assert!(client_report.status.is_finished());
+    assert!(server_report.status.is_finished());
+    assert!(monitor.is_compliant());
+    Ok(())
+}

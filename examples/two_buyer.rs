@@ -1,0 +1,160 @@
+//! The two-buyer protocol of §5.2 / Figure 10.
+//!
+//! Buyer `A` asks seller `S` for an item; `S` quotes the price to both
+//! buyers; `A` proposes how much of the price it wants `B` to cover; `B`
+//! accepts (and receives a delivery date) exactly when its share is at most a
+//! third of the quote, otherwise it rejects.
+//!
+//! Run with `cargo run --example two_buyer`.
+
+use zooid::cfsm::check_protocol;
+use zooid::dsl::builder::{self, BranchAlt, SelectAlt};
+use zooid::dsl::Protocol;
+use zooid::mpst::generators;
+use zooid::mpst::local::LocalType;
+use zooid::mpst::{Role, Sort};
+use zooid::proc::{Expr, Externals, Value};
+use zooid::runtime::SessionHarness;
+
+/// The price the seller quotes.
+const QUOTE: u64 = 300;
+/// How much buyer A offers to pay itself.
+const A_CONTRIBUTION: u64 = 220;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let a = Role::new("A");
+    let b = Role::new("B");
+    let s = Role::new("S");
+
+    let protocol = Protocol::new("two-buyer", generators::two_buyer())?;
+    println!("protocol: {protocol}");
+    for (role, local) in protocol.project_all()? {
+        println!("  {role}: {local}");
+    }
+
+    // Buyer A: ask for the item, learn the quote, propose that B covers the
+    // remainder (quote - contribution).
+    let a_impl = builder::send(
+        s.clone(),
+        "ItemId",
+        Sort::Nat,
+        Expr::lit(42u64),
+        builder::recv1(
+            s.clone(),
+            "Quote",
+            Sort::Nat,
+            "quote",
+            builder::send(
+                b.clone(),
+                "Propose",
+                Sort::Nat,
+                Expr::sub(Expr::var("quote"), Expr::lit(A_CONTRIBUTION)),
+                builder::finish(),
+            )?,
+        )?,
+    )?;
+
+    // Buyer B (Figure 10): accept iff the proposed share is at most a third
+    // of the quote, paying the rest; otherwise reject.
+    let b_impl = builder::recv1(
+        s.clone(),
+        "Quote",
+        Sort::Nat,
+        "x",
+        builder::recv1(
+            a.clone(),
+            "Propose",
+            Sort::Nat,
+            "y",
+            builder::select(
+                s.clone(),
+                vec![
+                    SelectAlt::case(
+                        Expr::le(Expr::var("y"), Expr::div(Expr::var("x"), Expr::lit(3u64))),
+                        "Accept",
+                        Sort::Nat,
+                        Expr::var("y"),
+                        builder::recv1(s.clone(), "Date", Sort::Nat, "d", builder::finish())?,
+                    ),
+                    SelectAlt::otherwise("Reject", Sort::Unit, Expr::unit(), builder::finish()),
+                ],
+            )?,
+        )?,
+    )?;
+
+    // Seller S: quote the same price to both buyers, then wait for B's
+    // decision; on acceptance send the delivery date.
+    let s_impl = builder::recv1(
+        a.clone(),
+        "ItemId",
+        Sort::Nat,
+        "item",
+        builder::send(
+            a.clone(),
+            "Quote",
+            Sort::Nat,
+            Expr::lit(QUOTE),
+            builder::send(
+                b.clone(),
+                "Quote",
+                Sort::Nat,
+                Expr::lit(QUOTE),
+                builder::branch(
+                    b.clone(),
+                    vec![
+                        BranchAlt::new(
+                            "Accept",
+                            Sort::Nat,
+                            "share",
+                            builder::send(
+                                b.clone(),
+                                "Date",
+                                Sort::Nat,
+                                Expr::lit(20260621u64),
+                                builder::finish(),
+                            )?,
+                        ),
+                        BranchAlt::new("Reject", Sort::Unit, "_u", builder::finish()),
+                    ],
+                )?,
+            )?,
+        )?,
+    )?;
+
+    // B's projection and implementation line up syntactically (no recursion
+    // in this protocol), as the paper notes.
+    assert_eq!(b_impl.local_type(), &protocol.get(&b)?);
+    let _ = LocalType::End; // (type referenced for documentation purposes)
+
+    let ext = Externals::new();
+    let a_cert = protocol.implement(&a, a_impl, &ext)?;
+    let b_cert = protocol.implement(&b, b_impl, &ext)?;
+    let s_cert = protocol.implement(&s, s_impl, &ext)?;
+    println!("\nall three endpoints certified");
+
+    let mut harness = SessionHarness::new(protocol.clone());
+    harness.add_endpoint(a_cert, ext.clone())?;
+    harness.add_endpoint(b_cert, ext.clone())?;
+    harness.add_endpoint(s_cert, ext)?;
+    let report = harness.run()?;
+
+    println!("\nsession finished:");
+    println!("  compliant: {}", report.compliant);
+    println!("  complete:  {}", report.complete);
+    let b_report = &report.endpoints[&b];
+    let decision = &b_report.actions[2];
+    println!("  B's decision: {} ({})", decision.label, decision.value);
+    // With a 300 quote and a proposal of 80 <= 100, B accepts.
+    assert_eq!(decision.label.name(), "Accept");
+    assert_eq!(decision.value, Value::Nat(QUOTE - A_CONTRIBUTION));
+    assert!(report.all_finished_and_compliant());
+
+    let safety = check_protocol(protocol.global(), 2, 100_000)?;
+    println!(
+        "\ncfsm: {} configurations, safe = {}, live = {}",
+        safety.outcome.configurations,
+        safety.is_safe(),
+        safety.is_live()
+    );
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! `zooid` — multiparty session types with a well-typed-by-construction
+//! process DSL, an execution runtime and executable metatheory checkers.
+//!
+//! This is the facade crate of the workspace; it re-exports the individual
+//! layers so that applications (and the examples and integration tests in
+//! this repository) can depend on a single crate:
+//!
+//! * [`mpst`] — global/local session types, semantic trees, projection, the
+//!   asynchronous labelled-transition semantics and the trace-equivalence
+//!   checkers (§3 of the paper);
+//! * [`proc`] — the session-typed process language, its typing system and its
+//!   operational semantics (§4.1–4.3);
+//! * [`dsl`] — the Zooid DSL: well-typed-by-construction processes, the
+//!   protocol projection workflow and equality up to unravelling (§4.2, §5);
+//! * [`runtime`] — extraction of processes to executable programs, transports
+//!   and the multi-participant session harness (§4.4–4.5);
+//! * [`cfsm`] — communicating finite-state machines compiled from local
+//!   types, with safety and liveness exploration.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for the ring protocol of §2.3 implemented,
+//! checked and executed end to end.
+
+#![forbid(unsafe_code)]
+
+pub use zooid_cfsm as cfsm;
+pub use zooid_dsl as dsl;
+pub use zooid_mpst as mpst;
+pub use zooid_proc as proc;
+pub use zooid_runtime as runtime;
