@@ -44,6 +44,32 @@ fn bench_trace_equiv(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // The scaling families at depth 8 (experiment B1 applied to the checker):
+    // the asynchronous `chain`/`fanout` families enable several actions per
+    // state, which is where the on-the-fly product construction collapses
+    // interleavings that the set-based enumeration would explore one trace at
+    // a time.
+    let mut group = c.benchmark_group("trace_equivalence_scaling_depth8");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    let mut scaling = Vec::new();
+    for &n in &[2usize, 8, 32] {
+        scaling.push((format!("ring/{n}"), generators::ring_n(n)));
+        scaling.push((format!("chain/{n}"), generators::chain_n(n)));
+        scaling.push((format!("fanout/{n}"), generators::fanout_n(n)));
+    }
+    for (name, g) in &scaling {
+        group.bench_with_input(BenchmarkId::from_parameter(name), g, |b, g| {
+            b.iter(|| {
+                let report = check_trace_equivalence(std::hint::black_box(g), 8).expect("projectable");
+                assert!(report.holds);
+            });
+        });
+    }
+    group.finish();
 }
 
 criterion_group!(benches, bench_trace_equiv);

@@ -1,0 +1,213 @@
+//! Emits a machine-readable benchmark report (`BENCH_pr1.json`) so future
+//! PRs can track the performance trajectory of the hot paths.
+//!
+//! For every scalable protocol family (`ring`, `chain`, `fanout`) at sizes
+//! 2/8/32/128 it records the median wall-clock nanoseconds of:
+//!
+//! * `unravel`      — [`unravel_global`];
+//! * `projection`   — [`project_all`];
+//! * `trace_equiv`  — the on-the-fly [`check_trace_equivalence`] (depth 8 up
+//!   to size 32, depth 4 at size 128 to keep the exhaustive baseline
+//!   tractable).
+//!
+//! Each entry also carries a `baseline_ns`:
+//!
+//! * for `unravel`/`projection`, the seed implementation's medians, measured
+//!   with the same vendored-criterion harness on the same machine at the seed
+//!   commit (before the interning/memoisation rework of PR 1);
+//! * for `trace_equiv`, the medians of the retained set-based reference
+//!   checker ([`check_trace_equivalence_exhaustive`]), measured live in the
+//!   same run.
+//!
+//! Run with `cargo run --release -p zooid-bench --bin bench-report`; writes
+//! `BENCH_pr1.json` in the current directory.
+
+use std::time::Instant;
+
+use zooid_mpst::generators;
+use zooid_mpst::global::unravel_global;
+use zooid_mpst::global::GlobalType;
+use zooid_mpst::projection::project_all;
+use zooid_mpst::trace_equiv::{check_trace_equivalence, check_trace_equivalence_exhaustive};
+
+const SIZES: [usize; 4] = [2, 8, 32, 128];
+
+/// Seed medians (ns) for `unravel_global`, measured at the seed commit.
+const SEED_UNRAVEL_NS: [(&str, u64); 12] = [
+    ("ring/2", 1009),
+    ("chain/2", 1117),
+    ("fanout/2", 3896),
+    ("ring/8", 19513),
+    ("chain/8", 30803),
+    ("fanout/8", 53443),
+    ("ring/32", 236812),
+    ("chain/32", 742297),
+    ("fanout/32", 1045725),
+    ("ring/128", 4156248),
+    ("chain/128", 12030801),
+    ("fanout/128", 17828562),
+];
+
+/// Seed medians (ns) for `project_all`, measured at the seed commit.
+const SEED_PROJECTION_NS: [(&str, u64); 12] = [
+    ("ring/2", 662),
+    ("chain/2", 555),
+    ("fanout/2", 1561),
+    ("ring/8", 7409),
+    ("chain/8", 7076),
+    ("fanout/8", 15907),
+    ("ring/32", 117457),
+    ("chain/32", 115328),
+    ("fanout/32", 276486),
+    ("ring/128", 2069838),
+    ("chain/128", 2185952),
+    ("fanout/128", 4714854),
+];
+
+/// Median nanoseconds per call over up to `samples` timed samples, bounded by
+/// a total time budget. Calls faster than ~2µs are timed in batches so timer
+/// quantisation does not dominate the medians.
+fn median_ns<F: FnMut()>(mut f: F, samples: usize, budget_ms: u64) -> u64 {
+    // Warm-up, and estimate the cost of one call.
+    let t0 = Instant::now();
+    f();
+    let per_call = t0.elapsed().as_nanos().max(1);
+    let batch: u32 = if per_call >= 2_000 {
+        1
+    } else {
+        (2_000 / per_call) as u32 + 1
+    };
+    for _ in 0..batch.min(64) {
+        f();
+    }
+    let deadline = Instant::now() + std::time::Duration::from_millis(budget_ms);
+    let mut observed = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        observed.push(t0.elapsed().as_nanos() as u64 / u64::from(batch));
+        if Instant::now() > deadline {
+            break;
+        }
+    }
+    observed.sort_unstable();
+    observed[observed.len() / 2]
+}
+
+struct Entry {
+    bench: &'static str,
+    case: String,
+    median_ns: u64,
+    baseline_ns: u64,
+    baseline: &'static str,
+}
+
+fn families(n: usize) -> Vec<(String, GlobalType)> {
+    vec![
+        (format!("ring/{n}"), generators::ring_n(n)),
+        (format!("chain/{n}"), generators::chain_n(n)),
+        (format!("fanout/{n}"), generators::fanout_n(n)),
+    ]
+}
+
+fn seed_baseline(table: &[(&str, u64)], case: &str) -> u64 {
+    table
+        .iter()
+        .find(|(name, _)| *name == case)
+        .map(|(_, ns)| *ns)
+        .unwrap_or(0)
+}
+
+fn main() {
+    let mut entries: Vec<Entry> = Vec::new();
+
+    for &n in &SIZES {
+        for (case, g) in families(n) {
+            let ns = median_ns(
+                || {
+                    std::hint::black_box(unravel_global(std::hint::black_box(&g)).unwrap());
+                },
+                50,
+                2_000,
+            );
+            entries.push(Entry {
+                bench: "unravel",
+                case: case.clone(),
+                median_ns: ns,
+                baseline_ns: seed_baseline(&SEED_UNRAVEL_NS, &case),
+                baseline: "seed unravel_global (measured at seed commit)",
+            });
+
+            let ns = median_ns(
+                || {
+                    std::hint::black_box(project_all(std::hint::black_box(&g)).unwrap());
+                },
+                50,
+                2_000,
+            );
+            entries.push(Entry {
+                bench: "projection",
+                case: case.clone(),
+                median_ns: ns,
+                baseline_ns: seed_baseline(&SEED_PROJECTION_NS, &case),
+                baseline: "seed project_all (measured at seed commit)",
+            });
+
+            // Keep the exhaustive baseline tractable at size 128.
+            let depth = if n >= 128 { 6 } else { 8 };
+            let ns = median_ns(
+                || {
+                    let report =
+                        check_trace_equivalence(std::hint::black_box(&g), depth).unwrap();
+                    assert!(report.holds);
+                },
+                15,
+                5_000,
+            );
+            let baseline_ns = median_ns(
+                || {
+                    let report =
+                        check_trace_equivalence_exhaustive(std::hint::black_box(&g), depth)
+                            .unwrap();
+                    assert!(report.holds);
+                },
+                9,
+                8_000,
+            );
+            entries.push(Entry {
+                bench: "trace_equiv",
+                case: format!("{case}/depth{depth}"),
+                median_ns: ns,
+                baseline_ns,
+                baseline: "set-based checker (check_trace_equivalence_exhaustive, same run)",
+            });
+        }
+    }
+
+    let mut json = String::from("{\n  \"pr\": 1,\n  \"benches\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let speedup = if e.median_ns > 0 && e.baseline_ns > 0 {
+            e.baseline_ns as f64 / e.median_ns as f64
+        } else {
+            0.0
+        };
+        json.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"case\": \"{}\", \"median_ns\": {}, \
+             \"baseline_ns\": {}, \"speedup\": {:.2}, \"baseline\": \"{}\"}}{}\n",
+            e.bench,
+            e.case,
+            e.median_ns,
+            e.baseline_ns,
+            speedup,
+            e.baseline,
+            if i + 1 == entries.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_pr1.json", &json).expect("write BENCH_pr1.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_pr1.json ({} entries)", entries.len());
+}

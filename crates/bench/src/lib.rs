@@ -318,4 +318,26 @@ mod tests {
             assert!(g.well_formed().is_ok(), "{name}");
         }
     }
+
+    /// The on-the-fly trace-equivalence checker must return exactly the
+    /// verdict of the seed's set-based checker on every case study and
+    /// scaling protocol (PR 1 acceptance criterion).
+    #[test]
+    fn on_the_fly_checker_matches_set_based_on_all_case_studies() {
+        use zooid_mpst::trace_equiv::{
+            check_trace_equivalence, check_trace_equivalence_exhaustive,
+        };
+        let mut protocols: Vec<(String, GlobalType)> = all_case_studies()
+            .into_iter()
+            .map(|case| (case.name.to_owned(), case.protocol.global().clone()))
+            .collect();
+        protocols.extend(scaling_protocols(&[2, 4, 8]));
+        for (name, g) in protocols {
+            for depth in [0usize, 2, 5] {
+                let fast = check_trace_equivalence(&g, depth).unwrap();
+                let slow = check_trace_equivalence_exhaustive(&g, depth).unwrap();
+                assert_eq!(fast.holds, slow.holds, "{name} at depth {depth}");
+            }
+        }
+    }
 }

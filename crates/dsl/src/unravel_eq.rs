@@ -12,6 +12,11 @@ use zooid_mpst::local::{unravel_local, LocalType};
 /// tree, i.e. whether they prescribe the same behaviour up to unfolding of
 /// recursion.
 ///
+/// Structurally equal types short-circuit without unravelling at all (the
+/// common case when a process implements its projection verbatim); otherwise
+/// both types are unravelled through the hash-consed builder and their trees
+/// compared up to bisimilarity.
+///
 /// Ill-formed types (unguarded or open) are never equal to anything,
 /// including themselves.
 ///
@@ -27,6 +32,9 @@ use zooid_mpst::local::{unravel_local, LocalType};
 /// assert!(!unravel_eq(&l, &LocalType::End));
 /// ```
 pub fn unravel_eq(a: &LocalType, b: &LocalType) -> bool {
+    if a == b {
+        return a.well_formed().is_ok();
+    }
     match (unravel_local(a), unravel_local(b)) {
         (Ok(ta), Ok(tb)) => ta.equivalent(&tb),
         _ => false,

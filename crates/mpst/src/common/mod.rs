@@ -7,6 +7,7 @@
 pub mod actions;
 pub mod arena;
 pub mod branch;
+pub mod intern;
 pub mod label;
 pub mod role;
 pub mod sort;

@@ -18,8 +18,8 @@ pub mod unravel;
 
 pub use prefix::GlobalPrefix;
 pub use semantics::{
-    enabled_global_actions, global_step, global_traces_from, global_traces_up_to,
-    is_global_trace_prefix, run_global_trace,
+    enabled_global_actions, global_step, global_step_enabled, global_traces_from,
+    global_traces_up_to, is_global_trace_prefix, run_global_trace,
 };
 pub use syntax::GlobalType;
 pub use tree::{GlobalTree, GlobalTreeNode, NodeId};

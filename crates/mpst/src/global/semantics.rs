@@ -6,7 +6,8 @@ use std::collections::{BTreeSet, HashSet, VecDeque};
 use crate::common::actions::Action;
 use crate::common::arena::NodeId;
 use crate::common::branch::Branch;
-use crate::common::role::Role;
+use crate::common::intern::FxHashSet;
+use crate::common::role::{Role, RoleSet};
 use crate::common::trace::Trace;
 use crate::global::prefix::GlobalPrefix;
 use crate::global::tree::{GlobalTree, GlobalTreeNode};
@@ -104,39 +105,171 @@ pub fn global_step(
     }
 }
 
+/// Decides whether `action` is enabled in `prefix` — i.e. whether
+/// [`global_step`] would succeed — without materialising the successor
+/// state.
+///
+/// [`global_step`] clones every branch it steps under; on the hot paths
+/// (candidate filtering, the product-construction checkers) most queried
+/// actions are *not* enabled, so this boolean check avoids the allocation
+/// entirely. Unlike the successor construction, the tree part carries a
+/// visited set: an `[g-step-str1]` derivation that revisits a tree node has
+/// no finite derivation, so the revisit answers `false` (where the naive
+/// recursion would diverge on a branch cycle not involving the subject).
+pub fn global_step_enabled(tree: &GlobalTree, prefix: &GlobalPrefix, action: &Action) -> bool {
+    let mut visiting = Vec::new();
+    enabled_prefix(tree, prefix, action, &mut visiting)
+}
+
+fn enabled_prefix(
+    tree: &GlobalTree,
+    prefix: &GlobalPrefix,
+    action: &Action,
+    visiting: &mut Vec<NodeId>,
+) -> bool {
+    match prefix {
+        GlobalPrefix::Inj(id) => enabled_tree_node(tree, *id, action, visiting),
+        GlobalPrefix::Msg { from, to, branches } => {
+            // [g-step-send]
+            if action.is_send()
+                && action.from() == from
+                && action.to() == to
+                && branches
+                    .iter()
+                    .any(|b| &b.label == action.label() && &b.sort == action.sort())
+            {
+                return true;
+            }
+            // [g-step-str1]
+            action.subject() != from
+                && action.subject() != to
+                && branches
+                    .iter()
+                    .all(|b| enabled_prefix(tree, &b.cont, action, visiting))
+        }
+        GlobalPrefix::Sent {
+            from,
+            to,
+            selected,
+            branches,
+        } => {
+            let chosen = &branches[*selected];
+            // [g-step-recv]
+            if action.is_recv()
+                && action.from() == from
+                && action.to() == to
+                && action.label() == &chosen.label
+                && action.sort() == &chosen.sort
+            {
+                return true;
+            }
+            // [g-step-str2]
+            action.subject() != to && enabled_prefix(tree, &chosen.cont, action, visiting)
+        }
+    }
+}
+
+fn enabled_tree_node(
+    tree: &GlobalTree,
+    id: NodeId,
+    action: &Action,
+    visiting: &mut Vec<NodeId>,
+) -> bool {
+    match tree.node(id) {
+        GlobalTreeNode::End => false,
+        GlobalTreeNode::Msg { from, to, branches } => {
+            if action.is_send()
+                && action.from() == from
+                && action.to() == to
+                && branches
+                    .iter()
+                    .any(|b| &b.label == action.label() && &b.sort == action.sort())
+            {
+                return true;
+            }
+            if action.subject() == from || action.subject() == to {
+                return false;
+            }
+            // A step derivation is a finite tree: revisiting a node while
+            // deriving the same action means there is no finite derivation
+            // through this cycle.
+            if visiting.contains(&id) {
+                return false;
+            }
+            visiting.push(id);
+            let ok = branches
+                .iter()
+                .all(|b| enabled_tree_node(tree, b.cont, action, visiting));
+            visiting.pop();
+            ok
+        }
+    }
+}
+
 /// The set of actions enabled in the execution state `prefix` of `tree`,
 /// i.e. the actions `a` for which [`global_step`] succeeds.
 pub fn enabled_global_actions(tree: &GlobalTree, prefix: &GlobalPrefix) -> Vec<Action> {
     let mut candidates = Vec::new();
-    let mut seen: HashSet<(NodeId, Vec<Role>)> = HashSet::new();
-    collect_prefix(tree, prefix, &BTreeSet::new(), &mut seen, &mut candidates);
+    // Blocked sets and visited keys are [`RoleSet`] bitsets over the tree's
+    // role table: cloning and hashing them is a handful of word operations
+    // instead of `BTreeSet<Role>`/`Vec<Role>` allocations per node visit.
+    let mut seen: FxHashSet<(NodeId, RoleSet)> = FxHashSet::default();
+    let mut bits = RoleBits::new(tree);
+    collect_prefix(tree, prefix, &RoleSet::new(), &mut bits, &mut seen, &mut candidates);
     // Deduplicate while keeping a stable order, then keep only the candidates
     // that genuinely step (the structural rules impose conditions — e.g. that
     // *all* branches can perform the action — that the optimistic collection
     // above does not check).
-    let mut unique: Vec<Action> = Vec::new();
-    for a in candidates {
-        if !unique.contains(&a) {
-            unique.push(a);
+    let mut unique: HashSet<Action> = HashSet::new();
+    candidates.retain(|a| unique.insert(a.clone()));
+    candidates
+        .into_iter()
+        .filter(|a| global_step_enabled(tree, prefix, a))
+        .collect()
+}
+
+/// Maps roles to the bit indices [`RoleSet`]s use: roles of the tree map to
+/// their role-table position; roles that only occur in a (possibly
+/// hand-built) prefix get stable indices past the table, so the walk stays
+/// total on arbitrary prefixes instead of assuming they came from this tree.
+struct RoleBits<'a> {
+    tree: &'a GlobalTree,
+    extra: Vec<Role>,
+}
+
+impl<'a> RoleBits<'a> {
+    fn new(tree: &'a GlobalTree) -> Self {
+        RoleBits {
+            tree,
+            extra: Vec::new(),
         }
     }
-    unique
-        .into_iter()
-        .filter(|a| global_step(tree, prefix, a).is_some())
-        .collect()
+
+    fn bit(&mut self, role: &Role) -> usize {
+        if let Some(i) = self.tree.role_index(role) {
+            return i;
+        }
+        let base = self.tree.role_table().len();
+        if let Some(p) = self.extra.iter().position(|r| r == role) {
+            return base + p;
+        }
+        self.extra.push(role.clone());
+        base + self.extra.len() - 1
+    }
 }
 
 fn collect_prefix(
     tree: &GlobalTree,
     prefix: &GlobalPrefix,
-    blocked: &BTreeSet<Role>,
-    seen: &mut HashSet<(NodeId, Vec<Role>)>,
+    blocked: &RoleSet,
+    bits: &mut RoleBits<'_>,
+    seen: &mut FxHashSet<(NodeId, RoleSet)>,
     out: &mut Vec<Action>,
 ) {
     match prefix {
-        GlobalPrefix::Inj(id) => collect_tree(tree, *id, blocked, seen, out),
+        GlobalPrefix::Inj(id) => collect_tree(tree, *id, blocked, bits, seen, out),
         GlobalPrefix::Msg { from, to, branches } => {
-            if !blocked.contains(from) {
+            if !blocked.contains(bits.bit(from)) {
                 for b in branches {
                     out.push(Action::send(
                         from.clone(),
@@ -147,10 +280,10 @@ fn collect_prefix(
                 }
             }
             let mut inner = blocked.clone();
-            inner.insert(from.clone());
-            inner.insert(to.clone());
+            inner.insert(bits.bit(from));
+            inner.insert(bits.bit(to));
             for b in branches {
-                collect_prefix(tree, &b.cont, &inner, seen, out);
+                collect_prefix(tree, &b.cont, &inner, bits, seen, out);
             }
         }
         GlobalPrefix::Sent {
@@ -160,7 +293,7 @@ fn collect_prefix(
             branches,
         } => {
             let chosen = &branches[*selected];
-            if !blocked.contains(to) {
+            if !blocked.contains(bits.bit(to)) {
                 out.push(Action::recv(
                     to.clone(),
                     from.clone(),
@@ -169,8 +302,8 @@ fn collect_prefix(
                 ));
             }
             let mut inner = blocked.clone();
-            inner.insert(to.clone());
-            collect_prefix(tree, &chosen.cont, &inner, seen, out);
+            inner.insert(bits.bit(to));
+            collect_prefix(tree, &chosen.cont, &inner, bits, seen, out);
         }
     }
 }
@@ -178,18 +311,23 @@ fn collect_prefix(
 fn collect_tree(
     tree: &GlobalTree,
     id: NodeId,
-    blocked: &BTreeSet<Role>,
-    seen: &mut HashSet<(NodeId, Vec<Role>)>,
+    blocked: &RoleSet,
+    bits: &mut RoleBits<'_>,
+    seen: &mut FxHashSet<(NodeId, RoleSet)>,
     out: &mut Vec<Action>,
 ) {
-    let key = (id, blocked.iter().cloned().collect::<Vec<_>>());
-    if !seen.insert(key) {
+    if !seen.insert((id, blocked.clone())) {
+        return;
+    }
+    // Every role reachable from this node is already blocked: nothing below
+    // can contribute an enabled action, so the walk can stop.
+    if tree.participation(id).is_subset(blocked) {
         return;
     }
     match tree.node(id) {
         GlobalTreeNode::End => {}
         GlobalTreeNode::Msg { from, to, branches } => {
-            if !blocked.contains(from) {
+            if !blocked.contains(bits.bit(from)) {
                 for b in branches {
                     out.push(Action::send(
                         from.clone(),
@@ -200,10 +338,10 @@ fn collect_tree(
                 }
             }
             let mut inner = blocked.clone();
-            inner.insert(from.clone());
-            inner.insert(to.clone());
+            inner.insert(bits.bit(from));
+            inner.insert(bits.bit(to));
             for b in branches {
-                collect_tree(tree, b.cont, &inner, seen, out);
+                collect_tree(tree, b.cont, &inner, bits, seen, out);
             }
         }
     }
@@ -454,6 +592,26 @@ mod tests {
         }
         let end = run_global_trace(&t, &p0, &Trace::from(actions)).expect("trace admissible");
         assert!(end.is_terminated(&t));
+    }
+
+    #[test]
+    fn enabled_actions_tolerate_roles_outside_the_tree() {
+        // GlobalPrefix has public fields, so callers can hand-build prefixes
+        // mentioning roles the tree has never heard of; the walk must stay
+        // total rather than panic on the missing role-table entry.
+        let t = single_exchange();
+        let foreign = GlobalPrefix::Msg {
+            from: r("alien"),
+            to: r("visitor"),
+            branches: vec![Branch {
+                label: l("m"),
+                sort: Sort::Unit,
+                cont: GlobalPrefix::initial(&t),
+            }],
+        };
+        let enabled = enabled_global_actions(&t, &foreign);
+        // The alien send is collected and genuinely steps ([g-step-send]).
+        assert!(enabled.contains(&Action::send(r("alien"), r("visitor"), l("m"), Sort::Unit)));
     }
 
     #[test]

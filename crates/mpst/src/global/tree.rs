@@ -11,11 +11,12 @@
 
 use std::collections::{BTreeSet, HashSet, VecDeque};
 use std::fmt;
+use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 
 use crate::common::branch::Branch;
-use crate::common::role::Role;
+use crate::common::role::{Role, RoleSet};
 pub use crate::common::arena::NodeId;
 
 /// One node of a semantic global tree.
@@ -62,17 +63,118 @@ impl GlobalTreeNode {
 ///     GlobalTreeNode::End => unreachable!(),
 /// }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GlobalTree {
     nodes: Vec<GlobalTreeNode>,
     root: NodeId,
+    /// Lazily computed role table and per-node participation sets (the
+    /// paper's `part_of`, answered in O(1) once built). Lazy so that callers
+    /// that never project — e.g. plain unravelling — do not pay for it.
+    #[serde(skip)]
+    tables: OnceLock<RoleTables>,
 }
+
+/// The derived role data of a tree: the sorted role table and, per node, the
+/// set of roles reachable from it.
+#[derive(Debug, Clone)]
+struct RoleTables {
+    roles: Vec<Role>,
+    participation: Vec<RoleSet>,
+}
+
+impl PartialEq for GlobalTree {
+    fn eq(&self, other: &Self) -> bool {
+        // The tables are derived from the nodes; compare the structure only.
+        self.nodes == other.nodes && self.root == other.root
+    }
+}
+
+impl Eq for GlobalTree {}
 
 impl GlobalTree {
     /// Creates a tree from its arena and root. Used by the unraveller; not
     /// exposed publicly because arbitrary arenas need not be well-formed.
     pub(crate) fn from_parts(nodes: Vec<GlobalTreeNode>, root: NodeId) -> Self {
-        GlobalTree { nodes, root }
+        GlobalTree {
+            nodes,
+            root,
+            tables: OnceLock::new(),
+        }
+    }
+
+    fn tables(&self) -> &RoleTables {
+        self.tables.get_or_init(|| {
+            let mut role_set: BTreeSet<Role> = BTreeSet::new();
+            for node in &self.nodes {
+                if let GlobalTreeNode::Msg { from, to, .. } = node {
+                    role_set.insert(from.clone());
+                    role_set.insert(to.clone());
+                }
+            }
+            let roles: Vec<Role> = role_set.into_iter().collect();
+            let index = |role: &Role| roles.binary_search(role).expect("role is in the table");
+
+            // Fixpoint: participation[n] = mentions(n) ∪ ⋃ participation[child].
+            // Nodes are allocated in DFS preorder, so a reverse sweep converges
+            // in one pass for forward edges; repeat sweeps absorb back edges.
+            let mut participation: Vec<RoleSet> = self
+                .nodes
+                .iter()
+                .map(|node| match node {
+                    GlobalTreeNode::End => RoleSet::new(),
+                    GlobalTreeNode::Msg { from, to, .. } => {
+                        [index(from), index(to)].into_iter().collect()
+                    }
+                })
+                .collect();
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for i in (0..self.nodes.len()).rev() {
+                    if let GlobalTreeNode::Msg { branches, .. } = &self.nodes[i] {
+                        for b in branches {
+                            if b.cont.index() != i {
+                                let child = participation[b.cont.index()].clone();
+                                if !child.is_subset(&participation[i]) {
+                                    participation[i].union_with(&child);
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            RoleTables {
+                roles,
+                participation,
+            }
+        })
+    }
+
+    /// The sorted role table of the tree. [`RoleSet`]s over this tree use
+    /// positions in this slice as indices.
+    pub fn role_table(&self) -> &[Role] {
+        &self.tables().roles
+    }
+
+    /// The index of a role in [`GlobalTree::role_table`], if it occurs in the
+    /// tree.
+    pub fn role_index(&self, role: &Role) -> Option<usize> {
+        self.tables().roles.binary_search(role).ok()
+    }
+
+    /// The participation set of a node: every role occurring reachable from
+    /// it, as a [`RoleSet`] over this tree's role table.
+    pub fn participation(&self, node: NodeId) -> &RoleSet {
+        &self.tables().participation[node.index()]
+    }
+
+    /// [`GlobalTree::part_of`] for a pre-resolved role index (see
+    /// [`GlobalTree::role_index`]); the hot checkers resolve the role once
+    /// and query by index.
+    #[inline]
+    pub fn part_of_index(&self, role_index: usize, node: NodeId) -> bool {
+        self.tables().participation[node.index()].contains(role_index)
     }
 
     /// The root node of the tree.
@@ -127,23 +229,27 @@ impl GlobalTree {
 
     /// The participants occurring anywhere in the tree reachable from the
     /// root.
+    ///
+    /// Every node the unraveller allocates is reachable from the root, so
+    /// this is exactly the role table.
     pub fn participants(&self) -> BTreeSet<Role> {
-        let mut out = BTreeSet::new();
-        for id in self.reachable_from(self.root) {
-            if let GlobalTreeNode::Msg { from, to, .. } = self.node(id) {
-                out.insert(from.clone());
-                out.insert(to.clone());
-            }
-        }
-        out
+        let tables = self.tables();
+        tables.participation[self.root.index()]
+            .iter()
+            .map(|i| tables.roles[i].clone())
+            .collect()
     }
 
     /// The paper's `part_of` predicate (Definition A.18): `role` occurs as a
     /// sender or receiver somewhere reachable from `node`.
+    ///
+    /// O(1): answered from the precomputed participation table.
     pub fn part_of(&self, role: &Role, node: NodeId) -> bool {
-        self.reachable_from(node).into_iter().any(|id| {
-            matches!(self.node(id), GlobalTreeNode::Msg { from, to, .. } if from == role || to == role)
-        })
+        let tables = self.tables();
+        tables
+            .roles
+            .binary_search(role)
+            .is_ok_and(|i| tables.participation[node.index()].contains(i))
     }
 
     /// Coinductive tree equality (bisimilarity) between a node of `self` and

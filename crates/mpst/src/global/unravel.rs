@@ -13,6 +13,7 @@ use std::collections::HashMap;
 
 use crate::common::arena::NodeId;
 use crate::common::branch::Branch;
+use crate::common::intern::{GTerm, Interner, TypeId};
 use crate::error::Result;
 use crate::global::syntax::GlobalType;
 use crate::global::tree::{GlobalTree, GlobalTreeNode};
@@ -23,6 +24,11 @@ use crate::global::tree::{GlobalTree, GlobalTreeNode};
 /// creates one graph node per distinct head-normal form encountered
 /// (`[g-unr-end]`, `[g-unr-msg]`); revisiting a head-normal form creates a
 /// back-edge, which is how the infinite regular tree is represented finitely.
+///
+/// The type is first hash-consed into an [`Interner`], so head-normal forms
+/// are shared maximally, revisit detection is an id-equality check, and the
+/// unfold/substitution steps reuse every untouched subterm instead of
+/// deep-cloning.
 ///
 /// # Errors
 ///
@@ -40,10 +46,28 @@ use crate::global::tree::{GlobalTree, GlobalTreeNode};
 /// assert_eq!(tree.len(), 2); // the message node and the end node
 /// ```
 pub fn unravel_global(g: &GlobalType) -> Result<GlobalTree> {
-    g.well_formed()?;
+    // Tiny terms unravel faster by direct structural recursion than by
+    // setting an interner up; everything else goes through hash-consing.
+    if g.size() <= 6 {
+        g.well_formed()?;
+        let mut builder = BoxedBuilder::default();
+        let root = builder.node_of(g);
+        return Ok(GlobalTree::from_parts(builder.nodes, root));
+    }
+    let mut interner = Interner::new();
+    let root = interner.intern_global(g);
+    interner.well_formed_global(root)?;
+    Ok(unravel_interned(&mut interner, root))
+}
+
+/// Unravels an already-interned, well-formed global type.
+///
+/// Callers must have validated [`GlobalType::well_formed`] before interning;
+/// head-normalisation panics on unguarded or open terms.
+pub(crate) fn unravel_interned(interner: &mut Interner, root: TypeId) -> GlobalTree {
     let mut builder = Builder::default();
-    let root = builder.node_of(g);
-    Ok(GlobalTree::from_parts(builder.nodes, root))
+    let root = builder.node_of(interner, root);
+    GlobalTree::from_parts(builder.nodes, root)
 }
 
 /// Decides the unravelling relation `G ℜ Gc`: does `tree` (rooted at its
@@ -61,22 +85,21 @@ pub fn g_unravels_to(g: &GlobalType, tree: &GlobalTree) -> bool {
     }
 }
 
+/// The direct builder for tiny types: unfolds boxed head-normal forms and
+/// memoises them structurally (exactly the interned builder's construction,
+/// minus the interner setup).
 #[derive(Default)]
-struct Builder {
+struct BoxedBuilder {
     nodes: Vec<GlobalTreeNode>,
     memo: HashMap<GlobalType, NodeId>,
 }
 
-impl Builder {
-    /// Returns the node representing the unravelling of `g`, creating it (and
-    /// its reachable sub-graph) if necessary.
+impl BoxedBuilder {
     fn node_of(&mut self, g: &GlobalType) -> NodeId {
         let head = g.unfold_head();
         if let Some(&id) = self.memo.get(&head) {
             return id;
         }
-        // Allocate the node first so cycles through recursion variables can
-        // refer back to it while the branches are still being processed.
         let id = NodeId::new(self.nodes.len());
         self.nodes.push(GlobalTreeNode::End);
         self.memo.insert(head.clone(), id);
@@ -98,6 +121,53 @@ impl Builder {
                 }
             }
             GlobalType::Rec(_) | GlobalType::Var(_) => {
+                unreachable!("unfold_head returns a head-normal form of a closed type")
+            }
+        };
+        self.nodes[id.index()] = node;
+        id
+    }
+}
+
+#[derive(Default)]
+struct Builder {
+    nodes: Vec<GlobalTreeNode>,
+    /// Head-normal form id → arena node. Hash-consing makes this lookup an
+    /// id hash instead of a deep structural hash of the whole unfolding.
+    memo: HashMap<TypeId, NodeId>,
+}
+
+impl Builder {
+    /// Returns the node representing the unravelling of `t`, creating it (and
+    /// its reachable sub-graph) if necessary.
+    fn node_of(&mut self, interner: &mut Interner, t: TypeId) -> NodeId {
+        let head = interner.unfold_head_global(t);
+        if let Some(&id) = self.memo.get(&head) {
+            return id;
+        }
+        // Allocate the node first so cycles through recursion variables can
+        // refer back to it while the branches are still being processed.
+        let id = NodeId::new(self.nodes.len());
+        self.nodes.push(GlobalTreeNode::End);
+        self.memo.insert(head, id);
+        let node = match interner.global(head).clone() {
+            GTerm::End => GlobalTreeNode::End,
+            GTerm::Msg { from, to, branches } => {
+                let bs = branches
+                    .iter()
+                    .map(|b| Branch {
+                        label: interner.label(b.label).clone(),
+                        sort: interner.sort(b.sort).clone(),
+                        cont: self.node_of(interner, b.cont),
+                    })
+                    .collect();
+                GlobalTreeNode::Msg {
+                    from: interner.role(from).clone(),
+                    to: interner.role(to).clone(),
+                    branches: bs,
+                }
+            }
+            GTerm::Rec(_) | GTerm::Var(_) => {
                 unreachable!("unfold_head returns a head-normal form of a closed type")
             }
         };

@@ -62,8 +62,9 @@ pub mod projection;
 pub mod trace_equiv;
 
 pub use common::actions::{Action, ActionKind};
+pub use common::intern::Interner;
 pub use common::label::Label;
-pub use common::role::Role;
+pub use common::role::{Role, RoleSet};
 pub use common::sort::Sort;
 pub use common::trace::Trace;
 pub use error::{Error, Result};

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 
 use crate::common::arena::NodeId;
 use crate::common::branch::Branch;
+use crate::common::intern::{IBranch, Interner, LTerm, LTypeId};
 use crate::error::Result;
 use crate::local::syntax::LocalType;
 use crate::local::tree::{LocalTree, LocalTreeNode};
@@ -32,9 +33,18 @@ use crate::local::tree::{LocalTree, LocalTreeNode};
 /// ```
 pub fn unravel_local(l: &LocalType) -> Result<LocalTree> {
     l.well_formed()?;
+    let mut interner = Interner::new();
+    let root = interner.intern_local(l);
+    Ok(unravel_local_interned(&mut interner, root))
+}
+
+/// Unravels an already-interned, well-formed local type.
+///
+/// Callers must have validated [`LocalType::well_formed`] before interning.
+pub(crate) fn unravel_local_interned(interner: &mut Interner, root: LTypeId) -> LocalTree {
     let mut builder = Builder::default();
-    let root = builder.node_of(l);
-    Ok(LocalTree::from_parts(builder.nodes, root))
+    let root = builder.node_of(interner, root);
+    LocalTree::from_parts(builder.nodes, root)
 }
 
 /// Decides the unravelling relation `L ℜ Lc`: does `tree` represent the
@@ -51,29 +61,31 @@ pub fn l_unravels_to(l: &LocalType, tree: &LocalTree) -> bool {
 #[derive(Default)]
 struct Builder {
     nodes: Vec<LocalTreeNode>,
-    memo: HashMap<LocalType, NodeId>,
+    /// Head-normal form id → arena node (id equality instead of deep
+    /// structural lookup).
+    memo: HashMap<LTypeId, NodeId>,
 }
 
 impl Builder {
-    fn node_of(&mut self, l: &LocalType) -> NodeId {
-        let head = l.unfold_head();
+    fn node_of(&mut self, interner: &mut Interner, t: LTypeId) -> NodeId {
+        let head = interner.unfold_head_local(t);
         if let Some(&id) = self.memo.get(&head) {
             return id;
         }
         let id = NodeId::new(self.nodes.len());
         self.nodes.push(LocalTreeNode::End);
-        self.memo.insert(head.clone(), id);
-        let node = match &head {
-            LocalType::End => LocalTreeNode::End,
-            LocalType::Send { to, branches } => LocalTreeNode::Send {
-                to: to.clone(),
-                branches: self.branches(branches),
+        self.memo.insert(head, id);
+        let node = match interner.local(head).clone() {
+            LTerm::End => LocalTreeNode::End,
+            LTerm::Send { to, branches } => LocalTreeNode::Send {
+                to: interner.role(to).clone(),
+                branches: self.branches(interner, &branches),
             },
-            LocalType::Recv { from, branches } => LocalTreeNode::Recv {
-                from: from.clone(),
-                branches: self.branches(branches),
+            LTerm::Recv { from, branches } => LocalTreeNode::Recv {
+                from: interner.role(from).clone(),
+                branches: self.branches(interner, &branches),
             },
-            LocalType::Rec(_) | LocalType::Var(_) => {
+            LTerm::Rec(_) | LTerm::Var(_) => {
                 unreachable!("unfold_head returns a head-normal form of a closed type")
             }
         };
@@ -81,13 +93,17 @@ impl Builder {
         id
     }
 
-    fn branches(&mut self, branches: &[Branch<LocalType>]) -> Vec<Branch<NodeId>> {
+    fn branches(
+        &mut self,
+        interner: &mut Interner,
+        branches: &[IBranch<LTypeId>],
+    ) -> Vec<Branch<NodeId>> {
         branches
             .iter()
             .map(|b| Branch {
-                label: b.label.clone(),
-                sort: b.sort.clone(),
-                cont: self.node_of(&b.cont),
+                label: interner.label(b.label).clone(),
+                sort: interner.sort(b.sort).clone(),
+                cont: self.node_of(interner, b.cont),
             })
             .collect()
     }

@@ -12,7 +12,8 @@
 //!   [`Error::NotProjectable`] when the protocol has no projection onto the
 //!   participant.
 
-use std::collections::{HashMap, HashSet};
+
+use crate::common::intern::{FxHashMap, FxHashSet};
 
 use crate::common::arena::NodeId;
 use crate::common::branch::Branch;
@@ -40,8 +41,7 @@ use crate::local::tree::{LocalTree, LocalTreeNode};
 /// assert_eq!(cproject(&gt, &Role::new("p")).unwrap().len(), lt.len());
 /// ```
 pub fn is_cprojection(tree: &GlobalTree, role: &Role, local: &LocalTree) -> bool {
-    let mut assumed = HashSet::new();
-    check_tree(tree, tree.root(), role, local, local.root(), &mut assumed)
+    is_cprojection_at(tree, tree.root(), role, local, local.root())
 }
 
 /// Decides the coinductive projection relation between an arbitrary node of
@@ -53,8 +53,9 @@ pub fn is_cprojection_at(
     local: &LocalTree,
     lnode: NodeId,
 ) -> bool {
-    let mut assumed = HashSet::new();
-    check_tree(tree, gnode, role, local, lnode, &mut assumed)
+    let mut assumed = FxHashSet::default();
+    let ridx = tree.role_index(role);
+    check_tree(tree, gnode, role, ridx, local, lnode, &mut assumed)
 }
 
 /// Decides the coinductive projection relation between an execution prefix
@@ -72,23 +73,25 @@ pub fn is_prefix_cprojection(
     local: &LocalTree,
     lnode: NodeId,
 ) -> bool {
-    let mut assumed = HashSet::new();
-    check_prefix(tree, prefix, role, local, lnode, &mut assumed)
+    let mut assumed = FxHashSet::default();
+    let ridx = tree.role_index(role);
+    check_prefix(tree, prefix, role, ridx, local, lnode, &mut assumed)
 }
 
 fn check_tree(
     tree: &GlobalTree,
     g: NodeId,
     role: &Role,
+    ridx: Option<usize>,
     local: &LocalTree,
     l: NodeId,
-    assumed: &mut HashSet<(NodeId, NodeId)>,
+    assumed: &mut FxHashSet<(NodeId, NodeId)>,
 ) -> bool {
     if !assumed.insert((g, l)) {
         return true;
     }
     // [co-proj-end]: non-participants project to end_c.
-    if !tree.part_of(role, g) {
+    if !ridx.is_some_and(|i| tree.part_of_index(i, g)) {
         return local.node(l).is_end();
     }
     match tree.node(g) {
@@ -100,7 +103,9 @@ fn check_tree(
                     LocalTreeNode::Send {
                         to: lto,
                         branches: lbs,
-                    } if lto == to => branches_correspond(tree, branches, role, local, lbs, assumed),
+                    } if lto == to => {
+                        branches_correspond(tree, branches, role, ridx, local, lbs, assumed)
+                    }
                     _ => false,
                 }
             } else if role == to {
@@ -110,7 +115,7 @@ fn check_tree(
                         from: lfrom,
                         branches: lbs,
                     } if lfrom == from => {
-                        branches_correspond(tree, branches, role, local, lbs, assumed)
+                        branches_correspond(tree, branches, role, ridx, local, lbs, assumed)
                     }
                     _ => false,
                 }
@@ -118,8 +123,8 @@ fn check_tree(
                 // [co-proj-cont]: every continuation involves the role and
                 // projects to the *same* local behaviour.
                 branches.iter().all(|b| {
-                    tree.part_of(role, b.cont)
-                        && check_tree(tree, b.cont, role, local, l, assumed)
+                    ridx.is_some_and(|i| tree.part_of_index(i, b.cont))
+                        && check_tree(tree, b.cont, role, ridx, local, l, assumed)
                 })
             }
         }
@@ -130,9 +135,10 @@ fn branches_correspond(
     tree: &GlobalTree,
     gbranches: &[Branch<NodeId>],
     role: &Role,
+    ridx: Option<usize>,
     local: &LocalTree,
     lbranches: &[Branch<NodeId>],
-    assumed: &mut HashSet<(NodeId, NodeId)>,
+    assumed: &mut FxHashSet<(NodeId, NodeId)>,
 ) -> bool {
     if gbranches.len() != lbranches.len() {
         return false;
@@ -142,7 +148,8 @@ fn branches_correspond(
             .iter()
             .find(|lb| lb.label == gb.label)
             .is_some_and(|lb| {
-                lb.sort == gb.sort && check_tree(tree, gb.cont, role, local, lb.cont, assumed)
+                lb.sort == gb.sort
+                    && check_tree(tree, gb.cont, role, ridx, local, lb.cont, assumed)
             })
     })
 }
@@ -151,15 +158,16 @@ fn check_prefix(
     tree: &GlobalTree,
     prefix: &GlobalPrefix,
     role: &Role,
+    ridx: Option<usize>,
     local: &LocalTree,
     l: NodeId,
-    assumed: &mut HashSet<(NodeId, NodeId)>,
+    assumed: &mut FxHashSet<(NodeId, NodeId)>,
 ) -> bool {
-    if !prefix_part_of(tree, prefix, role) {
+    if !prefix_part_of_idx(tree, prefix, role, ridx) {
         return local.node(l).is_end();
     }
     match prefix {
-        GlobalPrefix::Inj(g) => check_tree(tree, *g, role, local, l, assumed),
+        GlobalPrefix::Inj(g) => check_tree(tree, *g, role, ridx, local, l, assumed),
         GlobalPrefix::Msg { from, to, branches } => {
             if role == from {
                 match local.node(l) {
@@ -167,7 +175,7 @@ fn check_prefix(
                         to: lto,
                         branches: lbs,
                     } if lto == to => {
-                        prefix_branches_correspond(tree, branches, role, local, lbs, assumed)
+                        prefix_branches_correspond(tree, branches, role, ridx, local, lbs, assumed)
                     }
                     _ => false,
                 }
@@ -177,14 +185,14 @@ fn check_prefix(
                         from: lfrom,
                         branches: lbs,
                     } if lfrom == from => {
-                        prefix_branches_correspond(tree, branches, role, local, lbs, assumed)
+                        prefix_branches_correspond(tree, branches, role, ridx, local, lbs, assumed)
                     }
                     _ => false,
                 }
             } else {
                 branches.iter().all(|b| {
-                    prefix_part_of(tree, &b.cont, role)
-                        && check_prefix(tree, &b.cont, role, local, l, assumed)
+                    prefix_part_of_idx(tree, &b.cont, role, ridx)
+                        && check_prefix(tree, &b.cont, role, ridx, local, l, assumed)
                 })
             }
         }
@@ -201,13 +209,13 @@ fn check_prefix(
                         from: lfrom,
                         branches: lbs,
                     } if lfrom == from => {
-                        prefix_branches_correspond(tree, branches, role, local, lbs, assumed)
+                        prefix_branches_correspond(tree, branches, role, ridx, local, lbs, assumed)
                     }
                     _ => false,
                 }
             } else {
                 // [co-proj-send-2]
-                check_prefix(tree, &branches[*selected].cont, role, local, l, assumed)
+                check_prefix(tree, &branches[*selected].cont, role, ridx, local, l, assumed)
             }
         }
     }
@@ -217,9 +225,10 @@ fn prefix_branches_correspond(
     tree: &GlobalTree,
     gbranches: &[Branch<GlobalPrefix>],
     role: &Role,
+    ridx: Option<usize>,
     local: &LocalTree,
     lbranches: &[Branch<NodeId>],
-    assumed: &mut HashSet<(NodeId, NodeId)>,
+    assumed: &mut FxHashSet<(NodeId, NodeId)>,
 ) -> bool {
     if gbranches.len() != lbranches.len() {
         return false;
@@ -229,33 +238,34 @@ fn prefix_branches_correspond(
             .iter()
             .find(|lb| lb.label == gb.label)
             .is_some_and(|lb| {
-                lb.sort == gb.sort && check_prefix(tree, &gb.cont, role, local, lb.cont, assumed)
+                lb.sort == gb.sort
+                    && check_prefix(tree, &gb.cont, role, ridx, local, lb.cont, assumed)
             })
     })
 }
 
 /// The `part_of` predicate lifted from trees to execution prefixes.
 pub fn prefix_part_of(tree: &GlobalTree, prefix: &GlobalPrefix, role: &Role) -> bool {
+    prefix_part_of_idx(tree, prefix, role, tree.role_index(role))
+}
+
+fn prefix_part_of_idx(
+    tree: &GlobalTree,
+    prefix: &GlobalPrefix,
+    role: &Role,
+    ridx: Option<usize>,
+) -> bool {
     match prefix {
-        GlobalPrefix::Inj(g) => tree.part_of(role, *g),
-        GlobalPrefix::Msg { from, to, branches } => {
-            from == role
-                || to == role
-                || branches
-                    .iter()
-                    .any(|b| prefix_part_of(tree, &b.cont, role))
-        }
-        GlobalPrefix::Sent {
-            from,
-            to,
-            branches,
-            ..
+        GlobalPrefix::Inj(g) => ridx.is_some_and(|i| tree.part_of_index(i, *g)),
+        GlobalPrefix::Msg { from, to, branches }
+        | GlobalPrefix::Sent {
+            from, to, branches, ..
         } => {
             from == role
                 || to == role
                 || branches
                     .iter()
-                    .any(|b| prefix_part_of(tree, &b.cont, role))
+                    .any(|b| prefix_part_of_idx(tree, &b.cont, role, ridx))
         }
     }
 }
@@ -324,10 +334,11 @@ fn build_candidate(tree: &GlobalTree, role: &Role) -> Result<LocalTree> {
     let n = tree.len();
     let mut classes = Classes::new(n);
     let end_class = classes.end_class();
+    let ridx = tree.role_index(role);
 
     // Group nodes that must share a projection.
     for (id, node) in tree.iter() {
-        if !tree.part_of(role, id) {
+        if !ridx.is_some_and(|i| tree.part_of_index(i, id)) {
             classes.union(id.index(), end_class);
             continue;
         }
@@ -342,7 +353,7 @@ fn build_candidate(tree: &GlobalTree, role: &Role) -> Result<LocalTree> {
 
     // Pick, for every class, the node that determines its local behaviour:
     // a node in which the role is directly involved, or `end_c`.
-    let mut representative: HashMap<usize, Option<NodeId>> = HashMap::new();
+    let mut representative: FxHashMap<usize, Option<NodeId>> = FxHashMap::default();
     for (id, node) in tree.iter() {
         let class = classes.find(id.index());
         if class == classes.find(end_class) {
@@ -357,12 +368,13 @@ fn build_candidate(tree: &GlobalTree, role: &Role) -> Result<LocalTree> {
 
     // Build the local arena, one node per reachable class.
     let mut nodes: Vec<LocalTreeNode> = Vec::new();
-    let mut class_to_lnode: HashMap<usize, NodeId> = HashMap::new();
+    let mut class_to_lnode: FxHashMap<usize, NodeId> = FxHashMap::default();
     let root_class = classes.find(tree.root().index());
     let end_root = classes.find(end_class);
     let root_lnode = build_class(
         tree,
         role,
+        ridx,
         root_class,
         end_root,
         &mut classes,
@@ -377,12 +389,13 @@ fn build_candidate(tree: &GlobalTree, role: &Role) -> Result<LocalTree> {
 fn build_class(
     tree: &GlobalTree,
     role: &Role,
+    ridx: Option<usize>,
     class: usize,
     end_root: usize,
     classes: &mut Classes,
-    representative: &HashMap<usize, Option<NodeId>>,
+    representative: &FxHashMap<usize, Option<NodeId>>,
     nodes: &mut Vec<LocalTreeNode>,
-    class_to_lnode: &mut HashMap<usize, NodeId>,
+    class_to_lnode: &mut FxHashMap<usize, NodeId>,
 ) -> Result<NodeId> {
     if let Some(&id) = class_to_lnode.get(&class) {
         return Ok(id);
@@ -413,7 +426,7 @@ fn build_class(
     for b in &branches {
         let child_class = {
             let c = classes.find(b.cont.index());
-            if !tree.part_of(role, b.cont) {
+            if !ridx.is_some_and(|i| tree.part_of_index(i, b.cont)) {
                 classes.find(end_root)
             } else {
                 c
@@ -422,6 +435,7 @@ fn build_class(
         let child = build_class(
             tree,
             role,
+            ridx,
             child_class,
             end_root,
             classes,

@@ -1,7 +1,7 @@
 //! Inductive projection of global types onto participants
 //! (Definition 3.4 / A.15, Figure 3a, `Projection/IProject.v`).
 
-use crate::common::branch::Branch;
+use crate::common::intern::{GTerm, IBranch, Interner, LTerm, LTypeId, LeafKind, RoleId, TypeId};
 use crate::common::role::Role;
 use crate::error::{Error, Result};
 use crate::global::syntax::GlobalType;
@@ -60,11 +60,36 @@ use crate::local::syntax::LocalType;
 /// assert!(project(&g_prime, &carol).is_err());
 /// ```
 pub fn project(global: &GlobalType, role: &Role) -> Result<LocalType> {
-    global.well_formed()?;
-    project_rec(global, role)
+    if use_boxed_path(global) {
+        global.well_formed()?;
+        return project_boxed(global, role);
+    }
+    let mut interner = Interner::new();
+    let root = interner.intern_global(global);
+    interner.well_formed_global(root)?;
+    let role_id = interner.role_id(role);
+    let mut memo = ProjectMemo::for_interner(&interner);
+    let projected = project_interned(&mut interner, &mut memo, root, role_id)?;
+    Ok(interner.resolve_local(projected))
 }
 
-fn project_rec(global: &GlobalType, role: &Role) -> Result<LocalType> {
+/// Whether to project directly on the boxed syntax instead of interning.
+///
+/// Interning pays off once the protocol is large (maximal sharing, id-based
+/// merges, memoised traversal) but its fixed setup cost loses to the direct
+/// recursion on small terms — the same trade-off as a small-vector
+/// optimisation. The thresholds are calibrated on the benchmark families:
+/// small protocols, and mid-sized *branching* protocols whose role count is
+/// low enough that the direct path's per-occurrence work stays cheap.
+fn use_boxed_path(global: &GlobalType) -> bool {
+    let size = global.size();
+    size <= 24 || (size <= 160 && global.max_branching() >= 2)
+}
+
+/// The direct (non-interned) projection of Figure 3a, used for small inputs;
+/// produces the same results and errors as the interned path (the property
+/// tests compare them).
+fn project_boxed(global: &GlobalType, role: &Role) -> Result<LocalType> {
     match global {
         // [proj-end]
         GlobalType::End => Ok(LocalType::End),
@@ -72,15 +97,10 @@ fn project_rec(global: &GlobalType, role: &Role) -> Result<LocalType> {
         GlobalType::Var(i) => Ok(LocalType::Var(*i)),
         // [proj-rec]
         GlobalType::Rec(body) => {
-            let projected = project_rec(body, role)?;
-            if mu_would_be_unguarded(&projected) {
-                // The participant plays no part in the loop body: its view of
-                // the protocol is the terminated one.
+            let projected = project_boxed(body, role)?;
+            if mu_would_be_unguarded_boxed(&projected) {
                 Ok(LocalType::End)
             } else if !projected.free_vars().contains(&0) {
-                // The bound variable never occurs (the participant leaves the
-                // loop on every path), so the binder is dropped; outer
-                // indices are re-aligned by the substitution.
                 Ok(projected.subst_top(&LocalType::End))
             } else {
                 Ok(LocalType::rec(projected))
@@ -89,24 +109,23 @@ fn project_rec(global: &GlobalType, role: &Role) -> Result<LocalType> {
         GlobalType::Msg { from, to, branches } => {
             if role == from {
                 // [proj-send]
-                let bs = project_branches(branches, role)?;
+                let bs = project_branches_boxed(branches, role)?;
                 Ok(LocalType::Send {
                     to: to.clone(),
                     branches: bs,
                 })
             } else if role == to {
                 // [proj-recv]
-                let bs = project_branches(branches, role)?;
+                let bs = project_branches_boxed(branches, role)?;
                 Ok(LocalType::Recv {
                     from: from.clone(),
                     branches: bs,
                 })
             } else {
-                // [proj-cont]: all branches must prescribe the same behaviour
-                // for `role` (plain merge).
+                // [proj-cont]
                 let mut projections = branches
                     .iter()
-                    .map(|b| project_rec(&b.cont, role))
+                    .map(|b| project_boxed(&b.cont, role))
                     .collect::<Result<Vec<_>>>()?;
                 let first = projections.swap_remove(0);
                 for other in &projections {
@@ -127,29 +146,186 @@ fn project_rec(global: &GlobalType, role: &Role) -> Result<LocalType> {
     }
 }
 
-fn project_branches(
-    branches: &[Branch<GlobalType>],
+fn project_branches_boxed(
+    branches: &[crate::common::branch::Branch<GlobalType>],
     role: &Role,
-) -> Result<Vec<Branch<LocalType>>> {
+) -> Result<Vec<crate::common::branch::Branch<LocalType>>> {
     branches
         .iter()
         .map(|b| {
-            Ok(Branch {
+            Ok(crate::common::branch::Branch {
                 label: b.label.clone(),
                 sort: b.sort.clone(),
-                cont: project_rec(&b.cont, role)?,
+                cont: project_boxed(&b.cont, role)?,
             })
         })
         .collect()
 }
 
+fn mu_would_be_unguarded_boxed(body: &LocalType) -> bool {
+    match body {
+        LocalType::Var(_) => true,
+        LocalType::Rec(inner) => mu_would_be_unguarded_boxed(inner),
+        _ => false,
+    }
+}
+
+/// Per-role memo table for the inductive projection: each distinct subterm is
+/// projected once per role, however many times it occurs.
+///
+/// Dense (indexed by [`TypeId`]) rather than a hash map: the global-term
+/// arena does not grow during projection, so a slot per term makes the memo
+/// hit path an array index instead of a hash of the id pair. Failures are not
+/// memoised — the memo is per role and a failure aborts the whole projection.
+pub(crate) struct ProjectMemo {
+    slots: Vec<Option<LTypeId>>,
+}
+
+impl ProjectMemo {
+    /// An empty memo covering every global term currently interned.
+    pub(crate) fn for_interner(interner: &Interner) -> Self {
+        ProjectMemo {
+            slots: vec![None; interner.global_len()],
+        }
+    }
+}
+
+/// The inductive projection over interned terms (Figure 3a on ids).
+///
+/// Hash-consing makes the `[proj-cont]` merge an id comparison, and the memo
+/// turns the traversal output-linear: a subterm shared by many branches (or
+/// revisited through the memoised unfoldings) is projected once.
+pub(crate) fn project_interned(
+    interner: &mut Interner,
+    memo: &mut ProjectMemo,
+    t: TypeId,
+    role: RoleId,
+) -> Result<LTypeId> {
+    if let Some(result) = memo.slots[t.index()] {
+        return Ok(result);
+    }
+    let result = project_uncached(interner, memo, t, role)?;
+    memo.slots[t.index()] = Some(result);
+    Ok(result)
+}
+
+fn project_uncached(
+    interner: &mut Interner,
+    memo: &mut ProjectMemo,
+    t: TypeId,
+    role: RoleId,
+) -> Result<LTypeId> {
+    // Pruning: a binder-free subterm that never mentions the role and whose
+    // leaves all agree projects to that leaf directly — every merge along the
+    // way is between equal leaves. Subterms with binders, or with both `end`
+    // and `Var` leaves, are not pruned: their projections are `Var`/`Rec`
+    // skeletons on which the plain merge legitimately fails, and pruning
+    // would mask that.
+    if !interner.global_parts(t).contains(role.index()) && !interner.global_has_rec(t) {
+        match interner.global_leaf_kind(t) {
+            LeafKind::AllEnd => return Ok(interner.mk_local(LTerm::End)),
+            LeafKind::AllVar(i) => return Ok(interner.mk_local(LTerm::Var(i))),
+            LeafKind::Mixed => {}
+        }
+    }
+    // Read the node header without cloning; the branch list is only cloned
+    // (one `Arc` bump) on the involved send/recv paths that materialise it.
+    let (from, to, n_branches) = match interner.global(t) {
+        GTerm::End => return Ok(interner.mk_local(LTerm::End)), // [proj-end]
+        GTerm::Var(i) => {
+            // [proj-var]
+            let i = *i;
+            return Ok(interner.mk_local(LTerm::Var(i)));
+        }
+        GTerm::Rec(body) => {
+            // [proj-rec]
+            let body = *body;
+            let projected = project_interned(interner, memo, body, role)?;
+            return if mu_would_be_unguarded(interner, projected) {
+                // The participant plays no part in the loop body: its view of
+                // the protocol is the terminated one.
+                Ok(interner.mk_local(LTerm::End))
+            } else if interner.local_free_mask(projected) & 1 == 0 {
+                // The bound variable never occurs (the participant leaves the
+                // loop on every path), so the binder is dropped; outer
+                // indices are re-aligned by the substitution.
+                let end = interner.mk_local(LTerm::End);
+                Ok(interner.subst_local(projected, 0, end))
+            } else {
+                Ok(interner.mk_local(LTerm::Rec(projected)))
+            };
+        }
+        GTerm::Msg { from, to, branches } => (*from, *to, branches.len()),
+    };
+    if role == from || role == to {
+        // [proj-send] / [proj-recv]
+        let GTerm::Msg { branches, .. } = interner.global(t).clone() else {
+            unreachable!("header said Msg");
+        };
+        let bs = project_branches(interner, memo, &branches, role)?;
+        return Ok(interner.mk_local(if role == from {
+            LTerm::Send { to, branches: bs }
+        } else {
+            LTerm::Recv { from, branches: bs }
+        }));
+    }
+    // [proj-cont]: all branches must prescribe the same behaviour for `role`
+    // (plain merge) — an id comparison on interned projections.
+    let branch_cont = |interner: &Interner, i: usize| -> TypeId {
+        let GTerm::Msg { branches, .. } = interner.global(t) else {
+            unreachable!("header said Msg");
+        };
+        branches[i].cont
+    };
+    let c0 = branch_cont(interner, 0);
+    let first = project_interned(interner, memo, c0, role)?;
+    for i in 1..n_branches {
+        let ci = branch_cont(interner, i);
+        let other = project_interned(interner, memo, ci, role)?;
+        if other != first {
+            let from = interner.role(from).clone();
+            let to = interner.role(to).clone();
+            let first = interner.resolve_local(first);
+            let other = interner.resolve_local(other);
+            return Err(Error::NotProjectable {
+                role: interner.role(role).clone(),
+                reason: format!(
+                    "branches of {from}->{to} prescribe different behaviours \
+                     for a participant not involved in the choice: `{first}` \
+                     versus `{other}`"
+                ),
+            });
+        }
+    }
+    Ok(first)
+}
+
+fn project_branches(
+    interner: &mut Interner,
+    memo: &mut ProjectMemo,
+    branches: &[IBranch<TypeId>],
+    role: RoleId,
+) -> Result<std::sync::Arc<[IBranch<LTypeId>]>> {
+    branches
+        .iter()
+        .map(|b| {
+            Ok(IBranch {
+                label: b.label,
+                sort: b.sort,
+                cont: project_interned(interner, memo, b.cont, role)?,
+            })
+        })
+        .collect::<Result<Vec<_>>>()
+        .map(Into::into)
+}
+
 /// Would `mu X. body` be unguarded? True when `body` is a (possibly
 /// `mu`-wrapped) bare variable, which happens exactly when the participant
 /// does not occur in the loop.
-fn mu_would_be_unguarded(body: &LocalType) -> bool {
-    match body {
-        LocalType::Var(_) => true,
-        LocalType::Rec(inner) => mu_would_be_unguarded(inner),
+fn mu_would_be_unguarded(interner: &Interner, body: LTypeId) -> bool {
+    match interner.local(body) {
+        LTerm::Var(_) => true,
+        LTerm::Rec(inner) => mu_would_be_unguarded(interner, *inner),
         _ => false,
     }
 }
@@ -160,23 +336,51 @@ fn mu_would_be_unguarded(body: &LocalType) -> bool {
 /// This is the underlying operation of the DSL's `\project` notation (§5.1):
 /// it fails if the protocol is not projectable onto *some* participant.
 ///
+/// The protocol is validated and interned once; each role then projects with
+/// its own dense memo table (the memo is keyed per subterm, so it is valid
+/// for exactly one role), making the cost one traversal per role over
+/// *distinct* subterms rather than one traversal per role per occurrence.
+///
 /// # Errors
 ///
 /// See [`project`].
 pub fn project_all(global: &GlobalType) -> Result<Vec<(Role, LocalType)>> {
-    global
-        .participants()
-        .into_iter()
-        .map(|role| {
-            let local = project(global, &role)?;
-            Ok((role, local))
-        })
-        .collect()
+    if use_boxed_path(global) {
+        global.well_formed()?;
+        return global
+            .participants()
+            .into_iter()
+            .map(|role| {
+                let local = project_boxed(global, &role)?;
+                Ok((role, local))
+            })
+            .collect();
+    }
+    let mut interner = Interner::new();
+    let root = interner.intern_global(global);
+    interner.well_formed_global(root)?;
+    // The participants are the interned participant set of the root, read
+    // back in the customary sorted order.
+    let mut participants: Vec<(Role, RoleId)> = interner
+        .global_parts(root)
+        .iter()
+        .map(|i| (interner.roles()[i].clone(), RoleId(i as u32)))
+        .collect();
+    participants.sort_by(|(a, _), (b, _)| a.cmp(b));
+    let mut out = Vec::new();
+    for (role, role_id) in participants {
+        let mut memo = ProjectMemo::for_interner(&interner);
+        let projected = project_interned(&mut interner, &mut memo, root, role_id)?;
+        let local = interner.resolve_local(projected);
+        out.push((role, local));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::common::branch::Branch;
     use crate::common::label::Label;
     use crate::common::sort::Sort;
 
@@ -383,6 +587,49 @@ mod tests {
     fn ill_formed_inputs_are_rejected() {
         let bad = GlobalType::rec(GlobalType::var(0));
         assert!(project(&bad, &r("p")).is_err());
+    }
+
+    /// The boxed and interned paths are the same function: compare them
+    /// directly (the public API routes by size, so this forces both) on the
+    /// named protocols, the scaling families and random protocols.
+    #[test]
+    fn boxed_and_interned_projections_agree() {
+        let mut protocols = vec![
+            ring(),
+            crate::generators::pipeline(),
+            crate::generators::ping_pong(),
+            crate::generators::two_buyer(),
+            crate::generators::ring_n(16),
+            crate::generators::chain_n(16),
+            crate::generators::fanout_n(16),
+            crate::generators::branching(4),
+        ];
+        for seed in 0..64 {
+            protocols.push(crate::generators::random_global(
+                seed,
+                &crate::generators::RandomProtocol::default(),
+            ));
+        }
+        for g in protocols {
+            let mut interner = Interner::new();
+            let root = interner.intern_global(&g);
+            interner.well_formed_global(root).unwrap();
+            for role in g.participants() {
+                let role_id = interner.role_id(&role);
+                let mut memo = ProjectMemo::for_interner(&interner);
+                let interned = project_interned(&mut interner, &mut memo, root, role_id)
+                    .map(|id| interner.resolve_local(id));
+                let boxed = project_boxed(&g, &role);
+                assert_eq!(
+                    interned.is_ok(),
+                    boxed.is_ok(),
+                    "projectability of {g} onto {role} differs between paths"
+                );
+                if let (Ok(a), Ok(b)) = (interned, boxed) {
+                    assert_eq!(a, b, "projection of {g} onto {role} differs between paths");
+                }
+            }
+        }
     }
 
     #[test]

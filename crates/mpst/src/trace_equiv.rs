@@ -19,8 +19,13 @@
 //! the benchmark harness run these checkers over both the paper's protocols
 //! and randomly generated ones.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 
+use crate::common::arena::NodeId;
+use crate::common::intern::FxHashMap;
+use crate::common::label::Label;
+use crate::common::role::Role;
+use crate::common::sort::Sort;
 use crate::common::trace::Trace;
 use crate::error::Result;
 use crate::global::prefix::GlobalPrefix;
@@ -92,69 +97,133 @@ pub fn check_step_completeness(global: &GlobalType, depth: usize) -> Result<Chec
     check_direction(global, depth, Direction::Completeness)
 }
 
+/// The identity of a product state `(global prefix, configuration)`, used to
+/// key visited-state maps.
+///
+/// The environment's trees are fixed for the whole run (only the cursor of
+/// each endpoint moves), so a configuration is identified by its per-role
+/// cursor positions plus the queue contents. The prefix is shared with the
+/// worklist through an `Arc` (hashed and compared by content) so keying a
+/// state never deep-clones it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ProductKey {
+    prefix: std::sync::Arc<GlobalPrefix>,
+    cursors: Vec<NodeId>,
+    queues: Vec<(Role, Role, Vec<(Label, Sort)>)>,
+}
+
+fn product_key(prefix: &std::sync::Arc<GlobalPrefix>, config: &Configuration) -> ProductKey {
+    ProductKey {
+        prefix: std::sync::Arc::clone(prefix),
+        cursors: config.env.iter().map(|(_, ep)| ep.current()).collect(),
+        queues: config
+            .queues
+            .iter()
+            .map(|((from, to), msgs)| {
+                (from.clone(), to.clone(), msgs.iter().cloned().collect())
+            })
+            .collect(),
+    }
+}
+
+/// Visited map for bounded product explorations: state → largest number of
+/// remaining steps it has been expanded with. A state is re-expanded only
+/// when reached again with *more* remaining depth, which keeps the bounded
+/// exploration exhaustive while collapsing the exponentially many
+/// interleavings that reach the same state.
+struct Visited {
+    best: FxHashMap<ProductKey, usize>,
+}
+
+impl Visited {
+    fn new() -> Self {
+        Visited {
+            best: FxHashMap::default(),
+        }
+    }
+
+    /// Records reaching `key` with `remaining` steps left; returns `true` if
+    /// the state must be expanded (first visit, or deeper than before).
+    fn admit(&mut self, key: ProductKey, remaining: usize) -> bool {
+        match self.best.get_mut(&key) {
+            Some(prev) if *prev >= remaining => false,
+            Some(prev) => {
+                *prev = remaining;
+                true
+            }
+            None => {
+                self.best.insert(key, remaining);
+                true
+            }
+        }
+    }
+}
+
 fn check_direction(global: &GlobalType, depth: usize, dir: Direction) -> Result<CheckReport> {
     let tree = unravel_global(global)?;
     let initial_config = one_shot_projection(&tree)?;
-    let initial_prefix = GlobalPrefix::initial(&tree);
-    let mut frontier = vec![(initial_prefix, initial_config)];
+    let initial_prefix = std::sync::Arc::new(GlobalPrefix::initial(&tree));
+    let mut visited = Visited::new();
+    visited.admit(product_key(&initial_prefix, &initial_config), depth);
+    let mut queue: VecDeque<(std::sync::Arc<GlobalPrefix>, Configuration, usize)> =
+        VecDeque::new();
+    queue.push_back((initial_prefix, initial_config, depth));
     let mut explored = 0usize;
 
-    for _ in 0..=depth {
-        let mut next = Vec::new();
-        for (prefix, config) in &frontier {
-            explored += 1;
-            let actions = match dir {
-                Direction::Soundness => enabled_global_actions(&tree, prefix),
-                Direction::Completeness => enabled_local_actions(config),
-            };
-            for action in actions {
-                let gnext = global_step(&tree, prefix, &action);
-                let lnext = local_step(config, &action);
-                match (gnext, lnext) {
-                    (Some(gp), Some(lc)) => {
-                        if !one_shot_projection_holds(&tree, &gp, &lc) {
-                            return Ok(CheckReport::failure(
-                                explored,
-                                format!(
-                                    "after action {action} the successor states are no longer \
-                                     related by the one-shot projection"
-                                ),
-                            ));
+    while let Some((prefix, config, remaining)) = queue.pop_front() {
+        explored += 1;
+        let actions = match dir {
+            Direction::Soundness => enabled_global_actions(&tree, &prefix),
+            Direction::Completeness => enabled_local_actions(&config),
+        };
+        for action in actions {
+            let gnext = global_step(&tree, &prefix, &action);
+            let lnext = local_step(&config, &action);
+            match (gnext, lnext) {
+                (Some(gp), Some(lc)) => {
+                    if !one_shot_projection_holds(&tree, &gp, &lc) {
+                        return Ok(CheckReport::failure(
+                            explored,
+                            format!(
+                                "after action {action} the successor states are no longer \
+                                 related by the one-shot projection"
+                            ),
+                        ));
+                    }
+                    if remaining > 0 {
+                        let gp = std::sync::Arc::new(gp);
+                        if visited.admit(product_key(&gp, &lc), remaining - 1) {
+                            queue.push_back((gp, lc, remaining - 1));
                         }
-                        next.push((gp, lc));
-                    }
-                    (Some(_), None) => {
-                        return Ok(CheckReport::failure(
-                            explored,
-                            format!(
-                                "global action {action} is enabled but the environment cannot \
-                                 match it"
-                            ),
-                        ));
-                    }
-                    (None, Some(_)) => {
-                        return Ok(CheckReport::failure(
-                            explored,
-                            format!(
-                                "environment action {action} is enabled but the global tree \
-                                 cannot match it"
-                            ),
-                        ));
-                    }
-                    (None, None) => {
-                        // The action was enabled on the side we enumerated
-                        // from, so at least one of the two must step.
-                        return Ok(CheckReport::failure(
-                            explored,
-                            format!("action {action} was reported enabled but neither side steps"),
-                        ));
                     }
                 }
+                (Some(_), None) => {
+                    return Ok(CheckReport::failure(
+                        explored,
+                        format!(
+                            "global action {action} is enabled but the environment cannot \
+                             match it"
+                        ),
+                    ));
+                }
+                (None, Some(_)) => {
+                    return Ok(CheckReport::failure(
+                        explored,
+                        format!(
+                            "environment action {action} is enabled but the global tree \
+                             cannot match it"
+                        ),
+                    ));
+                }
+                (None, None) => {
+                    // The action was enabled on the side we enumerated
+                    // from, so at least one of the two must step.
+                    return Ok(CheckReport::failure(
+                        explored,
+                        format!("action {action} was reported enabled but neither side steps"),
+                    ));
+                }
             }
-        }
-        frontier = next;
-        if frontier.is_empty() {
-            break;
         }
     }
     Ok(CheckReport::success(explored))
@@ -164,10 +233,99 @@ fn check_direction(global: &GlobalType, depth: usize, dir: Direction) -> Result<
 /// of admissible trace prefixes of length at most `depth` of the global tree
 /// and of its one-shot projection coincide.
 ///
+/// Decided *on the fly* by a product construction over the two transition
+/// systems instead of materialising the (exponentially large) trace sets:
+/// both LTSs are deterministic per action, so the bounded trace sets coincide
+/// iff at every product state jointly reachable in fewer than `depth` steps
+/// the two sides enable exactly the same actions. The exploration is a
+/// worklist search over product states with a visited map, which collapses
+/// the interleavings that the trace-set enumeration would enumerate
+/// separately — a polynomial graph search in the number of distinct reachable
+/// states, with verdicts identical to the set-based checker (kept as
+/// [`check_trace_equivalence_exhaustive`] and compared against it by the
+/// property tests).
+///
 /// # Errors
 ///
 /// Fails if the protocol is ill-formed or not projectable.
 pub fn check_trace_equivalence(global: &GlobalType, depth: usize) -> Result<CheckReport> {
+    let tree = unravel_global(global)?;
+    let initial_config = one_shot_projection(&tree)?;
+    Ok(product_trace_equivalence(&tree, initial_config, depth))
+}
+
+/// The product exploration behind [`check_trace_equivalence`], factored out
+/// so the failure branch can be exercised directly (a *correct* projection
+/// can never trigger it — that is Theorem 3.21).
+fn product_trace_equivalence(
+    tree: &GlobalTree,
+    initial_config: Configuration,
+    depth: usize,
+) -> CheckReport {
+    let initial_prefix = std::sync::Arc::new(GlobalPrefix::initial(tree));
+    let mut visited = Visited::new();
+    visited.admit(product_key(&initial_prefix, &initial_config), depth);
+    let mut queue: VecDeque<(std::sync::Arc<GlobalPrefix>, Configuration, usize)> =
+        VecDeque::new();
+    queue.push_back((initial_prefix, initial_config, depth));
+    let mut explored = 0usize;
+
+    while let Some((prefix, config, remaining)) = queue.pop_front() {
+        explored += 1;
+        if remaining == 0 {
+            // Actions from this state would extend traces beyond the bound.
+            continue;
+        }
+        let mut global_actions = enabled_global_actions(tree, &prefix);
+        let mut local_actions = enabled_local_actions(&config);
+        global_actions.sort();
+        local_actions.sort();
+        if global_actions != local_actions {
+            let only_global = global_actions
+                .iter()
+                .find(|a| !local_actions.contains(a));
+            let only_local = local_actions
+                .iter()
+                .find(|a| !global_actions.contains(a));
+            return CheckReport::failure(
+                explored,
+                format!(
+                    "enabled actions differ at a jointly reachable state \
+                     ({} steps from the start): only-global {only_global:?}, \
+                     only-local {only_local:?}",
+                    depth - remaining
+                ),
+            );
+        }
+        for action in global_actions {
+            let gp = std::sync::Arc::new(
+                global_step(tree, &prefix, &action)
+                    .expect("action reported enabled by the global LTS"),
+            );
+            let lc = local_step(&config, &action)
+                .expect("action reported enabled by the environment LTS");
+            if visited.admit(product_key(&gp, &lc), remaining - 1) {
+                queue.push_back((gp, lc, remaining - 1));
+            }
+        }
+    }
+    CheckReport::success(explored)
+}
+
+/// The seed's set-based trace-equivalence checker: materialises both bounded
+/// trace-prefix sets and compares them.
+///
+/// Exponential in `depth`; kept as the reference implementation that the
+/// property tests and the benchmark report compare the on-the-fly
+/// [`check_trace_equivalence`] against.
+///
+/// # Errors
+///
+/// Fails if the protocol is ill-formed or not projectable.
+pub fn check_trace_equivalence_exhaustive(
+    global: &GlobalType,
+    depth: usize,
+) -> Result<CheckReport> {
     let (global_traces, local_traces) = bounded_trace_sets(global, depth)?;
     if global_traces == local_traces {
         Ok(CheckReport::success(global_traces.len()))
@@ -337,6 +495,42 @@ mod tests {
         assert_eq!(g1, l1);
         assert_eq!(g2, l2);
         assert!(g1.is_subset(&g2));
+    }
+
+    #[test]
+    fn on_the_fly_checker_agrees_with_the_exhaustive_one() {
+        for g in [ring(), ping_pong(), two_buyer()] {
+            for depth in [0, 1, 3, 5] {
+                let fast = check_trace_equivalence(&g, depth).unwrap();
+                let slow = check_trace_equivalence_exhaustive(&g, depth).unwrap();
+                assert_eq!(fast.holds, slow.holds, "depth {depth}");
+            }
+        }
+    }
+
+    #[test]
+    fn product_exploration_detects_a_wrong_environment() {
+        // Theorem 3.21 guarantees the failure branch is unreachable for a
+        // *correct* projection, so exercise it directly: pair the ring's
+        // global tree with the ping-pong protocol's environment. The enabled
+        // sets differ at the very first state, and the report must name a
+        // differing action.
+        let ring_tree = unravel_global(&ring()).unwrap();
+        let pong_tree = unravel_global(&ping_pong()).unwrap();
+        let wrong_config = one_shot_projection(&pong_tree).unwrap();
+        let report = product_trace_equivalence(&ring_tree, wrong_config, 4);
+        assert!(!report.holds);
+        let reason = report.counterexample.expect("mismatch must be reported");
+        assert!(
+            reason.contains("enabled actions differ"),
+            "unexpected counterexample: {reason}"
+        );
+
+        // And the same exploration with the *right* environment succeeds.
+        let right_config = one_shot_projection(&ring_tree).unwrap();
+        let report = product_trace_equivalence(&ring_tree, right_config, 6);
+        assert!(report.holds, "{:?}", report.counterexample);
+        assert!(report.states_explored >= 1);
     }
 
     #[test]

@@ -8,7 +8,8 @@ use zooid_mpst::generators::{self, RandomProtocol};
 use zooid_mpst::global::{unravel_global, GlobalType};
 use zooid_mpst::local::{unravel_local, QueueEnv};
 use zooid_mpst::projection::{cproject, is_cprojection, project, project_all};
-use zooid_mpst::{Label, Role, Sort};
+use zooid_mpst::trace_equiv::{check_trace_equivalence, check_trace_equivalence_exhaustive};
+use zooid_mpst::{Interner, Label, Role, RoleSet, Sort};
 
 fn random_protocol(seed: u64) -> GlobalType {
     generators::random_global(seed, &RandomProtocol::default())
@@ -112,6 +113,67 @@ proptest! {
         }
         prop_assert!(env.is_empty());
         prop_assert!(env.deq(&p, &q).is_none());
+    }
+
+    /// Hash-consing: interned-id equality coincides with structural equality,
+    /// and interning round-trips through resolution.
+    #[test]
+    fn interned_id_equality_is_structural_equality(seed_a in any::<u64>(), seed_b in any::<u64>()) {
+        let a = random_protocol(seed_a);
+        let b = random_protocol(seed_b);
+        let mut interner = Interner::new();
+        let ia = interner.intern_global(&a);
+        let ib = interner.intern_global(&b);
+        prop_assert_eq!(ia == ib, a == b, "id equality must mirror structural equality");
+        prop_assert_eq!(interner.resolve_global(ia), a);
+        prop_assert_eq!(interner.resolve_global(ib), b);
+        // Re-interning is stable.
+        prop_assert_eq!(interner.intern_global(&a), ia);
+    }
+
+    /// Hash-consed unfolding agrees with the boxed implementation.
+    #[test]
+    fn interned_unfolding_matches_boxed_unfolding(seed in any::<u64>()) {
+        let g = random_protocol(seed);
+        let mut interner = Interner::new();
+        let id = interner.intern_global(&g);
+        let unfolded = interner.unfold_once_global(id);
+        prop_assert_eq!(interner.resolve_global(unfolded), g.unfold_once());
+        let hnf = interner.unfold_head_global(id);
+        prop_assert_eq!(interner.resolve_global(hnf), g.unfold_head());
+    }
+
+    /// The on-the-fly trace-equivalence checker returns the same verdict as
+    /// the seed's set-based checker on random projectable protocols.
+    #[test]
+    fn on_the_fly_trace_equivalence_agrees_with_set_based(seed in any::<u64>()) {
+        let params = RandomProtocol { roles: 3, depth: 3, max_branches: 2, loop_back_percent: 20 };
+        let g = generators::random_global(seed, &params);
+        if project_all(&g).is_ok() {
+            for depth in [0usize, 2, 4] {
+                let fast = check_trace_equivalence(&g, depth).unwrap();
+                let slow = check_trace_equivalence_exhaustive(&g, depth).unwrap();
+                prop_assert_eq!(fast.holds, slow.holds, "verdicts differ at depth {}", depth);
+            }
+        }
+    }
+
+    /// `RoleSet` behaves like a reference set of indices.
+    #[test]
+    fn role_set_matches_reference_semantics(indices in proptest::collection::vec(0usize..200, 0..40)) {
+        let mut set = RoleSet::new();
+        let mut reference = std::collections::BTreeSet::new();
+        for &i in &indices {
+            prop_assert_eq!(set.insert(i), reference.insert(i));
+        }
+        prop_assert_eq!(set.len(), reference.len());
+        prop_assert_eq!(set.iter().collect::<Vec<_>>(),
+                        reference.iter().copied().collect::<Vec<_>>());
+        for &i in &indices {
+            prop_assert_eq!(set.remove(i), reference.remove(&i));
+        }
+        prop_assert!(set.is_empty());
+        prop_assert_eq!(set, RoleSet::new());
     }
 
     /// The scalable generator families are always projectable and their

@@ -1,0 +1,217 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API surface the workspace's benches use (`Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, `criterion_group!` / `criterion_main!`) with a simple
+//! wall-clock measurement loop: warm up for `warm_up_time`, then collect up
+//! to `sample_size` samples bounded by `measurement_time`, and report the
+//! median nanoseconds per iteration on stdout as
+//! `bench: <group>/<id> median_ns <n> samples <k>`.
+//!
+//! The output format is stable so tooling (`bench_report`) can parse it, but
+//! there is no statistical analysis, plotting or comparison with saved
+//! baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level handle passed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies the command-line filter (substring match on bench ids).
+    pub fn with_filter(mut self, filter: Option<String>) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_millis(500),
+            filter: self.filter.clone(),
+        }
+    }
+}
+
+/// Identifier of one benchmark inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    filter: Option<String>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the target number of samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets how long to warm up before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Bounds the total measurement time.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs a benchmark closure.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id, |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark closure with an input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id, |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id.id);
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.samples_ns.sort_unstable();
+        let median = bencher
+            .samples_ns
+            .get(bencher.samples_ns.len() / 2)
+            .copied()
+            .unwrap_or(0);
+        println!(
+            "bench: {full} median_ns {median} samples {}",
+            bencher.samples_ns.len()
+        );
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    samples_ns: Vec<u64>,
+}
+
+impl Bencher {
+    /// Measures the closure: warm-up, then timed samples. Each sample is one
+    /// invocation (batched only when a single call is faster than ~1µs, to
+    /// keep timer quantisation out of the medians).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, and estimate the cost of one call while doing it.
+        let warm_start = Instant::now();
+        let mut calls: u32 = 0;
+        while warm_start.elapsed() < self.warm_up || calls == 0 {
+            std::hint::black_box(f());
+            calls += 1;
+            if calls >= 1_000_000 {
+                break;
+            }
+        }
+        let per_call = warm_start.elapsed().as_nanos() / u128::from(calls.max(1));
+        let batch: u64 = if per_call >= 1_000 {
+            1
+        } else {
+            (1_000 / per_call.max(1)) as u64 + 1
+        };
+
+        let deadline = Instant::now() + self.measurement;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as u64 / batch;
+            self.samples_ns.push(ns);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Re-export spelled like criterion's: prevents the optimiser from deleting
+/// benchmark bodies.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(filter: Option<String>) {
+            let mut criterion = $crate::Criterion::default().with_filter(filter);
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes `--bench`; anything else positional is a
+            // filter, mirroring criterion's CLI closely enough for `cargo
+            // bench <filter>`.
+            let filter = std::env::args()
+                .skip(1)
+                .find(|a| !a.starts_with("--"));
+            $( $group(filter.clone()); )+
+        }
+    };
+}

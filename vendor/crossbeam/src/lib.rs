@@ -1,0 +1,73 @@
+//! Offline stand-in for the parts of `crossbeam` the workspace uses:
+//! `channel::{unbounded, Sender, Receiver, RecvTimeoutError}`, backed by
+//! `std::sync::mpsc`. The transports here are single-producer per ordered
+//! role pair, so mpsc's semantics are sufficient.
+
+pub mod channel {
+    //! Unbounded FIFO channels.
+
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::RecvTimeoutError;
+
+    /// The sending half of an unbounded channel.
+    #[derive(Debug, Clone)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    /// The receiving half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message; fails only if the receiving half was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues the oldest message, blocking up to `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Dequeues the oldest message if one is already queued.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_and_timeout() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(1));
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(2));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+    }
+}

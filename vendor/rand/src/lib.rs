@@ -1,0 +1,156 @@
+//! Offline stand-in for the `rand` crate (0.8 API surface).
+//!
+//! Only the pieces the workspace uses are provided: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::gen_bool` and `Rng::gen_range` over
+//! integer ranges. The generator is SplitMix64 — deterministic, seedable and
+//! statistically fine for the randomized-protocol generators and property
+//! tests this repository uses it for (nothing here is cryptographic).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core source of randomness: a stream of `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator seeded from a single `u64`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        // 53 uniform mantissa bits, exactly like rand's `gen_bool`.
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// Samples uniformly from an integer range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Ranges that can be sampled from (integer `a..b` and `a..=b`).
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Integers that uniform ranges can be sampled over. A single blanket
+/// `SampleRange` impl per range type (below) keeps type inference working
+/// exactly as with the real crate's `SampleUniform`.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Widens to `u128` (two's-complement for signed types).
+    fn to_u128(self) -> u128;
+    /// The inverse of [`SampleUniform::to_u128`], truncating.
+    fn from_u128(v: u128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_u128(self) -> u128 {
+                self as u128
+            }
+            fn from_u128(v: u128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        let span = self.end.to_u128().wrapping_sub(self.start.to_u128());
+        let offset = u128::from(rng.next_u64()) % span;
+        T::from_u128(self.start.to_u128().wrapping_add(offset))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample from an empty range");
+        let span = end.to_u128().wrapping_sub(start.to_u128()).wrapping_add(1);
+        if span == 0 {
+            return T::from_u128(u128::from(rng.next_u64()));
+        }
+        let offset = u128::from(rng.next_u64()) % span;
+        T::from_u128(start.to_u128().wrapping_add(offset))
+    }
+}
+
+/// The named generators.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+/// A deterministic, seedable generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        StdRng { state }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: u32 = rng.gen_range(0..=5);
+            assert!(y <= 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

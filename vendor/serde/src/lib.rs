@@ -1,0 +1,26 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! See `vendor/serde_derive` for the rationale. `Serialize` and
+//! `Deserialize` are exposed both as derive macros (expanding to nothing)
+//! and as marker traits with blanket impls, so `#[derive(Serialize)]` and
+//! `T: Serialize` bounds both compile without pulling in the real crate.
+//! Swapping the real serde back in is a one-line change in the workspace
+//! manifest; no source file needs to change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The workspace is built in a hermetic environment with no access to
+//! crates.io, and nothing in it actually serialises values — the `serde`
+//! derives on the type definitions only exist so that downstream users can
+//! opt into serialisation later. These derive macros therefore accept the
+//! full `#[derive(Serialize, Deserialize)]` + `#[serde(...)]` surface used
+//! in the workspace and expand to nothing; the matching trait impls come
+//! from blanket impls in the sibling `serde` stub.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
