@@ -5,7 +5,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use zooid_cfsm::check_protocol;
+use zooid_cfsm::{check_protocol, System};
 use zooid_mpst::generators;
 
 fn bench_cfsm(c: &mut Criterion) {
@@ -35,5 +35,46 @@ fn bench_cfsm(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cfsm);
+/// Interned engine vs the retained explicit-state oracle over the same
+/// visited-configuration budget (the differential pair of `BENCH_pr2.json`).
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cfsm_engine_vs_exhaustive");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    let cap = 10_000;
+    for (name, g) in [
+        ("ring/8".to_owned(), generators::ring_n(8)),
+        ("chain/8".to_owned(), generators::chain_n(8)),
+        ("fanout/8".to_owned(), generators::fanout_n(8)),
+        ("fanout/32".to_owned(), generators::fanout_n(32)),
+    ] {
+        let system = System::from_global(&g).expect("projectable");
+        let compiled = system.compile();
+        group.bench_with_input(
+            BenchmarkId::new("interned", &name),
+            &compiled,
+            |b, compiled| {
+                b.iter(|| {
+                    let outcome = std::hint::black_box(compiled).explore(2, cap);
+                    std::hint::black_box(outcome.configurations);
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exhaustive", &name),
+            &system,
+            |b, system| {
+                b.iter(|| {
+                    let outcome = std::hint::black_box(system).explore_exhaustive(2, cap);
+                    std::hint::black_box(outcome.configurations);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cfsm, bench_engines);
 criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Emits a machine-readable benchmark report (`BENCH_pr1.json`) so future
+//! Emits a machine-readable benchmark report (`BENCH_pr2.json`) so future
 //! PRs can track the performance trajectory of the hot paths.
 //!
 //! For every scalable protocol family (`ring`, `chain`, `fanout`) at sizes
@@ -8,7 +8,10 @@
 //! * `projection`   — [`project_all`];
 //! * `trace_equiv`  — the on-the-fly [`check_trace_equivalence`] (depth 8 up
 //!   to size 32, depth 4 at size 128 to keep the exhaustive baseline
-//!   tractable).
+//!   tractable);
+//! * `cfsm_explore` — the interned CFSM engine ([`System::explore`]) at
+//!   channel bound 2, capped at a fixed number of visited configurations so
+//!   every family stays tractable at size 128.
 //!
 //! Each entry also carries a `baseline_ns`:
 //!
@@ -17,13 +20,19 @@
 //!   commit (before the interning/memoisation rework of PR 1);
 //! * for `trace_equiv`, the medians of the retained set-based reference
 //!   checker ([`check_trace_equivalence_exhaustive`]), measured live in the
-//!   same run.
+//!   same run;
+//! * for `cfsm_explore`, the medians of the retained explicit-state explorer
+//!   ([`System::explore_exhaustive`]), measured live in the same run over
+//!   the *same* visited-configuration budget (the harness asserts both
+//!   engines visit identical configuration counts before timing them).
 //!
 //! Run with `cargo run --release -p zooid-bench --bin bench-report`; writes
-//! `BENCH_pr1.json` in the current directory.
+//! `BENCH_pr2.json` in the current directory. `--smoke` shrinks sizes and
+//! budgets for CI smoke runs, `--out PATH` redirects the report.
 
 use std::time::Instant;
 
+use zooid_cfsm::System;
 use zooid_mpst::generators;
 use zooid_mpst::global::unravel_global;
 use zooid_mpst::global::GlobalType;
@@ -31,6 +40,14 @@ use zooid_mpst::projection::project_all;
 use zooid_mpst::trace_equiv::{check_trace_equivalence, check_trace_equivalence_exhaustive};
 
 const SIZES: [usize; 4] = [2, 8, 32, 128];
+const SMOKE_SIZES: [usize; 2] = [2, 8];
+
+/// Channel bound used by the `cfsm_explore` family.
+const CFSM_BOUND: usize = 2;
+/// Visited-configuration cap for the `cfsm_explore` family (the concurrent
+/// families are exponential in protocol size, so the benchmark measures
+/// time-to-visit-a-fixed-budget rather than time-to-exhaustion).
+const CFSM_MAX_CONFIGS: usize = 10_000;
 
 /// Seed medians (ns) for `unravel_global`, measured at the seed commit.
 const SEED_UNRAVEL_NS: [(&str, u64); 12] = [
@@ -120,17 +137,46 @@ fn seed_baseline(table: &[(&str, u64)], case: &str) -> u64 {
         .unwrap_or(0)
 }
 
+struct Options {
+    smoke: bool,
+    out: String,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        smoke: false,
+        out: "BENCH_pr2.json".to_owned(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--out" => {
+                opts.out = args.next().expect("--out needs a path");
+            }
+            other => panic!("unknown argument `{other}` (expected --smoke or --out PATH)"),
+        }
+    }
+    opts
+}
+
 fn main() {
+    let opts = parse_args();
+    let sizes: &[usize] = if opts.smoke { &SMOKE_SIZES } else { &SIZES };
+    // Smoke runs trade statistical stability for wall-clock: CI only checks
+    // the report's shape, not its numbers.
+    let (samples, budget_ms) = if opts.smoke { (5, 200) } else { (50, 2_000) };
+    let cfsm_cap = if opts.smoke { 2_000 } else { CFSM_MAX_CONFIGS };
     let mut entries: Vec<Entry> = Vec::new();
 
-    for &n in &SIZES {
+    for &n in sizes {
         for (case, g) in families(n) {
             let ns = median_ns(
                 || {
                     std::hint::black_box(unravel_global(std::hint::black_box(&g)).unwrap());
                 },
-                50,
-                2_000,
+                samples,
+                budget_ms,
             );
             entries.push(Entry {
                 bench: "unravel",
@@ -144,8 +190,8 @@ fn main() {
                 || {
                     std::hint::black_box(project_all(std::hint::black_box(&g)).unwrap());
                 },
-                50,
-                2_000,
+                samples,
+                budget_ms,
             );
             entries.push(Entry {
                 bench: "projection",
@@ -163,8 +209,8 @@ fn main() {
                         check_trace_equivalence(std::hint::black_box(&g), depth).unwrap();
                     assert!(report.holds);
                 },
-                15,
-                5_000,
+                if opts.smoke { 5 } else { 15 },
+                if opts.smoke { 300 } else { 5_000 },
             );
             let baseline_ns = median_ns(
                 || {
@@ -173,8 +219,8 @@ fn main() {
                             .unwrap();
                     assert!(report.holds);
                 },
-                9,
-                8_000,
+                if opts.smoke { 3 } else { 9 },
+                if opts.smoke { 500 } else { 8_000 },
             );
             entries.push(Entry {
                 bench: "trace_equiv",
@@ -183,10 +229,49 @@ fn main() {
                 baseline_ns,
                 baseline: "set-based checker (check_trace_equivalence_exhaustive, same run)",
             });
+
+            // CFSM exploration: interned engine vs the retained
+            // explicit-state oracle, over the same configuration budget.
+            // The engine compiles once (its intended amortised usage); the
+            // timed loop measures exploration only.
+            let system = System::from_global(&g).expect("bench families are projectable");
+            let compiled = system.compile();
+            let fast_probe = compiled.explore(CFSM_BOUND, cfsm_cap);
+            let slow_probe = system.explore_exhaustive(CFSM_BOUND, cfsm_cap);
+            assert_eq!(
+                fast_probe.configurations, slow_probe.configurations,
+                "{case}: engines must visit the same configurations"
+            );
+            assert_eq!(fast_probe.verdict(), slow_probe.verdict(), "{case}");
+            let ns = median_ns(
+                || {
+                    let outcome =
+                        std::hint::black_box(&compiled).explore(CFSM_BOUND, cfsm_cap);
+                    std::hint::black_box(outcome.configurations);
+                },
+                if opts.smoke { 5 } else { 15 },
+                if opts.smoke { 300 } else { 5_000 },
+            );
+            let baseline_ns = median_ns(
+                || {
+                    let outcome = std::hint::black_box(&system)
+                        .explore_exhaustive(CFSM_BOUND, cfsm_cap);
+                    std::hint::black_box(outcome.configurations);
+                },
+                if opts.smoke { 3 } else { 9 },
+                if opts.smoke { 500 } else { 8_000 },
+            );
+            entries.push(Entry {
+                bench: "cfsm_explore",
+                case: format!("{case}/bound{CFSM_BOUND}/cap{cfsm_cap}"),
+                median_ns: ns,
+                baseline_ns,
+                baseline: "explicit-state explorer (System::explore_exhaustive, same run)",
+            });
         }
     }
 
-    let mut json = String::from("{\n  \"pr\": 1,\n  \"benches\": [\n");
+    let mut json = String::from("{\n  \"pr\": 2,\n  \"benches\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let speedup = if e.median_ns > 0 && e.baseline_ns > 0 {
             e.baseline_ns as f64 / e.median_ns as f64
@@ -207,7 +292,7 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
 
-    std::fs::write("BENCH_pr1.json", &json).expect("write BENCH_pr1.json");
+    std::fs::write(&opts.out, &json).unwrap_or_else(|e| panic!("write {}: {e}", opts.out));
     println!("{json}");
-    eprintln!("wrote BENCH_pr1.json ({} entries)", entries.len());
+    eprintln!("wrote {} ({} entries)", opts.out, entries.len());
 }

@@ -7,11 +7,10 @@
 //! [`check_protocol`] and reports the verdicts (experiment E12).
 
 use zooid_mpst::global::GlobalType;
-use zooid_mpst::projection::project_all;
 
-use crate::error::{CfsmError, Result};
+use crate::error::Result;
 use crate::machine::Cfsm;
-use crate::system::{ExplorationOutcome, System};
+use crate::system::{ExplorationOutcome, System, Verdict, Violation};
 
 /// The safety/liveness verdicts for one protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,6 +39,18 @@ impl SafetyReport {
     pub fn is_exhaustive(&self) -> bool {
         !self.outcome.truncated
     }
+
+    /// The three-valued verdict of the exploration: a truncated search with
+    /// no violation is [`Verdict::Inconclusive`], not a false `Safe`.
+    pub fn verdict(&self) -> Verdict {
+        self.outcome.verdict()
+    }
+
+    /// The first violation found, if any, with its replayable
+    /// counterexample trace (populated by the interned engine).
+    pub fn first_violation(&self) -> Option<&Violation> {
+        self.outcome.violations.first()
+    }
 }
 
 /// Projects `global` onto every participant, builds the system of
@@ -54,15 +65,41 @@ pub fn check_protocol(
     channel_bound: usize,
     max_configs: usize,
 ) -> Result<SafetyReport> {
-    let projections = project_all(global).map_err(CfsmError::Projection)?;
-    let machines = projections
-        .into_iter()
-        .map(|(role, local)| Cfsm::from_local_type(role, &local))
-        .collect::<Result<Vec<_>>>()?;
-    let machine_states = machines.iter().map(Cfsm::state_count).sum();
-    let participants = machines.len();
-    let system = System::new(machines)?;
-    let outcome = system.explore(channel_bound, max_configs);
+    check_protocol_with(global, channel_bound, max_configs, false)
+}
+
+/// Like [`check_protocol`], but explores with the original explicit-state
+/// explorer ([`System::explore_exhaustive`]) instead of the interned engine.
+///
+/// Retained as an independent oracle: the differential tests check both
+/// variants agree on verdicts and visited-configuration counts for every
+/// case study and for randomly generated protocols.
+///
+/// # Errors
+///
+/// Fails if the protocol is ill-formed or not projectable.
+pub fn check_protocol_exhaustive(
+    global: &GlobalType,
+    channel_bound: usize,
+    max_configs: usize,
+) -> Result<SafetyReport> {
+    check_protocol_with(global, channel_bound, max_configs, true)
+}
+
+fn check_protocol_with(
+    global: &GlobalType,
+    channel_bound: usize,
+    max_configs: usize,
+    exhaustive: bool,
+) -> Result<SafetyReport> {
+    let system = System::from_global(global)?;
+    let machine_states = system.machines().iter().map(Cfsm::state_count).sum();
+    let participants = system.machines().len();
+    let outcome = if exhaustive {
+        system.explore_exhaustive(channel_bound, max_configs)
+    } else {
+        system.explore(channel_bound, max_configs)
+    };
     Ok(SafetyReport {
         participants,
         machine_states,
@@ -73,6 +110,7 @@ pub fn check_protocol(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::CfsmError;
     use zooid_mpst::generators;
 
     #[test]
@@ -102,6 +140,41 @@ mod tests {
         assert!(fan.is_safe());
         let branch = check_protocol(&generators::branching(4), 1, 100_000).unwrap();
         assert!(branch.is_safe() && branch.is_live());
+    }
+
+    #[test]
+    fn both_engines_and_projection_agree_on_the_case_studies() {
+        // Inductive-projection definedness must coincide with CFSM safety on
+        // every built-in case study, and the interned engine must agree with
+        // the exhaustive oracle configuration-for-configuration.
+        for (name, g) in [
+            ("ring3", generators::ring3()),
+            ("pipeline", generators::pipeline()),
+            ("ping_pong", generators::ping_pong()),
+            ("two_buyer", generators::two_buyer()),
+            ("ring/5", generators::ring_n(5)),
+            ("chain/4", generators::chain_n(4)),
+            ("fanout/4", generators::fanout_n(4)),
+            ("branching/4", generators::branching(4)),
+        ] {
+            assert!(
+                zooid_mpst::projection::project_all(&g).is_ok(),
+                "{name} must be projectable"
+            );
+            let fast = check_protocol(&g, 2, 200_000).unwrap();
+            let slow = check_protocol_exhaustive(&g, 2, 200_000).unwrap();
+            assert_eq!(fast.verdict(), slow.verdict(), "{name}");
+            assert_eq!(fast.verdict(), Verdict::Safe, "{name}");
+            assert_eq!(
+                fast.outcome.configurations, slow.outcome.configurations,
+                "{name}: engines disagree on visited configurations"
+            );
+            assert_eq!(
+                fast.outcome.transitions, slow.outcome.transitions,
+                "{name}: engines disagree on traversed transitions"
+            );
+            assert!(fast.first_violation().is_none());
+        }
     }
 
     #[test]

@@ -1,0 +1,601 @@
+//! The interned CFSM state-space engine.
+//!
+//! [`System::explore_exhaustive`] walks configurations represented as
+//! `BTreeMap<(Role, Role), VecDeque<(Label, Sort)>>` — every step deep-clones
+//! role strings, labels and sorts, and every visited-set probe hashes them
+//! again. This module compiles a [`System`] once into dense tables so the
+//! hot loop never touches a string:
+//!
+//! * machine states are `u32`s into per-state transition tables;
+//! * every `(Label, Sort)` message payload is interned to a dense
+//!   [`MsgId`] via the shared [`zooid_mpst::Interner`], so matching a queued
+//!   message against an expected one is a single integer comparison;
+//! * every ordered `(sender, receiver)` pair that can ever carry a message
+//!   gets a dense channel id, so a configuration's channels are an indexed
+//!   `Vec` of `MsgId` buffers instead of a `BTreeMap` keyed on role pairs;
+//! * the visited set is an `FxHashMap` over the packed configurations, and
+//!   every configuration records the (parent, action) edge that first
+//!   discovered it, so each violation comes with a shortest replayable
+//!   counterexample trace back to the initial configuration.
+//!
+//! The engine implements exactly the same bounded-FIFO (and, at bound 0,
+//! rendezvous) semantics as [`System::successors`]; the differential tests
+//! check both explorers agree on verdicts, counts and violating
+//! configurations, and that every counterexample trace replays through
+//! [`System::successors`].
+
+use std::collections::{BTreeMap, VecDeque};
+
+use zooid_mpst::common::intern::{FxHashMap, MsgId, RoleId};
+use zooid_mpst::Interner;
+
+use crate::machine::{CfsmAction, Direction};
+use crate::system::{
+    ExplorationOutcome, System, SystemConfig, TraceStep, Violation, ViolationKind,
+};
+
+/// A compiled transition: everything the exploration loop needs, as ids.
+#[derive(Debug, Clone, Copy)]
+struct CTrans {
+    /// Send or receive.
+    dir: Direction,
+    /// Dense id of the channel the message travels on.
+    channel: u32,
+    /// Interned `(label, sort)` payload.
+    msg: MsgId,
+    /// Machine state after the transition.
+    target: u32,
+    /// Index of the partner's machine, or `u32::MAX` if no machine in the
+    /// system implements the partner role.
+    partner_machine: u32,
+}
+
+/// Endpoints of a dense channel id, for decoding configurations back into
+/// role-keyed form.
+#[derive(Debug, Clone, Copy)]
+struct ChannelInfo {
+    from: RoleId,
+    to: RoleId,
+}
+
+/// A packed configuration: machine states as `u32`s plus one message-id
+/// buffer per dense channel. Cloning and hashing never touch a string.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PackedConfig {
+    states: Vec<u32>,
+    queues: Vec<Vec<MsgId>>,
+}
+
+impl PackedConfig {
+    fn all_queues_empty(&self) -> bool {
+        self.queues.iter().all(Vec::is_empty)
+    }
+}
+
+/// A [`System`] compiled into dense per-state transition tables over interned
+/// action ids, ready for repeated exploration.
+///
+/// # Examples
+///
+/// ```
+/// use zooid_cfsm::{Cfsm, CompiledSystem, System};
+/// use zooid_mpst::local::LocalType;
+/// use zooid_mpst::{Role, Sort};
+///
+/// let p = Cfsm::from_local_type(
+///     Role::new("p"),
+///     &LocalType::send1(Role::new("q"), "l", Sort::Nat, LocalType::End),
+/// )
+/// .unwrap();
+/// let q = Cfsm::from_local_type(
+///     Role::new("q"),
+///     &LocalType::recv1(Role::new("p"), "l", Sort::Nat, LocalType::End),
+/// )
+/// .unwrap();
+/// let system = System::new(vec![p, q]).unwrap();
+/// let outcome = CompiledSystem::compile(&system).explore(2, 10_000);
+/// assert!(outcome.is_safe());
+/// ```
+#[derive(Debug)]
+pub struct CompiledSystem {
+    interner: Interner,
+    /// Role of each machine, in system order.
+    roles: Vec<zooid_mpst::Role>,
+    /// Initial state of each machine.
+    initial: Vec<u32>,
+    /// `finals[m][s]` ⟺ state `s` of machine `m` is final.
+    finals: Vec<Vec<bool>>,
+    /// `tables[m][s]` = transitions leaving state `s` of machine `m`, in the
+    /// same order as [`crate::Cfsm::transitions_from`].
+    tables: Vec<Vec<Vec<CTrans>>>,
+    /// Endpoints of each dense channel id.
+    channels: Vec<ChannelInfo>,
+}
+
+impl CompiledSystem {
+    /// Compiles a system into dense transition tables.
+    pub fn compile(system: &System) -> Self {
+        let machines = system.machines();
+        let mut interner = Interner::new();
+        let roles: Vec<_> = machines.iter().map(|m| m.role().clone()).collect();
+        let role_ids: Vec<RoleId> = roles.iter().map(|r| interner.role_id(r)).collect();
+        let mut machine_of_role: FxHashMap<RoleId, u32> = FxHashMap::default();
+        for (idx, &rid) in role_ids.iter().enumerate() {
+            machine_of_role.insert(rid, idx as u32);
+        }
+
+        let mut channels: Vec<ChannelInfo> = Vec::new();
+        let mut channel_ids: FxHashMap<(RoleId, RoleId), u32> = FxHashMap::default();
+        let mut tables = Vec::with_capacity(machines.len());
+        let mut finals = Vec::with_capacity(machines.len());
+        let mut initial = Vec::with_capacity(machines.len());
+
+        for (m, machine) in machines.iter().enumerate() {
+            let mut table: Vec<Vec<CTrans>> = vec![Vec::new(); machine.state_count()];
+            for (src, action, dst) in machine.transitions() {
+                let partner = interner.role_id(&action.partner);
+                let endpoints = match action.direction {
+                    Direction::Send => (role_ids[m], partner),
+                    Direction::Recv => (partner, role_ids[m]),
+                };
+                let channel = *channel_ids.entry(endpoints).or_insert_with(|| {
+                    let id = u32::try_from(channels.len()).expect("channel table overflow");
+                    channels.push(ChannelInfo {
+                        from: endpoints.0,
+                        to: endpoints.1,
+                    });
+                    id
+                });
+                let label = interner.label_id(&action.label);
+                let sort = interner.sort_id(&action.sort);
+                let msg = interner.msg_id(label, sort);
+                table[*src].push(CTrans {
+                    dir: action.direction,
+                    channel,
+                    msg,
+                    target: u32::try_from(*dst).expect("state table overflow"),
+                    partner_machine: machine_of_role.get(&partner).copied().unwrap_or(u32::MAX),
+                });
+            }
+            let mut fin = vec![false; machine.state_count()];
+            for &s in machine.final_states() {
+                fin[s] = true;
+            }
+            tables.push(table);
+            finals.push(fin);
+            initial.push(u32::try_from(machine.initial()).expect("state table overflow"));
+        }
+
+        CompiledSystem {
+            interner,
+            roles,
+            initial,
+            finals,
+            tables,
+            channels,
+        }
+    }
+
+    /// Number of machines in the compiled system.
+    pub fn machine_count(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// Number of dense channel ids (ordered role pairs that can ever carry a
+    /// message).
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    fn initial_config(&self) -> PackedConfig {
+        PackedConfig {
+            states: self.initial.clone(),
+            queues: vec![Vec::new(); self.channels.len()],
+        }
+    }
+
+    fn is_final(&self, cfg: &PackedConfig) -> bool {
+        cfg.all_queues_empty()
+            && cfg
+                .states
+                .iter()
+                .enumerate()
+                .all(|(m, &s)| self.finals[m][s as usize])
+    }
+
+    /// Enumerates the successors of `cfg` into `out`, in the same order as
+    /// [`System::successors`]: machines in system order, each machine's
+    /// transitions in table order.
+    fn successors(&self, cfg: &PackedConfig, bound: usize, out: &mut Vec<(PackedConfig, u32, CTrans)>) {
+        out.clear();
+        for m in 0..self.roles.len() {
+            let state = cfg.states[m] as usize;
+            for &t in &self.tables[m][state] {
+                match t.dir {
+                    // Rendezvous semantics at bound 0: a send fires together
+                    // with a matching receive of the partner, atomically.
+                    Direction::Send if bound == 0 => {
+                        if t.partner_machine == u32::MAX {
+                            continue;
+                        }
+                        let pm = t.partner_machine as usize;
+                        let pstate = cfg.states[pm] as usize;
+                        for &rt in &self.tables[pm][pstate] {
+                            if rt.dir == Direction::Recv
+                                && rt.channel == t.channel
+                                && rt.msg == t.msg
+                            {
+                                let mut next = cfg.clone();
+                                next.states[m] = t.target;
+                                next.states[pm] = rt.target;
+                                out.push((next, m as u32, t));
+                            }
+                        }
+                    }
+                    Direction::Send => {
+                        if cfg.queues[t.channel as usize].len() >= bound {
+                            continue;
+                        }
+                        let mut next = cfg.clone();
+                        next.states[m] = t.target;
+                        next.queues[t.channel as usize].push(t.msg);
+                        out.push((next, m as u32, t));
+                    }
+                    Direction::Recv => {
+                        if cfg.queues[t.channel as usize].first() != Some(&t.msg) {
+                            continue;
+                        }
+                        let mut next = cfg.clone();
+                        next.states[m] = t.target;
+                        next.queues[t.channel as usize].remove(0);
+                        out.push((next, m as u32, t));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mirrors `System::has_unspecified_reception` on packed configurations:
+    /// some machine is in a receiving state and the head of a corresponding
+    /// channel cannot be consumed by any of its transitions.
+    fn has_unspecified_reception(&self, cfg: &PackedConfig) -> bool {
+        for m in 0..self.roles.len() {
+            let state = cfg.states[m] as usize;
+            let table = &self.tables[m][state];
+            for t in table {
+                // A state may list several receives on the same channel;
+                // re-checking that channel's head is idempotent, so no dedup.
+                if t.dir != Direction::Recv {
+                    continue;
+                }
+                let Some(&head) = cfg.queues[t.channel as usize].first() else {
+                    continue;
+                };
+                let handled = table
+                    .iter()
+                    .any(|t2| t2.dir == Direction::Recv && t2.channel == t.channel && t2.msg == head);
+                if !handled {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Decodes a packed configuration back into the role-keyed form used by
+    /// [`System::successors`] and the counterexample traces.
+    fn decode(&self, cfg: &PackedConfig) -> SystemConfig {
+        let mut channels = BTreeMap::new();
+        for (c, queue) in cfg.queues.iter().enumerate() {
+            if queue.is_empty() {
+                continue;
+            }
+            let info = self.channels[c];
+            let key = (
+                self.interner.role(info.from).clone(),
+                self.interner.role(info.to).clone(),
+            );
+            let msgs: VecDeque<_> = queue
+                .iter()
+                .map(|&mid| {
+                    let (l, s) = self.interner.msg(mid);
+                    (self.interner.label(l).clone(), self.interner.sort(s).clone())
+                })
+                .collect();
+            channels.insert(key, msgs);
+        }
+        SystemConfig {
+            states: cfg.states.iter().map(|&s| s as usize).collect(),
+            channels,
+        }
+    }
+
+    /// Reconstructs the [`CfsmAction`] of a compiled transition.
+    fn action(&self, t: CTrans) -> CfsmAction {
+        let info = self.channels[t.channel as usize];
+        let partner = match t.dir {
+            Direction::Send => info.to,
+            Direction::Recv => info.from,
+        };
+        let (label, sort) = self.interner.msg(t.msg);
+        CfsmAction {
+            direction: t.dir,
+            partner: self.interner.role(partner).clone(),
+            label: self.interner.label(label).clone(),
+            sort: self.interner.sort(sort).clone(),
+        }
+    }
+
+    /// Walks the parent pointers from `idx` back to the initial configuration
+    /// and returns the forward trace (one step per edge, each carrying the
+    /// configuration it leads to).
+    fn trace_to(
+        &self,
+        idx: u32,
+        configs: &[PackedConfig],
+        parents: &[Option<(u32, u32, CTrans)>],
+    ) -> Vec<TraceStep> {
+        let mut rev: Vec<TraceStep> = Vec::new();
+        let mut cur = idx;
+        while let Some((parent, machine, trans)) = parents[cur as usize] {
+            rev.push(TraceStep {
+                role: self.roles[machine as usize].clone(),
+                action: self.action(trans),
+                config: self.decode(&configs[cur as usize]),
+            });
+            cur = parent;
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// Worklist BFS over the packed state space, mirroring the verdicts and
+    /// counts of [`System::explore_exhaustive`] while recording parent
+    /// pointers so every violation carries a shortest replayable trace.
+    ///
+    /// Trace materialisation is deliberate, not lazy: every reported
+    /// violation decodes its full path back to the initial configuration
+    /// (the replay test-suite checks each one step-by-step). On safe inputs
+    /// this costs nothing; on heavily-unsafe inputs with deep state spaces
+    /// it is O(violations × depth) decodes after the BFS finishes.
+    pub fn explore(&self, bound: usize, max_configs: usize) -> ExplorationOutcome {
+        if max_configs == 0 {
+            // Degenerate limit: not even the initial configuration may be
+            // admitted (matching the exhaustive explorer, which truncates
+            // before expanding anything).
+            return ExplorationOutcome {
+                configurations: 0,
+                transitions: 0,
+                deadlocks: Vec::new(),
+                orphan_messages: Vec::new(),
+                unspecified_receptions: Vec::new(),
+                truncated: true,
+                final_reachable: false,
+                live: true,
+                violations: Vec::new(),
+            };
+        }
+        let mut visited: FxHashMap<PackedConfig, u32> = FxHashMap::default();
+        let mut configs: Vec<PackedConfig> = Vec::new();
+        let mut parents: Vec<Option<(u32, u32, CTrans)>> = Vec::new();
+        // Successor indices per expanded configuration (for the liveness
+        // fixpoint) and final-configuration indices.
+        let mut succ_lists: Vec<Vec<u32>> = Vec::new();
+        let mut final_indices: Vec<u32> = Vec::new();
+
+        // Violations are recorded as (kind, index) during the BFS and
+        // materialised (decoded configs + traces) only after the loop, so
+        // the hot path never builds a role-keyed configuration.
+        let mut found: Vec<(ViolationKind, u32)> = Vec::new();
+        let mut transitions = 0usize;
+        let mut truncated = false;
+        let mut final_reachable = false;
+        let mut live = true;
+
+        let init = self.initial_config();
+        visited.insert(init.clone(), 0);
+        configs.push(init);
+        parents.push(None);
+
+        let mut succs: Vec<(PackedConfig, u32, CTrans)> = Vec::new();
+        let mut head = 0usize;
+        while head < configs.len() {
+            let idx = head as u32;
+            head += 1;
+
+            let cfg = &configs[idx as usize];
+            self.successors(cfg, bound, &mut succs);
+            transitions += succs.len();
+
+            let is_final = self.is_final(cfg);
+            if is_final {
+                final_reachable = true;
+                final_indices.push(idx);
+            }
+            live &= is_final || !succs.is_empty();
+
+            let unspec = self.has_unspecified_reception(cfg);
+            if succs.is_empty() && !is_final {
+                let kind = if cfg.all_queues_empty() {
+                    Some(ViolationKind::Deadlock)
+                } else if cfg
+                    .states
+                    .iter()
+                    .enumerate()
+                    .all(|(m, &s)| self.finals[m][s as usize])
+                {
+                    Some(ViolationKind::OrphanMessage)
+                } else if !unspec {
+                    // Stuck with messages in flight but no reception error:
+                    // report it as a deadlock (possibly a bound artefact).
+                    Some(ViolationKind::Deadlock)
+                } else {
+                    None
+                };
+                if let Some(kind) = kind {
+                    found.push((kind, idx));
+                }
+            }
+            if unspec {
+                found.push((ViolationKind::UnspecifiedReception, idx));
+            }
+
+            let mut list = Vec::with_capacity(succs.len());
+            for (next, machine, trans) in succs.drain(..) {
+                if let Some(&j) = visited.get(&next) {
+                    list.push(j);
+                    continue;
+                }
+                if configs.len() >= max_configs {
+                    truncated = true;
+                    continue;
+                }
+                let j = configs.len() as u32;
+                visited.insert(next.clone(), j);
+                configs.push(next);
+                parents.push(Some((idx, machine, trans)));
+                list.push(j);
+            }
+            succ_lists.push(list);
+        }
+
+        // Liveness, second half: when the protocol can terminate and the
+        // whole bounded state space was covered, termination must remain
+        // reachable from every configuration (backwards BFS from the finals).
+        if final_reachable && live && !truncated {
+            let mut preds: Vec<Vec<u32>> = vec![Vec::new(); configs.len()];
+            for (i, list) in succ_lists.iter().enumerate() {
+                for &j in list {
+                    preds[j as usize].push(i as u32);
+                }
+            }
+            let mut can_finish = vec![false; configs.len()];
+            let mut stack = final_indices;
+            for &i in &stack {
+                can_finish[i as usize] = true;
+            }
+            while let Some(i) = stack.pop() {
+                for &p in &preds[i as usize] {
+                    if !can_finish[p as usize] {
+                        can_finish[p as usize] = true;
+                        stack.push(p);
+                    }
+                }
+            }
+            live = can_finish.iter().all(|&b| b);
+        }
+
+        let violations: Vec<Violation> = found
+            .into_iter()
+            .map(|(kind, idx)| Violation {
+                kind,
+                config: self.decode(&configs[idx as usize]),
+                trace: self.trace_to(idx, &configs, &parents),
+            })
+            .collect();
+        let pick = |kind: ViolationKind| {
+            violations
+                .iter()
+                .filter(|v| v.kind == kind)
+                .map(|v| v.config.clone())
+                .collect::<Vec<_>>()
+        };
+        ExplorationOutcome {
+            configurations: configs.len(),
+            transitions,
+            deadlocks: pick(ViolationKind::Deadlock),
+            orphan_messages: pick(ViolationKind::OrphanMessage),
+            unspecified_receptions: pick(ViolationKind::UnspecifiedReception),
+            truncated,
+            final_reachable,
+            live,
+            violations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zooid_mpst::local::LocalType;
+    use zooid_mpst::{Role, Sort};
+
+    use crate::machine::Cfsm;
+    use crate::system::Verdict;
+
+    fn r(name: &str) -> Role {
+        Role::new(name)
+    }
+
+    fn machine(role: &str, local: &LocalType) -> Cfsm {
+        Cfsm::from_local_type(r(role), local).unwrap()
+    }
+
+    fn good_pair() -> System {
+        System::new(vec![
+            machine("p", &LocalType::send1(r("q"), "l", Sort::Nat, LocalType::End)),
+            machine("q", &LocalType::recv1(r("p"), "l", Sort::Nat, LocalType::End)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn compilation_produces_dense_tables() {
+        let compiled = CompiledSystem::compile(&good_pair());
+        assert_eq!(compiled.machine_count(), 2);
+        assert_eq!(compiled.channel_count(), 1); // p -> q only
+    }
+
+    #[test]
+    fn the_engine_matches_the_exhaustive_explorer_on_a_pair() {
+        let system = good_pair();
+        let fast = system.explore(4, 10_000);
+        let slow = system.explore_exhaustive(4, 10_000);
+        assert_eq!(fast.configurations, slow.configurations);
+        assert_eq!(fast.transitions, slow.transitions);
+        assert_eq!(fast.verdict(), slow.verdict());
+        assert_eq!(fast.verdict(), Verdict::Safe);
+        assert!(fast.live && slow.live);
+    }
+
+    #[test]
+    fn deadlock_counterexamples_carry_a_trace() {
+        let system = System::new(vec![
+            machine("p", &LocalType::recv1(r("q"), "l", Sort::Nat, LocalType::End)),
+            machine("q", &LocalType::recv1(r("p"), "l", Sort::Nat, LocalType::End)),
+        ])
+        .unwrap();
+        let outcome = system.explore(4, 10_000);
+        assert_eq!(outcome.violations.len(), 1);
+        let v = &outcome.violations[0];
+        assert_eq!(v.kind, ViolationKind::Deadlock);
+        // The initial configuration is itself the deadlock: empty trace.
+        assert!(v.trace.is_empty());
+        assert_eq!(v.config, system.initial());
+    }
+
+    #[test]
+    fn orphan_traces_replay_through_successors() {
+        let system = System::new(vec![
+            machine("p", &LocalType::send1(r("q"), "l", Sort::Nat, LocalType::End)),
+            machine("q", &LocalType::End),
+        ])
+        .unwrap();
+        let outcome = system.explore(4, 10_000);
+        let v = outcome
+            .violations
+            .iter()
+            .find(|v| v.kind == ViolationKind::OrphanMessage)
+            .expect("an orphan violation");
+        assert_eq!(v.trace.len(), 1, "one send leads to the orphan");
+        let mut cur = system.initial();
+        for step in &v.trace {
+            assert!(
+                system.successors(&cur, 4).contains(&step.config),
+                "trace step not replayable from {cur:?}"
+            );
+            cur = step.config.clone();
+        }
+        assert_eq!(cur, v.config);
+    }
+}

@@ -10,25 +10,42 @@
 //!   whose transitions are send/receive actions towards the other
 //!   participants;
 //! * [`system::System`] composes one machine per participant with FIFO
-//!   channels (bounded during exploration) and exhaustively explores the
-//!   reachable configurations, detecting deadlocks, orphan messages,
-//!   unspecified receptions and progress violations;
+//!   channels (bounded during exploration; rendezvous at bound 0) and
+//!   explores the reachable configurations, detecting deadlocks, orphan
+//!   messages, unspecified receptions and progress violations;
+//! * [`engine::CompiledSystem`] is the interned state-space engine behind
+//!   [`system::System::explore`]: machines compile once into dense per-state
+//!   transition tables whose actions are interned `(label, sort)` ids from
+//!   the shared [`zooid_mpst::Interner`], configurations pack into machine
+//!   states plus indexed channel buffers of message ids, and a worklist BFS
+//!   over an `FxHashMap` visited set records parent pointers so every
+//!   violation carries a shortest replayable counterexample trace
+//!   ([`system::Violation`]). The original explicit-state explorer is kept
+//!   as [`system::System::explore_exhaustive`] and serves as an independent
+//!   oracle for the differential test-suite, mirroring
+//!   `check_trace_equivalence_exhaustive` in `zooid_mpst`;
 //! * [`compat::check_protocol`] runs the whole pipeline for a global type —
 //!   project, compile, compose, explore — producing the safety/liveness
 //!   verdicts that the paper's well-typed processes inherit from the
 //!   metatheory, and that the evaluation harness reports for every case
-//!   study (experiment E12 in `DESIGN.md`).
+//!   study (experiment E12 in `DESIGN.md`). Its [`compat::SafetyReport`]
+//!   exposes a three-valued [`system::Verdict`], so a truncated search
+//!   reports `Inconclusive` instead of a false `Safe`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod compat;
+pub mod engine;
 pub mod error;
 pub mod machine;
 pub mod system;
 
-pub use compat::{check_protocol, SafetyReport};
+pub use compat::{check_protocol, check_protocol_exhaustive, SafetyReport};
+pub use engine::CompiledSystem;
 pub use error::{CfsmError, Result};
 pub use machine::{Cfsm, CfsmAction, Direction, StateId};
-pub use system::{ExplorationOutcome, System, SystemConfig};
+pub use system::{
+    ExplorationOutcome, System, SystemConfig, TraceStep, Verdict, Violation, ViolationKind,
+};

@@ -156,19 +156,29 @@ impl Cfsm {
         &self.transitions
     }
 
-    /// The transitions leaving `state`.
-    pub fn transitions_from(&self, state: StateId) -> Vec<&(StateId, CfsmAction, StateId)> {
-        self.transitions.iter().filter(|(s, _, _)| *s == state).collect()
+    /// The transitions leaving `state`, in declaration order.
+    ///
+    /// Returns an iterator (no per-call allocation): the explicit-state
+    /// explorer calls this for every machine of every expanded
+    /// configuration.
+    pub fn transitions_from(
+        &self,
+        state: StateId,
+    ) -> impl Iterator<Item = &(StateId, CfsmAction, StateId)> + '_ {
+        self.transitions.iter().filter(move |(s, _, _)| *s == state)
     }
 
     /// Returns `true` if `state` only offers receive transitions (it is
     /// waiting for a message) — the states relevant to deadlock detection.
     pub fn is_receiving(&self, state: StateId) -> bool {
-        let outgoing = self.transitions_from(state);
-        !outgoing.is_empty()
-            && outgoing
-                .iter()
-                .all(|(_, a, _)| a.direction == Direction::Recv)
+        let mut any = false;
+        for (_, a, _) in self.transitions_from(state) {
+            if a.direction != Direction::Recv {
+                return false;
+            }
+            any = true;
+        }
+        any
     }
 }
 
@@ -214,7 +224,7 @@ mod tests {
             ],
         };
         let m = Cfsm::from_local_type(r("p"), &l).unwrap();
-        assert_eq!(m.transitions_from(m.initial()).len(), 2);
+        assert_eq!(m.transitions_from(m.initial()).count(), 2);
         assert_eq!(m.state_count(), 2); // choice state + shared end state
         assert!(!m.is_receiving(m.initial()));
     }

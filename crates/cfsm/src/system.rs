@@ -1,11 +1,26 @@
-//! Systems of communicating machines and their explicit-state exploration.
+//! Systems of communicating machines and their state-space exploration.
+//!
+//! Two explorers share the vocabulary of this module:
+//!
+//! * [`System::explore`] — the interned engine of [`crate::engine`]: dense
+//!   transition tables, packed configurations, and parent pointers that turn
+//!   every violation into a replayable [`Violation::trace`];
+//! * [`System::explore_exhaustive`] — the original explicit-state explorer,
+//!   kept as an independent oracle for differential testing (the same
+//!   pattern as `check_trace_equivalence_exhaustive` in `zooid_mpst`).
+//!
+//! Channel bounds: a positive `bound` caps each FIFO channel at that many
+//! in-flight messages (sends into a full channel are disabled); `bound == 0`
+//! switches both explorers to rendezvous semantics, where a send fires
+//! together with a matching receive of the partner in one atomic step.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 use zooid_mpst::{Label, Role, Sort};
 
+use crate::engine::CompiledSystem;
 use crate::error::{CfsmError, Result};
-use crate::machine::{Cfsm, Direction, StateId};
+use crate::machine::{Cfsm, CfsmAction, Direction, StateId};
 
 /// A configuration of a [`System`]: the current state of every machine plus
 /// the contents of every FIFO channel.
@@ -25,6 +40,59 @@ impl SystemConfig {
     fn all_channels_empty(&self) -> bool {
         self.channels.values().all(VecDeque::is_empty)
     }
+}
+
+/// The overall verdict of an exploration, distinguishing a fully-covered
+/// safe state space from a search that was cut short.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// The bounded state space was exhausted and no violation was found.
+    Safe,
+    /// At least one violation was found (conclusive even when the search was
+    /// truncated: a found violation is a real reachable configuration).
+    Unsafe,
+    /// No violation was found but the search hit the configuration limit, so
+    /// the absence of violations is *not* established.
+    Inconclusive,
+}
+
+/// The kind of safety violation a configuration exhibits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ViolationKind {
+    /// Nobody can move and not everyone is final.
+    Deadlock,
+    /// Every machine terminated but a message was never consumed.
+    OrphanMessage,
+    /// A machine faces a channel head it cannot consume (reception error).
+    UnspecifiedReception,
+}
+
+/// One step of a counterexample trace: the acting machine's role, the action
+/// it performed, and the configuration the step leads to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// The role whose machine moved (for a rendezvous step at bound 0, the
+    /// sender; the matching receiver moves in the same step).
+    pub role: Role,
+    /// The action the machine performed.
+    pub action: CfsmAction,
+    /// The configuration reached by this step.
+    pub config: SystemConfig,
+}
+
+/// A safety violation together with a shortest replayable trace from the
+/// initial configuration to the offending one: stepping each
+/// [`TraceStep::config`] through [`System::successors`] starting from
+/// [`System::initial`] reaches [`Violation::config`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// What went wrong.
+    pub kind: ViolationKind,
+    /// The offending configuration.
+    pub config: SystemConfig,
+    /// The steps from the initial configuration to `config` (empty if the
+    /// initial configuration itself is the violation).
+    pub trace: Vec<TraceStep>,
 }
 
 /// What the exploration of a system found.
@@ -50,15 +118,36 @@ pub struct ExplorationOutcome {
     /// Whether every explored configuration can still make progress (or is
     /// final) — the executable reading of the liveness guarantee.
     pub live: bool,
+    /// The violations found, each with a replayable counterexample trace.
+    ///
+    /// Populated by [`System::explore`] (the interned engine records parent
+    /// pointers); [`System::explore_exhaustive`] reports the same violating
+    /// configurations through the per-kind lists but leaves this empty.
+    pub violations: Vec<Violation>,
 }
 
 impl ExplorationOutcome {
     /// Returns `true` if no deadlock, orphan message or reception error was
-    /// found.
+    /// found. Note this does **not** imply safety when the search was
+    /// truncated — use [`ExplorationOutcome::verdict`] to tell a proven-safe
+    /// outcome from an inconclusive one.
     pub fn is_safe(&self) -> bool {
         self.deadlocks.is_empty()
             && self.orphan_messages.is_empty()
             && self.unspecified_receptions.is_empty()
+    }
+
+    /// The three-valued verdict: [`Verdict::Unsafe`] if any violation was
+    /// found, [`Verdict::Inconclusive`] if none was found but the search hit
+    /// the configuration limit, and [`Verdict::Safe`] otherwise.
+    pub fn verdict(&self) -> Verdict {
+        if !self.is_safe() {
+            Verdict::Unsafe
+        } else if self.truncated {
+            Verdict::Inconclusive
+        } else {
+            Verdict::Safe
+        }
     }
 }
 
@@ -90,6 +179,24 @@ impl System {
         Ok(System { machines })
     }
 
+    /// Projects `global` onto every participant and compiles each projection
+    /// into a machine — the canonical protocol-to-system pipeline shared by
+    /// [`crate::compat::check_protocol`], the benchmarks and the
+    /// differential tests.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the protocol is ill-formed or not projectable.
+    pub fn from_global(global: &zooid_mpst::global::GlobalType) -> Result<Self> {
+        let projections =
+            zooid_mpst::projection::project_all(global).map_err(CfsmError::Projection)?;
+        let machines = projections
+            .into_iter()
+            .map(|(role, local)| Cfsm::from_local_type(role, &local))
+            .collect::<Result<Vec<_>>>()?;
+        System::new(machines)
+    }
+
     /// The machines of the system, in role order.
     pub fn machines(&self) -> &[Cfsm] {
         &self.machines
@@ -115,15 +222,40 @@ impl System {
                 .all(|(m, s)| m.is_final(*s))
     }
 
+    /// The index of the machine implementing `role`, if any.
+    fn machine_index(&self, role: &Role) -> Option<usize> {
+        self.machines.iter().position(|m| m.role() == role)
+    }
+
     /// The configurations reachable from `config` in one step, with channels
     /// bounded to `bound` messages per ordered pair (sends into a full
-    /// channel are disabled).
+    /// channel are disabled). With `bound == 0` the semantics is rendezvous:
+    /// a send fires together with a matching receive of the partner in one
+    /// atomic step, and channels stay empty.
     pub fn successors(&self, config: &SystemConfig, bound: usize) -> Vec<SystemConfig> {
         let mut out = Vec::new();
         for (idx, machine) in self.machines.iter().enumerate() {
             let state = config.states[idx];
             for (_, action, target) in machine.transitions_from(state) {
                 match action.direction {
+                    Direction::Send if bound == 0 => {
+                        let Some(pidx) = self.machine_index(&action.partner) else {
+                            continue;
+                        };
+                        let pstate = config.states[pidx];
+                        for (_, pa, ptarget) in self.machines[pidx].transitions_from(pstate) {
+                            if pa.direction == Direction::Recv
+                                && &pa.partner == machine.role()
+                                && pa.label == action.label
+                                && pa.sort == action.sort
+                            {
+                                let mut next = config.clone();
+                                next.states[idx] = *target;
+                                next.states[pidx] = *ptarget;
+                                out.push(next);
+                            }
+                        }
+                    }
                     Direction::Send => {
                         let key = (machine.role().clone(), action.partner.clone());
                         if config.channel_len(&key) >= bound {
@@ -199,10 +331,35 @@ impl System {
         false
     }
 
+    /// Compiles the system into the interned engine of [`crate::engine`],
+    /// ready for repeated exploration without recompiling.
+    pub fn compile(&self) -> CompiledSystem {
+        CompiledSystem::compile(self)
+    }
+
+    /// Explores the configurations reachable with channels bounded to
+    /// `bound` messages per ordered pair (rendezvous semantics at bound 0),
+    /// visiting at most `max_configs` configurations.
+    ///
+    /// This runs the interned worklist-BFS engine ([`crate::engine`]); every
+    /// violation in the outcome carries a shortest replayable counterexample
+    /// trace. The original explicit-state explorer is retained as
+    /// [`System::explore_exhaustive`] and the differential tests check both
+    /// agree on verdicts, counts and violating configurations.
+    pub fn explore(&self, bound: usize, max_configs: usize) -> ExplorationOutcome {
+        self.compile().explore(bound, max_configs)
+    }
+
     /// Exhaustively explores the configurations reachable with channels
     /// bounded to `bound` messages per ordered pair, visiting at most
-    /// `max_configs` configurations.
-    pub fn explore(&self, bound: usize, max_configs: usize) -> ExplorationOutcome {
+    /// `max_configs` configurations, using the original explicit-state
+    /// representation (role-keyed channel maps, deep-cloned configurations).
+    ///
+    /// Kept as an independent oracle for differential testing against
+    /// [`System::explore`]; its outcome reports violating configurations in
+    /// the per-kind lists but leaves [`ExplorationOutcome::violations`]
+    /// empty (it records no parent pointers, so it has no traces to attach).
+    pub fn explore_exhaustive(&self, bound: usize, max_configs: usize) -> ExplorationOutcome {
         let initial = self.initial();
         let mut visited: HashSet<SystemConfig> = HashSet::new();
         let mut queue: VecDeque<SystemConfig> = VecDeque::from([initial]);
@@ -215,6 +372,7 @@ impl System {
             truncated: false,
             final_reachable: false,
             live: true,
+            violations: Vec::new(),
         };
         let mut edges: HashMap<SystemConfig, Vec<SystemConfig>> = HashMap::new();
 
@@ -236,6 +394,7 @@ impl System {
             if is_final {
                 outcome.final_reachable = true;
             }
+            let unspec = self.has_unspecified_reception(&config);
             if successors.is_empty() && !is_final {
                 if config.all_channels_empty() {
                     outcome.deadlocks.push(config.clone());
@@ -246,17 +405,13 @@ impl System {
                     .all(|(m, s)| m.is_final(*s))
                 {
                     outcome.orphan_messages.push(config.clone());
-                } else {
-                    // Stuck with messages in flight: either a reception error
-                    // or (with bound 1) an artefact of the bound; classify
-                    // via the reception check below and otherwise report it
-                    // as a deadlock.
-                    if !self.has_unspecified_reception(&config) {
-                        outcome.deadlocks.push(config.clone());
-                    }
+                } else if !unspec {
+                    // Stuck with messages in flight but no reception error:
+                    // report it as a deadlock (possibly a bound artefact).
+                    outcome.deadlocks.push(config.clone());
                 }
             }
-            if self.has_unspecified_reception(&config) {
+            if unspec {
                 outcome.unspecified_receptions.push(config.clone());
             }
 

@@ -1,0 +1,179 @@
+//! Channel-bound edge cases: rendezvous semantics at bound 0, the tightest
+//! asynchronous bound 1, and `max_configs` exhaustion — which must yield a
+//! distinguishable [`Verdict::Inconclusive`], never a false `Safe`.
+
+use zooid_cfsm::{check_protocol, Cfsm, System, Verdict, ViolationKind};
+use zooid_mpst::generators;
+use zooid_mpst::local::LocalType;
+use zooid_mpst::{Role, Sort};
+
+fn r(name: &str) -> Role {
+    Role::new(name)
+}
+
+fn machine(role: &str, local: &LocalType) -> Cfsm {
+    Cfsm::from_local_type(r(role), local).unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Bound 0: rendezvous semantics
+// ---------------------------------------------------------------------------
+
+#[test]
+fn bound_zero_synchronises_a_correct_pair() {
+    let system = System::new(vec![
+        machine("p", &LocalType::send1(r("q"), "l", Sort::Nat, LocalType::End)),
+        machine("q", &LocalType::recv1(r("p"), "l", Sort::Nat, LocalType::End)),
+    ])
+    .unwrap();
+    let outcome = system.explore(0, 10_000);
+    assert_eq!(outcome.verdict(), Verdict::Safe, "{outcome:?}");
+    assert!(outcome.final_reachable);
+    assert!(outcome.live);
+    // Rendezvous: the exchange is one atomic step, so only two
+    // configurations exist (before and after), not three.
+    assert_eq!(outcome.configurations, 2);
+}
+
+#[test]
+fn bound_zero_case_studies_are_safe() {
+    for (name, g) in [
+        ("ring3", generators::ring3()),
+        ("pipeline", generators::pipeline()),
+        ("ping_pong", generators::ping_pong()),
+        ("two_buyer", generators::two_buyer()),
+    ] {
+        let report = check_protocol(&g, 0, 100_000).unwrap();
+        assert_eq!(report.verdict(), Verdict::Safe, "{name}: {:?}", report.outcome);
+        assert!(report.is_live(), "{name}");
+    }
+}
+
+#[test]
+fn bound_zero_mismatch_is_a_synchronous_deadlock() {
+    // p offers `ping` but q only accepts `pong`: under rendezvous nothing
+    // can ever fire. Channels stay empty, so this is a deadlock (a reception
+    // error needs a message at a channel head).
+    let system = System::new(vec![
+        machine("p", &LocalType::send1(r("q"), "ping", Sort::Nat, LocalType::End)),
+        machine("q", &LocalType::recv1(r("p"), "pong", Sort::Nat, LocalType::End)),
+    ])
+    .unwrap();
+    let outcome = system.explore(0, 10_000);
+    assert_eq!(outcome.verdict(), Verdict::Unsafe);
+    assert_eq!(outcome.deadlocks.len(), 1);
+    assert!(outcome.unspecified_receptions.is_empty());
+    assert_eq!(outcome.violations[0].kind, ViolationKind::Deadlock);
+    assert!(outcome.violations[0].trace.is_empty(), "stuck at the start");
+}
+
+#[test]
+fn bound_zero_send_to_a_silent_partner_deadlocks_instead_of_orphaning() {
+    // Under buffering this is an orphan message; under rendezvous the send
+    // can never fire at all, so it is a deadlock.
+    let system = System::new(vec![
+        machine("p", &LocalType::send1(r("q"), "l", Sort::Nat, LocalType::End)),
+        machine("q", &LocalType::End),
+    ])
+    .unwrap();
+    let outcome = system.explore(0, 10_000);
+    assert_eq!(outcome.verdict(), Verdict::Unsafe);
+    assert_eq!(outcome.deadlocks.len(), 1);
+    assert!(outcome.orphan_messages.is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Bound 1: the tightest asynchronous bound
+// ---------------------------------------------------------------------------
+
+#[test]
+fn bound_one_families_are_safe_and_conclusive() {
+    for (name, g) in [
+        ("ring3", generators::ring3()),
+        ("pipeline", generators::pipeline()),
+        ("ping_pong", generators::ping_pong()),
+        ("two_buyer", generators::two_buyer()),
+        ("ring/6", generators::ring_n(6)),
+        ("chain/4", generators::chain_n(4)),
+        ("fanout/4", generators::fanout_n(4)),
+        ("branching/4", generators::branching(4)),
+    ] {
+        let report = check_protocol(&g, 1, 200_000).unwrap();
+        assert_eq!(report.verdict(), Verdict::Safe, "{name}: {:?}", report.outcome);
+        assert!(report.is_exhaustive(), "{name}");
+    }
+}
+
+#[test]
+fn bound_one_explores_fewer_configurations_than_bound_two() {
+    // The bound genuinely constrains the state space: in the recursive
+    // chain every channel carries an unbounded stream, so raising the bound
+    // admits strictly more in-flight interleavings.
+    let g = generators::chain_n(4);
+    let one = check_protocol(&g, 1, 500_000).unwrap();
+    let two = check_protocol(&g, 2, 500_000).unwrap();
+    assert!(one.outcome.configurations < two.outcome.configurations);
+}
+
+// ---------------------------------------------------------------------------
+// max_configs exhaustion: inconclusive, never a false safe
+// ---------------------------------------------------------------------------
+
+#[test]
+fn exhaustion_without_a_violation_is_inconclusive_not_safe() {
+    // The recursive pipeline has more than five reachable configurations at
+    // bound 2, so the search is cut short without finding anything wrong.
+    let report = check_protocol(&generators::pipeline(), 2, 5).unwrap();
+    assert!(report.outcome.truncated);
+    assert_eq!(report.verdict(), Verdict::Inconclusive);
+    // `is_safe` only says "no violation found"; the verdict is what
+    // distinguishes a proven-safe outcome.
+    assert!(report.is_safe());
+    assert_ne!(report.verdict(), Verdict::Safe);
+
+    // The exhaustive oracle reports the same inconclusive outcome.
+    let slow = zooid_cfsm::check_protocol_exhaustive(&generators::pipeline(), 2, 5).unwrap();
+    assert_eq!(slow.verdict(), Verdict::Inconclusive);
+}
+
+#[test]
+fn a_violation_found_before_exhaustion_is_still_conclusive() {
+    // A reception error sits two BFS levels from the start, while an
+    // independent recursive ping loop makes the state space larger than the
+    // configuration limit: the search truncates *and* finds the violation.
+    let system = System::new(vec![
+        machine("p", &LocalType::send1(r("q"), "ping", Sort::Nat, LocalType::End)),
+        machine("q", &LocalType::recv1(r("p"), "pong", Sort::Nat, LocalType::End)),
+        machine(
+            "r",
+            &LocalType::rec(LocalType::send1(r("s"), "tick", Sort::Unit, LocalType::var(0))),
+        ),
+        machine(
+            "s",
+            &LocalType::rec(LocalType::recv1(r("r"), "tick", Sort::Unit, LocalType::var(0))),
+        ),
+    ])
+    .unwrap();
+    let full = system.explore(2, 100_000);
+    assert!(!full.truncated);
+    let total = full.configurations;
+
+    let outcome = system.explore(2, total - 1);
+    assert!(outcome.truncated);
+    assert_eq!(outcome.verdict(), Verdict::Unsafe, "{outcome:?}");
+    assert!(!outcome.unspecified_receptions.is_empty());
+}
+
+#[test]
+fn zero_max_configs_is_inconclusive() {
+    // Degenerate limit: nothing but the initial configuration may even be
+    // enqueued. This must not read as "safe".
+    let outcome = System::new(vec![
+        machine("p", &LocalType::send1(r("q"), "l", Sort::Nat, LocalType::End)),
+        machine("q", &LocalType::recv1(r("p"), "l", Sort::Nat, LocalType::End)),
+    ])
+    .unwrap()
+    .explore(2, 1);
+    assert!(outcome.truncated);
+    assert_eq!(outcome.verdict(), Verdict::Inconclusive);
+}

@@ -1,0 +1,24 @@
+//! Helpers shared by the CFSM integration suites.
+
+use zooid_cfsm::{Cfsm, System};
+use zooid_mpst::global::GlobalType;
+use zooid_mpst::local::LocalType;
+use zooid_mpst::projection::project_all;
+
+/// Projects `g` onto every participant and replaces the `cut`-th machine
+/// with an immediately terminating one — the canonical way the differential
+/// and counterexample suites manufacture unsafe systems (orphans, deadlocks,
+/// reception errors) out of safe protocols.
+pub fn sabotage(g: &GlobalType, cut: usize) -> Option<System> {
+    let projections = project_all(g).ok()?;
+    let machines: Vec<Cfsm> = projections
+        .into_iter()
+        .enumerate()
+        .map(|(i, (role, local))| {
+            let local = if i == cut { LocalType::End } else { local };
+            Cfsm::from_local_type(role, &local)
+        })
+        .collect::<Result<Vec<_>, _>>()
+        .ok()?;
+    System::new(machines).ok()
+}

@@ -1,0 +1,180 @@
+//! Counterexample replay: every violation trace reported by the interned
+//! engine, stepped through [`System::successors`] from the initial
+//! configuration, must actually reach the offending configuration.
+
+mod common;
+
+use proptest::prelude::*;
+
+use common::sabotage;
+use zooid_cfsm::{Cfsm, System, Verdict, ViolationKind};
+use zooid_mpst::generators::{self, RandomProtocol};
+use zooid_mpst::local::LocalType;
+use zooid_mpst::{Role, Sort};
+
+fn r(name: &str) -> Role {
+    Role::new(name)
+}
+
+fn machine(role: &str, local: &LocalType) -> Cfsm {
+    Cfsm::from_local_type(r(role), local).unwrap()
+}
+
+/// Replays every violation trace of `outcome` through `System::successors`
+/// and checks it ends at the reported configuration.
+fn assert_traces_replay(system: &System, bound: usize, max_configs: usize, context: &str) {
+    let outcome = system.explore(bound, max_configs);
+    for (i, violation) in outcome.violations.iter().enumerate() {
+        let mut current = system.initial();
+        for (j, step) in violation.trace.iter().enumerate() {
+            let succs = system.successors(&current, bound);
+            assert!(
+                succs.contains(&step.config),
+                "{context}: violation {i} step {j} ({} {}) not replayable",
+                step.role,
+                step.action,
+            );
+            current = step.config.clone();
+        }
+        assert_eq!(
+            current, violation.config,
+            "{context}: violation {i} trace does not end at the reported configuration"
+        );
+        // BFS parent pointers: the trace is a shortest path, so it can never
+        // be longer than the number of visited configurations.
+        assert!(violation.trace.len() < outcome.configurations.max(1) + 1);
+    }
+}
+
+#[test]
+fn deadlock_orphan_and_reception_traces_replay() {
+    let cases: Vec<(&str, System)> = vec![
+        (
+            "mutual wait",
+            System::new(vec![
+                machine("p", &LocalType::recv1(r("q"), "l", Sort::Nat, LocalType::End)),
+                machine("q", &LocalType::recv1(r("p"), "l", Sort::Nat, LocalType::End)),
+            ])
+            .unwrap(),
+        ),
+        (
+            "orphan",
+            System::new(vec![
+                machine("p", &LocalType::send1(r("q"), "l", Sort::Nat, LocalType::End)),
+                machine("q", &LocalType::End),
+            ])
+            .unwrap(),
+        ),
+        (
+            "reception error",
+            System::new(vec![
+                machine("p", &LocalType::send1(r("q"), "ping", Sort::Nat, LocalType::End)),
+                machine("q", &LocalType::recv1(r("p"), "pong", Sort::Nat, LocalType::End)),
+            ])
+            .unwrap(),
+        ),
+        (
+            // A deadlock several steps deep: p and q exchange a message
+            // correctly, then both wait for each other.
+            "deep deadlock",
+            System::new(vec![
+                machine(
+                    "p",
+                    &LocalType::send1(
+                        r("q"),
+                        "go",
+                        Sort::Nat,
+                        LocalType::recv1(r("q"), "l", Sort::Nat, LocalType::End),
+                    ),
+                ),
+                machine(
+                    "q",
+                    &LocalType::recv1(
+                        r("p"),
+                        "go",
+                        Sort::Nat,
+                        LocalType::recv1(r("p"), "l", Sort::Nat, LocalType::End),
+                    ),
+                ),
+            ])
+            .unwrap(),
+        ),
+    ];
+    for (name, system) in &cases {
+        for bound in [1, 2, 4] {
+            assert_traces_replay(system, bound, 10_000, name);
+        }
+    }
+}
+
+#[test]
+fn deep_deadlock_traces_are_nonempty_and_shortest() {
+    let system = System::new(vec![
+        machine(
+            "p",
+            &LocalType::send1(
+                r("q"),
+                "go",
+                Sort::Nat,
+                LocalType::recv1(r("q"), "l", Sort::Nat, LocalType::End),
+            ),
+        ),
+        machine(
+            "q",
+            &LocalType::recv1(
+                r("p"),
+                "go",
+                Sort::Nat,
+                LocalType::recv1(r("p"), "l", Sort::Nat, LocalType::End),
+            ),
+        ),
+    ])
+    .unwrap();
+    let outcome = system.explore(2, 10_000);
+    assert_eq!(outcome.verdict(), Verdict::Unsafe);
+    let deadlock = outcome
+        .violations
+        .iter()
+        .find(|v| v.kind == ViolationKind::Deadlock)
+        .expect("a deadlock");
+    // Reaching the mutual wait takes exactly two steps: p sends, q receives.
+    assert_eq!(deadlock.trace.len(), 2);
+    assert_eq!(deadlock.trace[0].role, r("p"));
+    assert_eq!(deadlock.trace[1].role, r("q"));
+}
+
+#[test]
+fn sabotaged_case_studies_produce_replayable_traces() {
+    for (name, g) in [
+        ("ring3", generators::ring3()),
+        ("two_buyer", generators::two_buyer()),
+        ("pipeline", generators::pipeline()),
+        ("fanout/3", generators::fanout_n(3)),
+    ] {
+        let participants = g.participants().len();
+        for cut in 0..participants {
+            let Some(system) = sabotage(&g, cut) else { continue };
+            for bound in [1, 2] {
+                assert_traces_replay(&system, bound, 50_000, &format!("{name} cut {cut}"));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random protocols, randomly sabotaged: every reported violation trace
+    /// must replay, whatever shape the violation takes.
+    #[test]
+    fn random_sabotaged_protocols_replay(seed in any::<u64>()) {
+        let g = generators::random_global(seed, &RandomProtocol::default());
+        let participants = g.participants().len();
+        if participants == 0 {
+            return;
+        }
+        let cut = (seed as usize) % participants;
+        let Some(system) = sabotage(&g, cut) else { return; };
+        assert_traces_replay(&system, 2, 20_000, &format!("seed {seed} cut {cut}"));
+    }
+}

@@ -1,0 +1,190 @@
+//! Differential tests: the interned CFSM engine ([`System::explore`]) versus
+//! the retained explicit-state oracle ([`System::explore_exhaustive`]), on
+//! the built-in case studies and on randomly generated protocols.
+//!
+//! This mirrors the PR 1 pattern for trace equivalence (`check_trace_equivalence`
+//! vs `check_trace_equivalence_exhaustive`): the old engine is never deleted,
+//! it becomes the independent oracle the fast engine is validated against.
+
+mod common;
+
+use proptest::prelude::*;
+
+use zooid_cfsm::{check_protocol, check_protocol_exhaustive, Cfsm, System, SystemConfig};
+use zooid_mpst::generators::{self, RandomProtocol};
+use zooid_mpst::global::GlobalType;
+use zooid_mpst::local::LocalType;
+
+/// Builds the system of projected machines for `g`, if projectable.
+fn system_for(g: &GlobalType) -> Option<System> {
+    System::from_global(g).ok()
+}
+
+fn sorted(mut configs: Vec<SystemConfig>) -> Vec<SystemConfig> {
+    configs.sort();
+    configs
+}
+
+/// Asserts that both explorers produce identical verdicts, counts and
+/// violating configurations for `system` at `bound`.
+fn assert_engines_agree(system: &System, bound: usize, max_configs: usize, context: &str) {
+    let fast = system.explore(bound, max_configs);
+    let slow = system.explore_exhaustive(bound, max_configs);
+    assert_eq!(fast.verdict(), slow.verdict(), "{context}: verdict");
+    assert_eq!(
+        fast.configurations, slow.configurations,
+        "{context}: visited configurations"
+    );
+    assert_eq!(fast.transitions, slow.transitions, "{context}: transitions");
+    assert_eq!(fast.truncated, slow.truncated, "{context}: truncated");
+    assert_eq!(
+        fast.final_reachable, slow.final_reachable,
+        "{context}: final_reachable"
+    );
+    assert_eq!(fast.live, slow.live, "{context}: live");
+    assert_eq!(
+        sorted(fast.deadlocks.clone()),
+        sorted(slow.deadlocks.clone()),
+        "{context}: deadlock configurations"
+    );
+    assert_eq!(
+        sorted(fast.orphan_messages.clone()),
+        sorted(slow.orphan_messages.clone()),
+        "{context}: orphan configurations"
+    );
+    assert_eq!(
+        sorted(fast.unspecified_receptions.clone()),
+        sorted(slow.unspecified_receptions.clone()),
+        "{context}: reception-error configurations"
+    );
+    // The engine's violation list must be consistent with its per-kind lists.
+    assert_eq!(
+        fast.violations.len(),
+        fast.deadlocks.len() + fast.orphan_messages.len() + fast.unspecified_receptions.len(),
+        "{context}: violation bookkeeping"
+    );
+}
+
+#[test]
+fn engines_agree_on_all_case_studies() {
+    for (name, g) in [
+        ("ring3", generators::ring3()),
+        ("pipeline", generators::pipeline()),
+        ("ping_pong", generators::ping_pong()),
+        ("two_buyer", generators::two_buyer()),
+        ("ring/6", generators::ring_n(6)),
+        ("chain/5", generators::chain_n(5)),
+        ("fanout/5", generators::fanout_n(5)),
+        ("branching/5", generators::branching(5)),
+    ] {
+        let system = system_for(&g).expect("case studies are projectable");
+        for bound in [0, 1, 2] {
+            assert_engines_agree(&system, bound, 200_000, &format!("{name} bound {bound}"));
+        }
+    }
+}
+
+#[test]
+fn engines_agree_under_tiny_configuration_limits() {
+    // Truncation edge cases, including the degenerate limit 0: both engines
+    // must admit and expand exactly the same configurations.
+    let safe = system_for(&generators::pipeline()).unwrap();
+    let unsafe_ = System::new(vec![
+        Cfsm::from_local_type(
+            zooid_mpst::Role::new("p"),
+            &LocalType::recv1(
+                zooid_mpst::Role::new("q"),
+                "l",
+                zooid_mpst::Sort::Nat,
+                LocalType::End,
+            ),
+        )
+        .unwrap(),
+        Cfsm::from_local_type(
+            zooid_mpst::Role::new("q"),
+            &LocalType::recv1(
+                zooid_mpst::Role::new("p"),
+                "l",
+                zooid_mpst::Sort::Nat,
+                LocalType::End,
+            ),
+        )
+        .unwrap(),
+    ])
+    .unwrap();
+    for (name, system) in [("pipeline", &safe), ("mutual wait", &unsafe_)] {
+        for max_configs in [0, 1, 2, 3, 5, 100] {
+            assert_engines_agree(system, 2, max_configs, &format!("{name} cap {max_configs}"));
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_sabotaged_systems() {
+    // Replacing one projected machine with an immediately-terminating one
+    // produces unsafe systems (orphans, deadlocks); both engines must agree
+    // on the violations too, not just on safe protocols.
+    for (name, g) in [
+        ("ring3", generators::ring3()),
+        ("two_buyer", generators::two_buyer()),
+        ("fanout/3", generators::fanout_n(3)),
+    ] {
+        for cut in 0..g.participants().len() {
+            let system = common::sabotage(&g, cut).expect("projectable");
+            for bound in [1, 2] {
+                assert_engines_agree(
+                    &system,
+                    bound,
+                    100_000,
+                    &format!("{name} cut {cut} bound {bound}"),
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// ≥ 100 random protocols: identical verdicts and visited-configuration
+    /// counts on every projectable generated global type.
+    #[test]
+    fn engines_agree_on_random_protocols(seed in any::<u64>()) {
+        let g = generators::random_global(seed, &RandomProtocol::default());
+        let Some(system) = system_for(&g) else { return; };
+        for bound in [0, 1, 2] {
+            assert_engines_agree(&system, bound, 20_000, &format!("seed {seed} bound {bound}"));
+        }
+    }
+
+    /// Wider and deeper random protocols (more roles, more branching, more
+    /// recursion) to push both explorers off the easy path.
+    #[test]
+    fn engines_agree_on_wide_random_protocols(seed in any::<u64>()) {
+        let params = RandomProtocol {
+            roles: 4,
+            depth: 5,
+            max_branches: 3,
+            loop_back_percent: 40,
+        };
+        let g = generators::random_global(seed, &params);
+        let Some(system) = system_for(&g) else { return; };
+        assert_engines_agree(&system, 2, 20_000, &format!("wide seed {seed}"));
+    }
+
+    /// The `check_protocol` front-ends agree end-to-end as well.
+    #[test]
+    fn check_protocol_agrees_with_its_exhaustive_variant(seed in any::<u64>()) {
+        let g = generators::random_global(seed, &RandomProtocol::default());
+        let (Ok(fast), Ok(slow)) = (
+            check_protocol(&g, 2, 20_000),
+            check_protocol_exhaustive(&g, 2, 20_000),
+        ) else {
+            return;
+        };
+        prop_assert_eq!(fast.verdict(), slow.verdict());
+        prop_assert_eq!(fast.outcome.configurations, slow.outcome.configurations);
+        prop_assert_eq!(fast.participants, slow.participants);
+        prop_assert_eq!(fast.machine_states, slow.machine_states);
+    }
+}

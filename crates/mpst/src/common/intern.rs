@@ -139,6 +139,20 @@ impl SortId {
     }
 }
 
+/// Index of an interned `(label, sort)` message payload in an [`Interner`]'s
+/// message table. Two messages carry the same id iff their label and payload
+/// sort are both equal, so channel contents and CFSM actions can be compared
+/// and hashed as single `u32`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MsgId(pub(crate) u32);
+
+impl MsgId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// One alternative of an interned choice: everything is a dense id, so
 /// hashing and comparing terms never touches a string or a recursive sort.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -275,6 +289,8 @@ pub struct Interner {
     label_ids: FxHashMap<Label, LabelId>,
     sorts: Vec<Sort>,
     sort_ids: FxHashMap<Sort, SortId>,
+    msgs: Vec<(LabelId, SortId)>,
+    msg_ids: FxHashMap<(LabelId, SortId), MsgId>,
 
     gterms: Vec<GTerm>,
     gmeta: Vec<GMeta>,
@@ -396,6 +412,32 @@ impl Interner {
     #[inline]
     pub fn sort(&self, id: SortId) -> &Sort {
         &self.sorts[id.index()]
+    }
+
+    /// Interns a `(label, sort)` message payload, returning its dense index.
+    ///
+    /// Message ids are what the CFSM engine stores in channel buffers and
+    /// transition tables: comparing a queued message against an expected one
+    /// is a single `u32` comparison instead of two string/sort comparisons.
+    pub fn msg_id(&mut self, label: LabelId, sort: SortId) -> MsgId {
+        if let Some(&id) = self.msg_ids.get(&(label, sort)) {
+            return id;
+        }
+        let id = MsgId(u32::try_from(self.msgs.len()).expect("message table overflow"));
+        self.msgs.push((label, sort));
+        self.msg_ids.insert((label, sort), id);
+        id
+    }
+
+    /// The `(label, sort)` pair behind a message id.
+    #[inline]
+    pub fn msg(&self, id: MsgId) -> (LabelId, SortId) {
+        self.msgs[id.index()]
+    }
+
+    /// Number of distinct `(label, sort)` messages interned so far.
+    pub fn msg_len(&self) -> usize {
+        self.msgs.len()
     }
 
     // ------------------------------------------------------------------
@@ -1026,6 +1068,26 @@ mod tests {
         let id = int.intern_global(&g);
         let end = int.mk_global(GTerm::End);
         assert_eq!(int.subst_global(id, 0, end), id);
+    }
+
+    #[test]
+    fn message_ids_are_dense_and_deduplicated() {
+        let mut int = Interner::new();
+        let l1 = int.label_id(&Label::new("ping"));
+        let l2 = int.label_id(&Label::new("pong"));
+        let nat = int.sort_id(&Sort::Nat);
+        let bool_ = int.sort_id(&Sort::Bool);
+        let a = int.msg_id(l1, nat);
+        let b = int.msg_id(l1, nat);
+        let c = int.msg_id(l2, nat);
+        let d = int.msg_id(l1, bool_);
+        assert_eq!(a, b, "same (label, sort) interns to the same id");
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_ne!(c, d);
+        assert_eq!(int.msg_len(), 3);
+        assert_eq!(int.msg(a), (l1, nat));
+        assert_eq!(int.msg(d), (l1, bool_));
     }
 
     #[test]

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Tier-1 CI for the zooid workspace: release build, full test-suite, and a
+# bench-report smoke run that validates the machine-readable benchmark
+# report (BENCH_pr2.json schema) without paying full measurement budgets.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "== bench-report smoke"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+report="$tmpdir/BENCH_pr2.json"
+cargo run --release -p zooid-bench --bin bench-report -- --smoke --out "$report" >/dev/null
+
+echo "== validating $report"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$report" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+assert report["pr"] == 2, f"unexpected pr marker: {report['pr']}"
+benches = report["benches"]
+families = {e["bench"] for e in benches}
+assert "cfsm_explore" in families, f"missing cfsm_explore family, got {sorted(families)}"
+for entry in benches:
+    for key in ("bench", "case", "median_ns", "baseline_ns", "speedup", "baseline"):
+        assert key in entry, f"entry missing {key}: {entry}"
+explore = [e for e in benches if e["bench"] == "cfsm_explore"]
+assert all(e["median_ns"] > 0 for e in explore), "cfsm_explore medians must be positive"
+print(f"OK: {len(benches)} entries, {len(explore)} cfsm_explore cases")
+EOF
+else
+    # Fallback when python3 is unavailable: shape-check with grep.
+    grep -q '"pr": 2' "$report"
+    grep -q '"bench": "cfsm_explore"' "$report"
+    echo "OK (grep fallback): cfsm_explore family present"
+fi
+
+echo "== CI green"

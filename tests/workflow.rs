@@ -64,6 +64,8 @@ fn e5_ring_workflow_end_to_end() {
 
     let safety = check_protocol(protocol.global(), 2, 10_000).unwrap();
     assert!(safety.is_safe() && safety.is_live());
+    assert_eq!(safety.verdict(), zooid::cfsm::system::Verdict::Safe);
+    assert!(safety.first_violation().is_none());
 }
 
 #[test]
