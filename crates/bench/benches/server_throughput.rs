@@ -1,0 +1,62 @@
+//! Bench: throughput of the sharded session server vs the
+//! thread-per-participant harness, on batches of concurrent sessions.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zooid_dsl::Protocol;
+use zooid_mpst::generators;
+use zooid_runtime::SessionHarness;
+use zooid_server::synth::skeleton_endpoints;
+use zooid_server::{ProtocolRegistry, ServerConfig, SessionServer, SessionSpec};
+
+const SESSIONS: usize = 256;
+
+fn run_server_batch(protocol: &Protocol, shards: usize, sessions: usize) {
+    let mut registry = ProtocolRegistry::new();
+    let id = registry.register(protocol.clone()).expect("registrable");
+    let endpoints = skeleton_endpoints(protocol).expect("synthesizable");
+    let mut server = SessionServer::start(registry, ServerConfig::with_shards(shards));
+    for _ in 0..sessions {
+        server.submit(SessionSpec::new(id, endpoints.clone())).expect("submits");
+    }
+    let outcomes = server.drain();
+    assert_eq!(outcomes.len(), sessions);
+    assert!(outcomes.iter().all(|o| o.all_finished_and_compliant()));
+    server.shutdown();
+}
+
+fn run_harness_batch(protocol: &Protocol, sessions: usize) {
+    let endpoints = skeleton_endpoints(protocol).expect("synthesizable");
+    for _ in 0..sessions {
+        let mut harness = SessionHarness::new(protocol.clone());
+        for (cert, ext) in endpoints.clone() {
+            harness.add_endpoint(cert, ext).expect("unique role");
+        }
+        let report = harness.run().expect("session runs");
+        assert!(report.all_finished_and_compliant());
+    }
+}
+
+fn bench_server_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(3));
+    let protocol = Protocol::new("ring", generators::ring_n(4)).expect("well-formed");
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_function(
+            BenchmarkId::new("server", format!("ring4/{SESSIONS}sessions/{shards}shards")),
+            |b| b.iter(|| run_server_batch(&protocol, shards, SESSIONS)),
+        );
+    }
+    group.bench_function(
+        BenchmarkId::new("harness", format!("ring4/{SESSIONS}sessions")),
+        |b| b.iter(|| run_harness_batch(&protocol, SESSIONS)),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_server_throughput);
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Emits a machine-readable benchmark report (`BENCH_pr2.json`) so future
+//! Emits a machine-readable benchmark report (`BENCH_pr3.json`) so future
 //! PRs can track the performance trajectory of the hot paths.
 //!
 //! For every scalable protocol family (`ring`, `chain`, `fanout`) at sizes
@@ -13,7 +13,19 @@
 //!   channel bound 2, capped at a fixed number of visited configurations so
 //!   every family stays tractable at size 128.
 //!
-//! Each entry also carries a `baseline_ns`:
+//! Two families track the serving layer added in PR 3:
+//!
+//! * `server_throughput` — wall-clock of a whole batch of concurrent
+//!   in-memory sessions (10,000 in full mode) on the sharded
+//!   `zooid_server::SessionServer`, at 1 and 4 worker shards; the baseline
+//!   is the thread-per-participant [`SessionHarness`] running the same
+//!   workload (measured on a smaller batch and scaled per-session, since
+//!   spawning 3 threads per session makes large batches pointless);
+//! * `monitor_action` — per-action cost of the `CompiledMonitor` (dense
+//!   interned transition tables) on a compliant trace, against the
+//!   `TraceMonitor` (boxed global-LTS replay) observing the same trace.
+//!
+//! Each remaining entry also carries a `baseline_ns`:
 //!
 //! * for `unravel`/`projection`, the seed implementation's medians, measured
 //!   with the same vendored-criterion harness on the same machine at the seed
@@ -27,17 +39,22 @@
 //!   engines visit identical configuration counts before timing them).
 //!
 //! Run with `cargo run --release -p zooid-bench --bin bench-report`; writes
-//! `BENCH_pr2.json` in the current directory. `--smoke` shrinks sizes and
+//! `BENCH_pr3.json` in the current directory. `--smoke` shrinks sizes and
 //! budgets for CI smoke runs, `--out PATH` redirects the report.
 
 use std::time::Instant;
 
 use zooid_cfsm::System;
+use zooid_dsl::Protocol;
 use zooid_mpst::generators;
 use zooid_mpst::global::unravel_global;
 use zooid_mpst::global::GlobalType;
 use zooid_mpst::projection::project_all;
 use zooid_mpst::trace_equiv::{check_trace_equivalence, check_trace_equivalence_exhaustive};
+use zooid_mpst::{Action, Label, Role, Sort};
+use zooid_runtime::{CompiledMonitor, SessionHarness, TraceMonitor};
+use zooid_server::synth::skeleton_endpoints;
+use zooid_server::{ProtocolRegistry, ServerConfig, SessionServer, SessionSpec};
 
 const SIZES: [usize; 4] = [2, 8, 32, 128];
 const SMOKE_SIZES: [usize; 2] = [2, 8];
@@ -145,7 +162,7 @@ struct Options {
 fn parse_args() -> Options {
     let mut opts = Options {
         smoke: false,
-        out: "BENCH_pr2.json".to_owned(),
+        out: "BENCH_pr3.json".to_owned(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -271,7 +288,157 @@ fn main() {
         }
     }
 
-    let mut json = String::from("{\n  \"pr\": 2,\n  \"benches\": [\n");
+    // ------------------------------------------------------------------
+    // server_throughput: a batch of concurrent sessions on the sharded
+    // server vs the thread-per-participant harness.
+    // ------------------------------------------------------------------
+    let sessions: usize = if opts.smoke { 500 } else { 10_000 };
+    let protocol = Protocol::new("ring", generators::ring_n(4)).expect("well-formed");
+    let endpoints = skeleton_endpoints(&protocol).expect("synthesizable");
+
+    // Baseline: the harness spawns 4 OS threads per session, so it is
+    // measured on a smaller batch and scaled per-session.
+    let harness_sessions = sessions.min(if opts.smoke { 50 } else { 512 });
+    let harness_ns = median_ns(
+        || {
+            for _ in 0..harness_sessions {
+                let mut harness = SessionHarness::new(protocol.clone());
+                for (cert, ext) in endpoints.clone() {
+                    harness.add_endpoint(cert, ext).expect("unique role");
+                }
+                let report = harness.run().expect("session runs");
+                assert!(report.all_finished_and_compliant());
+            }
+        },
+        if opts.smoke { 2 } else { 3 },
+        if opts.smoke { 2_000 } else { 20_000 },
+    );
+    let harness_batch_ns =
+        (harness_ns as f64 * sessions as f64 / harness_sessions as f64) as u64;
+
+    for shards in [1usize, 4] {
+        let ns = median_ns(
+            || {
+                let mut registry = ProtocolRegistry::new();
+                let id = registry.register(protocol.clone()).expect("registrable");
+                let mut server =
+                    SessionServer::start(registry, ServerConfig::with_shards(shards));
+                for _ in 0..sessions {
+                    server
+                        .submit(SessionSpec::new(id, endpoints.clone()))
+                        .expect("submits");
+                }
+                let outcomes = server.drain();
+                assert_eq!(outcomes.len(), sessions);
+                assert!(outcomes.iter().all(|o| o.all_finished_and_compliant()));
+                let report = server.shutdown();
+                assert_eq!(report.sessions_completed() as u64, sessions as u64);
+            },
+            if opts.smoke { 2 } else { 3 },
+            if opts.smoke { 2_000 } else { 20_000 },
+        );
+        entries.push(Entry {
+            bench: "server_throughput",
+            case: format!("ring4/s{sessions}/shards{shards}"),
+            median_ns: ns,
+            baseline_ns: harness_batch_ns,
+            baseline: "SessionHarness thread-per-endpoint (smaller batch, scaled per-session)",
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // monitor_action: per-action cost of the compiled monitor vs the
+    // global-LTS replay monitor, on compliant traces. The ring trace is
+    // sequential (the global prefix never holds more than one pending
+    // message — the replay monitor's best case); the fanout trace delays
+    // every receive behind all the sends, so the prefix grows to n
+    // in-flight messages and the replay cost grows with it, while the
+    // compiled monitor stays flat.
+    // ------------------------------------------------------------------
+    let monitor_cases: &[(&str, usize)] = if opts.smoke {
+        &[("ring", 4), ("fanout", 8)]
+    } else {
+        &[("ring", 4), ("ring", 16), ("ring", 64), ("fanout", 16), ("fanout", 64)]
+    };
+    for &(family, n) in monitor_cases {
+        let (g, trace) = match family {
+            "ring" => {
+                let mut trace = Vec::with_capacity(2 * n);
+                for i in 0..n {
+                    let from = Role::new(format!("w{i}"));
+                    let to = Role::new(format!("w{}", (i + 1) % n));
+                    let send = Action::send(from, to, Label::new("l"), Sort::Nat);
+                    trace.push(send.clone());
+                    trace.push(send.dual());
+                }
+                (generators::ring_n(n), trace)
+            }
+            "fanout" => {
+                let hub = Role::new("hub");
+                let tasks: Vec<Action> = (0..n)
+                    .map(|i| {
+                        Action::send(
+                            hub.clone(),
+                            Role::new(format!("w{i}")),
+                            Label::new("task"),
+                            Sort::Nat,
+                        )
+                    })
+                    .collect();
+                let acks: Vec<Action> = (0..n)
+                    .map(|i| {
+                        Action::send(
+                            Role::new(format!("w{i}")),
+                            hub.clone(),
+                            Label::new("ack"),
+                            Sort::Unit,
+                        )
+                    })
+                    .collect();
+                let mut trace = Vec::with_capacity(4 * n);
+                trace.extend(tasks.iter().cloned());
+                trace.extend(tasks.iter().map(Action::dual));
+                trace.extend(acks.iter().cloned());
+                trace.extend(acks.iter().map(Action::dual));
+                (generators::fanout_n(n), trace)
+            }
+            other => unreachable!("unknown monitor family {other}"),
+        };
+        let compiled_template = CompiledMonitor::for_global(&g).expect("projectable");
+        let reference_template = TraceMonitor::new(&g).expect("well-formed");
+        let actions = trace.len() as u64;
+        let ns = median_ns(
+            || {
+                let mut monitor = compiled_template.clone();
+                for action in &trace {
+                    assert!(monitor.observe(action));
+                }
+                assert!(monitor.is_complete());
+            },
+            if opts.smoke { 5 } else { 25 },
+            if opts.smoke { 300 } else { 3_000 },
+        );
+        let baseline_ns = median_ns(
+            || {
+                let mut monitor = reference_template.clone();
+                for action in &trace {
+                    assert!(monitor.observe(action));
+                }
+                assert!(monitor.is_complete());
+            },
+            if opts.smoke { 5 } else { 25 },
+            if opts.smoke { 300 } else { 3_000 },
+        );
+        entries.push(Entry {
+            bench: "monitor_action",
+            case: format!("{family}/{n}/peraction"),
+            median_ns: (ns / actions).max(1),
+            baseline_ns: (baseline_ns / actions).max(1),
+            baseline: "TraceMonitor global-LTS replay (same trace, same run)",
+        });
+    }
+
+    let mut json = String::from("{\n  \"pr\": 3,\n  \"benches\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let speedup = if e.median_ns > 0 && e.baseline_ns > 0 {
             e.baseline_ns as f64 / e.median_ns as f64

@@ -27,7 +27,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use zooid_mpst::common::intern::{FxHashMap, MsgId, RoleId};
-use zooid_mpst::Interner;
+use zooid_mpst::{Action, Interner};
 
 use crate::machine::{CfsmAction, Direction};
 use crate::system::{
@@ -110,6 +110,11 @@ pub struct CompiledSystem {
     tables: Vec<Vec<Vec<CTrans>>>,
     /// Endpoints of each dense channel id.
     channels: Vec<ChannelInfo>,
+    /// Machine index of each interned role.
+    machine_of_role: FxHashMap<RoleId, u32>,
+    /// Dense channel id of each ordered `(sender, receiver)` pair that can
+    /// carry a message.
+    channel_ids: FxHashMap<(RoleId, RoleId), u32>,
 }
 
 impl CompiledSystem {
@@ -173,7 +178,14 @@ impl CompiledSystem {
             finals,
             tables,
             channels,
+            machine_of_role,
+            channel_ids,
         }
+    }
+
+    /// The role of each machine, in system order.
+    pub fn roles(&self) -> &[zooid_mpst::Role] {
+        &self.roles
     }
 
     /// Number of machines in the compiled system.
@@ -349,6 +361,75 @@ impl CompiledSystem {
         rev
     }
 
+    // ------------------------------------------------------------------
+    // Per-role monitor view
+    // ------------------------------------------------------------------
+
+    /// The initial [`MonitorCursor`]: every machine in its initial state,
+    /// every channel empty.
+    pub fn monitor_cursor(&self) -> MonitorCursor {
+        MonitorCursor {
+            states: self.initial.clone(),
+            queues: vec![VecDeque::new(); self.channels.len()],
+        }
+    }
+
+    /// Advances `cursor` by one observed action, following the per-role
+    /// transition tables with unbounded FIFO channels (the asynchronous
+    /// semantics of the protocol, §3.4).
+    ///
+    /// Returns `true` if the subject's machine has a matching transition (for
+    /// a receive, additionally requiring the message at the head of its
+    /// channel); otherwise the cursor is left unchanged and `false` is
+    /// returned. Every lookup resolves the action's roles, label and sort to
+    /// interned ids once; the transition scan itself compares only dense ids.
+    pub fn observe(&self, cursor: &mut MonitorCursor, action: &Action) -> bool {
+        self.try_observe(cursor, action).is_some()
+    }
+
+    fn try_observe(&self, cursor: &mut MonitorCursor, action: &Action) -> Option<()> {
+        let from = self.interner.lookup_role(action.from())?;
+        let to = self.interner.lookup_role(action.to())?;
+        let label = self.interner.lookup_label(action.label())?;
+        let sort = self.interner.lookup_sort(action.sort())?;
+        let msg = self.interner.lookup_msg(label, sort)?;
+        let channel = *self.channel_ids.get(&(from, to))?;
+        let (dir, subject) = if action.is_send() {
+            (Direction::Send, from)
+        } else {
+            (Direction::Recv, to)
+        };
+        let m = *self.machine_of_role.get(&subject)? as usize;
+        let state = cursor.states[m] as usize;
+        let t = self.tables[m][state]
+            .iter()
+            .find(|t| t.dir == dir && t.channel == channel && t.msg == msg)?;
+        match dir {
+            Direction::Send => {
+                cursor.queues[channel as usize].push_back(msg);
+            }
+            Direction::Recv => {
+                if cursor.queues[channel as usize].front() != Some(&msg) {
+                    return None;
+                }
+                cursor.queues[channel as usize].pop_front();
+            }
+        }
+        cursor.states[m] = t.target;
+        Some(())
+    }
+
+    /// Returns `true` if the cursor has run the protocol to completion:
+    /// every machine in a final state and every channel drained.
+    pub fn is_terminated(&self, cursor: &MonitorCursor) -> bool {
+        cursor.queues.iter().all(VecDeque::is_empty)
+            && cursor
+                .states
+                .iter()
+                .enumerate()
+                .all(|(m, &s)| self.finals[m][s as usize])
+    }
+
     /// Worklist BFS over the packed state space, mirroring the verdicts and
     /// counts of [`System::explore_exhaustive`] while recording parent
     /// pointers so every violation carries a shortest replayable trace.
@@ -514,6 +595,19 @@ impl CompiledSystem {
     }
 }
 
+/// The mutable state of an online protocol monitor walking a
+/// [`CompiledSystem`]: one machine state per role plus one unbounded FIFO of
+/// interned message ids per dense channel.
+///
+/// Cursors are created by [`CompiledSystem::monitor_cursor`] and advanced by
+/// [`CompiledSystem::observe`]; cloning or comparing one never touches a
+/// string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorCursor {
+    states: Vec<u32>,
+    queues: Vec<VecDeque<MsgId>>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -572,6 +666,35 @@ mod tests {
         // The initial configuration is itself the deadlock: empty trace.
         assert!(v.trace.is_empty());
         assert_eq!(v.config, system.initial());
+    }
+
+    #[test]
+    fn the_monitor_view_accepts_a_compliant_async_run() {
+        let compiled = CompiledSystem::compile(&good_pair());
+        let mut cursor = compiled.monitor_cursor();
+        let send = Action::send(r("p"), r("q"), zooid_mpst::Label::new("l"), Sort::Nat);
+        assert!(!compiled.is_terminated(&cursor));
+        assert!(compiled.observe(&mut cursor, &send));
+        // The receive cannot be replayed twice, and must match the queue head.
+        assert!(compiled.observe(&mut cursor, &send.dual()));
+        assert!(!compiled.observe(&mut cursor, &send.dual()));
+        assert!(compiled.is_terminated(&cursor));
+    }
+
+    #[test]
+    fn the_monitor_view_rejects_unknown_and_premature_actions() {
+        let compiled = CompiledSystem::compile(&good_pair());
+        let mut cursor = compiled.monitor_cursor();
+        let recv_first = Action::recv(r("q"), r("p"), zooid_mpst::Label::new("l"), Sort::Nat);
+        assert!(!compiled.observe(&mut cursor, &recv_first), "empty channel");
+        let wrong_label = Action::send(r("p"), r("q"), zooid_mpst::Label::new("zzz"), Sort::Nat);
+        assert!(!compiled.observe(&mut cursor, &wrong_label));
+        let wrong_sort = Action::send(r("p"), r("q"), zooid_mpst::Label::new("l"), Sort::Bool);
+        assert!(!compiled.observe(&mut cursor, &wrong_sort));
+        let unknown_role = Action::send(r("z"), r("q"), zooid_mpst::Label::new("l"), Sort::Nat);
+        assert!(!compiled.observe(&mut cursor, &unknown_role));
+        // A rejected action leaves the cursor unchanged.
+        assert_eq!(cursor, compiled.monitor_cursor());
     }
 
     #[test]

@@ -23,7 +23,12 @@
 //!   ([`system::Violation`]). The original explicit-state explorer is kept
 //!   as [`system::System::explore_exhaustive`] and serves as an independent
 //!   oracle for the differential test-suite, mirroring
-//!   `check_trace_equivalence_exhaustive` in `zooid_mpst`;
+//!   `check_trace_equivalence_exhaustive` in `zooid_mpst`. The compiled
+//!   system also exposes a per-role **monitor view**
+//!   ([`engine::MonitorCursor`] / [`engine::CompiledSystem::observe`]):
+//!   observed actions advance machine states and unbounded FIFO buffers of
+//!   interned message ids, which is what the runtime's `CompiledMonitor` and
+//!   the session server use to check protocol compliance in O(1) per action;
 //! * [`compat::check_protocol`] runs the whole pipeline for a global type —
 //!   project, compile, compose, explore — producing the safety/liveness
 //!   verdicts that the paper's well-typed processes inherit from the
@@ -43,7 +48,7 @@ pub mod machine;
 pub mod system;
 
 pub use compat::{check_protocol, check_protocol_exhaustive, SafetyReport};
-pub use engine::CompiledSystem;
+pub use engine::{CompiledSystem, MonitorCursor};
 pub use error::{CfsmError, Result};
 pub use machine::{Cfsm, CfsmAction, Direction, StateId};
 pub use system::{

@@ -435,6 +435,26 @@ impl Interner {
         self.msgs[id.index()]
     }
 
+    /// The index of an already-interned label, without interning.
+    ///
+    /// Read-only lookups let shared artifacts (e.g. a compiled CFSM system
+    /// behind an `Arc`) resolve observed labels to ids on the hot path
+    /// without requiring `&mut self`.
+    pub fn lookup_label(&self, label: &Label) -> Option<LabelId> {
+        self.label_ids.get(label).copied()
+    }
+
+    /// The index of an already-interned sort, without interning.
+    pub fn lookup_sort(&self, sort: &Sort) -> Option<SortId> {
+        self.sort_ids.get(sort).copied()
+    }
+
+    /// The id of an already-interned `(label, sort)` message, without
+    /// interning.
+    pub fn lookup_msg(&self, label: LabelId, sort: SortId) -> Option<MsgId> {
+        self.msg_ids.get(&(label, sort)).copied()
+    }
+
     /// Number of distinct `(label, sort)` messages interned so far.
     pub fn msg_len(&self) -> usize {
         self.msgs.len()

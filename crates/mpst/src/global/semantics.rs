@@ -26,14 +26,29 @@ use crate::global::tree::{GlobalTree, GlobalTreeNode};
 ///   message may happen under it, provided *every* branch can perform it;
 /// * `[g-step-str2]` — an action whose subject is not the receiver of an
 ///   in-flight message may happen under it (in the selected branch).
+///
+/// Like [`global_step_enabled`], the tree part of the recursion carries a
+/// visited set: an `[g-step-str1]` derivation that revisits a tree node has
+/// no finite derivation, so the revisit answers `None` (where a naive
+/// recursion would diverge on a branch cycle not involving the subject —
+/// e.g. an action by a role foreign to a looping protocol).
 pub fn global_step(
     tree: &GlobalTree,
     prefix: &GlobalPrefix,
     action: &Action,
 ) -> Option<GlobalPrefix> {
-    let head = prefix.expand(tree);
-    match &head {
-        GlobalPrefix::Inj(_) => None, // a terminated protocol performs no action
+    let mut visiting = Vec::new();
+    step_prefix(tree, prefix, action, &mut visiting)
+}
+
+fn step_prefix(
+    tree: &GlobalTree,
+    prefix: &GlobalPrefix,
+    action: &Action,
+    visiting: &mut Vec<NodeId>,
+) -> Option<GlobalPrefix> {
+    match prefix {
+        GlobalPrefix::Inj(id) => step_tree_node(tree, *id, action, visiting),
         GlobalPrefix::Msg { from, to, branches } => {
             // [g-step-send]
             if action.is_send() && action.from() == from && action.to() == to {
@@ -54,7 +69,7 @@ pub fn global_step(
                 let stepped: Option<Vec<Branch<GlobalPrefix>>> = branches
                     .iter()
                     .map(|b| {
-                        global_step(tree, &b.cont, action).map(|cont| Branch {
+                        step_prefix(tree, &b.cont, action, visiting).map(|cont| Branch {
                             label: b.label.clone(),
                             sort: b.sort.clone(),
                             cont,
@@ -89,7 +104,7 @@ pub fn global_step(
             }
             // [g-step-str2]
             if action.subject() != to {
-                if let Some(cont) = global_step(tree, &chosen.cont, action) {
+                if let Some(cont) = step_prefix(tree, &chosen.cont, action, visiting) {
                     let mut branches = branches.clone();
                     branches[*selected].cont = cont;
                     return Some(GlobalPrefix::Sent {
@@ -101,6 +116,65 @@ pub fn global_step(
                 }
             }
             None
+        }
+    }
+}
+
+/// The tree-node case of [`step_prefix`] — where cycles live, and therefore
+/// where the visited set is consulted (mirroring [`enabled_tree_node`]).
+fn step_tree_node(
+    tree: &GlobalTree,
+    id: NodeId,
+    action: &Action,
+    visiting: &mut Vec<NodeId>,
+) -> Option<GlobalPrefix> {
+    match tree.node(id) {
+        GlobalTreeNode::End => None, // a terminated protocol performs no action
+        GlobalTreeNode::Msg { from, to, branches } => {
+            // [g-step-send]
+            if action.is_send() && action.from() == from && action.to() == to {
+                if let Some(j) = branches
+                    .iter()
+                    .position(|b| &b.label == action.label() && &b.sort == action.sort())
+                {
+                    return Some(GlobalPrefix::Sent {
+                        from: from.clone(),
+                        to: to.clone(),
+                        selected: j,
+                        branches: branches
+                            .iter()
+                            .map(|b| b.map_ref(|id| GlobalPrefix::Inj(*id)))
+                            .collect(),
+                    });
+                }
+            }
+            // [g-step-str1]
+            if action.subject() == from || action.subject() == to {
+                return None;
+            }
+            // A step derivation is a finite tree: revisiting a node while
+            // deriving the same action means there is no finite derivation
+            // through this cycle.
+            if visiting.contains(&id) {
+                return None;
+            }
+            visiting.push(id);
+            let stepped: Option<Vec<Branch<GlobalPrefix>>> = branches
+                .iter()
+                .map(|b| {
+                    step_tree_node(tree, b.cont, action, visiting).map(|cont| Branch {
+                        label: b.label.clone(),
+                        sort: b.sort.clone(),
+                        cont,
+                    })
+                })
+                .collect();
+            visiting.pop();
+            stepped.map(|branches| GlobalPrefix::Msg {
+                from: from.clone(),
+                to: to.clone(),
+                branches,
+            })
         }
     }
 }
@@ -447,6 +521,30 @@ mod tests {
             ),
         );
         unravel_global(&g).unwrap()
+    }
+
+    #[test]
+    fn stepping_a_foreign_role_on_a_looping_protocol_terminates_with_none() {
+        // Regression: `[g-step-str1]` used to recurse forever when the
+        // action's subject occurs nowhere in a protocol whose branches cycle
+        // (the visited set of `global_step_enabled` now also guards the
+        // successor construction).
+        let g = GlobalType::rec(GlobalType::msg1(
+            r("p"),
+            r("q"),
+            "l",
+            Sort::Bool,
+            GlobalType::var(0),
+        ));
+        let t = unravel_global(&g).unwrap();
+        let p0 = GlobalPrefix::initial(&t);
+        let foreign = Action::send(r("zz"), r("q"), l("l"), Sort::Bool);
+        assert_eq!(global_step(&t, &p0, &foreign), None);
+        assert!(!global_step_enabled(&t, &p0, &foreign));
+        // The same prefix still steps normally for a participant.
+        let send = Action::send(r("p"), r("q"), l("l"), Sort::Bool);
+        let p1 = global_step(&t, &p0, &send).expect("send enabled");
+        assert!(global_step(&t, &p1, &send.dual()).is_some());
     }
 
     #[test]

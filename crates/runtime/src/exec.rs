@@ -7,6 +7,15 @@
 //! executed in place, and the endpoint's own trace is recorded so that it can
 //! be checked against the protocol afterwards (or live, by the
 //! [`monitor`](crate::monitor)).
+//!
+//! The interpreter is a resumable state machine, [`EndpointTask`]: each
+//! [`EndpointTask::step`] performs at most one visible communication and
+//! yields [`StepOutcome::WouldBlock`] when a receive finds its channel empty,
+//! so a scheduler (the `zooid-server` session server) can multiplex many
+//! endpoints on one worker thread. The blocking [`execute`] entry point —
+//! what the session harness and the examples use — is a loop around
+//! [`EndpointTask::step_blocking`] and behaves exactly like the historical
+//! thread-per-endpoint executor, timeouts included.
 
 use zooid_mpst::{Role, Sort, Trace};
 use zooid_proc::semantics::admin_normalize;
@@ -41,6 +50,11 @@ pub enum EndpointStatus {
     Finished,
     /// The configured step limit was reached before the process finished.
     StepLimitReached,
+    /// The scheduler gave up on the endpoint: it was still waiting for a
+    /// message, but no peer of its session could make progress either (only
+    /// produced by schedulers driving [`EndpointTask::step`]; the blocking
+    /// [`execute`] loop reports a timeout failure instead).
+    Stalled,
     /// The execution failed (transport error, unexpected message, runtime
     /// error in an expression or external action, ...).
     Failed {
@@ -107,64 +121,184 @@ pub fn execute_with_observer(
     options: &ExecOptions,
     mut observer: impl FnMut(&ValueAction),
 ) -> EndpointReport {
-    let mut actions = Vec::new();
-    let status = run_loop(
-        proc,
-        role,
-        transport,
-        externals,
-        options,
-        &mut actions,
-        &mut observer,
-    )
-    .unwrap_or_else(|err| EndpointStatus::Failed {
-        error: err.to_string(),
-    });
-    EndpointReport {
-        role: role.clone(),
-        actions,
-        status,
-    }
+    let mut task = EndpointTask::new(proc.clone(), role.clone(), externals.clone(), options.clone());
+    while !matches!(
+        task.step_blocking(transport, &mut observer),
+        StepOutcome::Done(_)
+    ) {}
+    task.into_report()
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_loop(
-    proc: &Proc,
-    role: &Role,
-    transport: &mut dyn Transport,
-    externals: &Externals,
-    options: &ExecOptions,
-    actions: &mut Vec<ValueAction>,
-    observer: &mut impl FnMut(&ValueAction),
-) -> Result<EndpointStatus> {
-    let mut current = proc.clone();
-    let mut steps = 0usize;
-    loop {
-        current = admin_normalize(&current, externals)?;
-        while matches!(current, Proc::Loop(_)) {
-            current = admin_normalize(&current.unfold_once(), externals)?;
+/// What one call to [`EndpointTask::step`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// One visible communication was performed.
+    Progress,
+    /// The process is waiting for a message that has not arrived yet; the
+    /// task's state is unchanged and the step can be retried once the peer
+    /// has sent (never returned by [`EndpointTask::step_blocking`]).
+    WouldBlock {
+        /// The peer the process is waiting for.
+        from: Role,
+    },
+    /// The execution is over; further steps return the same status.
+    Done(EndpointStatus),
+}
+
+/// A resumable endpoint execution: the poll-based state machine behind
+/// [`execute`].
+///
+/// Where the blocking loop parks its whole OS thread inside
+/// [`Transport::recv`], an `EndpointTask` advances one visible communication
+/// per [`EndpointTask::step`] call and yields [`StepOutcome::WouldBlock`]
+/// when the next action is a receive and the channel is empty (via
+/// [`Transport::try_recv`]). A scheduler can therefore multiplex thousands
+/// of endpoints on a bounded worker pool — which is exactly what
+/// `zooid-server` does — while [`execute`] remains a trivial loop around
+/// [`EndpointTask::step_blocking`].
+#[derive(Debug)]
+pub struct EndpointTask {
+    role: Role,
+    externals: Externals,
+    options: ExecOptions,
+    current: Proc,
+    /// Whether `current` is already administratively normalised (no leading
+    /// internal actions or loops). Normalisation is re-done lazily after
+    /// every visible step, and skipped when a `WouldBlock` retry comes back.
+    normalized: bool,
+    actions: Vec<ValueAction>,
+    steps: usize,
+    status: Option<EndpointStatus>,
+}
+
+impl EndpointTask {
+    /// Creates a task that will run `proc` as `role`.
+    pub fn new(proc: Proc, role: Role, externals: Externals, options: ExecOptions) -> Self {
+        EndpointTask {
+            role,
+            externals,
+            options,
+            current: proc,
+            normalized: false,
+            actions: Vec::new(),
+            steps: 0,
+            status: None,
         }
-        match current {
-            Proc::Finish => return Ok(EndpointStatus::Finished),
-            Proc::Jump(i) => {
-                return Err(RuntimeError::Process(zooid_proc::ProcError::UnboundJump {
-                    index: i,
-                }))
+    }
+
+    /// The role the task plays.
+    pub fn role(&self) -> &Role {
+        &self.role
+    }
+
+    /// The visible communications performed so far.
+    pub fn actions(&self) -> &[ValueAction] {
+        &self.actions
+    }
+
+    /// Returns `true` once the execution is over (finished, failed or
+    /// stopped at the step limit).
+    pub fn is_done(&self) -> bool {
+        self.status.is_some()
+    }
+
+    /// Advances the task by at most one visible communication, polling the
+    /// transport with [`Transport::try_recv`] so an empty channel yields
+    /// [`StepOutcome::WouldBlock`] instead of parking the thread.
+    pub fn step(
+        &mut self,
+        transport: &mut dyn Transport,
+        observer: &mut dyn FnMut(&ValueAction),
+    ) -> StepOutcome {
+        self.step_inner(transport, observer, false)
+    }
+
+    /// Advances the task by one visible communication, blocking inside
+    /// [`Transport::recv`] when the next action is a receive (so a timeout
+    /// becomes a failure, exactly like the historical executor).
+    pub fn step_blocking(
+        &mut self,
+        transport: &mut dyn Transport,
+        observer: &mut dyn FnMut(&ValueAction),
+    ) -> StepOutcome {
+        self.step_inner(transport, observer, true)
+    }
+
+    /// Marks a still-running task as given up by its scheduler (all peers of
+    /// the session blocked too); further steps return `Done(Stalled)`.
+    pub fn mark_stalled(&mut self) {
+        if self.status.is_none() {
+            self.status = Some(EndpointStatus::Stalled);
+        }
+    }
+
+    /// Finishes the task, consuming it into the endpoint's report. A task
+    /// that is still mid-protocol is reported as [`EndpointStatus::Stalled`].
+    pub fn into_report(self) -> EndpointReport {
+        EndpointReport {
+            role: self.role,
+            actions: self.actions,
+            status: self.status.unwrap_or(EndpointStatus::Stalled),
+        }
+    }
+
+    fn step_inner(
+        &mut self,
+        transport: &mut dyn Transport,
+        observer: &mut dyn FnMut(&ValueAction),
+        block: bool,
+    ) -> StepOutcome {
+        if let Some(status) = &self.status {
+            return StepOutcome::Done(status.clone());
+        }
+        match self.try_step(transport, observer, block) {
+            Ok(StepOutcome::Done(status)) => {
+                self.status = Some(status.clone());
+                StepOutcome::Done(status)
             }
+            Ok(outcome) => outcome,
+            Err(err) => {
+                let status = EndpointStatus::Failed {
+                    error: err.to_string(),
+                };
+                self.status = Some(status.clone());
+                StepOutcome::Done(status)
+            }
+        }
+    }
+
+    fn try_step(
+        &mut self,
+        transport: &mut dyn Transport,
+        observer: &mut dyn FnMut(&ValueAction),
+        block: bool,
+    ) -> Result<StepOutcome> {
+        if !self.normalized {
+            self.current = admin_normalize(&self.current, &self.externals)?;
+            while matches!(self.current, Proc::Loop(_)) {
+                self.current = admin_normalize(&self.current.unfold_once(), &self.externals)?;
+            }
+            self.normalized = true;
+        }
+        match self.current {
+            Proc::Finish => Ok(StepOutcome::Done(EndpointStatus::Finished)),
+            Proc::Jump(i) => Err(RuntimeError::Process(zooid_proc::ProcError::UnboundJump {
+                index: i,
+            })),
             Proc::Send {
                 ref to,
                 ref label,
                 ref payload,
                 ref cont,
             } => {
-                if let Some(limit) = options.max_steps {
-                    if steps >= limit {
-                        return Ok(EndpointStatus::StepLimitReached);
+                if let Some(limit) = self.options.max_steps {
+                    if self.steps >= limit {
+                        return Ok(StepOutcome::Done(EndpointStatus::StepLimitReached));
                     }
                 }
                 let value = payload.eval_closed()?;
                 let action = ValueAction::send(
-                    role.clone(),
+                    self.role.clone(),
                     to.clone(),
                     label.clone(),
                     sort_of_value(&value),
@@ -177,17 +311,29 @@ fn run_loop(
                 // asynchronous trace.
                 observer(&action);
                 transport.send(to, label, &value)?;
-                actions.push(action);
-                steps += 1;
-                current = (**cont).clone();
+                let next = (**cont).clone();
+                self.actions.push(action);
+                self.steps += 1;
+                self.current = next;
+                self.normalized = false;
+                Ok(StepOutcome::Progress)
             }
             Proc::Recv { ref from, ref alts } => {
-                if let Some(limit) = options.max_steps {
-                    if steps >= limit {
-                        return Ok(EndpointStatus::StepLimitReached);
+                if let Some(limit) = self.options.max_steps {
+                    if self.steps >= limit {
+                        return Ok(StepOutcome::Done(EndpointStatus::StepLimitReached));
                     }
                 }
-                let (label, value) = transport.recv(from)?;
+                let (label, value) = if block {
+                    transport.recv(from)?
+                } else {
+                    match transport.try_recv(from)? {
+                        Some(message) => message,
+                        None => {
+                            return Ok(StepOutcome::WouldBlock { from: from.clone() });
+                        }
+                    }
+                };
                 let Some(alt) = alts.iter().find(|a| a.label == label) else {
                     return Err(RuntimeError::UnexpectedMessage {
                         from: from.clone(),
@@ -201,16 +347,19 @@ fn run_loop(
                     });
                 }
                 let action = ValueAction::recv(
-                    role.clone(),
+                    self.role.clone(),
                     from.clone(),
                     label,
                     alt.sort.clone(),
                     value.clone(),
                 );
                 observer(&action);
-                actions.push(action);
-                steps += 1;
-                current = alt.cont.subst_value(&alt.var, &value);
+                let next = alt.cont.subst_value(&alt.var, &value);
+                self.actions.push(action);
+                self.steps += 1;
+                self.current = next;
+                self.normalized = false;
+                Ok(StepOutcome::Progress)
             }
             Proc::Loop(_)
             | Proc::Cond { .. }
@@ -374,6 +523,101 @@ mod tests {
             EndpointStatus::Failed { error } => assert!(error.contains("timed out")),
             other => panic!("expected failure, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn stepping_yields_would_block_until_the_message_arrives() {
+        let mut net = InMemoryNetwork::new([r("p"), r("q")]);
+        let mut tp = net.take_endpoint(&r("p")).unwrap();
+        let mut tq = net.take_endpoint(&r("q")).unwrap();
+
+        let receiver = Proc::recv1(r("p"), "l", Sort::Nat, "x", Proc::Finish);
+        let mut task = EndpointTask::new(
+            receiver,
+            r("q"),
+            Externals::new(),
+            ExecOptions::default(),
+        );
+        // Nothing sent yet: the task parks without consuming anything.
+        assert_eq!(
+            task.step(&mut tq, &mut |_| {}),
+            StepOutcome::WouldBlock { from: r("p") }
+        );
+        assert!(!task.is_done());
+        tp.send(&r("q"), &zooid_mpst::Label::new("l"), &Value::Nat(7)).unwrap();
+        assert_eq!(task.step(&mut tq, &mut |_| {}), StepOutcome::Progress);
+        assert_eq!(
+            task.step(&mut tq, &mut |_| {}),
+            StepOutcome::Done(EndpointStatus::Finished)
+        );
+        let report = task.into_report();
+        assert!(report.status.is_finished());
+        assert_eq!(report.actions[0].value, Value::Nat(7));
+    }
+
+    #[test]
+    fn two_tasks_multiplex_on_a_single_thread() {
+        // The whole exchange of `received_values_flow_into_later_sends`, but
+        // cooperatively scheduled on this thread instead of two OS threads.
+        let mut net = InMemoryNetwork::new([r("p"), r("q")]);
+        let mut tp = net.take_endpoint(&r("p")).unwrap();
+        let mut tq = net.take_endpoint(&r("q")).unwrap();
+
+        let p = Proc::send(
+            r("q"),
+            "req",
+            Expr::lit(41u64),
+            Proc::recv1(r("q"), "resp", Sort::Nat, "y", Proc::Finish),
+        );
+        let q = Proc::recv1(
+            r("p"),
+            "req",
+            Sort::Nat,
+            "x",
+            Proc::send(
+                r("p"),
+                "resp",
+                Expr::add(Expr::var("x"), Expr::lit(1u64)),
+                Proc::Finish,
+            ),
+        );
+        let mut tasks = [
+            (EndpointTask::new(p, r("p"), Externals::new(), ExecOptions::default()), &mut tp),
+            (EndpointTask::new(q, r("q"), Externals::new(), ExecOptions::default()), &mut tq),
+        ];
+        let mut rounds = 0;
+        while tasks.iter().any(|(t, _)| !t.is_done()) {
+            rounds += 1;
+            assert!(rounds < 100, "cooperative schedule must terminate");
+            for (task, transport) in &mut tasks {
+                task.step(*transport, &mut |_| {});
+            }
+        }
+        let [(p_task, _), (q_task, _)] = tasks;
+        let p_report = p_task.into_report();
+        assert!(p_report.status.is_finished());
+        assert!(q_task.into_report().status.is_finished());
+        assert_eq!(p_report.actions[1].value, Value::Nat(42));
+    }
+
+    #[test]
+    fn stalled_tasks_report_their_partial_trace() {
+        let mut net = InMemoryNetwork::new([r("p"), r("q")]);
+        let mut tq = net.take_endpoint(&r("q")).unwrap();
+        let q = Proc::recv1(r("p"), "l", Sort::Nat, "x", Proc::Finish);
+        let mut task = EndpointTask::new(q, r("q"), Externals::new(), ExecOptions::default());
+        assert!(matches!(
+            task.step(&mut tq, &mut |_| {}),
+            StepOutcome::WouldBlock { .. }
+        ));
+        task.mark_stalled();
+        assert_eq!(
+            task.step(&mut tq, &mut |_| {}),
+            StepOutcome::Done(EndpointStatus::Stalled)
+        );
+        let report = task.into_report();
+        assert_eq!(report.status, EndpointStatus::Stalled);
+        assert!(report.actions.is_empty());
     }
 
     #[test]

@@ -20,7 +20,7 @@ use zooid_proc::{erase, Externals};
 
 use crate::error::{Result, RuntimeError};
 use crate::exec::{execute_with_observer, EndpointReport, ExecOptions};
-use crate::monitor::TraceMonitor;
+use crate::monitor::{MonitorViolation, TraceMonitor};
 use crate::transport::InMemoryNetwork;
 
 /// A session harness: a protocol plus one certified endpoint implementation
@@ -160,8 +160,9 @@ pub struct SessionReport {
     pub compliant: bool,
     /// Whether the protocol ran to completion.
     pub complete: bool,
-    /// Description of every observed violation.
-    pub violations: Vec<String>,
+    /// Every observed violation, with its position in the observation
+    /// stream.
+    pub violations: Vec<MonitorViolation>,
 }
 
 impl SessionReport {

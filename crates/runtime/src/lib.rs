@@ -15,11 +15,19 @@
 //!   for OCaml's `Marshal` module;
 //! * [`exec`] — the interpreter that runs a certified process against a
 //!   transport (the counterpart of `extract_proc` composed with the monad
-//!   instance), recording the endpoint's trace;
-//! * [`monitor`] — an online protocol-compliance monitor that replays
-//!   observed actions against the global type's LTS (the "dynamic
+//!   instance), recording the endpoint's trace. The interpreter is a
+//!   resumable state machine ([`exec::EndpointTask`]) whose `step()` yields
+//!   [`exec::StepOutcome::WouldBlock`] on an empty channel instead of
+//!   parking, so schedulers (the `zooid-server` session server) can
+//!   multiplex thousands of endpoints on a bounded worker pool; the blocking
+//!   [`execute`] entry point is a loop around it;
+//! * [`monitor`] — online protocol-compliance monitors (the "dynamic
 //!   monitoring" application of type-level transition systems mentioned in
-//!   §1);
+//!   §1): [`TraceMonitor`] replays observed actions against the global
+//!   type's LTS, [`monitor::CompiledMonitor`] checks them against the dense
+//!   interned transition tables of a [`zooid_cfsm::CompiledSystem`] in O(1)
+//!   per action; both record structured [`monitor::MonitorViolation`]s and
+//!   agree on accept/reject (checked differentially);
 //! * [`harness`] — a multi-threaded session harness that wires every
 //!   certified endpoint of a protocol to an in-memory network, runs them to
 //!   completion and reports the traces together with the monitor's verdict.
@@ -38,7 +46,7 @@ pub mod transport;
 
 pub use codec::Message;
 pub use error::{Result, RuntimeError};
-pub use exec::{execute, EndpointReport, EndpointStatus, ExecOptions};
+pub use exec::{execute, EndpointReport, EndpointStatus, EndpointTask, ExecOptions, StepOutcome};
 pub use harness::{SessionHarness, SessionReport};
-pub use monitor::TraceMonitor;
+pub use monitor::{CompiledMonitor, MonitorViolation, TraceMonitor};
 pub use transport::{InMemoryNetwork, Transport};

@@ -9,6 +9,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::mpsc::TryRecvError;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -39,6 +40,31 @@ pub trait Transport {
     /// Fails if the peer is unknown, disconnected, times out, or sends a
     /// malformed frame.
     fn recv(&mut self, from: &Role) -> Result<(Label, Value)>;
+
+    /// Receives the next message from the given peer if one is already
+    /// queued, returning `Ok(None)` instead of waiting when there is none.
+    ///
+    /// This is what the poll-based executor ([`crate::exec::EndpointTask`])
+    /// calls, so that a scheduler multiplexing many endpoints on one thread
+    /// never parks on a single session. The default implementation falls
+    /// back to the blocking [`Transport::recv`], mapping its timeout to
+    /// `Ok(None)`: correct for transports that cannot poll (e.g. the TCP
+    /// transport), but it parks the calling thread for up to the transport's
+    /// receive timeout first — schedulers multiplexing many sessions should
+    /// only be fed transports with a real non-blocking implementation, like
+    /// [`InMemoryTransport`].
+    ///
+    /// # Errors
+    ///
+    /// Fails for the same reasons as [`Transport::recv`], except that an
+    /// empty channel is `Ok(None)`, never a timeout.
+    fn try_recv(&mut self, from: &Role) -> Result<Option<(Label, Value)>> {
+        match self.recv(from) {
+            Ok(message) => Ok(Some(message)),
+            Err(RuntimeError::Timeout { .. }) => Ok(None),
+            Err(err) => Err(err),
+        }
+    }
 
     /// The role this transport belongs to.
     fn local_role(&self) -> &Role;
@@ -161,6 +187,22 @@ impl Transport for InMemoryTransport {
         Ok((message.label, message.value))
     }
 
+    fn try_recv(&mut self, from: &Role) -> Result<Option<(Label, Value)>> {
+        let receiver = self
+            .incoming
+            .get(from)
+            .ok_or_else(|| RuntimeError::UnknownPeer { role: from.clone() })?;
+        let frame = match receiver.try_recv() {
+            Ok(frame) => frame,
+            Err(TryRecvError::Empty) => return Ok(None),
+            Err(TryRecvError::Disconnected) => {
+                return Err(RuntimeError::Disconnected { role: from.clone() })
+            }
+        };
+        let message = decode_message(&frame)?;
+        Ok(Some((message.label, message.value)))
+    }
+
     fn local_role(&self) -> &Role {
         &self.me
     }
@@ -199,6 +241,67 @@ mod tests {
         p.send(&r("q"), &l("for_q"), &Value::Unit).unwrap();
         assert_eq!(q.recv(&r("p")).unwrap().0, l("for_q"));
         assert_eq!(s.recv(&r("p")).unwrap().0, l("for_s"));
+    }
+
+    #[test]
+    fn try_recv_is_non_blocking_and_preserves_fifo_order() {
+        let mut net = InMemoryNetwork::new([r("p"), r("q")]);
+        let mut p = net.take_endpoint(&r("p")).unwrap();
+        let mut q = net.take_endpoint(&r("q")).unwrap();
+        // Empty channel: None immediately, no timeout involved.
+        assert_eq!(q.try_recv(&r("p")).unwrap(), None);
+        for (label, v) in [("a", 1), ("b", 2), ("c", 3)] {
+            p.send(&r("q"), &l(label), &Value::Nat(v)).unwrap();
+        }
+        // Mixing blocking and non-blocking receives keeps the FIFO order.
+        assert_eq!(q.try_recv(&r("p")).unwrap(), Some((l("a"), Value::Nat(1))));
+        assert_eq!(q.recv(&r("p")).unwrap(), (l("b"), Value::Nat(2)));
+        assert_eq!(q.try_recv(&r("p")).unwrap(), Some((l("c"), Value::Nat(3))));
+        assert_eq!(q.try_recv(&r("p")).unwrap(), None);
+    }
+
+    #[test]
+    fn the_default_try_recv_maps_timeouts_to_none() {
+        // A transport that only implements the blocking half: the default
+        // `try_recv` must park (up to the transport's own timeout) and then
+        // report an empty channel, never a timeout error.
+        struct BlockingOnly {
+            me: Role,
+            queued: Vec<(Label, Value)>,
+        }
+        impl Transport for BlockingOnly {
+            fn send(&mut self, _: &Role, _: &Label, _: &Value) -> Result<()> {
+                Ok(())
+            }
+            fn recv(&mut self, from: &Role) -> Result<(Label, Value)> {
+                self.queued.pop().ok_or(RuntimeError::Timeout { from: from.clone() })
+            }
+            fn local_role(&self) -> &Role {
+                &self.me
+            }
+        }
+        let mut t = BlockingOnly {
+            me: r("p"),
+            queued: vec![(l("a"), Value::Nat(1))],
+        };
+        assert_eq!(t.try_recv(&r("q")).unwrap(), Some((l("a"), Value::Nat(1))));
+        assert_eq!(t.try_recv(&r("q")).unwrap(), None);
+    }
+
+    #[test]
+    fn try_recv_reports_unknown_and_disconnected_peers() {
+        let mut net = InMemoryNetwork::new([r("p"), r("q")]);
+        let mut p = net.take_endpoint(&r("p")).unwrap();
+        assert!(matches!(
+            p.try_recv(&r("z")),
+            Err(RuntimeError::UnknownPeer { .. })
+        ));
+        let q = net.take_endpoint(&r("q")).unwrap();
+        drop(q);
+        assert!(matches!(
+            p.try_recv(&r("q")),
+            Err(RuntimeError::Disconnected { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,49 @@
+//! `zooid-server` — a multi-session server for certified session protocols.
+//!
+//! The paper's runtime (§4.5) executes one session at a time, one OS thread
+//! per participant. This crate is the serving layer the ROADMAP's north star
+//! asks for: host **thousands of concurrent sessions** of registered
+//! protocols on a **bounded worker pool**, amortizing every per-protocol
+//! cost through the compile-once substrate built in earlier PRs (the shared
+//! interner and the dense [`zooid_cfsm::CompiledSystem`] transition tables).
+//!
+//! * [`registry`] — a [`ProtocolRegistry`] compiles each registered protocol
+//!   exactly once (well-formedness → projection → per-role CFSMs →
+//!   [`zooid_cfsm::System::compile`]) and caches the artifacts behind an
+//!   `Arc`, keyed by a dense [`ProtocolId`];
+//! * [`session`] — an [`ActiveSession`](session::SessionSpec) bundles one
+//!   resumable [`zooid_runtime::EndpointTask`] per participant with the
+//!   session's in-memory channels and a
+//!   [`zooid_runtime::CompiledMonitor`] checking every communication against
+//!   the compiled per-role transition tables (O(1) per action);
+//! * [`server`] — the [`SessionServer`] schedules sessions over N worker
+//!   shards (crossbeam run queues, sessions hashed by id); each shard steps
+//!   its sessions in bounded quanta, so thread count is fixed by the shard
+//!   count while sessions number in the tens of thousands;
+//! * [`metrics`] — per-shard counters (sessions started / completed /
+//!   violated / stalled, messages routed, queue depths) aggregated into a
+//!   [`ServerReport`];
+//! * [`synth`] — skeleton endpoint implementations synthesized from
+//!   projections, used by the load generator and the differential tests.
+//!
+//! The harness-vs-server differential suite (`tests/differential.rs`)
+//! checks that a session hosted here is indistinguishable — per-endpoint
+//! statuses, traces, monitor verdicts — from the same endpoints run by the
+//! thread-per-participant [`zooid_runtime::SessionHarness`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+pub mod session;
+pub mod synth;
+
+pub use error::{Result, ServerError};
+pub use metrics::{ServerReport, ShardReport};
+pub use registry::{ProtocolArtifacts, ProtocolId, ProtocolRegistry};
+pub use server::{ServerConfig, SessionServer};
+pub use session::{SessionId, SessionOutcome, SessionSpec};

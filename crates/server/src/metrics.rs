@@ -1,0 +1,174 @@
+//! Per-shard metrics and the aggregated [`ServerReport`].
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters of one worker shard (updated lock-free by the worker,
+/// snapshotted by [`crate::SessionServer::report`]).
+#[derive(Debug, Default)]
+pub(crate) struct ShardMetrics {
+    pub(crate) sessions_started: AtomicU64,
+    pub(crate) sessions_completed: AtomicU64,
+    pub(crate) sessions_violated: AtomicU64,
+    pub(crate) sessions_stalled: AtomicU64,
+    pub(crate) messages_routed: AtomicU64,
+    pub(crate) actions_executed: AtomicU64,
+    pub(crate) quanta: AtomicU64,
+    pub(crate) peak_queue_depth: AtomicU64,
+}
+
+impl ShardMetrics {
+    pub(crate) fn record_queue_depth(&self, depth: usize) {
+        let depth = depth as u64;
+        // A stale read only under-reports momentarily; the single-writer
+        // worker makes the fetch_max race-free in practice.
+        self.peak_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, shard: usize) -> ShardReport {
+        ShardReport {
+            shard,
+            sessions_started: self.sessions_started.load(Ordering::Relaxed),
+            sessions_completed: self.sessions_completed.load(Ordering::Relaxed),
+            sessions_violated: self.sessions_violated.load(Ordering::Relaxed),
+            sessions_stalled: self.sessions_stalled.load(Ordering::Relaxed),
+            messages_routed: self.messages_routed.load(Ordering::Relaxed),
+            actions_executed: self.actions_executed.load(Ordering::Relaxed),
+            quanta: self.quanta.load(Ordering::Relaxed),
+            peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of one shard's counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Index of the shard.
+    pub shard: usize,
+    /// Sessions assigned to this shard.
+    pub sessions_started: u64,
+    /// Sessions that ran to the end (all endpoints done, none stalled).
+    pub sessions_completed: u64,
+    /// Finished sessions whose monitor observed at least one violation.
+    pub sessions_violated: u64,
+    /// Sessions the scheduler gave up on (every endpoint blocked).
+    pub sessions_stalled: u64,
+    /// Messages delivered between endpoints of this shard's sessions.
+    pub messages_routed: u64,
+    /// Visible communications executed (sends and receives).
+    pub actions_executed: u64,
+    /// Scheduling quanta served.
+    pub quanta: u64,
+    /// Largest run-queue depth observed.
+    pub peak_queue_depth: u64,
+}
+
+/// Aggregated server metrics: one [`ShardReport`] per worker shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerReport {
+    /// Per-shard snapshots, in shard order.
+    pub shards: Vec<ShardReport>,
+}
+
+impl ServerReport {
+    /// Total sessions assigned across all shards.
+    pub fn sessions_started(&self) -> u64 {
+        self.shards.iter().map(|s| s.sessions_started).sum()
+    }
+
+    /// Total sessions that ran to the end.
+    pub fn sessions_completed(&self) -> u64 {
+        self.shards.iter().map(|s| s.sessions_completed).sum()
+    }
+
+    /// Total finished sessions with monitor violations.
+    pub fn sessions_violated(&self) -> u64 {
+        self.shards.iter().map(|s| s.sessions_violated).sum()
+    }
+
+    /// Total sessions the scheduler gave up on.
+    pub fn sessions_stalled(&self) -> u64 {
+        self.shards.iter().map(|s| s.sessions_stalled).sum()
+    }
+
+    /// Total messages routed between endpoints.
+    pub fn messages_routed(&self) -> u64 {
+        self.shards.iter().map(|s| s.messages_routed).sum()
+    }
+
+    /// Total visible communications executed.
+    pub fn actions_executed(&self) -> u64 {
+        self.shards.iter().map(|s| s.actions_executed).sum()
+    }
+}
+
+impl fmt::Display for ServerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "server report: {} sessions started, {} completed ({} violated, {} stalled), \
+             {} messages routed, {} actions",
+            self.sessions_started(),
+            self.sessions_completed(),
+            self.sessions_violated(),
+            self.sessions_stalled(),
+            self.messages_routed(),
+            self.actions_executed(),
+        )?;
+        for s in &self.shards {
+            writeln!(
+                f,
+                "  shard {}: {} started, {} completed, {} routed, {} quanta, peak queue {}",
+                s.shard,
+                s.sessions_started,
+                s.sessions_completed,
+                s.messages_routed,
+                s.quanta,
+                s.peak_queue_depth,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_over_shards_and_display_mentions_them() {
+        let report = ServerReport {
+            shards: vec![
+                ShardReport {
+                    shard: 0,
+                    sessions_started: 3,
+                    sessions_completed: 2,
+                    sessions_violated: 1,
+                    sessions_stalled: 0,
+                    messages_routed: 10,
+                    actions_executed: 20,
+                    quanta: 5,
+                    peak_queue_depth: 2,
+                },
+                ShardReport {
+                    shard: 1,
+                    sessions_started: 4,
+                    sessions_completed: 4,
+                    sessions_violated: 0,
+                    sessions_stalled: 0,
+                    messages_routed: 6,
+                    actions_executed: 12,
+                    quanta: 4,
+                    peak_queue_depth: 1,
+                },
+            ],
+        };
+        assert_eq!(report.sessions_started(), 7);
+        assert_eq!(report.sessions_completed(), 6);
+        assert_eq!(report.messages_routed(), 16);
+        assert_eq!(report.actions_executed(), 32);
+        let text = report.to_string();
+        assert!(text.contains("7 sessions started"), "{text}");
+        assert!(text.contains("shard 1"), "{text}");
+    }
+}

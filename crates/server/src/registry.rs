@@ -1,0 +1,238 @@
+//! The protocol registry: compile each registered protocol once, share the
+//! artifacts with every session.
+//!
+//! Registration runs the whole front half of the pipeline — well-formedness
+//! (already checked by [`Protocol::new`]), projection onto every participant,
+//! per-role CFSM compilation and [`System::compile`] — and caches the result
+//! behind an `Arc` keyed by a dense [`ProtocolId`]. Starting a session is
+//! then a lookup plus a few clones of interned tables' handles: the paper's
+//! per-session analysis cost is paid exactly once per protocol, no matter
+//! how many thousands of sessions of it the server hosts.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use zooid_cfsm::{Cfsm, CompiledSystem, System};
+use zooid_dsl::Protocol;
+use zooid_mpst::local::LocalType;
+use zooid_mpst::Role;
+
+use crate::error::{Result, ServerError};
+
+/// Dense id of a registered protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProtocolId(pub(crate) u32);
+
+impl ProtocolId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Everything the server needs to run sessions of one protocol, compiled
+/// once at registration time.
+#[derive(Debug)]
+pub struct ProtocolArtifacts {
+    id: ProtocolId,
+    protocol: Protocol,
+    locals: Vec<(Role, LocalType)>,
+    compiled: Arc<CompiledSystem>,
+}
+
+impl ProtocolArtifacts {
+    /// The protocol's registry id.
+    pub fn id(&self) -> ProtocolId {
+        self.id
+    }
+
+    /// The registered protocol.
+    pub fn protocol(&self) -> &Protocol {
+        &self.protocol
+    }
+
+    /// The protocol's name.
+    pub fn name(&self) -> &str {
+        self.protocol.name()
+    }
+
+    /// The participants, with the projection of the protocol onto each.
+    pub fn locals(&self) -> &[(Role, LocalType)] {
+        &self.locals
+    }
+
+    /// The participants of the protocol.
+    pub fn roles(&self) -> impl Iterator<Item = &Role> {
+        self.locals.iter().map(|(role, _)| role)
+    }
+
+    /// The compiled per-role transition tables, shared by every session's
+    /// [`CompiledMonitor`](zooid_runtime::CompiledMonitor).
+    pub fn compiled(&self) -> &Arc<CompiledSystem> {
+        &self.compiled
+    }
+}
+
+/// A registry of compiled protocols.
+///
+/// # Examples
+///
+/// ```
+/// use zooid_dsl::Protocol;
+/// use zooid_mpst::generators;
+/// use zooid_server::ProtocolRegistry;
+///
+/// let mut registry = ProtocolRegistry::new();
+/// let id = registry.register(Protocol::new("ring", generators::ring3()).unwrap()).unwrap();
+/// assert_eq!(registry.get(id).unwrap().name(), "ring");
+/// // Re-registering the same protocol is idempotent.
+/// let again = registry.register(Protocol::new("ring", generators::ring3()).unwrap()).unwrap();
+/// assert_eq!(id, again);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProtocolRegistry {
+    ids: HashMap<String, ProtocolId>,
+    artifacts: Vec<Arc<ProtocolArtifacts>>,
+}
+
+impl ProtocolRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ProtocolRegistry::default()
+    }
+
+    /// Registers a protocol, compiling its artifacts (projection, per-role
+    /// machines, dense transition tables) exactly once.
+    ///
+    /// Registering the same (name, global type) again returns the existing
+    /// id without recompiling.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a *different* protocol already uses the name, or if the
+    /// protocol is not projectable onto one of its participants.
+    pub fn register(&mut self, protocol: Protocol) -> Result<ProtocolId> {
+        if let Some(&id) = self.ids.get(protocol.name()) {
+            if self.artifacts[id.index()].protocol.global() == protocol.global() {
+                return Ok(id);
+            }
+            return Err(ServerError::DuplicateProtocol {
+                name: protocol.name().to_owned(),
+            });
+        }
+        let locals = protocol.project_all()?;
+        let machines = locals
+            .iter()
+            .map(|(role, local)| Cfsm::from_local_type(role.clone(), local))
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        let system = System::new(machines)?;
+        let compiled = Arc::new(system.compile());
+        let id = ProtocolId(u32::try_from(self.artifacts.len()).expect("registry overflow"));
+        self.ids.insert(protocol.name().to_owned(), id);
+        self.artifacts.push(Arc::new(ProtocolArtifacts {
+            id,
+            protocol,
+            locals,
+            compiled,
+        }));
+        Ok(id)
+    }
+
+    /// The artifacts of a registered protocol.
+    pub fn get(&self, id: ProtocolId) -> Option<&Arc<ProtocolArtifacts>> {
+        self.artifacts.get(id.index())
+    }
+
+    /// Looks a protocol up by name.
+    pub fn lookup(&self, name: &str) -> Option<ProtocolId> {
+        self.ids.get(name).copied()
+    }
+
+    /// Number of registered protocols.
+    pub fn len(&self) -> usize {
+        self.artifacts.len()
+    }
+
+    /// Returns `true` if no protocol has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.artifacts.is_empty()
+    }
+
+    /// Iterates over the registered artifacts in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<ProtocolArtifacts>> {
+        self.artifacts.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zooid_mpst::generators;
+
+    #[test]
+    fn registration_compiles_projections_and_machines() {
+        let mut registry = ProtocolRegistry::new();
+        let id = registry
+            .register(Protocol::new("ring", generators::ring3()).unwrap())
+            .unwrap();
+        let artifacts = registry.get(id).unwrap();
+        assert_eq!(artifacts.locals().len(), 3);
+        assert_eq!(artifacts.compiled().machine_count(), 3);
+        assert_eq!(registry.lookup("ring"), Some(id));
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn conflicting_names_are_rejected_but_reregistration_is_idempotent() {
+        let mut registry = ProtocolRegistry::new();
+        let id = registry
+            .register(Protocol::new("p", generators::ring3()).unwrap())
+            .unwrap();
+        let again = registry
+            .register(Protocol::new("p", generators::ring3()).unwrap())
+            .unwrap();
+        assert_eq!(id, again);
+        assert_eq!(registry.len(), 1);
+        let conflicting = Protocol::new("p", generators::two_buyer()).unwrap();
+        assert!(matches!(
+            registry.register(conflicting),
+            Err(ServerError::DuplicateProtocol { .. })
+        ));
+    }
+
+    #[test]
+    fn unprojectable_protocols_fail_at_registration() {
+        use zooid_mpst::global::GlobalType;
+        use zooid_mpst::{Label, Sort};
+        let r = Role::new;
+        let g = GlobalType::msg(
+            r("Alice"),
+            r("Bob"),
+            vec![
+                (
+                    Label::new("l1"),
+                    Sort::Nat,
+                    GlobalType::msg1(r("Bob"), r("Carol"), "l", Sort::Nat, GlobalType::End),
+                ),
+                (
+                    Label::new("l2"),
+                    Sort::Nat,
+                    GlobalType::msg1(r("Alice"), r("Carol"), "l", Sort::Nat, GlobalType::End),
+                ),
+            ],
+        );
+        let mut registry = ProtocolRegistry::new();
+        assert!(matches!(
+            registry.register(Protocol::new("bad-merge", g).unwrap()),
+            Err(ServerError::Dsl(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_ids_return_none() {
+        let registry = ProtocolRegistry::new();
+        assert!(registry.get(ProtocolId(0)).is_none());
+        assert!(registry.lookup("nope").is_none());
+        assert!(registry.is_empty());
+    }
+}

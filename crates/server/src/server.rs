@@ -1,0 +1,493 @@
+//! The sharded session server: a bounded pool of worker shards hosting
+//! thousands of concurrent sessions.
+//!
+//! Each worker shard owns a crossbeam run queue of [`ActiveSession`]s and
+//! steps them in bounded quanta ([`ServerConfig::quantum`] visible actions),
+//! so a long-running session cannot starve its neighbours and the number of
+//! OS threads is fixed by [`ServerConfig::shards`] — never by the number of
+//! live sessions. Sessions are assigned to shards by hashing their
+//! [`SessionId`], all endpoints of one session live on the same shard (so
+//! intra-session message arrival wakes the receiving endpoint on the very
+//! next stepping pass, with no cross-thread signalling), and finished
+//! sessions stream their [`SessionOutcome`] back to the submitter.
+
+use std::collections::VecDeque;
+use std::hash::Hasher;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use zooid_mpst::common::intern::FxHasher;
+
+use crate::error::{Result, ServerError};
+use crate::metrics::{ServerReport, ShardMetrics};
+use crate::registry::{ProtocolRegistry, ProtocolId};
+use crate::session::{ActiveSession, SessionId, SessionOutcome, SessionSpec};
+
+/// Configuration of a [`SessionServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of worker shards (and therefore worker threads).
+    pub shards: usize,
+    /// Maximum visible communications a session may perform per scheduling
+    /// quantum before it is re-queued behind its shard neighbours.
+    pub quantum: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            shards: 4,
+            quantum: 64,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A config with the given shard count and the default quantum.
+    pub fn with_shards(shards: usize) -> Self {
+        ServerConfig {
+            shards: shards.max(1),
+            ..ServerConfig::default()
+        }
+    }
+}
+
+enum ShardMsg {
+    Run(Box<ActiveSession>),
+    Shutdown,
+}
+
+struct Shard {
+    tx: Sender<ShardMsg>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+/// A multi-session server hosting sessions of registered protocols on a
+/// bounded worker pool.
+///
+/// # Examples
+///
+/// ```
+/// use zooid_dsl::Protocol;
+/// use zooid_mpst::generators;
+/// use zooid_server::{ProtocolRegistry, ServerConfig, SessionServer, SessionSpec};
+///
+/// let mut registry = ProtocolRegistry::new();
+/// let ring = registry.register(Protocol::new("ring", generators::ring3()).unwrap()).unwrap();
+/// let endpoints = zooid_server::synth::skeleton_endpoints(
+///     registry.get(ring).unwrap().protocol(),
+/// ).unwrap();
+///
+/// let mut server = SessionServer::start(registry, ServerConfig::with_shards(2));
+/// for _ in 0..10 {
+///     server.submit(SessionSpec::new(ring, endpoints.clone())).unwrap();
+/// }
+/// let outcomes = server.drain();
+/// assert_eq!(outcomes.len(), 10);
+/// assert!(outcomes.iter().all(|o| o.all_finished_and_compliant()));
+/// let report = server.shutdown();
+/// assert_eq!(report.sessions_completed(), 10);
+/// ```
+#[derive(Debug)]
+pub struct SessionServer {
+    registry: Arc<ProtocolRegistry>,
+    shards: Vec<Shard>,
+    metrics: Vec<Arc<ShardMetrics>>,
+    results_rx: Receiver<SessionOutcome>,
+    next_session: u64,
+    in_flight: usize,
+    /// Set when a shard worker died and its sessions were written off: the
+    /// results stream can no longer be attributed reliably, so the server
+    /// refuses further submissions.
+    degraded: bool,
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard").finish_non_exhaustive()
+    }
+}
+
+impl SessionServer {
+    /// Starts the worker shards over a (now frozen) protocol registry.
+    pub fn start(registry: ProtocolRegistry, config: ServerConfig) -> Self {
+        let registry = Arc::new(registry);
+        let shard_count = config.shards.max(1);
+        let (results_tx, results_rx) = unbounded();
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut metrics = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            let (tx, rx) = unbounded();
+            let shard_metrics = Arc::new(ShardMetrics::default());
+            let worker_metrics = Arc::clone(&shard_metrics);
+            let worker_results = results_tx.clone();
+            let quantum = config.quantum.max(1);
+            let handle = std::thread::spawn(move || {
+                shard_worker(rx, worker_results, worker_metrics, quantum);
+            });
+            shards.push(Shard { tx, handle });
+            metrics.push(shard_metrics);
+        }
+        SessionServer {
+            registry,
+            shards,
+            metrics,
+            results_rx,
+            next_session: 0,
+            in_flight: 0,
+            degraded: false,
+        }
+    }
+
+    /// The registry the server serves.
+    pub fn registry(&self) -> &ProtocolRegistry {
+        &self.registry
+    }
+
+    /// Number of worker shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Convenience: registry lookup by name.
+    pub fn protocol(&self, name: &str) -> Option<ProtocolId> {
+        self.registry.lookup(name)
+    }
+
+    /// Submits a session for execution, returning its id immediately.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the spec references an unknown protocol, does not cover the
+    /// participants exactly, or the server is shut down.
+    pub fn submit(&mut self, spec: SessionSpec) -> Result<SessionId> {
+        if self.degraded {
+            // A worker died and its sessions were written off: outcomes in
+            // the results stream can no longer be matched to submissions.
+            return Err(ServerError::Shutdown);
+        }
+        let artifacts = self
+            .registry
+            .get(spec.protocol)
+            .ok_or(ServerError::UnknownProtocol)?;
+        let id = SessionId(self.next_session);
+        let session = ActiveSession::new(id, spec, artifacts)?;
+        let shard = shard_of(id, self.shards.len());
+        self.shards[shard]
+            .tx
+            .send(ShardMsg::Run(Box::new(session)))
+            .map_err(|_| ServerError::Shutdown)?;
+        self.metrics[shard]
+            .sessions_started
+            .fetch_add(1, Ordering::Relaxed);
+        self.next_session += 1;
+        self.in_flight += 1;
+        Ok(id)
+    }
+
+    /// Receives the next finished session, waiting up to `timeout`.
+    pub fn next_outcome(&mut self, timeout: Duration) -> Option<SessionOutcome> {
+        if self.in_flight == 0 {
+            return None;
+        }
+        match self.results_rx.recv_timeout(timeout) {
+            Ok(outcome) => {
+                self.in_flight -= 1;
+                Some(outcome)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Collects every in-flight session's outcome, blocking until all
+    /// submitted sessions have finished. A session whose endpoints all block
+    /// is detected as stalled by its shard and closed, so every *bounded*
+    /// session finishes; a session of a looping protocol submitted without
+    /// [`SessionSpec::with_max_steps`] never does, and `drain` will wait on
+    /// it indefinitely — bound such sessions or stop them with
+    /// [`SessionServer::shutdown`].
+    ///
+    /// If a shard worker dies (a panic inside session code), its assigned
+    /// sessions can never report: once a quiet period passes with some
+    /// worker thread gone, the missing outcomes are written off, the
+    /// outcomes received so far are returned, and the server turns
+    /// *degraded* — further [`SessionServer::submit`]s are refused, since
+    /// outcomes could no longer be attributed to submissions reliably.
+    /// Callers can detect the loss by comparing the returned length against
+    /// their submission count.
+    pub fn drain(&mut self) -> Vec<SessionOutcome> {
+        let mut outcomes = Vec::with_capacity(self.in_flight);
+        while self.in_flight > 0 {
+            match self.next_outcome(Duration::from_secs(10)) {
+                Some(outcome) => outcomes.push(outcome),
+                None if self.shards.iter().any(|s| s.handle.is_finished()) => {
+                    // A dead worker never reports again; leaving `in_flight`
+                    // nonzero would make every later collect wait for
+                    // outcomes that cannot come.
+                    self.in_flight = 0;
+                    self.degraded = true;
+                    break;
+                }
+                // All workers alive: a long-running session, keep waiting.
+                None => {}
+            }
+        }
+        outcomes
+    }
+
+    /// Snapshots the per-shard metrics.
+    pub fn report(&self) -> ServerReport {
+        ServerReport {
+            shards: self
+                .metrics
+                .iter()
+                .enumerate()
+                .map(|(i, m)| m.snapshot(i))
+                .collect(),
+        }
+    }
+
+    /// Stops the worker pool and returns the final metrics. Sessions still
+    /// running or queued are closed as stalled (so `shutdown` returns even
+    /// when an unbounded session would loop forever); outcomes not collected
+    /// with [`SessionServer::drain`] beforehand are discarded.
+    pub fn shutdown(mut self) -> ServerReport {
+        for shard in &self.shards {
+            let _ = shard.tx.send(ShardMsg::Shutdown);
+        }
+        for shard in self.shards.drain(..) {
+            let _ = shard.handle.join();
+        }
+        self.report()
+    }
+}
+
+/// Deterministic shard assignment by hashed session id.
+fn shard_of(id: SessionId, shards: usize) -> usize {
+    let mut hasher = FxHasher::default();
+    hasher.write_u64(id.0);
+    (hasher.finish() as usize) % shards.max(1)
+}
+
+/// One worker shard: drains its inbox, steps the front of its run queue for
+/// one quantum, re-queues or finishes the session, repeats. On shutdown the
+/// sessions still in the run queue are closed as stalled — a session of an
+/// unbounded looping protocol would otherwise keep the worker (and the
+/// server's `shutdown` join) alive forever.
+fn shard_worker(
+    rx: Receiver<ShardMsg>,
+    results: Sender<SessionOutcome>,
+    metrics: Arc<ShardMetrics>,
+    quantum: usize,
+) {
+    let mut run_queue: VecDeque<Box<ActiveSession>> = VecDeque::new();
+    loop {
+        // Pull new sessions without blocking while there is work.
+        let mut shutting_down = false;
+        loop {
+            match rx.try_recv() {
+                Ok(ShardMsg::Run(session)) => run_queue.push_back(session),
+                Ok(ShardMsg::Shutdown) => shutting_down = true,
+                Err(_) => break,
+            }
+        }
+        if shutting_down {
+            for session in run_queue.drain(..) {
+                // A send failure means the server is gone too: nothing left
+                // to report to, keep closing the remaining sessions.
+                let _ = record_outcome(&metrics, &results, session.close_stalled());
+            }
+            return;
+        }
+        metrics.record_queue_depth(run_queue.len());
+        let Some(mut session) = run_queue.pop_front() else {
+            // Idle: park on the inbox. Shutdown arrives as a message on this
+            // same channel (and a dropped server disconnects it), so a
+            // blocking receive cannot miss it and the worker burns no wakeups.
+            match rx.recv() {
+                Ok(ShardMsg::Run(session)) => run_queue.push_back(session),
+                Ok(ShardMsg::Shutdown) => {
+                    // The queue is empty: nothing to close.
+                    return;
+                }
+                Err(_) => return,
+            }
+            continue;
+        };
+        let result = session.run_quantum(quantum);
+        metrics.quanta.fetch_add(1, Ordering::Relaxed);
+        metrics
+            .actions_executed
+            .fetch_add(result.actions as u64, Ordering::Relaxed);
+        metrics
+            .messages_routed
+            .fetch_add(result.sends as u64, Ordering::Relaxed);
+        match result.outcome {
+            Some(outcome) => {
+                if record_outcome(&metrics, &results, outcome).is_err() {
+                    // The server (and with it every submitter) is gone.
+                    return;
+                }
+            }
+            None => run_queue.push_back(session),
+        }
+    }
+}
+
+/// Counts a finished session in the shard metrics and reports its outcome.
+fn record_outcome(
+    metrics: &ShardMetrics,
+    results: &Sender<SessionOutcome>,
+    outcome: SessionOutcome,
+) -> std::result::Result<(), ()> {
+    if outcome.stalled {
+        metrics.sessions_stalled.fetch_add(1, Ordering::Relaxed);
+    } else {
+        metrics.sessions_completed.fetch_add(1, Ordering::Relaxed);
+    }
+    if !outcome.compliant {
+        metrics.sessions_violated.fetch_add(1, Ordering::Relaxed);
+    }
+    results.send(outcome).map_err(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::skeleton_endpoints;
+    use zooid_dsl::Protocol;
+    use zooid_mpst::generators;
+    use zooid_runtime::EndpointStatus;
+
+    fn ring_registry() -> (ProtocolRegistry, ProtocolId) {
+        let mut registry = ProtocolRegistry::new();
+        let id = registry
+            .register(Protocol::new("ring", generators::ring3()).unwrap())
+            .unwrap();
+        (registry, id)
+    }
+
+    #[test]
+    fn a_thousand_sessions_complete_on_two_shards() {
+        let (registry, ring) = ring_registry();
+        let endpoints = skeleton_endpoints(registry.get(ring).unwrap().protocol()).unwrap();
+        let mut server = SessionServer::start(registry, ServerConfig::with_shards(2));
+        for _ in 0..1_000 {
+            server.submit(SessionSpec::new(ring, endpoints.clone())).unwrap();
+        }
+        let outcomes = server.drain();
+        assert_eq!(outcomes.len(), 1_000);
+        assert!(outcomes.iter().all(|o| o.all_finished_and_compliant()));
+        let report = server.shutdown();
+        assert_eq!(report.sessions_started(), 1_000);
+        assert_eq!(report.sessions_completed(), 1_000);
+        assert_eq!(report.sessions_violated(), 0);
+        assert_eq!(report.sessions_stalled(), 0);
+        // The ring exchanges 3 messages per session.
+        assert_eq!(report.messages_routed(), 3_000);
+        assert_eq!(report.actions_executed(), 6_000);
+        // Work is spread over both shards.
+        assert!(report.shards.iter().all(|s| s.sessions_started > 0));
+    }
+
+    #[test]
+    fn tiny_quanta_interleave_sessions_instead_of_running_them_to_death() {
+        let (registry, ring) = ring_registry();
+        let endpoints = skeleton_endpoints(registry.get(ring).unwrap().protocol()).unwrap();
+        let config = ServerConfig {
+            shards: 1,
+            quantum: 1,
+        };
+        let mut server = SessionServer::start(registry, config);
+        for _ in 0..50 {
+            server.submit(SessionSpec::new(ring, endpoints.clone())).unwrap();
+        }
+        let outcomes = server.drain();
+        assert_eq!(outcomes.len(), 50);
+        assert!(outcomes.iter().all(|o| o.all_finished_and_compliant()));
+        let report = server.shutdown();
+        // 6 actions per session, 1 per quantum: many more quanta than
+        // sessions proves the scheduler round-robins.
+        assert!(report.shards[0].quanta >= 300, "{report}");
+        assert!(report.shards[0].peak_queue_depth > 1, "{report}");
+    }
+
+    #[test]
+    fn step_limited_recursive_sessions_finish_with_step_limit_status() {
+        let mut registry = ProtocolRegistry::new();
+        let id = registry
+            .register(Protocol::new("pipeline", generators::pipeline()).unwrap())
+            .unwrap();
+        let endpoints = skeleton_endpoints(registry.get(id).unwrap().protocol()).unwrap();
+        let mut server = SessionServer::start(registry, ServerConfig::with_shards(2));
+        server
+            .submit(SessionSpec::new(id, endpoints).with_max_steps(10))
+            .unwrap();
+        let outcomes = server.drain();
+        assert_eq!(outcomes.len(), 1);
+        let outcome = &outcomes[0];
+        assert!(outcome.compliant, "{:?}", outcome.violations);
+        assert!(!outcome.complete);
+        // Alice (the sender) certainly hits her limit; the others either hit
+        // theirs or stall waiting for the eleventh message.
+        assert!(outcome.endpoints.values().any(|r| r.status == EndpointStatus::StepLimitReached));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_closes_unbounded_sessions_as_stalled_instead_of_hanging() {
+        let mut registry = ProtocolRegistry::new();
+        let id = registry
+            .register(Protocol::new("pipeline", generators::pipeline()).unwrap())
+            .unwrap();
+        let endpoints = skeleton_endpoints(registry.get(id).unwrap().protocol()).unwrap();
+        let mut server = SessionServer::start(registry, ServerConfig::with_shards(1));
+        // No step limit: the session loops forever and is re-queued after
+        // every quantum. Shutdown must still return, closing it as stalled.
+        server.submit(SessionSpec::new(id, endpoints)).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let report = server.shutdown();
+        assert_eq!(report.sessions_started(), 1);
+        assert_eq!(report.sessions_stalled(), 1, "{report}");
+        assert_eq!(report.sessions_completed(), 0, "{report}");
+        assert!(report.actions_executed() > 0, "the session did run");
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_at_submission() {
+        let (registry, ring) = ring_registry();
+        let endpoints = skeleton_endpoints(registry.get(ring).unwrap().protocol()).unwrap();
+        let mut server = SessionServer::start(registry, ServerConfig::with_shards(1));
+        // Missing one endpoint.
+        let missing = SessionSpec::new(ring, endpoints[..2].to_vec());
+        assert!(matches!(
+            server.submit(missing),
+            Err(ServerError::MissingEndpoint { .. })
+        ));
+        // Duplicated endpoint.
+        let mut doubled = endpoints.clone();
+        doubled.push(endpoints[0].clone());
+        assert!(matches!(
+            server.submit(SessionSpec::new(ring, doubled)),
+            Err(ServerError::UnexpectedEndpoint { .. })
+        ));
+        // Unknown protocol id.
+        assert!(matches!(
+            server.submit(SessionSpec::new(ProtocolId(99), endpoints)),
+            Err(ServerError::UnknownProtocol)
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn sessions_hash_to_stable_shards() {
+        assert_eq!(shard_of(SessionId(7), 4), shard_of(SessionId(7), 4));
+        assert_eq!(shard_of(SessionId(7), 1), 0);
+        // Ids spread over shards (not all in one bucket).
+        let buckets: std::collections::BTreeSet<usize> =
+            (0..64).map(|i| shard_of(SessionId(i), 4)).collect();
+        assert!(buckets.len() > 1);
+    }
+}

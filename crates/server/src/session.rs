@@ -1,0 +1,256 @@
+//! One hosted session: a set of resumable endpoint tasks over an in-memory
+//! network, stepped in bounded quanta with a live compiled monitor.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use zooid_dsl::CertifiedProcess;
+use zooid_mpst::{Role, Trace};
+use zooid_proc::{erase, Externals};
+use zooid_runtime::exec::{EndpointReport, EndpointTask, ExecOptions, StepOutcome};
+use zooid_runtime::monitor::{CompiledMonitor, MonitorViolation};
+use zooid_runtime::transport::{InMemoryNetwork, InMemoryTransport};
+
+use crate::error::{Result, ServerError};
+use crate::registry::{ProtocolArtifacts, ProtocolId};
+
+/// Server-wide id of a hosted session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u64);
+
+/// Everything needed to start one session: the protocol and a certified
+/// implementation (plus externals) for every participant.
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// The registered protocol the session runs.
+    pub protocol: ProtocolId,
+    /// One certified endpoint per participant, in any order.
+    pub endpoints: Vec<(CertifiedProcess, Externals)>,
+    /// Execution options applied to every endpoint (step limits for
+    /// non-terminating protocols).
+    pub options: ExecOptions,
+}
+
+impl SessionSpec {
+    /// A spec with default options.
+    pub fn new(protocol: ProtocolId, endpoints: Vec<(CertifiedProcess, Externals)>) -> Self {
+        SessionSpec {
+            protocol,
+            endpoints,
+            options: ExecOptions::default(),
+        }
+    }
+
+    /// Limits every endpoint to at most `max_steps` visible communications.
+    pub fn with_max_steps(mut self, max_steps: usize) -> Self {
+        self.options = ExecOptions::with_max_steps(max_steps);
+        self
+    }
+}
+
+/// The outcome of one hosted session (the server-side counterpart of
+/// [`zooid_runtime::SessionReport`]).
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// The session's id.
+    pub id: SessionId,
+    /// The protocol it ran.
+    pub protocol: ProtocolId,
+    /// Per-endpoint reports (trace with values, final status).
+    pub endpoints: BTreeMap<Role, EndpointReport>,
+    /// The global interleaving accepted by the monitor (erased actions).
+    pub global_trace: Trace,
+    /// Whether every observed action was allowed by the protocol.
+    pub compliant: bool,
+    /// Whether the protocol ran to completion.
+    pub complete: bool,
+    /// Every observed violation.
+    pub violations: Vec<MonitorViolation>,
+    /// Whether the scheduler gave up because no endpoint could progress.
+    pub stalled: bool,
+}
+
+impl SessionOutcome {
+    /// Returns `true` if every endpoint finished and the observed trace is
+    /// compliant and complete.
+    pub fn all_finished_and_compliant(&self) -> bool {
+        self.compliant
+            && self.complete
+            && self.endpoints.values().all(|r| r.status.is_finished())
+    }
+
+    /// Total number of messages exchanged (sends accepted by the monitor).
+    pub fn messages_exchanged(&self) -> usize {
+        self.global_trace.iter().filter(|a| a.is_send()).count()
+    }
+}
+
+/// What one scheduling quantum did to a session.
+#[derive(Debug)]
+pub(crate) struct QuantumResult {
+    /// Visible communications performed during the quantum.
+    pub(crate) actions: usize,
+    /// Messages handed to the in-session network (sends).
+    pub(crate) sends: usize,
+    /// `Some` when the session is over (finished or stalled) — the session
+    /// must not be re-queued.
+    pub(crate) outcome: Option<SessionOutcome>,
+}
+
+/// A session hosted by a worker shard: one [`EndpointTask`] per role, the
+/// session's in-memory channels, and a [`CompiledMonitor`] observing every
+/// communication.
+#[derive(Debug)]
+pub(crate) struct ActiveSession {
+    id: SessionId,
+    protocol: ProtocolId,
+    monitor: CompiledMonitor,
+    tasks: Vec<(EndpointTask, InMemoryTransport)>,
+}
+
+impl ActiveSession {
+    /// Builds the session, validating that the endpoints cover the
+    /// protocol's participants exactly once each.
+    pub(crate) fn new(
+        id: SessionId,
+        spec: SessionSpec,
+        artifacts: &Arc<ProtocolArtifacts>,
+    ) -> Result<Self> {
+        let mut remaining: Vec<&Role> = artifacts.roles().collect();
+        for (cert, _) in &spec.endpoints {
+            if cert.protocol_name() != artifacts.name() {
+                return Err(ServerError::WrongProtocol {
+                    expected: artifacts.name().to_owned(),
+                    found: cert.protocol_name().to_owned(),
+                });
+            }
+            let Some(pos) = remaining.iter().position(|r| *r == cert.role()) else {
+                return Err(ServerError::UnexpectedEndpoint {
+                    role: cert.role().clone(),
+                });
+            };
+            remaining.swap_remove(pos);
+        }
+        if let Some(role) = remaining.first() {
+            return Err(ServerError::MissingEndpoint { role: (*role).clone() });
+        }
+
+        let mut network = InMemoryNetwork::new(artifacts.roles().cloned());
+        let tasks = spec
+            .endpoints
+            .into_iter()
+            .map(|(cert, externals)| {
+                let transport = network
+                    .take_endpoint(cert.role())
+                    .expect("coverage was validated above");
+                let task = EndpointTask::new(
+                    cert.proc().clone(),
+                    cert.role().clone(),
+                    externals,
+                    spec.options.clone(),
+                );
+                (task, transport)
+            })
+            .collect();
+        Ok(ActiveSession {
+            id,
+            protocol: spec.protocol,
+            monitor: CompiledMonitor::new(Arc::clone(artifacts.compiled())),
+            tasks,
+        })
+    }
+
+    /// Runs the session for at most `budget` visible communications.
+    ///
+    /// Endpoints are stepped round-robin, each until it blocks; the quantum
+    /// ends when the budget is exhausted (session re-queued by the caller),
+    /// when every endpoint is done, or when a full round-robin pass makes no
+    /// progress while tasks are still pending — which, for a self-contained
+    /// in-memory session, means no message can ever arrive again: the
+    /// remaining endpoints are marked [`EndpointStatus::Stalled`] and the
+    /// session is closed.
+    ///
+    /// [`EndpointStatus::Stalled`]: zooid_runtime::EndpointStatus::Stalled
+    pub(crate) fn run_quantum(&mut self, budget: usize) -> QuantumResult {
+        let mut actions = 0usize;
+        let mut sends = 0usize;
+        let ActiveSession { monitor, tasks, .. } = self;
+        'quantum: loop {
+            let mut progressed = false;
+            for (task, transport) in tasks.iter_mut() {
+                if task.is_done() {
+                    continue;
+                }
+                loop {
+                    if actions >= budget {
+                        break 'quantum;
+                    }
+                    match task.step(transport, &mut |va| {
+                        if va.is_send {
+                            sends += 1;
+                        }
+                        monitor.observe(&erase(va));
+                    }) {
+                        StepOutcome::Progress => {
+                            progressed = true;
+                            actions += 1;
+                        }
+                        StepOutcome::WouldBlock { .. } | StepOutcome::Done(_) => break,
+                    }
+                }
+            }
+            if tasks.iter().all(|(task, _)| task.is_done()) {
+                return QuantumResult {
+                    actions,
+                    sends,
+                    outcome: Some(self.finish(false)),
+                };
+            }
+            if !progressed {
+                // Self-contained session with every endpoint blocked: no
+                // message will ever arrive again.
+                return QuantumResult {
+                    actions,
+                    sends,
+                    outcome: Some(self.finish(true)),
+                };
+            }
+        }
+        // Budget exhausted mid-protocol (the task in hand had just made
+        // progress, so it cannot be done): the session stays live and the
+        // next quantum picks it up where it stopped.
+        QuantumResult {
+            actions,
+            sends,
+            outcome: None,
+        }
+    }
+
+    /// Force-closes a session its scheduler will not run again (server
+    /// shutdown): every endpoint still mid-protocol is marked stalled.
+    pub(crate) fn close_stalled(mut self) -> SessionOutcome {
+        self.finish(true)
+    }
+
+    fn finish(&mut self, stalled: bool) -> SessionOutcome {
+        let mut endpoints = BTreeMap::new();
+        for (mut task, transport) in std::mem::take(&mut self.tasks) {
+            if stalled {
+                task.mark_stalled();
+            }
+            let report = task.into_report();
+            endpoints.insert(report.role.clone(), report);
+            drop(transport);
+        }
+        SessionOutcome {
+            id: self.id,
+            protocol: self.protocol,
+            endpoints,
+            global_trace: self.monitor.trace().clone(),
+            compliant: self.monitor.is_compliant(),
+            complete: self.monitor.is_complete(),
+            violations: self.monitor.violations().to_vec(),
+            stalled,
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Skeleton endpoint implementations synthesized from projections.
+//!
+//! Load generation and differential testing need *some* certified
+//! implementation for every role of arbitrary (randomized) protocols. The
+//! skeletons built here follow the projected local type literally: an
+//! internal choice always selects its **first** branch and sends the
+//! canonical default value of the payload sort, an external choice
+//! implements every alternative, recursion becomes a process loop. The
+//! result type-checks against the projection by construction, so
+//! [`Protocol::implement_against_projection`] certifies it — giving a fully
+//! deterministic session whose per-endpoint traces are schedule-independent
+//! (which is what the harness-vs-server differential tests rely on).
+
+use zooid_dsl::{CertifiedProcess, Protocol};
+use zooid_mpst::local::LocalType;
+use zooid_mpst::Sort;
+use zooid_proc::{Expr, Externals, Proc, RecvAlt};
+
+use crate::error::{Result, ServerError};
+
+/// The canonical default expression of a payload sort (`0`, `false`, `""`,
+/// pairs of defaults, ...), or `None` for sorts with no closed constructor
+/// in the expression language (sums and sequences).
+pub fn default_expr(sort: &Sort) -> Option<Expr> {
+    match sort {
+        Sort::Unit => Some(Expr::unit()),
+        Sort::Nat => Some(Expr::lit(0u64)),
+        Sort::Int => Some(Expr::lit(0i64)),
+        Sort::Bool => Some(Expr::lit(false)),
+        Sort::Str => Some(Expr::lit("")),
+        Sort::Prod(a, b) => Some(Expr::pair(default_expr(a)?, default_expr(b)?)),
+        Sort::Sum(..) | Sort::Seq(_) => None,
+    }
+}
+
+/// The skeleton process of a local type: first-branch sends with default
+/// payloads, exhaustive receives, loops for recursion.
+///
+/// Returns `None` if some send position carries a sort without a
+/// [`default_expr`].
+pub fn skeleton_proc(local: &LocalType) -> Option<Proc> {
+    match local {
+        LocalType::End => Some(Proc::Finish),
+        LocalType::Var(i) => Some(Proc::Jump(*i)),
+        LocalType::Rec(body) => Some(Proc::loop_(skeleton_proc(body)?)),
+        LocalType::Send { to, branches } => {
+            let branch = branches.first()?;
+            Some(Proc::send(
+                to.clone(),
+                branch.label.clone(),
+                default_expr(&branch.sort)?,
+                skeleton_proc(&branch.cont)?,
+            ))
+        }
+        LocalType::Recv { from, branches } => {
+            let alts = branches
+                .iter()
+                .map(|b| {
+                    Some(RecvAlt::new(
+                        b.label.clone(),
+                        b.sort.clone(),
+                        "_x",
+                        skeleton_proc(&b.cont)?,
+                    ))
+                })
+                .collect::<Option<Vec<_>>>()?;
+            Some(Proc::recv(from.clone(), alts))
+        }
+    }
+}
+
+/// Certifies a skeleton implementation for every participant of a protocol.
+///
+/// # Errors
+///
+/// Fails if the protocol is not projectable or some projection needs a
+/// payload sort without a default value.
+pub fn skeleton_endpoints(protocol: &Protocol) -> Result<Vec<(CertifiedProcess, Externals)>> {
+    let externals = Externals::new();
+    protocol
+        .project_all()?
+        .into_iter()
+        .map(|(role, local)| {
+            let proc = skeleton_proc(&local).ok_or_else(|| ServerError::Unsupported {
+                reason: format!("no default payload for some sort in the projection onto `{role}`"),
+            })?;
+            let cert = protocol.implement_against_projection(&role, proc, &externals)?;
+            Ok((cert, externals.clone()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zooid_mpst::generators;
+    use zooid_runtime::SessionHarness;
+
+    #[test]
+    fn default_expressions_cover_the_base_sorts() {
+        for sort in [Sort::Unit, Sort::Nat, Sort::Int, Sort::Bool, Sort::Str] {
+            assert!(default_expr(&sort).is_some(), "{sort:?}");
+        }
+        assert!(default_expr(&Sort::prod(Sort::Nat, Sort::Bool)).is_some());
+        assert!(default_expr(&Sort::sum(Sort::Nat, Sort::Bool)).is_none());
+    }
+
+    #[test]
+    fn skeletons_certify_and_run_for_the_named_protocols() {
+        for (name, g) in [
+            ("ring", generators::ring3()),
+            ("two_buyer", generators::two_buyer()),
+            ("fanout", generators::fanout_n(4)),
+        ] {
+            let protocol = Protocol::new(name, g).unwrap();
+            let endpoints = skeleton_endpoints(&protocol).unwrap();
+            assert_eq!(endpoints.len(), protocol.roles().len());
+            let mut harness = SessionHarness::new(protocol.clone());
+            for (cert, ext) in endpoints {
+                harness.add_endpoint(cert, ext).unwrap();
+            }
+            harness.with_max_steps(64);
+            let report = harness.run().unwrap();
+            assert!(report.compliant, "{name}: {:?}", report.violations);
+        }
+    }
+
+    #[test]
+    fn recursive_protocols_synthesize_loops() {
+        let protocol = Protocol::new("pipeline", generators::pipeline()).unwrap();
+        let endpoints = skeleton_endpoints(&protocol).unwrap();
+        // The pipeline loops forever; a bounded run must hit the step limit.
+        let mut harness = SessionHarness::new(protocol);
+        for (cert, ext) in endpoints {
+            harness.add_endpoint(cert, ext).unwrap();
+        }
+        harness.with_max_steps(10);
+        harness.with_recv_timeout(std::time::Duration::from_millis(500));
+        let report = harness.run().unwrap();
+        assert!(report.compliant, "{:?}", report.violations);
+    }
+}

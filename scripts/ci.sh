@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 CI for the zooid workspace: release build, full test-suite, and a
 # bench-report smoke run that validates the machine-readable benchmark
-# report (BENCH_pr2.json schema) without paying full measurement budgets.
+# report (BENCH_pr3.json schema) without paying full measurement budgets.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,7 +15,7 @@ cargo test -q
 echo "== bench-report smoke"
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
-report="$tmpdir/BENCH_pr2.json"
+report="$tmpdir/BENCH_pr3.json"
 cargo run --release -p zooid-bench --bin bench-report -- --smoke --out "$report" >/dev/null
 
 echo "== validating $report"
@@ -27,22 +27,33 @@ import sys
 with open(sys.argv[1]) as f:
     report = json.load(f)
 
-assert report["pr"] == 2, f"unexpected pr marker: {report['pr']}"
+assert report["pr"] == 3, f"unexpected pr marker: {report['pr']}"
 benches = report["benches"]
 families = {e["bench"] for e in benches}
-assert "cfsm_explore" in families, f"missing cfsm_explore family, got {sorted(families)}"
+for family in ("cfsm_explore", "server_throughput", "monitor_action"):
+    assert family in families, f"missing {family} family, got {sorted(families)}"
 for entry in benches:
     for key in ("bench", "case", "median_ns", "baseline_ns", "speedup", "baseline"):
         assert key in entry, f"entry missing {key}: {entry}"
+server = [e for e in benches if e["bench"] == "server_throughput"]
+assert all(e["median_ns"] > 0 for e in server), "server medians must be positive"
+assert any("shards4" in e["case"] for e in server), "expected a 4-shard case"
+monitor = [e for e in benches if e["bench"] == "monitor_action"]
+assert all(e["median_ns"] > 0 and e["baseline_ns"] > 0 for e in monitor)
 explore = [e for e in benches if e["bench"] == "cfsm_explore"]
 assert all(e["median_ns"] > 0 for e in explore), "cfsm_explore medians must be positive"
-print(f"OK: {len(benches)} entries, {len(explore)} cfsm_explore cases")
+print(
+    f"OK: {len(benches)} entries, {len(explore)} cfsm_explore, "
+    f"{len(server)} server_throughput, {len(monitor)} monitor_action cases"
+)
 EOF
 else
     # Fallback when python3 is unavailable: shape-check with grep.
-    grep -q '"pr": 2' "$report"
+    grep -q '"pr": 3' "$report"
     grep -q '"bench": "cfsm_explore"' "$report"
-    echo "OK (grep fallback): cfsm_explore family present"
+    grep -q '"bench": "server_throughput"' "$report"
+    grep -q '"bench": "monitor_action"' "$report"
+    echo "OK (grep fallback): cfsm_explore/server_throughput/monitor_action present"
 fi
 
 echo "== CI green"

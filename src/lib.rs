@@ -15,7 +15,11 @@
 //! * [`runtime`] — extraction of processes to executable programs, transports
 //!   and the multi-participant session harness (§4.4–4.5);
 //! * [`cfsm`] — communicating finite-state machines compiled from local
-//!   types, with safety and liveness exploration.
+//!   types, with safety and liveness exploration;
+//! * [`server`] — the multi-session server: a protocol registry compiling
+//!   each protocol once, a sharded scheduler multiplexing thousands of
+//!   concurrent sessions on a bounded worker pool, and compiled per-role
+//!   monitors (see `examples/load_sim.rs`).
 //!
 //! # Quickstart
 //!
@@ -29,3 +33,4 @@ pub use zooid_dsl as dsl;
 pub use zooid_mpst as mpst;
 pub use zooid_proc as proc;
 pub use zooid_runtime as runtime;
+pub use zooid_server as server;

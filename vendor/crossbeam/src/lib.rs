@@ -37,6 +37,12 @@ pub mod channel {
     }
 
     impl<T> Receiver<T> {
+        /// Dequeues the oldest message, blocking until one arrives or every
+        /// sender is dropped.
+        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+            self.0.recv()
+        }
+
         /// Dequeues the oldest message, blocking up to `timeout`.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
             self.0.recv_timeout(timeout)
