@@ -1,4 +1,4 @@
-//! Emits a machine-readable benchmark report (`BENCH_pr3.json`) so future
+//! Emits a machine-readable benchmark report (`BENCH_pr4.json`) so future
 //! PRs can track the performance trajectory of the hot paths.
 //!
 //! For every scalable protocol family (`ring`, `chain`, `fanout`) at sizes
@@ -12,6 +12,21 @@
 //! * `cfsm_explore` — the interned CFSM engine ([`System::explore`]) at
 //!   channel bound 2, capped at a fixed number of visited configurations so
 //!   every family stays tractable at size 128.
+//!
+//! Two families track the exploration modes added in PR 4:
+//!
+//! * `cfsm_explore_por` — the ample-set partial-order reduction
+//!   ([`System::explore_por`]) against the full interned engine
+//!   ([`System::explore`]) at the same channel bound and configuration
+//!   budget. On the concurrent families the reduction collapses the
+//!   interleaving space to its causal skeleton, so the same (identical!)
+//!   verdict arrives after a fraction of the configurations; the harness
+//!   asserts verdict agreement before timing;
+//! * `cfsm_explore_par` — the work-stealing parallel frontier
+//!   ([`System::explore_parallel`]) at 1/2/4 worker threads on the largest
+//!   residual (post-reduction) state space, baselined against its own
+//!   single-thread run. Observed scaling is bounded by the CPUs the
+//!   container actually grants (this harness records, it does not assume).
 //!
 //! Two families track the serving layer added in PR 3:
 //!
@@ -162,7 +177,7 @@ struct Options {
 fn parse_args() -> Options {
     let mut opts = Options {
         smoke: false,
-        out: "BENCH_pr3.json".to_owned(),
+        out: "BENCH_pr4.json".to_owned(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -284,6 +299,116 @@ fn main() {
                 median_ns: ns,
                 baseline_ns,
                 baseline: "explicit-state explorer (System::explore_exhaustive, same run)",
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // cfsm_explore_por: the ample-set partial-order reduction vs the full
+    // interned engine, same bound, same configuration budget, same verdict.
+    // The concurrent families are where interleavings explode; ring is the
+    // sequential control.
+    // ------------------------------------------------------------------
+    let por_cases: Vec<(String, GlobalType, usize)> = if opts.smoke {
+        vec![
+            ("ring/8".into(), generators::ring_n(8), 20_000),
+            ("fanout/8".into(), generators::fanout_n(8), 20_000),
+        ]
+    } else {
+        vec![
+            ("ring/32".into(), generators::ring_n(32), 50_000),
+            ("chain/8".into(), generators::chain_n(8), 200_000),
+            ("fanout/8".into(), generators::fanout_n(8), 50_000),
+            ("fanout/10".into(), generators::fanout_n(10), 200_000),
+        ]
+    };
+    for (case, g, cap) in &por_cases {
+        let system = System::from_global(g).expect("bench families are projectable");
+        let compiled = system.compile();
+        let full_probe = compiled.explore(CFSM_BOUND, *cap);
+        let por_probe = compiled.explore_por(CFSM_BOUND, *cap);
+        assert!(
+            !full_probe.truncated && !por_probe.truncated,
+            "{case}: POR cases are sized to complete within the budget"
+        );
+        assert_eq!(
+            full_probe.verdict(),
+            por_probe.verdict(),
+            "{case}: reduction must preserve the verdict"
+        );
+        let ns = median_ns(
+            || {
+                let outcome = std::hint::black_box(&compiled).explore_por(CFSM_BOUND, *cap);
+                std::hint::black_box(outcome.configurations);
+            },
+            if opts.smoke { 5 } else { 15 },
+            if opts.smoke { 300 } else { 5_000 },
+        );
+        let baseline_ns = median_ns(
+            || {
+                let outcome = std::hint::black_box(&compiled).explore(CFSM_BOUND, *cap);
+                std::hint::black_box(outcome.configurations);
+            },
+            if opts.smoke { 3 } else { 9 },
+            if opts.smoke { 500 } else { 8_000 },
+        );
+        entries.push(Entry {
+            bench: "cfsm_explore_por",
+            case: format!(
+                "{case}/bound{CFSM_BOUND}/cap{cap}/residual{}of{}",
+                por_probe.configurations, full_probe.configurations
+            ),
+            median_ns: ns,
+            baseline_ns,
+            baseline: "full interned engine (System::explore, same bound/cap/verdict, same run)",
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // cfsm_explore_par: the work-stealing frontier at 1/2/4 threads on the
+    // largest residual state space, baselined against its own 1-thread
+    // run. The smoke run keeps threads=2 in the loop so CI exercises the
+    // termination protocol and cross-thread determinism every time.
+    // ------------------------------------------------------------------
+    let (par_case, par_g, par_cap): (&str, GlobalType, usize) = if opts.smoke {
+        ("fanout/8", generators::fanout_n(8), 20_000)
+    } else {
+        ("fanout/14", generators::fanout_n(14), 200_000)
+    };
+    let par_threads: &[usize] = if opts.smoke { &[1, 2] } else { &[1, 2, 4] };
+    {
+        let system = System::from_global(&par_g).expect("bench families are projectable");
+        let compiled = system.compile();
+        let por_probe = compiled.explore_por(CFSM_BOUND, par_cap);
+        let mut thread1_ns = 0u64;
+        for &threads in par_threads {
+            let probe = compiled.explore_parallel(CFSM_BOUND, par_cap, threads);
+            assert_eq!(probe.verdict(), por_probe.verdict(), "{par_case}/t{threads}");
+            assert_eq!(
+                probe.configurations, por_probe.configurations,
+                "{par_case}/t{threads}: parallel frontier must cover the reduced space"
+            );
+            let ns = median_ns(
+                || {
+                    let outcome = std::hint::black_box(&compiled)
+                        .explore_parallel(CFSM_BOUND, par_cap, threads);
+                    std::hint::black_box(outcome.configurations);
+                },
+                if opts.smoke { 3 } else { 7 },
+                if opts.smoke { 500 } else { 8_000 },
+            );
+            if threads == 1 {
+                thread1_ns = ns;
+            }
+            entries.push(Entry {
+                bench: "cfsm_explore_par",
+                case: format!(
+                    "{par_case}/threads{threads}/cap{par_cap}/residual{}",
+                    por_probe.configurations
+                ),
+                median_ns: ns,
+                baseline_ns: thread1_ns,
+                baseline: "explore_parallel at 1 thread (same workload, same run)",
             });
         }
     }
@@ -438,7 +563,7 @@ fn main() {
         });
     }
 
-    let mut json = String::from("{\n  \"pr\": 3,\n  \"benches\": [\n");
+    let mut json = String::from("{\n  \"pr\": 4,\n  \"benches\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let speedup = if e.median_ns > 0 && e.baseline_ns > 0 {
             e.baseline_ns as f64 / e.median_ns as f64

@@ -23,11 +23,30 @@
 //! check both explorers agree on verdicts, counts and violating
 //! configurations, and that every counterexample trace replays through
 //! [`System::successors`].
+//!
+//! On top of the plain BFS the engine offers two faster exploration modes
+//! that preserve verdicts (but not configuration counts or trace shapes):
+//!
+//! * [`CompiledSystem::explore_por`] applies an ample-set **partial-order
+//!   reduction**: at a configuration where some machine's entire transition
+//!   set is receives on a single channel whose head matches exactly one of
+//!   them, only that receive is expanded. Such a step commutes with every
+//!   other enabled action of a FIFO system, the machine can take no other
+//!   first action until it fires, and ample steps strictly shrink the total
+//!   queue volume (so no cycle of the reduced graph consists of reduced
+//!   steps only — the standard cycle proviso holds structurally). Deadlocks,
+//!   orphans, reception errors, reachability of termination and the
+//!   liveness fixpoint are all preserved; see the module tests and
+//!   `tests/differential_modes.rs`.
+//! * [`CompiledSystem::explore_parallel`] (in [`crate::parallel`]) runs the
+//!   reduced exploration on a work-stealing frontier over N threads with a
+//!   sharded visited map.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::hash::{Hash, Hasher};
 
-use zooid_mpst::common::intern::{FxHashMap, MsgId, RoleId};
-use zooid_mpst::{Action, Interner};
+use zooid_mpst::common::intern::{FxHashMap, FxHasher, MsgId, RoleId};
+use zooid_mpst::{Action, Interner, InternerSnapshot};
 
 use crate::machine::{CfsmAction, Direction};
 use crate::system::{
@@ -36,15 +55,15 @@ use crate::system::{
 
 /// A compiled transition: everything the exploration loop needs, as ids.
 #[derive(Debug, Clone, Copy)]
-struct CTrans {
+pub(crate) struct CTrans {
     /// Send or receive.
-    dir: Direction,
+    pub(crate) dir: Direction,
     /// Dense id of the channel the message travels on.
-    channel: u32,
+    pub(crate) channel: u32,
     /// Interned `(label, sort)` payload.
-    msg: MsgId,
+    pub(crate) msg: MsgId,
     /// Machine state after the transition.
-    target: u32,
+    pub(crate) target: u32,
     /// Index of the partner's machine, or `u32::MAX` if no machine in the
     /// system implements the partner role.
     partner_machine: u32,
@@ -59,15 +78,77 @@ struct ChannelInfo {
 }
 
 /// A packed configuration: machine states as `u32`s plus one message-id
-/// buffer per dense channel. Cloning and hashing never touch a string.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct PackedConfig {
-    states: Vec<u32>,
-    queues: Vec<Vec<MsgId>>,
+/// buffer per dense channel, with the 64-bit FxHash of that content cached
+/// inline. Cloning never touches a string, and hashing (visited-set probes,
+/// shard routing in the parallel explorer) writes the cached word instead of
+/// re-walking the vectors.
+///
+/// Invariant: `hash == Self::content_hash(&states, &queues)` whenever the
+/// configuration is compared or inserted anywhere. [`PackedConfig::rehash`]
+/// restores it after in-place mutation.
+#[derive(Debug, Clone)]
+pub(crate) struct PackedConfig {
+    hash: u64,
+    pub(crate) states: Vec<u32>,
+    pub(crate) queues: Vec<Vec<MsgId>>,
+}
+
+impl PartialEq for PackedConfig {
+    fn eq(&self, other: &Self) -> bool {
+        // The cached hash is a function of the content: compare it first as
+        // a cheap reject, then confirm on the content itself.
+        self.hash == other.hash && self.states == other.states && self.queues == other.queues
+    }
+}
+
+impl Eq for PackedConfig {}
+
+impl Hash for PackedConfig {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
 }
 
 impl PackedConfig {
-    fn all_queues_empty(&self) -> bool {
+    pub(crate) fn new(states: Vec<u32>, queues: Vec<Vec<MsgId>>) -> Self {
+        let mut cfg = PackedConfig {
+            hash: 0,
+            states,
+            queues,
+        };
+        cfg.rehash();
+        cfg
+    }
+
+    fn content_hash(states: &[u32], queues: &[Vec<MsgId>]) -> u64 {
+        let mut h = FxHasher::default();
+        for &s in states {
+            h.write_u32(s);
+        }
+        for q in queues {
+            // Length-prefix each buffer so shifting a message between
+            // channels cannot collide by concatenation.
+            h.write_usize(q.len());
+            for &m in q {
+                h.write_u32(m.index() as u32);
+            }
+        }
+        h.finish()
+    }
+
+    /// Recomputes the cached hash after in-place mutation of `states` or
+    /// `queues`.
+    pub(crate) fn rehash(&mut self) {
+        self.hash = Self::content_hash(&self.states, &self.queues);
+    }
+
+    /// The cached 64-bit content hash (shard routing key of the parallel
+    /// explorer).
+    pub(crate) fn cached_hash(&self) -> u64 {
+        self.hash
+    }
+
+    pub(crate) fn all_queues_empty(&self) -> bool {
         self.queues.iter().all(Vec::is_empty)
     }
 }
@@ -98,7 +179,10 @@ impl PackedConfig {
 /// ```
 #[derive(Debug)]
 pub struct CompiledSystem {
-    interner: Interner,
+    /// Read-only snapshot of the interner the tables were compiled against.
+    /// Workers of the parallel explorer share it freely (`Send + Sync`)
+    /// without ever touching the live hash-consing maps.
+    snapshot: InternerSnapshot,
     /// Role of each machine, in system order.
     roles: Vec<zooid_mpst::Role>,
     /// Initial state of each machine.
@@ -172,7 +256,7 @@ impl CompiledSystem {
         }
 
         CompiledSystem {
-            interner,
+            snapshot: interner.snapshot(),
             roles,
             initial,
             finals,
@@ -199,14 +283,11 @@ impl CompiledSystem {
         self.channels.len()
     }
 
-    fn initial_config(&self) -> PackedConfig {
-        PackedConfig {
-            states: self.initial.clone(),
-            queues: vec![Vec::new(); self.channels.len()],
-        }
+    pub(crate) fn initial_config(&self) -> PackedConfig {
+        PackedConfig::new(self.initial.clone(), vec![Vec::new(); self.channels.len()])
     }
 
-    fn is_final(&self, cfg: &PackedConfig) -> bool {
+    pub(crate) fn is_final(&self, cfg: &PackedConfig) -> bool {
         cfg.all_queues_empty()
             && cfg
                 .states
@@ -215,10 +296,53 @@ impl CompiledSystem {
                 .all(|(m, &s)| self.finals[m][s as usize])
     }
 
+    /// Whether state `s` of machine `m` is final.
+    pub(crate) fn machine_is_final(&self, m: usize, s: u32) -> bool {
+        self.finals[m][s as usize]
+    }
+
+    /// Returns `true` if every machine is in a final state (queues are not
+    /// inspected) — the orphan-message half of the terminal classification.
+    pub(crate) fn all_machines_final(&self, cfg: &PackedConfig) -> bool {
+        cfg.states
+            .iter()
+            .enumerate()
+            .all(|(m, &s)| self.machine_is_final(m, s))
+    }
+
+    /// Classifies a terminal (successor-less, non-final) configuration,
+    /// mirroring the exhaustive explorer's rules: empty queues mean a
+    /// deadlock, all-final machines with messages left mean an orphan, and
+    /// a stuck configuration with messages in flight but no reception
+    /// error is reported as a deadlock (possibly a bound artefact).
+    ///
+    /// Shared by the sequential and parallel explorers so the verdict
+    /// semantics cannot drift apart.
+    pub(crate) fn classify_terminal(
+        &self,
+        cfg: &PackedConfig,
+        unspec: bool,
+    ) -> Option<ViolationKind> {
+        if cfg.all_queues_empty() {
+            Some(ViolationKind::Deadlock)
+        } else if self.all_machines_final(cfg) {
+            Some(ViolationKind::OrphanMessage)
+        } else if !unspec {
+            Some(ViolationKind::Deadlock)
+        } else {
+            None
+        }
+    }
+
     /// Enumerates the successors of `cfg` into `out`, in the same order as
     /// [`System::successors`]: machines in system order, each machine's
     /// transitions in table order.
-    fn successors(&self, cfg: &PackedConfig, bound: usize, out: &mut Vec<(PackedConfig, u32, CTrans)>) {
+    pub(crate) fn successors(
+        &self,
+        cfg: &PackedConfig,
+        bound: usize,
+        out: &mut Vec<(PackedConfig, u32, CTrans)>,
+    ) {
         out.clear();
         for m in 0..self.roles.len() {
             let state = cfg.states[m] as usize;
@@ -240,6 +364,7 @@ impl CompiledSystem {
                                 let mut next = cfg.clone();
                                 next.states[m] = t.target;
                                 next.states[pm] = rt.target;
+                                next.rehash();
                                 out.push((next, m as u32, t));
                             }
                         }
@@ -251,6 +376,7 @@ impl CompiledSystem {
                         let mut next = cfg.clone();
                         next.states[m] = t.target;
                         next.queues[t.channel as usize].push(t.msg);
+                        next.rehash();
                         out.push((next, m as u32, t));
                     }
                     Direction::Recv => {
@@ -260,6 +386,7 @@ impl CompiledSystem {
                         let mut next = cfg.clone();
                         next.states[m] = t.target;
                         next.queues[t.channel as usize].remove(0);
+                        next.rehash();
                         out.push((next, m as u32, t));
                     }
                 }
@@ -267,10 +394,104 @@ impl CompiledSystem {
         }
     }
 
+    /// Ample-set selection for the partial-order reduction: returns a
+    /// machine (and its single enabled receive) whose expansion alone is
+    /// sufficient at `cfg`, or `None` when the configuration must be
+    /// expanded in full.
+    ///
+    /// A machine `m` in state `s` is *ample* when
+    ///
+    /// 1. every transition of `m` from `s` is a **receive on one channel**
+    ///    `c` (so no other first action of `m` can ever become enabled
+    ///    before the head of `c` is consumed — the singleton is persistent);
+    /// 2. the head of `c` exists and matches **exactly one** of those
+    ///    transitions (FIFO head determinism; a second match would drop a
+    ///    nondeterministic branch).
+    ///
+    /// Such a receive commutes with every other enabled action: peers'
+    /// sends append to tails (and a pop can only *enable* a bounded send,
+    /// never disable one), peers' receives pop channels with a different
+    /// receiver, and `m` itself has no alternative. Because an ample step
+    /// strictly decreases the total queued-message count, no cycle of the
+    /// reduced graph consists of ample steps only — the cycle proviso that
+    /// prevents the classic "ignoring problem" holds structurally, without
+    /// bookkeeping.
+    ///
+    /// At `bound == 0` (rendezvous) every queue is permanently empty, so
+    /// condition 2 never holds and the reduction naturally degenerates to
+    /// the full exploration; the early return just makes that explicit.
+    ///
+    /// Reception errors are never masked: if the head matches *zero*
+    /// transitions the machine is skipped (and the caller flags the
+    /// configuration via [`CompiledSystem::has_unspecified_reception`]),
+    /// while errors at other machines survive an ample step untouched —
+    /// the step pops only channel `c`, whose sole receiver is `m`.
+    pub(crate) fn ample(&self, cfg: &PackedConfig, bound: usize) -> Option<(u32, CTrans)> {
+        if bound == 0 {
+            return None;
+        }
+        'machines: for m in 0..self.roles.len() {
+            let table = &self.tables[m][cfg.states[m] as usize];
+            let Some(first) = table.first() else {
+                continue;
+            };
+            let channel = first.channel;
+            let mut chosen: Option<CTrans> = None;
+            for &t in table {
+                if t.dir != Direction::Recv || t.channel != channel {
+                    continue 'machines;
+                }
+                if Some(&t.msg) == cfg.queues[channel as usize].first() {
+                    if chosen.is_some() {
+                        // Two matching receives: expanding one would drop a
+                        // genuine nondeterministic branch.
+                        continue 'machines;
+                    }
+                    chosen = Some(t);
+                }
+            }
+            if let Some(t) = chosen {
+                return Some((m as u32, t));
+            }
+        }
+        None
+    }
+
+    /// Applies an ample receive step, producing the single reduced
+    /// successor.
+    pub(crate) fn apply_ample(&self, cfg: &PackedConfig, m: u32, t: CTrans) -> PackedConfig {
+        debug_assert_eq!(t.dir, Direction::Recv);
+        let mut next = cfg.clone();
+        next.states[m as usize] = t.target;
+        next.queues[t.channel as usize].remove(0);
+        next.rehash();
+        next
+    }
+
+    /// Enumerates successors with the partial-order reduction applied when
+    /// `reduce` is set: an ample configuration expands to its single ample
+    /// step, everything else expands in full.
+    pub(crate) fn expand(
+        &self,
+        cfg: &PackedConfig,
+        bound: usize,
+        reduce: bool,
+        out: &mut Vec<(PackedConfig, u32, CTrans)>,
+    ) {
+        if reduce {
+            if let Some((m, t)) = self.ample(cfg, bound) {
+                out.clear();
+                out.push((self.apply_ample(cfg, m, t), m, t));
+                return;
+            }
+        }
+        self.successors(cfg, bound, out);
+    }
+
     /// Mirrors `System::has_unspecified_reception` on packed configurations:
     /// some machine is in a receiving state and the head of a corresponding
     /// channel cannot be consumed by any of its transitions.
-    fn has_unspecified_reception(&self, cfg: &PackedConfig) -> bool {
+    pub(crate) fn has_unspecified_reception(&self, cfg: &PackedConfig) -> bool {
         for m in 0..self.roles.len() {
             let state = cfg.states[m] as usize;
             let table = &self.tables[m][state];
@@ -296,7 +517,7 @@ impl CompiledSystem {
 
     /// Decodes a packed configuration back into the role-keyed form used by
     /// [`System::successors`] and the counterexample traces.
-    fn decode(&self, cfg: &PackedConfig) -> SystemConfig {
+    pub(crate) fn decode(&self, cfg: &PackedConfig) -> SystemConfig {
         let mut channels = BTreeMap::new();
         for (c, queue) in cfg.queues.iter().enumerate() {
             if queue.is_empty() {
@@ -304,14 +525,14 @@ impl CompiledSystem {
             }
             let info = self.channels[c];
             let key = (
-                self.interner.role(info.from).clone(),
-                self.interner.role(info.to).clone(),
+                self.snapshot.role(info.from).clone(),
+                self.snapshot.role(info.to).clone(),
             );
             let msgs: VecDeque<_> = queue
                 .iter()
                 .map(|&mid| {
-                    let (l, s) = self.interner.msg(mid);
-                    (self.interner.label(l).clone(), self.interner.sort(s).clone())
+                    let (l, s) = self.snapshot.msg(mid);
+                    (self.snapshot.label(l).clone(), self.snapshot.sort(s).clone())
                 })
                 .collect();
             channels.insert(key, msgs);
@@ -323,18 +544,18 @@ impl CompiledSystem {
     }
 
     /// Reconstructs the [`CfsmAction`] of a compiled transition.
-    fn action(&self, t: CTrans) -> CfsmAction {
+    pub(crate) fn action(&self, t: CTrans) -> CfsmAction {
         let info = self.channels[t.channel as usize];
         let partner = match t.dir {
             Direction::Send => info.to,
             Direction::Recv => info.from,
         };
-        let (label, sort) = self.interner.msg(t.msg);
+        let (label, sort) = self.snapshot.msg(t.msg);
         CfsmAction {
             direction: t.dir,
-            partner: self.interner.role(partner).clone(),
-            label: self.interner.label(label).clone(),
-            sort: self.interner.sort(sort).clone(),
+            partner: self.snapshot.role(partner).clone(),
+            label: self.snapshot.label(label).clone(),
+            sort: self.snapshot.sort(sort).clone(),
         }
     }
 
@@ -388,11 +609,11 @@ impl CompiledSystem {
     }
 
     fn try_observe(&self, cursor: &mut MonitorCursor, action: &Action) -> Option<()> {
-        let from = self.interner.lookup_role(action.from())?;
-        let to = self.interner.lookup_role(action.to())?;
-        let label = self.interner.lookup_label(action.label())?;
-        let sort = self.interner.lookup_sort(action.sort())?;
-        let msg = self.interner.lookup_msg(label, sort)?;
+        let from = self.snapshot.lookup_role(action.from())?;
+        let to = self.snapshot.lookup_role(action.to())?;
+        let label = self.snapshot.lookup_label(action.label())?;
+        let sort = self.snapshot.lookup_sort(action.sort())?;
+        let msg = self.snapshot.lookup_msg(label, sort)?;
         let channel = *self.channel_ids.get(&(from, to))?;
         let (dir, subject) = if action.is_send() {
             (Direction::Send, from)
@@ -430,6 +651,23 @@ impl CompiledSystem {
                 .all(|(m, &s)| self.finals[m][s as usize])
     }
 
+    /// The outcome of the degenerate `max_configs == 0` limit: not even the
+    /// initial configuration may be admitted (matching the exhaustive
+    /// explorer, which truncates before expanding anything).
+    pub(crate) fn empty_outcome() -> ExplorationOutcome {
+        ExplorationOutcome {
+            configurations: 0,
+            transitions: 0,
+            deadlocks: Vec::new(),
+            orphan_messages: Vec::new(),
+            unspecified_receptions: Vec::new(),
+            truncated: true,
+            final_reachable: false,
+            live: true,
+            violations: Vec::new(),
+        }
+    }
+
     /// Worklist BFS over the packed state space, mirroring the verdicts and
     /// counts of [`System::explore_exhaustive`] while recording parent
     /// pointers so every violation carries a shortest replayable trace.
@@ -440,21 +678,28 @@ impl CompiledSystem {
     /// this costs nothing; on heavily-unsafe inputs with deep state spaces
     /// it is O(violations × depth) decodes after the BFS finishes.
     pub fn explore(&self, bound: usize, max_configs: usize) -> ExplorationOutcome {
+        self.explore_impl(bound, max_configs, false)
+    }
+
+    /// Like [`CompiledSystem::explore`], but with the ample-set
+    /// partial-order reduction enabled (see [`CompiledSystem::ample`] for
+    /// the exact condition and its soundness argument).
+    ///
+    /// The reduction collapses commuting interleavings before they are
+    /// generated, so `configurations` / `transitions` counts shrink and
+    /// counterexample traces may order independent steps differently — but
+    /// the verdict, `final_reachable` and `live` agree with the full
+    /// exploration, every reported violation is a real reachable
+    /// configuration, and every trace still replays through
+    /// [`System::successors`]. At `bound == 0` no configuration is ever
+    /// ample, so the mode coincides with [`CompiledSystem::explore`].
+    pub fn explore_por(&self, bound: usize, max_configs: usize) -> ExplorationOutcome {
+        self.explore_impl(bound, max_configs, true)
+    }
+
+    fn explore_impl(&self, bound: usize, max_configs: usize, reduce: bool) -> ExplorationOutcome {
         if max_configs == 0 {
-            // Degenerate limit: not even the initial configuration may be
-            // admitted (matching the exhaustive explorer, which truncates
-            // before expanding anything).
-            return ExplorationOutcome {
-                configurations: 0,
-                transitions: 0,
-                deadlocks: Vec::new(),
-                orphan_messages: Vec::new(),
-                unspecified_receptions: Vec::new(),
-                truncated: true,
-                final_reachable: false,
-                live: true,
-                violations: Vec::new(),
-            };
+            return Self::empty_outcome();
         }
         let mut visited: FxHashMap<PackedConfig, u32> = FxHashMap::default();
         let mut configs: Vec<PackedConfig> = Vec::new();
@@ -485,7 +730,7 @@ impl CompiledSystem {
             head += 1;
 
             let cfg = &configs[idx as usize];
-            self.successors(cfg, bound, &mut succs);
+            self.expand(cfg, bound, reduce, &mut succs);
             transitions += succs.len();
 
             let is_final = self.is_final(cfg);
@@ -497,23 +742,7 @@ impl CompiledSystem {
 
             let unspec = self.has_unspecified_reception(cfg);
             if succs.is_empty() && !is_final {
-                let kind = if cfg.all_queues_empty() {
-                    Some(ViolationKind::Deadlock)
-                } else if cfg
-                    .states
-                    .iter()
-                    .enumerate()
-                    .all(|(m, &s)| self.finals[m][s as usize])
-                {
-                    Some(ViolationKind::OrphanMessage)
-                } else if !unspec {
-                    // Stuck with messages in flight but no reception error:
-                    // report it as a deadlock (possibly a bound artefact).
-                    Some(ViolationKind::Deadlock)
-                } else {
-                    None
-                };
-                if let Some(kind) = kind {
+                if let Some(kind) = self.classify_terminal(cfg, unspec) {
                     found.push((kind, idx));
                 }
             }
@@ -550,20 +779,7 @@ impl CompiledSystem {
                     preds[j as usize].push(i as u32);
                 }
             }
-            let mut can_finish = vec![false; configs.len()];
-            let mut stack = final_indices;
-            for &i in &stack {
-                can_finish[i as usize] = true;
-            }
-            while let Some(i) = stack.pop() {
-                for &p in &preds[i as usize] {
-                    if !can_finish[p as usize] {
-                        can_finish[p as usize] = true;
-                        stack.push(p);
-                    }
-                }
-            }
-            live = can_finish.iter().all(|&b| b);
+            live = all_can_finish(&preds, final_indices);
         }
 
         let violations: Vec<Violation> = found
@@ -593,6 +809,27 @@ impl CompiledSystem {
             violations,
         }
     }
+}
+
+/// Backwards reachability of the final configurations over per-node
+/// predecessor lists: `true` iff *every* explored configuration can reach
+/// one of `final_indices`. Shared by the sequential and parallel explorers
+/// (they build `preds` from their own layouts and agree on the fixpoint).
+pub(crate) fn all_can_finish(preds: &[Vec<u32>], final_indices: Vec<u32>) -> bool {
+    let mut can_finish = vec![false; preds.len()];
+    let mut stack = final_indices;
+    for &i in &stack {
+        can_finish[i as usize] = true;
+    }
+    while let Some(i) = stack.pop() {
+        for &p in &preds[i as usize] {
+            if !can_finish[p as usize] {
+                can_finish[p as usize] = true;
+                stack.push(p);
+            }
+        }
+    }
+    can_finish.iter().all(|&b| b)
 }
 
 /// The mutable state of an online protocol monitor walking a

@@ -17,11 +17,13 @@
 //!   [`system::System::explore`]: machines compile once into dense per-state
 //!   transition tables whose actions are interned `(label, sort)` ids from
 //!   the shared [`zooid_mpst::Interner`], configurations pack into machine
-//!   states plus indexed channel buffers of message ids, and a worklist BFS
-//!   over an `FxHashMap` visited set records parent pointers so every
-//!   violation carries a shortest replayable counterexample trace
-//!   ([`system::Violation`]). The original explicit-state explorer is kept
-//!   as [`system::System::explore_exhaustive`] and serves as an independent
+//!   states plus indexed channel buffers of message ids (with their 64-bit
+//!   content hash cached inline, so visited-set probes and shard routing
+//!   hash one word), and a worklist BFS over an `FxHashMap` visited set
+//!   records parent pointers so every violation carries a shortest
+//!   replayable counterexample trace ([`system::Violation`]). The original
+//!   explicit-state explorer is kept as
+//!   [`system::System::explore_exhaustive`] and serves as an independent
 //!   oracle for the differential test-suite, mirroring
 //!   `check_trace_equivalence_exhaustive` in `zooid_mpst`. The compiled
 //!   system also exposes a per-role **monitor view**
@@ -29,6 +31,21 @@
 //!   observed actions advance machine states and unbounded FIFO buffers of
 //!   interned message ids, which is what the runtime's `CompiledMonitor` and
 //!   the session server use to check protocol compliance in O(1) per action;
+//! * two reduced exploration modes sit on top of the engine and preserve
+//!   its verdicts while skipping most of the interleaving space:
+//!   [`system::System::explore_por`] applies an ample-set **partial-order
+//!   reduction** (a configuration where some machine's entire transition
+//!   set is receives on one channel whose head matches exactly one of them
+//!   expands to that single receive — see [`engine::CompiledSystem::explore_por`]
+//!   for why this is sound for bounded-FIFO systems, including the
+//!   structural cycle proviso), and [`system::System::explore_parallel`]
+//!   runs the same reduced search on a **work-stealing frontier** of N
+//!   threads over a visited map sharded by the cached configuration hash
+//!   ([`parallel`]). Both agree with [`system::System::explore`] and
+//!   [`system::System::explore_exhaustive`] on verdicts, termination
+//!   reachability and liveness (`tests/differential_modes.rs`), and every
+//!   violation they report still replays through
+//!   [`system::System::successors`];
 //! * [`compat::check_protocol`] runs the whole pipeline for a global type —
 //!   project, compile, compose, explore — producing the safety/liveness
 //!   verdicts that the paper's well-typed processes inherit from the
@@ -45,6 +62,7 @@ pub mod compat;
 pub mod engine;
 pub mod error;
 pub mod machine;
+pub mod parallel;
 pub mod system;
 
 pub use compat::{check_protocol, check_protocol_exhaustive, SafetyReport};

@@ -350,6 +350,40 @@ impl System {
         self.compile().explore(bound, max_configs)
     }
 
+    /// Explores with the ample-set **partial-order reduction** enabled:
+    /// commuting interleavings of independent receives are collapsed before
+    /// they are generated, so concurrent protocol families shrink from
+    /// exponentially many interleavings to their causally distinct
+    /// skeletons.
+    ///
+    /// The verdict (and `final_reachable` / `live`) agrees with
+    /// [`System::explore`] and [`System::explore_exhaustive`]; the
+    /// configuration/transition counts are smaller and counterexample
+    /// traces may order independent steps differently, but every trace
+    /// still replays through [`System::successors`]. Compile once with
+    /// [`System::compile`] and use
+    /// [`CompiledSystem::explore_por`] when exploring repeatedly.
+    pub fn explore_por(&self, bound: usize, max_configs: usize) -> ExplorationOutcome {
+        self.compile().explore_por(bound, max_configs)
+    }
+
+    /// Explores the reduced state space of [`System::explore_por`] on a
+    /// work-stealing pool of `threads` workers over a sharded visited map
+    /// (see [`crate::parallel`] for the frontier, sharding and termination
+    /// protocol).
+    ///
+    /// Verdicts, counts, `final_reachable` and `live` match
+    /// [`System::explore_por`] whenever the search is not truncated;
+    /// violation traces are replayable but not guaranteed shortest.
+    pub fn explore_parallel(
+        &self,
+        bound: usize,
+        max_configs: usize,
+        threads: usize,
+    ) -> ExplorationOutcome {
+        self.compile().explore_parallel(bound, max_configs, threads)
+    }
+
     /// Exhaustively explores the configurations reachable with channels
     /// bounded to `bound` messages per ordered pair, visiting at most
     /// `max_configs` configurations, using the original explicit-state

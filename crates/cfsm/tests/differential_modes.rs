@@ -1,0 +1,318 @@
+//! Differential tests for the exploration *modes* added in PR 4: the
+//! ample-set partial-order reduction ([`System::explore_por`]) and the
+//! work-stealing parallel frontier ([`System::explore_parallel`]) against
+//! the plain interned engine ([`System::explore`]) and the explicit-state
+//! oracle ([`System::explore_exhaustive`]).
+//!
+//! Unlike `differential.rs` (which pins the two full engines to identical
+//! configuration counts), reduction legitimately shrinks the state space:
+//! what must agree are the **verdict**, `final_reachable` and `live`, and
+//! every `Unsafe` outcome must carry a counterexample trace that replays
+//! step-by-step through [`System::successors`]. The suite leans on the
+//! protocols where a *naive* reduction goes wrong: cycles of mutually
+//! enabled sends, rendezvous (bound 0) mixes, and unspecified-reception
+//! saboteurs racing against reducible receives.
+
+mod common;
+
+use proptest::prelude::*;
+
+use zooid_cfsm::{Cfsm, ExplorationOutcome, System, Verdict, ViolationKind};
+use zooid_mpst::generators::{self, RandomProtocol};
+use zooid_mpst::local::LocalType;
+use zooid_mpst::{Role, Sort};
+
+fn r(name: &str) -> Role {
+    Role::new(name)
+}
+
+fn machine(role: &str, local: &LocalType) -> Cfsm {
+    Cfsm::from_local_type(r(role), local).unwrap()
+}
+
+/// Replays every violation trace of `outcome` through
+/// [`System::successors`], asserting each step is a real transition and the
+/// trace ends at the violating configuration.
+fn assert_traces_replay(system: &System, outcome: &ExplorationOutcome, bound: usize, ctx: &str) {
+    for v in &outcome.violations {
+        let mut cur = system.initial();
+        for (i, step) in v.trace.iter().enumerate() {
+            assert!(
+                system.successors(&cur, bound).contains(&step.config),
+                "{ctx}: trace step {i} not replayable from {cur:?}"
+            );
+            cur = step.config.clone();
+        }
+        assert_eq!(cur, v.config, "{ctx}: trace must end at the violation");
+    }
+}
+
+/// Asserts the reduced/parallel modes agree with the full engines on the
+/// verdict (and, when nothing was truncated, on `final_reachable` and
+/// `live`), and that all their violations replay.
+fn assert_modes_agree(system: &System, bound: usize, max_configs: usize, ctx: &str) {
+    let compiled = system.compile();
+    let full = compiled.explore(bound, max_configs);
+    let exhaustive = system.explore_exhaustive(bound, max_configs);
+    assert_eq!(full.verdict(), exhaustive.verdict(), "{ctx}: full engines");
+
+    let por = compiled.explore_por(bound, max_configs);
+    let mut modes = vec![("por", por)];
+    for threads in [1usize, 2, 4] {
+        modes.push((
+            match threads {
+                1 => "par1",
+                2 => "par2",
+                _ => "par4",
+            },
+            compiled.explore_parallel(bound, max_configs, threads),
+        ));
+    }
+
+    for (name, outcome) in &modes {
+        // Reduction only ever shrinks the search, so if the full engine
+        // covered the bounded space the reduced modes must have as well,
+        // and every verdict (including Inconclusive) must coincide.
+        if !full.truncated {
+            assert!(!outcome.truncated, "{ctx}/{name}: reduced mode truncated");
+            assert_eq!(outcome.verdict(), full.verdict(), "{ctx}/{name}: verdict");
+            assert_eq!(
+                outcome.final_reachable, full.final_reachable,
+                "{ctx}/{name}: final_reachable"
+            );
+            assert_eq!(outcome.live, full.live, "{ctx}/{name}: live");
+            assert!(
+                outcome.configurations <= full.configurations,
+                "{ctx}/{name}: reduction must not grow the space"
+            );
+        } else if outcome.verdict() == Verdict::Unsafe {
+            // A truncated full search is inconclusive; the reduced mode may
+            // still conclude — but an Unsafe claim must be backed by a real
+            // (replayable) violation, checked below.
+            assert!(!outcome.violations.is_empty(), "{ctx}/{name}");
+        }
+        assert_eq!(
+            outcome.violations.len(),
+            outcome.deadlocks.len()
+                + outcome.orphan_messages.len()
+                + outcome.unspecified_receptions.len(),
+            "{ctx}/{name}: violation bookkeeping"
+        );
+        assert_traces_replay(system, outcome, bound, &format!("{ctx}/{name}"));
+    }
+
+    // POR and the parallel frontier explore the same reduced graph: their
+    // counts must match exactly whenever nothing was truncated.
+    let (_, por) = &modes[0];
+    if !por.truncated {
+        for (name, outcome) in &modes[1..] {
+            assert_eq!(
+                outcome.configurations, por.configurations,
+                "{ctx}/{name}: reduced space size"
+            );
+            assert_eq!(
+                outcome.transitions, por.transitions,
+                "{ctx}/{name}: reduced transition count"
+            );
+        }
+    }
+}
+
+#[test]
+fn modes_agree_on_all_case_studies() {
+    for (name, g) in [
+        ("ring3", generators::ring3()),
+        ("pipeline", generators::pipeline()),
+        ("ping_pong", generators::ping_pong()),
+        ("two_buyer", generators::two_buyer()),
+        ("ring/6", generators::ring_n(6)),
+        ("chain/5", generators::chain_n(5)),
+        ("fanout/6", generators::fanout_n(6)),
+        ("branching/5", generators::branching(5)),
+    ] {
+        let system = System::from_global(&g).expect("case studies are projectable");
+        // Bound 0 exercises the rendezvous degeneration (no configuration
+        // is ever ample, so POR must coincide with the full engine).
+        for bound in [0, 1, 2] {
+            assert_modes_agree(&system, bound, 200_000, &format!("{name} bound {bound}"));
+        }
+    }
+}
+
+#[test]
+fn por_at_bound_zero_is_the_full_exploration() {
+    for g in [generators::ring3(), generators::two_buyer()] {
+        let system = System::from_global(&g).unwrap();
+        let compiled = system.compile();
+        let full = compiled.explore(0, 100_000);
+        let por = compiled.explore_por(0, 100_000);
+        assert_eq!(por.configurations, full.configurations);
+        assert_eq!(por.transitions, full.transitions);
+        assert_eq!(por.verdict(), full.verdict());
+    }
+}
+
+#[test]
+fn modes_agree_on_sabotaged_systems() {
+    for (name, g) in [
+        ("ring3", generators::ring3()),
+        ("two_buyer", generators::two_buyer()),
+        ("fanout/4", generators::fanout_n(4)),
+        ("chain/4", generators::chain_n(4)),
+    ] {
+        for cut in 0..g.participants().len() {
+            let system = common::sabotage(&g, cut).expect("projectable");
+            for bound in [0, 1, 2] {
+                assert_modes_agree(
+                    &system,
+                    bound,
+                    100_000,
+                    &format!("{name} cut {cut} bound {bound}"),
+                );
+            }
+        }
+    }
+}
+
+/// A cycle of mutually-enabled sends: both machines pump forever and nobody
+/// receives, so every channel fills to the bound and the system jams in a
+/// (bound-artefact) deadlock. No configuration is ever ample — the
+/// reduction must not let either sender "run ahead" past the jam.
+#[test]
+fn send_cycles_still_jam_under_reduction() {
+    let system = System::new(vec![
+        machine(
+            "p",
+            &LocalType::rec(LocalType::send1(r("q"), "tick", Sort::Unit, LocalType::var(0))),
+        ),
+        machine(
+            "q",
+            &LocalType::rec(LocalType::send1(r("p"), "tock", Sort::Unit, LocalType::var(0))),
+        ),
+    ])
+    .unwrap();
+    for bound in [1, 2, 3] {
+        assert_modes_agree(&system, bound, 100_000, &format!("send cycle bound {bound}"));
+        let por = system.explore_por(bound, 100_000);
+        assert_eq!(por.verdict(), Verdict::Unsafe, "bound {bound}");
+        assert!(!por.deadlocks.is_empty(), "bound {bound}");
+    }
+    // At bound 0 neither send can ever fire (no matching receive): the
+    // initial configuration itself is the deadlock, in every mode.
+    let par = system.explore_parallel(0, 100_000, 2);
+    assert_eq!(par.verdict(), Verdict::Unsafe);
+    assert_eq!(par.violations.len(), 1);
+    assert!(par.violations[0].trace.is_empty());
+}
+
+/// An unspecified-reception saboteur racing a reducible receive: q's
+/// receive of `ping` is ample exactly while p's mislabelled message to w is
+/// in flight. A reduction that dropped configurations carrying the bad head
+/// would miss the reception error.
+#[test]
+fn reception_errors_survive_ample_receives() {
+    let system = System::new(vec![
+        machine(
+            "p",
+            &LocalType::send1(
+                r("q"),
+                "ping",
+                Sort::Nat,
+                LocalType::send1(r("w"), "bad", Sort::Nat, LocalType::End),
+            ),
+        ),
+        machine("q", &LocalType::recv1(r("p"), "ping", Sort::Nat, LocalType::End)),
+        machine("w", &LocalType::recv1(r("p"), "good", Sort::Nat, LocalType::End)),
+    ])
+    .unwrap();
+    for bound in [1, 2] {
+        assert_modes_agree(&system, bound, 100_000, &format!("saboteur bound {bound}"));
+        for (name, outcome) in [
+            ("por", system.explore_por(bound, 100_000)),
+            ("par2", system.explore_parallel(bound, 100_000, 2)),
+        ] {
+            assert_eq!(outcome.verdict(), Verdict::Unsafe, "{name} bound {bound}");
+            assert!(
+                outcome
+                    .violations
+                    .iter()
+                    .any(|v| v.kind == ViolationKind::UnspecifiedReception),
+                "{name} bound {bound}: reception error must survive the reduction"
+            );
+        }
+    }
+}
+
+/// A rendezvous mix: one safe hand-shake pair plus a mutually-waiting pair.
+/// At bound 0 nothing is ever ample, so the deadlock must surface with an
+/// empty-or-replayable trace in every mode.
+#[test]
+fn rendezvous_mixes_keep_their_deadlocks() {
+    let system = System::new(vec![
+        machine("a", &LocalType::send1(r("b"), "l", Sort::Nat, LocalType::End)),
+        machine("b", &LocalType::recv1(r("a"), "l", Sort::Nat, LocalType::End)),
+        machine("c", &LocalType::recv1(r("d"), "m", Sort::Nat, LocalType::End)),
+        machine("d", &LocalType::recv1(r("c"), "m", Sort::Nat, LocalType::End)),
+    ])
+    .unwrap();
+    for bound in [0, 1, 2] {
+        assert_modes_agree(&system, bound, 100_000, &format!("rendezvous mix bound {bound}"));
+        let outcome = system.explore_parallel(bound, 100_000, 4);
+        assert_eq!(outcome.verdict(), Verdict::Unsafe, "bound {bound}");
+    }
+}
+
+/// An infinite pump next to an undelivered message: q's looping receive is
+/// ample at every other configuration, and the stray message to p must not
+/// disappear from the decoded configurations along the way.
+#[test]
+fn looping_ample_receives_preserve_foreign_channels() {
+    let system = System::new(vec![
+        machine(
+            "p",
+            &LocalType::rec(LocalType::send1(r("q"), "tick", Sort::Unit, LocalType::var(0))),
+        ),
+        machine(
+            "q",
+            &LocalType::rec(LocalType::recv1(r("p"), "tick", Sort::Unit, LocalType::var(0))),
+        ),
+        machine("s", &LocalType::send1(r("p"), "stray", Sort::Nat, LocalType::End)),
+    ])
+    .unwrap();
+    for bound in [1, 2] {
+        assert_modes_agree(&system, bound, 50_000, &format!("pump bound {bound}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Randomized protocols: all five explorers agree on the verdict (the
+    /// reduced modes additionally agreeing with each other on counts).
+    #[test]
+    fn modes_agree_on_random_protocols(seed in any::<u64>()) {
+        let g = generators::random_global(seed, &RandomProtocol::default());
+        let Ok(system) = System::from_global(&g) else { return; };
+        for bound in [0, 1, 2] {
+            assert_modes_agree(&system, bound, 20_000, &format!("seed {seed} bound {bound}"));
+        }
+    }
+
+    /// Randomized *sabotaged* protocols: cutting one participant out
+    /// manufactures deadlocks, orphans and reception errors; every mode
+    /// must still report Unsafe with replayable traces.
+    #[test]
+    fn modes_agree_on_random_sabotaged_protocols(seed in any::<u64>(), cut in 0usize..4) {
+        let params = RandomProtocol {
+            roles: 4,
+            depth: 4,
+            max_branches: 3,
+            loop_back_percent: 30,
+        };
+        let g = generators::random_global(seed, &params);
+        let roles = g.participants().len();
+        if roles == 0 { return; }
+        let Some(system) = common::sabotage(&g, cut % roles) else { return; };
+        assert_modes_agree(&system, 2, 20_000, &format!("sabotaged seed {seed}"));
+    }
+}

@@ -266,6 +266,88 @@ struct LMeta {
     free_mask: u128,
 }
 
+/// A read-only, `Send + Sync` snapshot of an [`Interner`]'s scalar lookup
+/// tables (roles, labels, sorts and `(label, sort)` messages).
+///
+/// The parallel CFSM explorer shares one compiled system across N worker
+/// threads; the workers decode configurations and resolve observed actions
+/// through this snapshot instead of the live interner, so they never touch
+/// (or contend on) the hash-consing maps. The tables are behind `Arc`s:
+/// taking a snapshot is a handful of allocations at compile time, and
+/// cloning one afterwards is reference counting only.
+///
+/// A snapshot deliberately does **not** expose the type-term arenas or any
+/// interning method — it can resolve and look up what was already interned,
+/// nothing more.
+#[derive(Debug, Clone)]
+pub struct InternerSnapshot {
+    roles: Arc<[Role]>,
+    role_ids: Arc<FxHashMap<Role, RoleId>>,
+    labels: Arc<[Label]>,
+    label_ids: Arc<FxHashMap<Label, LabelId>>,
+    sorts: Arc<[Sort]>,
+    sort_ids: Arc<FxHashMap<Sort, SortId>>,
+    msgs: Arc<[(LabelId, SortId)]>,
+    msg_ids: Arc<FxHashMap<(LabelId, SortId), MsgId>>,
+}
+
+impl InternerSnapshot {
+    /// The role with the given index.
+    #[inline]
+    pub fn role(&self, id: RoleId) -> &Role {
+        &self.roles[id.index()]
+    }
+
+    /// The index of a role interned before the snapshot was taken.
+    pub fn lookup_role(&self, role: &Role) -> Option<RoleId> {
+        self.role_ids.get(role).copied()
+    }
+
+    /// The role table, in interning order.
+    pub fn roles(&self) -> &[Role] {
+        &self.roles
+    }
+
+    /// The label with the given index.
+    #[inline]
+    pub fn label(&self, id: LabelId) -> &Label {
+        &self.labels[id.index()]
+    }
+
+    /// The index of a label interned before the snapshot was taken.
+    pub fn lookup_label(&self, label: &Label) -> Option<LabelId> {
+        self.label_ids.get(label).copied()
+    }
+
+    /// The sort with the given index.
+    #[inline]
+    pub fn sort(&self, id: SortId) -> &Sort {
+        &self.sorts[id.index()]
+    }
+
+    /// The index of a sort interned before the snapshot was taken.
+    pub fn lookup_sort(&self, sort: &Sort) -> Option<SortId> {
+        self.sort_ids.get(sort).copied()
+    }
+
+    /// The `(label, sort)` pair behind a message id.
+    #[inline]
+    pub fn msg(&self, id: MsgId) -> (LabelId, SortId) {
+        self.msgs[id.index()]
+    }
+
+    /// The id of a `(label, sort)` message interned before the snapshot was
+    /// taken.
+    pub fn lookup_msg(&self, label: LabelId, sort: SortId) -> Option<MsgId> {
+        self.msg_ids.get(&(label, sort)).copied()
+    }
+
+    /// Number of distinct `(label, sort)` messages in the snapshot.
+    pub fn msg_len(&self) -> usize {
+        self.msgs.len()
+    }
+}
+
 /// A hash-consing arena for global and local session types.
 ///
 /// # Examples
@@ -458,6 +540,25 @@ impl Interner {
     /// Number of distinct `(label, sort)` messages interned so far.
     pub fn msg_len(&self) -> usize {
         self.msgs.len()
+    }
+
+    /// Takes a read-only, `Send + Sync` [`InternerSnapshot`] of the scalar
+    /// lookup tables (roles, labels, sorts, messages) as they stand now.
+    ///
+    /// Entries interned after the snapshot are invisible to it; the CFSM
+    /// engine takes the snapshot once compilation has interned everything
+    /// the transition tables can ever mention.
+    pub fn snapshot(&self) -> InternerSnapshot {
+        InternerSnapshot {
+            roles: self.roles.clone().into(),
+            role_ids: Arc::new(self.role_ids.clone()),
+            labels: self.labels.clone().into(),
+            label_ids: Arc::new(self.label_ids.clone()),
+            sorts: self.sorts.clone().into(),
+            sort_ids: Arc::new(self.sort_ids.clone()),
+            msgs: self.msgs.clone().into(),
+            msg_ids: Arc::new(self.msg_ids.clone()),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1108,6 +1209,34 @@ mod tests {
         assert_eq!(int.msg_len(), 3);
         assert_eq!(int.msg(a), (l1, nat));
         assert_eq!(int.msg(d), (l1, bool_));
+    }
+
+    #[test]
+    fn snapshots_are_send_sync_and_resolve_interned_entries() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<InternerSnapshot>();
+
+        let mut int = Interner::new();
+        let p = int.role_id(&r("p"));
+        let l = int.label_id(&Label::new("ping"));
+        let nat = int.sort_id(&Sort::Nat);
+        let m = int.msg_id(l, nat);
+        let snap = int.snapshot();
+        assert_eq!(snap.role(p), &r("p"));
+        assert_eq!(snap.lookup_role(&r("p")), Some(p));
+        assert_eq!(snap.lookup_role(&r("zzz")), None);
+        assert_eq!(snap.label(l), &Label::new("ping"));
+        assert_eq!(snap.lookup_label(&Label::new("ping")), Some(l));
+        assert_eq!(snap.sort(nat), &Sort::Nat);
+        assert_eq!(snap.lookup_sort(&Sort::Bool), None);
+        assert_eq!(snap.msg(m), (l, nat));
+        assert_eq!(snap.lookup_msg(l, nat), Some(m));
+        assert_eq!(snap.msg_len(), 1);
+        assert_eq!(snap.roles(), &[r("p")]);
+        // Entries interned after the snapshot are invisible to it.
+        let q = int.role_id(&r("q"));
+        assert_eq!(snap.lookup_role(&r("q")), None);
+        assert_eq!(int.role(q), &r("q"));
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub mod projection;
 pub mod trace_equiv;
 
 pub use common::actions::{Action, ActionKind};
-pub use common::intern::Interner;
+pub use common::intern::{Interner, InternerSnapshot};
 pub use common::label::Label;
 pub use common::role::{Role, RoleSet};
 pub use common::sort::Sort;

@@ -44,6 +44,6 @@ pub mod synth;
 
 pub use error::{Result, ServerError};
 pub use metrics::{ServerReport, ShardReport};
-pub use registry::{ProtocolArtifacts, ProtocolId, ProtocolRegistry};
+pub use registry::{ProtocolArtifacts, ProtocolId, ProtocolRegistry, SafetyBudget};
 pub use server::{ServerConfig, SessionServer};
 pub use session::{SessionId, SessionOutcome, SessionSpec};

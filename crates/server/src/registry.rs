@@ -3,21 +3,71 @@
 //!
 //! Registration runs the whole front half of the pipeline — well-formedness
 //! (already checked by [`Protocol::new`]), projection onto every participant,
-//! per-role CFSM compilation and [`System::compile`] — and caches the result
+//! per-role CFSM compilation, [`System::compile`] and a **safety check** of
+//! the compiled system (the parallel reduced exploration of the CFSM
+//! engine, under a configurable [`SafetyBudget`]) — and caches the result
 //! behind an `Arc` keyed by a dense [`ProtocolId`]. Starting a session is
 //! then a lookup plus a few clones of interned tables' handles: the paper's
 //! per-session analysis cost is paid exactly once per protocol, no matter
 //! how many thousands of sessions of it the server hosts.
+//!
+//! The compile/check cache is keyed on the **interned global-type id** (the
+//! registry owns a [`zooid_mpst::Interner`] for exactly this), so
+//! registering a structurally identical protocol — same name or a new one —
+//! is a pure lookup: no re-projection, no recompilation, no re-exploration.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use zooid_cfsm::{Cfsm, CompiledSystem, System};
+use zooid_cfsm::{Cfsm, CompiledSystem, System, Verdict};
 use zooid_dsl::Protocol;
+use zooid_mpst::common::intern::TypeId;
 use zooid_mpst::local::LocalType;
-use zooid_mpst::Role;
+use zooid_mpst::{Interner, Role};
 
 use crate::error::{Result, ServerError};
+
+/// Budget of the registration-time safety check: channel bound,
+/// visited-configuration cap and worker-thread count handed to the reduced
+/// CFSM exploration ([`zooid_cfsm::CompiledSystem::explore_por`] at one
+/// thread, [`zooid_cfsm::CompiledSystem::explore_parallel`] beyond).
+///
+/// The default (bound 2, 50k configurations, 1 thread) keeps registration
+/// latency flat for ordinary protocols; deployments registering large
+/// concurrent protocols can raise the cap and the thread count. A capped
+/// search never reports a false `Safe`: running out of budget yields
+/// [`Verdict::Inconclusive`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SafetyBudget {
+    /// FIFO bound per ordered role pair during exploration (0 = rendezvous).
+    pub channel_bound: usize,
+    /// Maximum visited configurations before the verdict degrades to
+    /// [`Verdict::Inconclusive`].
+    pub max_configs: usize,
+    /// Worker threads of the exploration. At most 1 runs the sequential
+    /// reduced engine ([`zooid_cfsm::CompiledSystem::explore_por`]) on the
+    /// registering thread; 2 or more spawn the work-stealing pool.
+    pub threads: usize,
+}
+
+impl Default for SafetyBudget {
+    fn default() -> Self {
+        SafetyBudget {
+            channel_bound: 2,
+            max_configs: 50_000,
+            threads: 1,
+        }
+    }
+}
+
+/// Structure-keyed compilation artifacts shared by every registration of
+/// the same global type (under any name).
+#[derive(Debug, Clone)]
+struct CompiledEntry {
+    locals: Arc<[(Role, LocalType)]>,
+    compiled: Arc<CompiledSystem>,
+    verdict: Verdict,
+}
 
 /// Dense id of a registered protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -35,9 +85,14 @@ impl ProtocolId {
 #[derive(Debug)]
 pub struct ProtocolArtifacts {
     id: ProtocolId,
+    /// Interned id of the protocol's global type: equal ids ⟺ structurally
+    /// identical protocols (within this registry), the key of the
+    /// compile/check cache.
+    tid: TypeId,
     protocol: Protocol,
-    locals: Vec<(Role, LocalType)>,
+    locals: Arc<[(Role, LocalType)]>,
     compiled: Arc<CompiledSystem>,
+    verdict: Verdict,
 }
 
 impl ProtocolArtifacts {
@@ -71,6 +126,16 @@ impl ProtocolArtifacts {
     pub fn compiled(&self) -> &Arc<CompiledSystem> {
         &self.compiled
     }
+
+    /// The verdict of the registration-time safety check (deadlocks, orphan
+    /// messages, reception errors) under the registry's [`SafetyBudget`].
+    ///
+    /// Projectable protocols come out [`Verdict::Safe`] unless the budget
+    /// was exhausted first, in which case this is
+    /// [`Verdict::Inconclusive`] — never a false `Safe`.
+    pub fn safety_verdict(&self) -> Verdict {
+        self.verdict
+    }
 }
 
 /// A registry of compiled protocols.
@@ -93,47 +158,101 @@ impl ProtocolArtifacts {
 pub struct ProtocolRegistry {
     ids: HashMap<String, ProtocolId>,
     artifacts: Vec<Arc<ProtocolArtifacts>>,
+    /// Interns registered global types; equal [`TypeId`]s ⟺ structurally
+    /// identical protocols, so both the duplicate-name check and the
+    /// compile/check cache are id comparisons, not deep tree walks.
+    interner: Interner,
+    /// Compilation + safety artifacts per distinct global type.
+    compiled: HashMap<TypeId, CompiledEntry>,
+    budget: SafetyBudget,
 }
 
 impl ProtocolRegistry {
-    /// An empty registry.
+    /// An empty registry with the default [`SafetyBudget`].
     pub fn new() -> Self {
         ProtocolRegistry::default()
     }
 
+    /// An empty registry whose registrations are safety-checked under
+    /// `budget`.
+    pub fn with_safety_budget(budget: SafetyBudget) -> Self {
+        ProtocolRegistry {
+            budget,
+            ..ProtocolRegistry::default()
+        }
+    }
+
+    /// The safety budget applied at registration time.
+    pub fn safety_budget(&self) -> SafetyBudget {
+        self.budget
+    }
+
     /// Registers a protocol, compiling its artifacts (projection, per-role
-    /// machines, dense transition tables) exactly once.
+    /// machines, dense transition tables) and safety-checking the compiled
+    /// system (parallel reduced exploration under the registry's
+    /// [`SafetyBudget`]) exactly once per *structurally distinct* global
+    /// type.
     ///
     /// Registering the same (name, global type) again returns the existing
-    /// id without recompiling.
+    /// id; registering the same global type under a new name is a pure
+    /// cache lookup keyed on the interned type id — the new entry shares
+    /// the compiled tables, projections and safety verdict of the first.
     ///
     /// # Errors
     ///
     /// Fails if a *different* protocol already uses the name, or if the
     /// protocol is not projectable onto one of its participants.
     pub fn register(&mut self, protocol: Protocol) -> Result<ProtocolId> {
+        let tid = self.interner.intern_global(protocol.global());
         if let Some(&id) = self.ids.get(protocol.name()) {
-            if self.artifacts[id.index()].protocol.global() == protocol.global() {
+            if self.artifacts[id.index()].tid == tid {
                 return Ok(id);
             }
             return Err(ServerError::DuplicateProtocol {
                 name: protocol.name().to_owned(),
             });
         }
-        let locals = protocol.project_all()?;
-        let machines = locals
-            .iter()
-            .map(|(role, local)| Cfsm::from_local_type(role.clone(), local))
-            .collect::<std::result::Result<Vec<_>, _>>()?;
-        let system = System::new(machines)?;
-        let compiled = Arc::new(system.compile());
+        let entry = match self.compiled.get(&tid) {
+            Some(entry) => entry.clone(),
+            None => {
+                let locals: Arc<[(Role, LocalType)]> = protocol.project_all()?.into();
+                let machines = locals
+                    .iter()
+                    .map(|(role, local)| Cfsm::from_local_type(role.clone(), local))
+                    .collect::<std::result::Result<Vec<_>, _>>()?;
+                let system = System::new(machines)?;
+                let compiled = Arc::new(system.compile());
+                // Same reduced search, same verdict (differentially
+                // tested); the single-threaded budget takes the sequential
+                // engine and skips the shard/deque machinery outright.
+                let outcome = if self.budget.threads <= 1 {
+                    compiled.explore_por(self.budget.channel_bound, self.budget.max_configs)
+                } else {
+                    compiled.explore_parallel(
+                        self.budget.channel_bound,
+                        self.budget.max_configs,
+                        self.budget.threads,
+                    )
+                };
+                let verdict = outcome.verdict();
+                let entry = CompiledEntry {
+                    locals,
+                    compiled,
+                    verdict,
+                };
+                self.compiled.insert(tid, entry.clone());
+                entry
+            }
+        };
         let id = ProtocolId(u32::try_from(self.artifacts.len()).expect("registry overflow"));
         self.ids.insert(protocol.name().to_owned(), id);
         self.artifacts.push(Arc::new(ProtocolArtifacts {
             id,
+            tid,
             protocol,
-            locals,
-            compiled,
+            locals: entry.locals,
+            compiled: entry.compiled,
+            verdict: entry.verdict,
         }));
         Ok(id)
     }
@@ -226,6 +345,51 @@ mod tests {
             registry.register(Protocol::new("bad-merge", g).unwrap()),
             Err(ServerError::Dsl(_))
         ));
+    }
+
+    #[test]
+    fn structurally_identical_protocols_share_artifacts_across_names() {
+        let mut registry = ProtocolRegistry::new();
+        let a = registry
+            .register(Protocol::new("ring-a", generators::ring3()).unwrap())
+            .unwrap();
+        let b = registry
+            .register(Protocol::new("ring-b", generators::ring3()).unwrap())
+            .unwrap();
+        assert_ne!(a, b, "distinct names get distinct ids");
+        let (fa, fb) = (registry.get(a).unwrap(), registry.get(b).unwrap());
+        // The compile/check cache is keyed on the interned global-type id:
+        // the second registration reuses the first's compiled tables and
+        // projections outright instead of recomputing them.
+        assert!(Arc::ptr_eq(fa.compiled(), fb.compiled()));
+        assert_eq!(fa.safety_verdict(), fb.safety_verdict());
+        assert!(std::ptr::eq(fa.locals().as_ptr(), fb.locals().as_ptr()));
+    }
+
+    #[test]
+    fn registration_records_a_safety_verdict() {
+        let mut registry = ProtocolRegistry::new();
+        let id = registry
+            .register(Protocol::new("ring", generators::ring3()).unwrap())
+            .unwrap();
+        assert_eq!(registry.get(id).unwrap().safety_verdict(), Verdict::Safe);
+        assert_eq!(registry.safety_budget(), SafetyBudget::default());
+    }
+
+    #[test]
+    fn an_exhausted_budget_reads_inconclusive_not_safe() {
+        let mut registry = ProtocolRegistry::with_safety_budget(SafetyBudget {
+            channel_bound: 2,
+            max_configs: 1,
+            threads: 2,
+        });
+        let id = registry
+            .register(Protocol::new("ring", generators::ring3()).unwrap())
+            .unwrap();
+        assert_eq!(
+            registry.get(id).unwrap().safety_verdict(),
+            Verdict::Inconclusive
+        );
     }
 
     #[test]

@@ -1,7 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 CI for the zooid workspace: release build, full test-suite, and a
 # bench-report smoke run that validates the machine-readable benchmark
-# report (BENCH_pr3.json schema) without paying full measurement budgets.
+# report (BENCH_pr4.json schema) without paying full measurement budgets.
+#
+# The smoke bench-report is also the explore_parallel smoke suite: it runs
+# the work-stealing explorer at threads=2 and asserts verdict and
+# visited-configuration agreement with the sequential reduced engine, so a
+# determinism or termination regression fails CI even before the (slower)
+# proptest differential suites get their turn.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -9,13 +15,17 @@ cd "$(dirname "$0")/.."
 echo "== cargo build --release"
 cargo build --release
 
-echo "== cargo test -q"
-cargo test -q
+echo "== cargo test --workspace -q"
+# The root manifest is both a package and a workspace: a bare `cargo test`
+# would cover only the root crate's 17 integration tests. --workspace runs
+# every crate's unit, integration (incl. the differential suites) and doc
+# tests.
+cargo test --workspace -q
 
-echo "== bench-report smoke"
+echo "== bench-report smoke (includes explore_parallel threads=2 agreement checks)"
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
-report="$tmpdir/BENCH_pr3.json"
+report="$tmpdir/BENCH_pr4.json"
 cargo run --release -p zooid-bench --bin bench-report -- --smoke --out "$report" >/dev/null
 
 echo "== validating $report"
@@ -27,10 +37,16 @@ import sys
 with open(sys.argv[1]) as f:
     report = json.load(f)
 
-assert report["pr"] == 3, f"unexpected pr marker: {report['pr']}"
+assert report["pr"] == 4, f"unexpected pr marker: {report['pr']}"
 benches = report["benches"]
 families = {e["bench"] for e in benches}
-for family in ("cfsm_explore", "server_throughput", "monitor_action"):
+for family in (
+    "cfsm_explore",
+    "cfsm_explore_por",
+    "cfsm_explore_par",
+    "server_throughput",
+    "monitor_action",
+):
     assert family in families, f"missing {family} family, got {sorted(families)}"
 for entry in benches:
     for key in ("bench", "case", "median_ns", "baseline_ns", "speedup", "baseline"):
@@ -42,18 +58,29 @@ monitor = [e for e in benches if e["bench"] == "monitor_action"]
 assert all(e["median_ns"] > 0 and e["baseline_ns"] > 0 for e in monitor)
 explore = [e for e in benches if e["bench"] == "cfsm_explore"]
 assert all(e["median_ns"] > 0 for e in explore), "cfsm_explore medians must be positive"
+por = [e for e in benches if e["bench"] == "cfsm_explore_por"]
+assert all(e["median_ns"] > 0 and e["baseline_ns"] > 0 for e in por)
+assert all("residual" in e["case"] for e in por), "POR cases must record residual sizes"
+par = [e for e in benches if e["bench"] == "cfsm_explore_par"]
+assert any("threads1" in e["case"] for e in par), "expected a 1-thread case"
+assert any("threads2" in e["case"] for e in par), "expected a 2-thread case"
+assert all(e["median_ns"] > 0 for e in par), "parallel medians must be positive"
 print(
-    f"OK: {len(benches)} entries, {len(explore)} cfsm_explore, "
-    f"{len(server)} server_throughput, {len(monitor)} monitor_action cases"
+    f"OK: {len(benches)} entries, {len(explore)} cfsm_explore, {len(por)} cfsm_explore_por, "
+    f"{len(par)} cfsm_explore_par, {len(server)} server_throughput, "
+    f"{len(monitor)} monitor_action cases"
 )
 EOF
 else
     # Fallback when python3 is unavailable: shape-check with grep.
-    grep -q '"pr": 3' "$report"
+    grep -q '"pr": 4' "$report"
     grep -q '"bench": "cfsm_explore"' "$report"
+    grep -q '"bench": "cfsm_explore_por"' "$report"
+    grep -q '"bench": "cfsm_explore_par"' "$report"
+    grep -q 'threads2' "$report"
     grep -q '"bench": "server_throughput"' "$report"
     grep -q '"bench": "monitor_action"' "$report"
-    echo "OK (grep fallback): cfsm_explore/server_throughput/monitor_action present"
+    echo "OK (grep fallback): all five bench families present"
 fi
 
 echo "== CI green"

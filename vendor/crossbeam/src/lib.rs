@@ -1,7 +1,252 @@
 //! Offline stand-in for the parts of `crossbeam` the workspace uses:
-//! `channel::{unbounded, Sender, Receiver, RecvTimeoutError}`, backed by
-//! `std::sync::mpsc`. The transports here are single-producer per ordered
-//! role pair, so mpsc's semantics are sufficient.
+//!
+//! * `channel::{unbounded, Sender, Receiver, RecvTimeoutError}`, backed by
+//!   `std::sync::mpsc` (the transports here are single-producer per ordered
+//!   role pair, so mpsc's semantics are sufficient);
+//! * `deque::{Worker, Stealer, Injector, Steal}`, the work-stealing deque
+//!   API of `crossbeam-deque`, backed by mutex-protected `VecDeque`s — the
+//!   same signatures, without the lock-free internals; swapping the real
+//!   crate back in is a one-line change in the root `Cargo.toml`;
+//! * `utils::Backoff`, an exponential spin/yield backoff for idle loops.
+
+pub mod deque {
+    //! Work-stealing FIFO deques: each worker owns a [`Worker`], hands out
+    //! [`Stealer`]s to its peers, and a shared [`Injector`] seeds the pool.
+    //!
+    //! The mutex-backed implementation keeps the exact `crossbeam-deque`
+    //! surface (including the three-valued [`Steal`] result — this stub's
+    //! locks never report [`Steal::Retry`], but callers must handle it so
+    //! they stay correct against the real lock-free crate).
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Mutex};
+
+    /// The result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if the attempt succeeded.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                Steal::Empty | Steal::Retry => None,
+            }
+        }
+
+        /// Returns `true` if the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    fn lock<T>(queue: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The owner's end of a work-stealing queue.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a FIFO worker queue (tasks pop in push order).
+        pub fn new_fifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Enqueues a task on the owner's end.
+        pub fn push(&self, task: T) {
+            lock(&self.queue).push_back(task);
+        }
+
+        /// Dequeues the owner's next task.
+        pub fn pop(&self) -> Option<T> {
+            lock(&self.queue).pop_front()
+        }
+
+        /// Returns `true` if the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+
+        /// A handle other workers use to steal from this queue.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Worker<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.pad("Worker { .. }")
+        }
+    }
+
+    /// A thief's handle to another worker's queue.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals the oldest task from the victim's queue.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Returns `true` if the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Stealer<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.pad("Stealer { .. }")
+        }
+    }
+
+    /// A shared FIFO all workers can push to and steal from; seeds the pool.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// An empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueues a task.
+        pub fn push(&self, task: T) {
+            lock(&self.queue).push_back(task);
+        }
+
+        /// Steals the oldest task.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Returns `true` if the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+
+    impl<T> fmt::Debug for Injector<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.pad("Injector { .. }")
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn worker_pops_fifo_and_stealers_take_the_oldest() {
+            let w = Worker::new_fifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(s.steal(), Steal::Success(1));
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(s.clone().steal(), Steal::Success(3));
+            assert_eq!(s.steal(), Steal::Empty);
+            assert!(w.is_empty() && s.is_empty());
+        }
+
+        #[test]
+        fn injector_is_shared_fifo() {
+            let inj = Injector::new();
+            assert!(inj.is_empty());
+            inj.push("a");
+            inj.push("b");
+            assert_eq!(inj.steal().success(), Some("a"));
+            assert_eq!(inj.steal().success(), Some("b"));
+            assert!(inj.steal().is_empty());
+        }
+    }
+}
+
+pub mod utils {
+    //! Small concurrency utilities.
+
+    /// Exponential backoff for spin loops: spin a few rounds, then yield the
+    /// thread, mirroring `crossbeam_utils::Backoff`.
+    #[derive(Debug, Default)]
+    pub struct Backoff {
+        step: u32,
+    }
+
+    impl Backoff {
+        const SPIN_LIMIT: u32 = 6;
+        const YIELD_LIMIT: u32 = 10;
+
+        /// A fresh backoff.
+        pub fn new() -> Self {
+            Backoff::default()
+        }
+
+        /// Resets the backoff to the spinning phase.
+        pub fn reset(&mut self) {
+            self.step = 0;
+        }
+
+        /// Backs off one round: busy-spin while young, yield once saturated.
+        pub fn snooze(&mut self) {
+            if self.step <= Self::SPIN_LIMIT {
+                for _ in 0..1u32 << self.step {
+                    std::hint::spin_loop();
+                }
+            } else {
+                std::thread::yield_now();
+            }
+            if self.step <= Self::YIELD_LIMIT {
+                self.step += 1;
+            }
+        }
+
+        /// Whether the backoff has saturated (callers may choose to park).
+        pub fn is_completed(&self) -> bool {
+            self.step > Self::YIELD_LIMIT
+        }
+    }
+}
 
 pub mod channel {
     //! Unbounded FIFO channels.
