@@ -1,4 +1,4 @@
-//! Emits a machine-readable benchmark report (`BENCH_pr4.json`) so future
+//! Emits a machine-readable benchmark report (`BENCH_pr5.json`) so future
 //! PRs can track the performance trajectory of the hot paths.
 //!
 //! For every scalable protocol family (`ring`, `chain`, `fanout`) at sizes
@@ -28,14 +28,26 @@
 //!   single-thread run. Observed scaling is bounded by the CPUs the
 //!   container actually grants (this harness records, it does not assume).
 //!
-//! Two families track the serving layer added in PR 3:
+//! Three families track the serving layer (PR 3, rebuilt on the compiled
+//! data plane in PR 5):
 //!
+//! * `endpoint_step` — per-visible-action cost of the **compiled** endpoint
+//!   executor ([`CompiledEndpointTask`]: program counter + slot array,
+//!   dense-indexed transport, no codec) against the tree-walking
+//!   [`EndpointTask`] running the same looping sessions (recursive
+//!   chain/fanout at several sizes) cooperatively on one thread to a fixed
+//!   step budget. Both sides run in *quiet* mode (no observer, trace
+//!   recording off — the fire-and-forget configuration) so the family
+//!   measures stepping itself; per-action monitoring cost is tracked
+//!   separately by `monitor_action`;
 //! * `server_throughput` — wall-clock of a whole batch of concurrent
 //!   in-memory sessions (10,000 in full mode) on the sharded
-//!   `zooid_server::SessionServer`, at 1 and 4 worker shards; the baseline
-//!   is the thread-per-participant [`SessionHarness`] running the same
-//!   workload (measured on a smaller batch and scaled per-session, since
-//!   spawning 3 threads per session makes large batches pointless);
+//!   `zooid_server::SessionServer`, at 1 and 4 worker shards (plus a
+//!   4-shard `notrace` case with per-endpoint trace recording off — the
+//!   fire-and-forget configuration); the baseline is the
+//!   thread-per-participant [`SessionHarness`] running the same workload
+//!   (measured on a smaller batch and scaled per-session, since spawning 3
+//!   threads per session makes large batches pointless);
 //! * `monitor_action` — per-action cost of the `CompiledMonitor` (dense
 //!   interned transition tables) on a compliant trace, against the
 //!   `TraceMonitor` (boxed global-LTS replay) observing the same trace.
@@ -54,9 +66,10 @@
 //!   engines visit identical configuration counts before timing them).
 //!
 //! Run with `cargo run --release -p zooid-bench --bin bench-report`; writes
-//! `BENCH_pr3.json` in the current directory. `--smoke` shrinks sizes and
+//! `BENCH_pr5.json` in the current directory. `--smoke` shrinks sizes and
 //! budgets for CI smoke runs, `--out PATH` redirects the report.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use zooid_cfsm::System;
@@ -67,6 +80,10 @@ use zooid_mpst::global::GlobalType;
 use zooid_mpst::projection::project_all;
 use zooid_mpst::trace_equiv::{check_trace_equivalence, check_trace_equivalence_exhaustive};
 use zooid_mpst::{Action, Label, Role, Sort};
+use zooid_proc::{CompiledProc, Externals, Proc};
+use zooid_runtime::cexec::{CompiledEndpointTask, EndpointProgram};
+use zooid_runtime::exec::{EndpointTask, ExecOptions, StepOutcome};
+use zooid_runtime::transport::{InMemoryNetwork, InMemoryTransport};
 use zooid_runtime::{CompiledMonitor, SessionHarness, TraceMonitor};
 use zooid_server::synth::skeleton_endpoints;
 use zooid_server::{ProtocolRegistry, ServerConfig, SessionServer, SessionSpec};
@@ -161,6 +178,105 @@ fn families(n: usize) -> Vec<(String, GlobalType)> {
     ]
 }
 
+/// A *recursive* fan-out: each round the hub sends one task to every worker
+/// and then collects every ack, forever — the looping cousin of
+/// [`generators::fanout_n`] (same batched phase structure), used by the
+/// `endpoint_step` family so per-step costs amortize over thousands of
+/// steps per session.
+fn fanout_loop(n: usize) -> GlobalType {
+    let hub = Role::new("hub");
+    let workers: Vec<Role> = (0..n).map(|i| Role::new(format!("w{i}"))).collect();
+    let mut g = GlobalType::var(0);
+    for w in workers.iter().rev() {
+        g = GlobalType::msg1(w.clone(), hub.clone(), "ack", Sort::Unit, g);
+    }
+    for w in workers.iter().rev() {
+        g = GlobalType::msg1(hub.clone(), w.clone(), "task", Sort::Nat, g);
+    }
+    GlobalType::rec(g)
+}
+
+/// One cooperative session drive (drain rounds until every endpoint is
+/// done or none can progress), shared by both engines of `endpoint_step` so
+/// the schedule — and any future tweak to it — is identical by
+/// construction. Returns the number of visible actions performed.
+fn drive_session<T>(
+    roles: &[Role],
+    make_task: impl Fn(&Role) -> T,
+    mut step_quiet: impl FnMut(&mut T, &mut InMemoryTransport) -> StepOutcome,
+    is_done: impl Fn(&T) -> bool,
+    mark_stalled: impl Fn(&mut T),
+) -> usize {
+    let mut network = InMemoryNetwork::new(roles.iter().cloned());
+    let mut tasks: Vec<(T, InMemoryTransport)> = roles
+        .iter()
+        .map(|role| {
+            let transport = network.take_endpoint(role).expect("unique roles");
+            (make_task(role), transport)
+        })
+        .collect();
+    let mut actions = 0usize;
+    loop {
+        let mut progressed = false;
+        for (task, transport) in &mut tasks {
+            while let StepOutcome::Progress = step_quiet(task, transport) {
+                progressed = true;
+                actions += 1;
+            }
+        }
+        if tasks.iter().all(|(t, _)| is_done(t)) {
+            break;
+        }
+        if !progressed {
+            for (task, _) in &mut tasks {
+                mark_stalled(task);
+            }
+            break;
+        }
+    }
+    actions
+}
+
+/// Steps every compiled endpoint of one session cooperatively until all are
+/// done, returning the number of visible actions.
+fn run_compiled_session(
+    programs: &[(Role, Arc<EndpointProgram>)],
+    options: &ExecOptions,
+) -> usize {
+    let roles: Vec<Role> = programs.iter().map(|(r, _)| r.clone()).collect();
+    drive_session(
+        &roles,
+        |role| {
+            let (_, program) = programs
+                .iter()
+                .find(|(r, _)| r == role)
+                .expect("every role has a program");
+            CompiledEndpointTask::new(Arc::clone(program), Externals::new(), options.clone())
+        },
+        |task, transport| task.step_mem_quiet(transport),
+        CompiledEndpointTask::is_done,
+        CompiledEndpointTask::mark_stalled,
+    )
+}
+
+/// The same cooperative schedule over tree-walking tasks.
+fn run_tree_session(procs: &[(Role, Proc)], options: &ExecOptions) -> usize {
+    let roles: Vec<Role> = procs.iter().map(|(r, _)| r.clone()).collect();
+    drive_session(
+        &roles,
+        |role| {
+            let (_, proc) = procs
+                .iter()
+                .find(|(r, _)| r == role)
+                .expect("every role has a process");
+            EndpointTask::new(proc.clone(), role.clone(), Externals::new(), options.clone())
+        },
+        |task, transport| task.step_quiet(transport),
+        EndpointTask::is_done,
+        EndpointTask::mark_stalled,
+    )
+}
+
 fn seed_baseline(table: &[(&str, u64)], case: &str) -> u64 {
     table
         .iter()
@@ -177,7 +293,7 @@ struct Options {
 fn parse_args() -> Options {
     let mut opts = Options {
         smoke: false,
-        out: "BENCH_pr4.json".to_owned(),
+        out: "BENCH_pr5.json".to_owned(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -414,12 +530,90 @@ fn main() {
     }
 
     // ------------------------------------------------------------------
+    // endpoint_step: per-visible-action cost of the compiled endpoint
+    // executor vs the tree-walking oracle, on looping sessions stepped
+    // cooperatively on one thread to a fixed per-endpoint budget. Trace
+    // recording is off on both sides (the throughput configuration) so the
+    // family measures stepping, not Vec pushes.
+    // ------------------------------------------------------------------
+    let endpoint_cases: Vec<(String, GlobalType, usize)> = if opts.smoke {
+        vec![
+            ("chain/2".into(), generators::chain_n(2), 256),
+            ("fanout/4".into(), fanout_loop(4), 256),
+        ]
+    } else {
+        vec![
+            ("chain/2".into(), generators::chain_n(2), 2_048),
+            ("chain/8".into(), generators::chain_n(8), 2_048),
+            ("fanout/4".into(), fanout_loop(4), 2_048),
+            ("fanout/16".into(), fanout_loop(16), 2_048),
+        ]
+    };
+    for (case, g, steps) in &endpoint_cases {
+        let procs: Vec<(Role, Proc)> = project_all(g)
+            .expect("bench families are projectable")
+            .into_iter()
+            .map(|(role, local)| {
+                let proc = zooid_server::synth::skeleton_proc(&local)
+                    .expect("bench families synthesize");
+                (role, proc)
+            })
+            .collect();
+        let externals = Externals::new();
+        let programs: Vec<(Role, Arc<EndpointProgram>)> = procs
+            .iter()
+            .map(|(role, proc)| {
+                let compiled = CompiledProc::compile(proc, role, &externals)
+                    .expect("skeletons compile");
+                (role.clone(), Arc::new(EndpointProgram::new(Arc::new(compiled))))
+            })
+            .collect();
+        let options = ExecOptions::with_max_steps(*steps).record_actions(false);
+
+        let compiled_actions = run_compiled_session(&programs, &options);
+        let tree_actions = run_tree_session(&procs, &options);
+        assert_eq!(
+            compiled_actions, tree_actions,
+            "{case}: engines must perform the same number of visible actions"
+        );
+        assert!(
+            compiled_actions > 0,
+            "{case}: the session made no progress under the cooperative schedule"
+        );
+
+        let ns = median_ns(
+            || {
+                std::hint::black_box(run_compiled_session(&programs, &options));
+            },
+            if opts.smoke { 5 } else { 15 },
+            if opts.smoke { 300 } else { 5_000 },
+        );
+        let baseline_ns = median_ns(
+            || {
+                std::hint::black_box(run_tree_session(&procs, &options));
+            },
+            if opts.smoke { 3 } else { 9 },
+            if opts.smoke { 500 } else { 8_000 },
+        );
+        entries.push(Entry {
+            bench: "endpoint_step",
+            case: format!("{case}/steps{steps}/actions{compiled_actions}/peraction"),
+            median_ns: (ns / compiled_actions as u64).max(1),
+            baseline_ns: (baseline_ns / tree_actions as u64).max(1),
+            baseline: "tree-walking EndpointTask (same session, same schedule, same run)",
+        });
+    }
+
+    // ------------------------------------------------------------------
     // server_throughput: a batch of concurrent sessions on the sharded
     // server vs the thread-per-participant harness.
     // ------------------------------------------------------------------
     let sessions: usize = if opts.smoke { 500 } else { 10_000 };
     let protocol = Protocol::new("ring", generators::ring_n(4)).expect("well-formed");
     let endpoints = skeleton_endpoints(&protocol).expect("synthesizable");
+    // The endpoint list is shared across submissions (an `Arc` slice), the
+    // intended way to start many sessions of one implementation.
+    let shared: Arc<[_]> = endpoints.clone().into();
 
     // Baseline: the harness spawns 4 OS threads per session, so it is
     // measured on a smaller batch and scaled per-session.
@@ -441,7 +635,9 @@ fn main() {
     let harness_batch_ns =
         (harness_ns as f64 * sessions as f64 / harness_sessions as f64) as u64;
 
-    for shards in [1usize, 4] {
+    // (shards, record per-endpoint traces?): the `notrace` case is the
+    // fire-and-forget configuration — monitor verdicts only.
+    for (shards, record) in [(1usize, true), (4, true), (4, false)] {
         let ns = median_ns(
             || {
                 let mut registry = ProtocolRegistry::new();
@@ -449,13 +645,17 @@ fn main() {
                 let mut server =
                     SessionServer::start(registry, ServerConfig::with_shards(shards));
                 for _ in 0..sessions {
-                    server
-                        .submit(SessionSpec::new(id, endpoints.clone()))
-                        .expect("submits");
+                    let mut spec = SessionSpec::new(id, Arc::clone(&shared));
+                    spec.options.record_actions = record;
+                    server.submit(spec).expect("submits");
                 }
                 let outcomes = server.drain();
                 assert_eq!(outcomes.len(), sessions);
-                assert!(outcomes.iter().all(|o| o.all_finished_and_compliant()));
+                if record {
+                    assert!(outcomes.iter().all(|o| o.all_finished_and_compliant()));
+                } else {
+                    assert!(outcomes.iter().all(|o| o.compliant && o.complete));
+                }
                 let report = server.shutdown();
                 assert_eq!(report.sessions_completed() as u64, sessions as u64);
             },
@@ -464,7 +664,10 @@ fn main() {
         );
         entries.push(Entry {
             bench: "server_throughput",
-            case: format!("ring4/s{sessions}/shards{shards}"),
+            case: format!(
+                "ring4/s{sessions}/shards{shards}{}",
+                if record { "" } else { "/notrace" }
+            ),
             median_ns: ns,
             baseline_ns: harness_batch_ns,
             baseline: "SessionHarness thread-per-endpoint (smaller batch, scaled per-session)",
@@ -563,7 +766,7 @@ fn main() {
         });
     }
 
-    let mut json = String::from("{\n  \"pr\": 4,\n  \"benches\": [\n");
+    let mut json = String::from("{\n  \"pr\": 5,\n  \"benches\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let speedup = if e.median_ns > 0 && e.baseline_ns > 0 {
             e.baseline_ns as f64 / e.median_ns as f64

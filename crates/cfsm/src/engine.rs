@@ -605,10 +605,25 @@ impl CompiledSystem {
     /// returned. Every lookup resolves the action's roles, label and sort to
     /// interned ids once; the transition scan itself compares only dense ids.
     pub fn observe(&self, cursor: &mut MonitorCursor, action: &Action) -> bool {
-        self.try_observe(cursor, action).is_some()
+        match self.intern_action(action) {
+            Some(interned) => self.observe_interned(cursor, &interned),
+            None => false,
+        }
     }
 
-    fn try_observe(&self, cursor: &mut MonitorCursor, action: &Action) -> Option<()> {
+    /// Resolves an action's roles, label and sort against the compiled
+    /// tables once, yielding an [`InternedAction`] that can be observed any
+    /// number of times without ever hashing a string again.
+    ///
+    /// Returns `None` when some component of the action does not occur in
+    /// the protocol at all — such an action can never be accepted, matching
+    /// [`CompiledSystem::observe`] returning `false`.
+    ///
+    /// This is what makes the serving data plane's per-action monitoring
+    /// allocation- and hash-free: the compiled endpoint executor resolves
+    /// each send/receive site of a program to an `InternedAction` once and
+    /// replays it on every visit.
+    pub fn intern_action(&self, action: &Action) -> Option<InternedAction> {
         let from = self.snapshot.lookup_role(action.from())?;
         let to = self.snapshot.lookup_role(action.to())?;
         let label = self.snapshot.lookup_label(action.label())?;
@@ -620,20 +635,41 @@ impl CompiledSystem {
         } else {
             (Direction::Recv, to)
         };
-        let m = *self.machine_of_role.get(&subject)? as usize;
+        let machine = *self.machine_of_role.get(&subject)?;
+        Some(InternedAction {
+            dir,
+            machine,
+            channel,
+            msg,
+        })
+    }
+
+    /// [`CompiledSystem::observe`] over a pre-resolved action: the per-call
+    /// cost is one scan of the subject's (tiny) out-transition list plus one
+    /// queue operation — no role/label/sort hashing.
+    pub fn observe_interned(&self, cursor: &mut MonitorCursor, action: &InternedAction) -> bool {
+        self.try_observe_interned(cursor, action).is_some()
+    }
+
+    fn try_observe_interned(
+        &self,
+        cursor: &mut MonitorCursor,
+        action: &InternedAction,
+    ) -> Option<()> {
+        let m = action.machine as usize;
         let state = cursor.states[m] as usize;
         let t = self.tables[m][state]
             .iter()
-            .find(|t| t.dir == dir && t.channel == channel && t.msg == msg)?;
-        match dir {
+            .find(|t| t.dir == action.dir && t.channel == action.channel && t.msg == action.msg)?;
+        match action.dir {
             Direction::Send => {
-                cursor.queues[channel as usize].push_back(msg);
+                cursor.queues[action.channel as usize].push_back(action.msg);
             }
             Direction::Recv => {
-                if cursor.queues[channel as usize].front() != Some(&msg) {
+                if cursor.queues[action.channel as usize].front() != Some(&action.msg) {
                     return None;
                 }
-                cursor.queues[channel as usize].pop_front();
+                cursor.queues[action.channel as usize].pop_front();
             }
         }
         cursor.states[m] = t.target;
@@ -843,6 +879,21 @@ pub(crate) fn all_can_finish(preds: &[Vec<u32>], final_indices: Vec<u32>) -> boo
 pub struct MonitorCursor {
     states: Vec<u32>,
     queues: Vec<VecDeque<MsgId>>,
+}
+
+/// An observable action pre-resolved against a [`CompiledSystem`]'s tables:
+/// the subject's machine index, the dense channel id and the interned
+/// message id.
+///
+/// Produced by [`CompiledSystem::intern_action`] and consumed by
+/// [`CompiledSystem::observe_interned`]; only meaningful for the system that
+/// produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InternedAction {
+    dir: Direction,
+    machine: u32,
+    channel: u32,
+    msg: MsgId,
 }
 
 #[cfg(test)]

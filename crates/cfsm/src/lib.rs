@@ -66,7 +66,7 @@ pub mod parallel;
 pub mod system;
 
 pub use compat::{check_protocol, check_protocol_exhaustive, SafetyReport};
-pub use engine::{CompiledSystem, MonitorCursor};
+pub use engine::{CompiledSystem, InternedAction, MonitorCursor};
 pub use error::{CfsmError, Result};
 pub use machine::{Cfsm, CfsmAction, Direction, StateId};
 pub use system::{

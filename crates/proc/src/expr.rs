@@ -415,7 +415,7 @@ fn sort_of_value(v: &Value) -> Result<Sort> {
     })
 }
 
-fn numeric(
+pub(crate) fn numeric(
     a: Value,
     b: Value,
     op: &str,
@@ -439,7 +439,7 @@ fn numeric(
     }
 }
 
-fn compare(a: Value, b: Value, pick: impl Fn(std::cmp::Ordering) -> bool) -> Result<Value> {
+pub(crate) fn compare(a: Value, b: Value, pick: impl Fn(std::cmp::Ordering) -> bool) -> Result<Value> {
     match (&a, &b) {
         (Value::Nat(x), Value::Nat(y)) => Ok(Value::Bool(pick(x.cmp(y)))),
         (Value::Int(x), Value::Int(y)) => Ok(Value::Bool(pick(x.cmp(y)))),

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod compile;
 pub mod error;
 pub mod expr;
 pub mod external;
@@ -35,6 +36,7 @@ pub mod subtrace;
 pub mod typing;
 pub mod value;
 
+pub use compile::{CompiledProc, EventMeta};
 pub use error::{ProcError, Result};
 pub use expr::Expr;
 pub use external::{ExternalKind, ExternalSig, Externals};

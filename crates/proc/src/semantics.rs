@@ -119,46 +119,49 @@ const ADMIN_FUEL: usize = 10_000;
 /// registered, or the internal reduction does not terminate within a fixed
 /// fuel bound.
 pub fn admin_normalize(proc: &Proc, externals: &Externals) -> Result<Proc> {
-    let mut current = proc.clone();
+    admin_normalize_owned(proc.clone(), externals)
+}
+
+/// Like [`admin_normalize`], but takes the process by value: when the head is
+/// already a communication (the steady state of the executors) nothing is
+/// cloned at all, and each internal reduction moves its continuation out of
+/// its `Box` instead of deep-cloning it.
+///
+/// # Errors
+///
+/// Same as [`admin_normalize`].
+pub fn admin_normalize_owned(mut current: Proc, externals: &Externals) -> Result<Proc> {
     for _ in 0..ADMIN_FUEL {
         match current {
             Proc::Cond {
-                ref cond,
-                ref then_branch,
-                ref else_branch,
+                cond,
+                then_branch,
+                else_branch,
             } => {
                 current = if cond.eval_closed()?.as_bool()? {
-                    (**then_branch).clone()
+                    *then_branch
                 } else {
-                    (**else_branch).clone()
+                    *else_branch
                 };
             }
-            Proc::Read {
-                ref action,
-                ref var,
-                ref cont,
-            } => {
-                let result = externals.call(action, Value::Unit)?;
-                current = cont.subst_value(var, &result);
+            Proc::Read { action, var, cont } => {
+                let result = externals.call(&action, Value::Unit)?;
+                current = cont.subst_value(&var, &result);
             }
-            Proc::Write {
-                ref action,
-                ref arg,
-                ref cont,
-            } => {
+            Proc::Write { action, arg, cont } => {
                 let value = arg.eval_closed()?;
-                externals.call(action, value)?;
-                current = (**cont).clone();
+                externals.call(&action, value)?;
+                current = *cont;
             }
             Proc::Interact {
-                ref action,
-                ref arg,
-                ref var,
-                ref cont,
+                action,
+                arg,
+                var,
+                cont,
             } => {
                 let value = arg.eval_closed()?;
-                let result = externals.call(action, value)?;
-                current = cont.subst_value(var, &result);
+                let result = externals.call(&action, value)?;
+                current = cont.subst_value(&var, &result);
             }
             other => return Ok(other),
         }

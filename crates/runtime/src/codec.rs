@@ -4,8 +4,11 @@
 //! The format is deliberately simple: every value is encoded as a one-byte
 //! tag followed by its payload, with `u64`/`i64` in big-endian and
 //! length-prefixed strings and sequences. Frames on the wire are the encoded
-//! message preceded by a `u32` length (see [`crate::tcp`]); the in-memory
-//! transport uses the same encoding so that both paths exercise the codec.
+//! message preceded by a `u32` length (see [`crate::tcp`]). The in-memory
+//! transport passes `(Label, Value)` frames directly — encoding is a wire
+//! concern — so the codec is kept honest by its round-trip property tests
+//! (`tests/codec_props.rs`: `decode ∘ encode = id` for every value shape)
+//! rather than by riding along on every in-process message.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use zooid_mpst::Label;

@@ -18,20 +18,36 @@
 //! thread-per-endpoint executor, timeouts included.
 
 use zooid_mpst::{Role, Sort, Trace};
-use zooid_proc::semantics::admin_normalize;
+use zooid_proc::semantics::admin_normalize_owned;
 use zooid_proc::{erase, Externals, Proc, Value, ValueAction};
 
 use crate::error::{Result, RuntimeError};
 use crate::transport::Transport;
 
 /// Options controlling one endpoint execution.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Stop (with [`EndpointStatus::StepLimitReached`]) after this many
     /// visible communications. `None` runs until the process finishes or
     /// fails — which never happens for protocols that loop forever, so
     /// benchmarks and examples of recursive protocols set a limit.
     pub max_steps: Option<usize>,
+    /// Whether to record every visible communication in the endpoint's
+    /// [`EndpointReport::actions`] (default: `true`). Fire-and-forget server
+    /// sessions that only need the monitor verdict turn this off: the
+    /// per-action `Vec` push (and the payload clone it keeps alive) is pure
+    /// overhead for them. Observers (and therefore monitors) still see every
+    /// action either way.
+    pub record_actions: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            max_steps: None,
+            record_actions: true,
+        }
+    }
 }
 
 impl ExecOptions {
@@ -39,7 +55,15 @@ impl ExecOptions {
     pub fn with_max_steps(max_steps: usize) -> Self {
         ExecOptions {
             max_steps: Some(max_steps),
+            ..ExecOptions::default()
         }
+    }
+
+    /// Same options with trace recording switched on or off.
+    #[must_use]
+    pub fn record_actions(mut self, record: bool) -> Self {
+        self.record_actions = record;
+        self
     }
 }
 
@@ -210,7 +234,7 @@ impl EndpointTask {
         transport: &mut dyn Transport,
         observer: &mut dyn FnMut(&ValueAction),
     ) -> StepOutcome {
-        self.step_inner(transport, observer, false)
+        self.step_inner(transport, Some(observer), false)
     }
 
     /// Advances the task by one visible communication, blocking inside
@@ -221,7 +245,15 @@ impl EndpointTask {
         transport: &mut dyn Transport,
         observer: &mut dyn FnMut(&ValueAction),
     ) -> StepOutcome {
-        self.step_inner(transport, observer, true)
+        self.step_inner(transport, Some(observer), true)
+    }
+
+    /// [`EndpointTask::step`] without an observer: when trace recording is
+    /// off too ([`ExecOptions::record_actions`]), the [`ValueAction`] is
+    /// never materialised — the tree-walking counterpart of the compiled
+    /// executor's quiet mode, so the two can be compared on pure stepping.
+    pub fn step_quiet(&mut self, transport: &mut dyn Transport) -> StepOutcome {
+        self.step_inner(transport, None, false)
     }
 
     /// Marks a still-running task as given up by its scheduler (all peers of
@@ -245,7 +277,7 @@ impl EndpointTask {
     fn step_inner(
         &mut self,
         transport: &mut dyn Transport,
-        observer: &mut dyn FnMut(&ValueAction),
+        observer: Option<&mut dyn FnMut(&ValueAction)>,
         block: bool,
     ) -> StepOutcome {
         if let Some(status) = &self.status {
@@ -270,26 +302,46 @@ impl EndpointTask {
     fn try_step(
         &mut self,
         transport: &mut dyn Transport,
-        observer: &mut dyn FnMut(&ValueAction),
+        mut observer: Option<&mut dyn FnMut(&ValueAction)>,
         block: bool,
     ) -> Result<StepOutcome> {
+        // Advance by *taking ownership* of the process: normalisation and
+        // stepping move continuations out of their boxes instead of
+        // deep-cloning them ([`admin_normalize_owned`] is a no-op when the
+        // head is already a communication, the steady state here). On paths
+        // that do not consume the process (`WouldBlock`, and any `Done` —
+        // the task never steps again after one) `self.current` is either
+        // restored or irrelevant.
         if !self.normalized {
-            self.current = admin_normalize(&self.current, &self.externals)?;
-            while matches!(self.current, Proc::Loop(_)) {
-                self.current = admin_normalize(&self.current.unfold_once(), &self.externals)?;
+            let mut current =
+                admin_normalize_owned(std::mem::replace(&mut self.current, Proc::Finish), &self.externals)?;
+            let mut unfolds = 0usize;
+            while matches!(current, Proc::Loop(_)) {
+                // Typing guarantees loops are guarded, so this terminates
+                // for certified processes; the bound turns an unguarded
+                // `loop { jump 0 }` into the same `Stuck` error the process
+                // compiler reports, instead of spinning forever.
+                unfolds += 1;
+                if unfolds > 10_000 {
+                    return Err(RuntimeError::Process(zooid_proc::ProcError::Stuck {
+                        context: "recursion does not reach a communication".to_owned(),
+                    }));
+                }
+                current = admin_normalize_owned(current.unfold_once(), &self.externals)?;
             }
+            self.current = current;
             self.normalized = true;
         }
-        match self.current {
+        match std::mem::replace(&mut self.current, Proc::Finish) {
             Proc::Finish => Ok(StepOutcome::Done(EndpointStatus::Finished)),
             Proc::Jump(i) => Err(RuntimeError::Process(zooid_proc::ProcError::UnboundJump {
                 index: i,
             })),
             Proc::Send {
-                ref to,
-                ref label,
-                ref payload,
-                ref cont,
+                to,
+                label,
+                payload,
+                cont,
             } => {
                 if let Some(limit) = self.options.max_steps {
                     if self.steps >= limit {
@@ -297,65 +349,77 @@ impl EndpointTask {
                     }
                 }
                 let value = payload.eval_closed()?;
-                let action = ValueAction::send(
-                    self.role.clone(),
-                    to.clone(),
-                    label.clone(),
-                    sort_of_value(&value),
-                    value.clone(),
-                );
-                // Observe the send *before* handing the message to the
-                // transport: once the frame is in flight the receiver may
-                // report its receive at any moment, and the monitor must see
-                // the send first to recognise the interleaving as a valid
-                // asynchronous trace.
-                observer(&action);
-                transport.send(to, label, &value)?;
-                let next = (**cont).clone();
-                self.actions.push(action);
+                let action = if observer.is_some() || self.options.record_actions {
+                    let action = ValueAction::send(
+                        self.role.clone(),
+                        to.clone(),
+                        label.clone(),
+                        sort_of_value(&value),
+                        value.clone(),
+                    );
+                    // Observe the send *before* handing the message to the
+                    // transport: once the frame is in flight the receiver
+                    // may report its receive at any moment, and the monitor
+                    // must see the send first to recognise the interleaving
+                    // as a valid asynchronous trace.
+                    if let Some(observer) = observer.as_mut() {
+                        observer(&action);
+                    }
+                    Some(action)
+                } else {
+                    None
+                };
+                transport.send(&to, &label, &value)?;
+                if self.options.record_actions {
+                    self.actions.extend(action);
+                }
                 self.steps += 1;
-                self.current = next;
+                self.current = *cont;
                 self.normalized = false;
                 Ok(StepOutcome::Progress)
             }
-            Proc::Recv { ref from, ref alts } => {
+            Proc::Recv { from, alts } => {
                 if let Some(limit) = self.options.max_steps {
                     if self.steps >= limit {
                         return Ok(StepOutcome::Done(EndpointStatus::StepLimitReached));
                     }
                 }
                 let (label, value) = if block {
-                    transport.recv(from)?
+                    transport.recv(&from)?
                 } else {
-                    match transport.try_recv(from)? {
+                    match transport.try_recv(&from)? {
                         Some(message) => message,
                         None => {
-                            return Ok(StepOutcome::WouldBlock { from: from.clone() });
+                            // The channel is empty: hand the receive back
+                            // unconsumed so the retry finds it unchanged.
+                            let waiting_on = from.clone();
+                            self.current = Proc::Recv { from, alts };
+                            return Ok(StepOutcome::WouldBlock { from: waiting_on });
                         }
                     }
                 };
                 let Some(alt) = alts.iter().find(|a| a.label == label) else {
-                    return Err(RuntimeError::UnexpectedMessage {
-                        from: from.clone(),
-                        label,
-                    });
+                    return Err(RuntimeError::UnexpectedMessage { from, label });
                 };
                 if !value.has_sort(&alt.sort) {
-                    return Err(RuntimeError::BadPayload {
-                        from: from.clone(),
-                        label,
-                    });
+                    return Err(RuntimeError::BadPayload { from, label });
                 }
-                let action = ValueAction::recv(
-                    self.role.clone(),
-                    from.clone(),
-                    label,
-                    alt.sort.clone(),
-                    value.clone(),
-                );
-                observer(&action);
+                if observer.is_some() || self.options.record_actions {
+                    let action = ValueAction::recv(
+                        self.role.clone(),
+                        from,
+                        label,
+                        alt.sort.clone(),
+                        value.clone(),
+                    );
+                    if let Some(observer) = observer.as_mut() {
+                        observer(&action);
+                    }
+                    if self.options.record_actions {
+                        self.actions.push(action);
+                    }
+                }
                 let next = alt.cont.subst_value(&alt.var, &value);
-                self.actions.push(action);
                 self.steps += 1;
                 self.current = next;
                 self.normalized = false;
@@ -373,8 +437,9 @@ impl EndpointTask {
 }
 
 /// The canonical sort of a concrete value (used to label the recorded
-/// actions of sends, whose payloads are already evaluated).
-fn sort_of_value(value: &Value) -> Sort {
+/// actions of sends, whose payloads are already evaluated). Shared by the
+/// tree-walking and the compiled executor so both record identical actions.
+pub(crate) fn sort_of_value(value: &Value) -> Sort {
     match value {
         Value::Unit => Sort::Unit,
         Value::Nat(_) => Sort::Nat,

@@ -8,19 +8,32 @@
 //! * [`transport`] — the [`Transport`] trait is the counterpart of the
 //!   process monad's communication operations (`send`, `recv`); the
 //!   [`transport::InMemoryNetwork`] gives every ordered pair of roles its own
-//!   FIFO channel (the queue environments of §3.3, realised with crossbeam
-//!   channels), and [`tcp`] provides the §4.5 TCP transport with
-//!   `Server`/`Client` connection specs;
+//!   FIFO channel (the queue environments of §3.3) carrying `(Label, Value)`
+//!   frames directly — no codec round-trip in process — with peers
+//!   addressable by **dense index** for the compiled fast path; [`tcp`]
+//!   provides the §4.5 TCP transport with `Server`/`Client` connection
+//!   specs;
 //! * [`codec`] — a length-delimited binary encoding of messages, standing in
-//!   for OCaml's `Marshal` module;
-//! * [`exec`] — the interpreter that runs a certified process against a
-//!   transport (the counterpart of `extract_proc` composed with the monad
-//!   instance), recording the endpoint's trace. The interpreter is a
-//!   resumable state machine ([`exec::EndpointTask`]) whose `step()` yields
-//!   [`exec::StepOutcome::WouldBlock`] on an empty channel instead of
+//!   for OCaml's `Marshal` module (the wire format of the TCP path, kept
+//!   honest by round-trip property tests);
+//! * [`exec`] — the tree-walking interpreter that runs a certified process
+//!   against a transport (the counterpart of `extract_proc` composed with
+//!   the monad instance), recording the endpoint's trace. The interpreter is
+//!   a resumable state machine ([`exec::EndpointTask`]) whose `step()`
+//!   yields [`exec::StepOutcome::WouldBlock`] on an empty channel instead of
 //!   parking, so schedulers (the `zooid-server` session server) can
 //!   multiplex thousands of endpoints on a bounded worker pool; the blocking
 //!   [`execute`] entry point is a loop around it;
+//! * [`cexec`] — the **compiled** endpoint executor: a certified process is
+//!   lowered once ([`zooid_proc::CompiledProc`]) into a flat instruction
+//!   table with interned ids, resolved loop back-edges and dense value
+//!   slots, and [`cexec::CompiledEndpointTask`] steps it as a program
+//!   counter plus a slot array — no per-step tree cloning, substitution or
+//!   re-normalisation. Per-site [`cexec::ActionTemplate`]s carry the actions
+//!   pre-interned against the protocol's [`zooid_cfsm::CompiledSystem`], so
+//!   live monitoring does not hash strings either. The tree-walking
+//!   executor is kept as the behavioural oracle (`tests/compiled_exec.rs`
+//!   drives both in lockstep);
 //! * [`monitor`] — online protocol-compliance monitors (the "dynamic
 //!   monitoring" application of type-level transition systems mentioned in
 //!   §1): [`TraceMonitor`] replays observed actions against the global
@@ -36,6 +49,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cexec;
 pub mod codec;
 pub mod error;
 pub mod exec;
@@ -44,6 +58,7 @@ pub mod monitor;
 pub mod tcp;
 pub mod transport;
 
+pub use cexec::{CompiledEndpointTask, EndpointProgram};
 pub use codec::Message;
 pub use error::{Result, RuntimeError};
 pub use exec::{execute, EndpointReport, EndpointStatus, EndpointTask, ExecOptions, StepOutcome};

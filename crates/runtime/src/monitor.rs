@@ -25,7 +25,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use zooid_cfsm::{CompiledSystem, MonitorCursor};
+use zooid_cfsm::{CompiledSystem, InternedAction, MonitorCursor};
 use zooid_mpst::global::{global_step, unravel_global, GlobalPrefix, GlobalTree, GlobalType};
 use zooid_mpst::{Action, Trace};
 
@@ -161,6 +161,11 @@ pub struct CompiledMonitor {
     system: Arc<CompiledSystem>,
     cursor: MonitorCursor,
     trace: Trace,
+    /// Number of compliant actions accepted so far. Tracked separately from
+    /// `trace` so switching trace recording off does not change the
+    /// `trace_len` recorded in violations.
+    accepted: usize,
+    record_trace: bool,
     violations: Vec<MonitorViolation>,
     observed: usize,
 }
@@ -173,9 +178,21 @@ impl CompiledMonitor {
             system,
             cursor,
             trace: Trace::empty(),
+            accepted: 0,
+            record_trace: true,
             violations: Vec::new(),
             observed: 0,
         }
+    }
+
+    /// Switches recording of the compliant trace on or off (default: on).
+    ///
+    /// Fire-and-forget workloads that only need the compliance verdict turn
+    /// it off: acceptance checking, violation recording and
+    /// [`CompiledMonitor::is_complete`] are unaffected — only
+    /// [`CompiledMonitor::trace`] stays empty.
+    pub fn set_record_trace(&mut self, record: bool) {
+        self.record_trace = record;
     }
 
     /// Convenience constructor for one-off use: projects the global type,
@@ -192,19 +209,60 @@ impl CompiledMonitor {
     /// Feeds one observed action to the monitor. Same contract as
     /// [`TraceMonitor::observe`].
     pub fn observe(&mut self, action: &Action) -> bool {
+        let accepted = self.system.observe(&mut self.cursor, action);
+        self.record(|| action.clone(), accepted);
+        accepted
+    }
+
+    /// Feeds one action that was pre-resolved against this monitor's
+    /// [`CompiledSystem`] (see [`zooid_cfsm::CompiledSystem::intern_action`]).
+    ///
+    /// Behaviourally identical to [`CompiledMonitor::observe`] on the same
+    /// action, but the per-observation role/label/sort hash lookups are
+    /// gone: the compiled endpoint executor resolves each send/receive site
+    /// once and replays the interned form on every visit — this is what
+    /// makes the serving data plane's monitoring string-free.
+    ///
+    /// `action` must build the [`Action`] `interned` denotes; it is only
+    /// called when something records it (the compliant trace when trace
+    /// recording is on, or a violation), so the fire-and-forget path never
+    /// materialises it at all.
+    pub fn observe_interned(
+        &mut self,
+        interned: &InternedAction,
+        action: impl FnOnce() -> Action,
+    ) -> bool {
+        let accepted = self.system.observe_interned(&mut self.cursor, interned);
+        self.record(action, accepted);
+        accepted
+    }
+
+    fn record(&mut self, action: impl FnOnce() -> Action, accepted: bool) {
         let position = self.observed;
         self.observed += 1;
-        if self.system.observe(&mut self.cursor, action) {
-            self.trace.push(action.clone());
-            true
+        if accepted {
+            self.accepted += 1;
+            if self.record_trace {
+                self.trace.push(action());
+            }
         } else {
             self.violations.push(MonitorViolation {
-                action: action.clone(),
+                action: action(),
                 position,
-                trace_len: self.trace.len(),
+                trace_len: self.accepted,
             });
-            false
         }
+    }
+
+    /// Moves the recorded compliant trace out of the monitor (used when the
+    /// monitor is being torn down into a report — no clone).
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::replace(&mut self.trace, Trace::empty())
+    }
+
+    /// Moves the recorded violations out of the monitor.
+    pub fn take_violations(&mut self) -> Vec<MonitorViolation> {
+        std::mem::take(&mut self.violations)
     }
 
     /// The compliant part of the observed trace.

@@ -4,19 +4,26 @@
 //! (Figure 8): the process is written against it and never sees sockets or
 //! channels. The [`InMemoryNetwork`] realises the queue environments of §3.3
 //! directly — one unbounded FIFO channel per ordered pair of roles — and is
-//! what the session harness and the benchmarks use; [`crate::tcp`] provides
-//! the TCP transport of §4.5.
+//! what the session harness, the session server and the benchmarks use;
+//! [`crate::tcp`] provides the TCP transport of §4.5.
+//!
+//! In-process delivery carries `(Label, Value)` frames **directly**: no
+//! [`crate::codec`] round-trip, no byte buffers — serialisation is a wire
+//! concern and stays on the TCP path (the codec's own property tests keep
+//! `decode ∘ encode = id` honest for every value shape). Peers are resolved
+//! to **dense indices** (`Vec`s indexed by the sorted position of the peer
+//! role) so the fast path of the compiled endpoint executor never walks a
+//! `BTreeMap` or compares role strings: resolve once via
+//! [`InMemoryTransport::peer_index`], then use the `*_indexed` operations.
 
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 use std::fmt;
-use std::sync::mpsc::TryRecvError;
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use zooid_mpst::{Label, Role};
 use zooid_proc::Value;
 
-use crate::codec::{decode_message, encode_message, Message};
 use crate::error::{Result, RuntimeError};
 
 /// A connection from one endpoint to all its peers.
@@ -70,8 +77,71 @@ pub trait Transport {
     fn local_role(&self) -> &Role;
 }
 
+/// One directed channel slot: an unbounded FIFO of in-flight
+/// `(Label, Value)` frames. Liveness lives per *endpoint* in [`NetCore`],
+/// not per channel, so the whole network is one flat allocation.
+#[derive(Debug, Default)]
+struct ChannelSlot {
+    queue: Mutex<VecDeque<(Label, Value)>>,
+    ready: Condvar,
+    /// Number of receivers blocked on `ready`. Incremented under the queue
+    /// mutex before waiting, so a sender that pushes and then reads 0 here
+    /// cannot have raced a sleeping waiter — senders skip the (syscalling)
+    /// notification entirely on the poll-only paths the schedulers use.
+    waiters: std::sync::atomic::AtomicUsize,
+}
+
+impl ChannelSlot {
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<(Label, Value)>> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn wake(&self) {
+        if self.waiters.load(std::sync::atomic::Ordering::Acquire) > 0 {
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// The shared heart of an [`InMemoryNetwork`]: the sorted role table, a flat
+/// `n × n` matrix of channel slots (row = sender, column = receiver,
+/// diagonal unused) and one liveness flag per endpoint. Constructing a
+/// session's network is a handful of allocations regardless of how many
+/// role pairs exist — this is on the per-session hot path of the server.
+#[derive(Debug)]
+struct NetCore {
+    roles: Arc<[Role]>,
+    slots: Vec<ChannelSlot>,
+    alive: Vec<std::sync::atomic::AtomicBool>,
+}
+
+impl NetCore {
+    fn slot(&self, from: usize, to: usize) -> &ChannelSlot {
+        &self.slots[from * self.roles.len() + to]
+    }
+
+    fn is_alive(&self, endpoint: usize) -> bool {
+        self.alive[endpoint].load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Marks one endpoint dead and wakes every receiver blocked on a frame
+    /// from it (they re-check liveness and report the disconnection). The
+    /// slot mutex is taken briefly so a receiver between its liveness check
+    /// and its `wait` cannot miss the wakeup.
+    fn mark_dead(&self, endpoint: usize) {
+        self.alive[endpoint].store(false, std::sync::atomic::Ordering::Release);
+        for to in 0..self.roles.len() {
+            if to != endpoint {
+                drop(self.slot(endpoint, to).lock());
+                self.slot(endpoint, to).wake();
+            }
+        }
+    }
+}
+
 /// An in-memory network connecting a set of roles with one FIFO channel per
-/// ordered pair, carrying encoded frames.
+/// ordered pair, carrying `(Label, Value)` frames directly (no codec
+/// round-trip — encoding is for wires, not function calls).
 ///
 /// # Examples
 ///
@@ -88,60 +158,100 @@ pub trait Transport {
 /// ```
 #[derive(Debug)]
 pub struct InMemoryNetwork {
-    endpoints: BTreeMap<Role, InMemoryTransport>,
+    core: Arc<NetCore>,
+    taken: Vec<bool>,
 }
 
 impl InMemoryNetwork {
     /// Creates a network connecting the given roles.
     pub fn new(roles: impl IntoIterator<Item = Role>) -> Self {
-        let roles: Vec<Role> = roles.into_iter().collect();
-        let mut senders: BTreeMap<Role, BTreeMap<Role, Sender<Vec<u8>>>> = BTreeMap::new();
-        let mut receivers: BTreeMap<Role, BTreeMap<Role, Receiver<Vec<u8>>>> = BTreeMap::new();
-        for from in &roles {
-            for to in &roles {
-                if from == to {
-                    continue;
-                }
-                let (tx, rx) = unbounded();
-                senders.entry(from.clone()).or_default().insert(to.clone(), tx);
-                receivers.entry(to.clone()).or_default().insert(from.clone(), rx);
-            }
-        }
-        let endpoints = roles
-            .iter()
-            .map(|role| {
-                (
-                    role.clone(),
-                    InMemoryTransport {
-                        me: role.clone(),
-                        outgoing: senders.remove(role).unwrap_or_default(),
-                        incoming: receivers.remove(role).unwrap_or_default(),
-                        timeout: Duration::from_secs(5),
-                    },
-                )
-            })
+        let mut roles: Vec<Role> = roles.into_iter().collect();
+        roles.sort();
+        roles.dedup();
+        InMemoryNetwork::from_sorted(roles.into())
+    }
+
+    /// Creates a network over an already sorted, deduplicated role table —
+    /// the table is shared, not copied, so a server hosting thousands of
+    /// sessions of one protocol allocates it once.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the table is not sorted and deduplicated.
+    pub fn from_sorted(roles: Arc<[Role]>) -> Self {
+        debug_assert!(roles.windows(2).all(|w| w[0] < w[1]), "roles must be sorted");
+        let n = roles.len();
+        let mut slots = Vec::with_capacity(n * n);
+        slots.resize_with(n * n, ChannelSlot::default);
+        let alive = (0..n)
+            .map(|_| std::sync::atomic::AtomicBool::new(true))
             .collect();
-        InMemoryNetwork { endpoints }
+        InMemoryNetwork {
+            core: Arc::new(NetCore {
+                roles,
+                slots,
+                alive,
+            }),
+            taken: vec![false; n],
+        }
     }
 
     /// Removes and returns the endpoint transport of a role (each endpoint is
     /// usually moved into its own thread).
     pub fn take_endpoint(&mut self, role: &Role) -> Option<InMemoryTransport> {
-        self.endpoints.remove(role)
+        let idx = self.core.roles.binary_search(role).ok()?;
+        if std::mem::replace(&mut self.taken[idx], true) {
+            return None;
+        }
+        Some(InMemoryTransport {
+            core: Arc::clone(&self.core),
+            me_idx: idx,
+            timeout: Duration::from_secs(5),
+        })
     }
 
     /// The roles whose endpoints have not been taken yet.
     pub fn remaining_roles(&self) -> Vec<Role> {
-        self.endpoints.keys().cloned().collect()
+        self.core
+            .roles
+            .iter()
+            .zip(&self.taken)
+            .filter(|(_, taken)| !**taken)
+            .map(|(role, _)| role.clone())
+            .collect()
+    }
+}
+
+impl Drop for InMemoryNetwork {
+    fn drop(&mut self) {
+        // Endpoints never handed out can never speak: peers waiting on them
+        // must observe a disconnection, exactly as if the transport had been
+        // taken and dropped.
+        for (idx, taken) in self.taken.iter().enumerate() {
+            if !taken {
+                self.core.mark_dead(idx);
+            }
+        }
     }
 }
 
 /// One endpoint of an [`InMemoryNetwork`].
+///
+/// Peers are addressable two ways: by [`Role`] through the [`Transport`]
+/// trait (a binary search over the sorted role table), or by **dense index**
+/// through [`InMemoryTransport::peer_index`] and the `*_indexed` operations —
+/// the compiled endpoint executor resolves each peer once and then steps
+/// without comparing role strings at all.
 pub struct InMemoryTransport {
-    me: Role,
-    outgoing: BTreeMap<Role, Sender<Vec<u8>>>,
-    incoming: BTreeMap<Role, Receiver<Vec<u8>>>,
+    core: Arc<NetCore>,
+    me_idx: usize,
     timeout: Duration,
+}
+
+impl Drop for InMemoryTransport {
+    fn drop(&mut self) {
+        self.core.mark_dead(self.me_idx);
+    }
 }
 
 impl InMemoryTransport {
@@ -150,13 +260,135 @@ impl InMemoryTransport {
     pub fn set_timeout(&mut self, timeout: Duration) {
         self.timeout = timeout;
     }
+
+    /// The dense index of a peer role, usable with the `*_indexed`
+    /// operations. `None` for unknown roles and for the local role itself.
+    pub fn peer_index(&self, role: &Role) -> Option<usize> {
+        match self.core.roles.binary_search(role) {
+            Ok(idx) if idx != self.me_idx => Some(idx),
+            _ => None,
+        }
+    }
+
+    /// Number of dense peer slots (== roles in the network, including the
+    /// local one, whose slot is never a valid peer).
+    pub fn peer_slots(&self) -> usize {
+        self.core.roles.len()
+    }
+
+    fn check_peer(&self, peer: usize) -> Result<()> {
+        if peer >= self.core.roles.len() || peer == self.me_idx {
+            return Err(RuntimeError::UnknownPeer {
+                role: self.peer_role_or_unknown(peer),
+            });
+        }
+        Ok(())
+    }
+
+    /// Sends a `(Label, Value)` frame to the peer at a dense index, taking
+    /// ownership — no encoding, no extra clone.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownPeer`] for an invalid index,
+    /// [`RuntimeError::Disconnected`] when the peer endpoint was dropped.
+    pub fn send_indexed(&mut self, peer: usize, label: Label, value: Value) -> Result<()> {
+        self.check_peer(peer)?;
+        if !self.core.is_alive(peer) {
+            return Err(RuntimeError::Disconnected {
+                role: self.core.roles[peer].clone(),
+            });
+        }
+        let slot = self.core.slot(self.me_idx, peer);
+        slot.lock().push_back((label, value));
+        slot.wake();
+        Ok(())
+    }
+
+    /// Receives the next frame from the peer at a dense index if one is
+    /// queued.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Transport::try_recv`].
+    pub fn try_recv_indexed(&mut self, peer: usize) -> Result<Option<(Label, Value)>> {
+        self.check_peer(peer)?;
+        let slot = self.core.slot(peer, self.me_idx);
+        match slot.lock().pop_front() {
+            Some(frame) => Ok(Some(frame)),
+            // Buffered frames drain before a disconnection is reported
+            // (mpsc semantics).
+            None if self.core.is_alive(peer) => Ok(None),
+            None => Err(RuntimeError::Disconnected {
+                role: self.core.roles[peer].clone(),
+            }),
+        }
+    }
+
+    /// Receives the next frame from the peer at a dense index, blocking up
+    /// to the transport's timeout.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Transport::recv`].
+    pub fn recv_indexed(&mut self, peer: usize) -> Result<(Label, Value)> {
+        self.check_peer(peer)?;
+        let slot = self.core.slot(peer, self.me_idx);
+        let deadline = Instant::now() + self.timeout;
+        let mut queue = slot.lock();
+        loop {
+            if let Some(frame) = queue.pop_front() {
+                return Ok(frame);
+            }
+            if !self.core.is_alive(peer) {
+                return Err(RuntimeError::Disconnected {
+                    role: self.core.roles[peer].clone(),
+                });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RuntimeError::Timeout {
+                    from: self.core.roles[peer].clone(),
+                });
+            }
+            // Register as a waiter while still holding the queue mutex: a
+            // sender pushing after our emptiness check must either see the
+            // registration (and notify) or its frame is already visible to
+            // the re-check after waking.
+            slot.waiters
+                .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+            let (next, _) = slot
+                .ready
+                .wait_timeout(queue, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            queue = next;
+            slot.waiters
+                .fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
+        }
+    }
+
+    fn peer_role_or_unknown(&self, peer: usize) -> Role {
+        self.core
+            .roles
+            .get(peer)
+            .cloned()
+            .unwrap_or_else(|| Role::new("<unknown>"))
+    }
 }
 
 impl fmt::Debug for InMemoryTransport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let peers: Vec<&Role> = self
+            .core
+            .roles
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != self.me_idx)
+            .map(|(_, r)| r)
+            .collect();
         f.debug_struct("InMemoryTransport")
-            .field("role", &self.me)
-            .field("peers", &self.outgoing.keys().collect::<Vec<_>>())
+            .field("role", &self.core.roles[self.me_idx])
+            .field("peers", &peers)
             .field("timeout", &self.timeout)
             .finish()
     }
@@ -164,47 +396,28 @@ impl fmt::Debug for InMemoryTransport {
 
 impl Transport for InMemoryTransport {
     fn send(&mut self, to: &Role, label: &Label, value: &Value) -> Result<()> {
-        let sender = self
-            .outgoing
-            .get(to)
+        let peer = self
+            .peer_index(to)
             .ok_or_else(|| RuntimeError::UnknownPeer { role: to.clone() })?;
-        let frame = encode_message(&Message::new(label.clone(), value.clone()));
-        sender
-            .send(frame.to_vec())
-            .map_err(|_| RuntimeError::Disconnected { role: to.clone() })
+        self.send_indexed(peer, label.clone(), value.clone())
     }
 
     fn recv(&mut self, from: &Role) -> Result<(Label, Value)> {
-        let receiver = self
-            .incoming
-            .get(from)
+        let peer = self
+            .peer_index(from)
             .ok_or_else(|| RuntimeError::UnknownPeer { role: from.clone() })?;
-        let frame = receiver.recv_timeout(self.timeout).map_err(|e| match e {
-            RecvTimeoutError::Timeout => RuntimeError::Timeout { from: from.clone() },
-            RecvTimeoutError::Disconnected => RuntimeError::Disconnected { role: from.clone() },
-        })?;
-        let message = decode_message(&frame)?;
-        Ok((message.label, message.value))
+        self.recv_indexed(peer)
     }
 
     fn try_recv(&mut self, from: &Role) -> Result<Option<(Label, Value)>> {
-        let receiver = self
-            .incoming
-            .get(from)
+        let peer = self
+            .peer_index(from)
             .ok_or_else(|| RuntimeError::UnknownPeer { role: from.clone() })?;
-        let frame = match receiver.try_recv() {
-            Ok(frame) => frame,
-            Err(TryRecvError::Empty) => return Ok(None),
-            Err(TryRecvError::Disconnected) => {
-                return Err(RuntimeError::Disconnected { role: from.clone() })
-            }
-        };
-        let message = decode_message(&frame)?;
-        Ok(Some((message.label, message.value)))
+        self.try_recv_indexed(peer)
     }
 
     fn local_role(&self) -> &Role {
-        &self.me
+        &self.core.roles[self.me_idx]
     }
 }
 
@@ -339,6 +552,73 @@ mod tests {
         p.set_timeout(Duration::from_secs(1));
         assert!(matches!(
             p.recv(&r("q")),
+            Err(RuntimeError::Disconnected { .. })
+        ));
+    }
+
+    #[test]
+    fn indexed_operations_mirror_the_role_addressed_ones() {
+        let mut net = InMemoryNetwork::new([r("p"), r("q"), r("s")]);
+        let mut p = net.take_endpoint(&r("p")).unwrap();
+        let mut q = net.take_endpoint(&r("q")).unwrap();
+        let qi = p.peer_index(&r("q")).unwrap();
+        let pi = q.peer_index(&r("p")).unwrap();
+        assert_eq!(p.peer_index(&r("p")), None, "self is not a peer");
+        assert_eq!(p.peer_index(&r("zzz")), None);
+        assert_eq!(p.peer_slots(), 3);
+
+        p.send_indexed(qi, l("a"), Value::Nat(1)).unwrap();
+        p.send(&r("q"), &l("b"), &Value::Nat(2)).unwrap();
+        // Indexed and role-addressed receives drain the same FIFO.
+        assert_eq!(q.try_recv_indexed(pi).unwrap(), Some((l("a"), Value::Nat(1))));
+        assert_eq!(q.recv_indexed(pi).unwrap(), (l("b"), Value::Nat(2)));
+        assert_eq!(q.try_recv_indexed(pi).unwrap(), None);
+
+        // Out-of-range indices are unknown peers, not panics.
+        assert!(matches!(
+            p.send_indexed(99, l("x"), Value::Unit),
+            Err(RuntimeError::UnknownPeer { .. })
+        ));
+        assert!(matches!(
+            q.try_recv_indexed(99),
+            Err(RuntimeError::UnknownPeer { .. })
+        ));
+    }
+
+    #[test]
+    fn indexed_receive_times_out_and_detects_disconnection() {
+        let mut net = InMemoryNetwork::new([r("p"), r("q")]);
+        let mut p = net.take_endpoint(&r("p")).unwrap();
+        let qi = p.peer_index(&r("q")).unwrap();
+        p.set_timeout(Duration::from_millis(20));
+        assert!(matches!(
+            p.recv_indexed(qi),
+            Err(RuntimeError::Timeout { .. })
+        ));
+        let q = net.take_endpoint(&r("q")).unwrap();
+        drop(q);
+        assert!(matches!(
+            p.recv_indexed(qi),
+            Err(RuntimeError::Disconnected { .. })
+        ));
+        assert!(matches!(
+            p.try_recv_indexed(qi),
+            Err(RuntimeError::Disconnected { .. })
+        ));
+    }
+
+    #[test]
+    fn buffered_frames_survive_a_dropped_sender() {
+        // mpsc semantics: frames already in flight are delivered before the
+        // disconnection is reported.
+        let mut net = InMemoryNetwork::new([r("p"), r("q")]);
+        let mut p = net.take_endpoint(&r("p")).unwrap();
+        let mut q = net.take_endpoint(&r("q")).unwrap();
+        p.send(&r("q"), &l("a"), &Value::Nat(1)).unwrap();
+        drop(p);
+        assert_eq!(q.recv(&r("p")).unwrap(), (l("a"), Value::Nat(1)));
+        assert!(matches!(
+            q.recv(&r("p")),
             Err(RuntimeError::Disconnected { .. })
         ));
     }

@@ -60,4 +60,28 @@ proptest! {
         encoded.extend(std::iter::repeat(0xAA).take(garbage));
         prop_assert!(decode_message(&encoded).is_err());
     }
+
+    /// The in-memory transport now passes `(Label, Value)` frames directly
+    /// and no longer exercises the codec on every message, so this suite is
+    /// the codec's sole guardian: `decode ∘ encode = id` must keep holding
+    /// for every value shape (the TCP path depends on it).
+    #[test]
+    fn round_trip_is_the_identity_on_every_shape_combination(
+        label in "[a-zA-Z_][a-zA-Z0-9_]{0,12}",
+        a in value_strategy(),
+        b in value_strategy(),
+    ) {
+        // Force every composite constructor around arbitrary leaves, so no
+        // tag is ever only reachable through the generator's whims.
+        for value in [
+            Value::pair(a.clone(), b.clone()),
+            Value::inl(a.clone()),
+            Value::inr(b.clone()),
+            Value::Seq(vec![a.clone(), b.clone(), a.clone()]),
+            Value::pair(Value::inr(Value::Seq(vec![b])), Value::inl(a)),
+        ] {
+            let msg = Message::new(label.as_str(), value);
+            prop_assert_eq!(decode_message(&encode_message(&msg)).unwrap(), msg);
+        }
+    }
 }

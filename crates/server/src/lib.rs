@@ -10,16 +10,26 @@
 //! * [`registry`] — a [`ProtocolRegistry`] compiles each registered protocol
 //!   exactly once (well-formedness → projection → per-role CFSMs →
 //!   [`zooid_cfsm::System::compile`]) and caches the artifacts behind an
-//!   `Arc`, keyed by a dense [`ProtocolId`];
+//!   `Arc`, keyed by a dense [`ProtocolId`]; per `(role, process)` it also
+//!   caches the **compiled endpoint program**
+//!   ([`zooid_runtime::EndpointProgram`], a [`zooid_proc::CompiledProc`]
+//!   with its action templates pre-interned against the protocol's
+//!   transition tables), so every session of the same implementation shares
+//!   one lowered program;
 //! * [`session`] — an [`ActiveSession`](session::SessionSpec) bundles one
-//!   resumable [`zooid_runtime::EndpointTask`] per participant with the
-//!   session's in-memory channels and a
-//!   [`zooid_runtime::CompiledMonitor`] checking every communication against
-//!   the compiled per-role transition tables (O(1) per action);
+//!   endpoint task per participant — a compiled
+//!   [`zooid_runtime::CompiledEndpointTask`] (program counter + slot array;
+//!   the tree-walking [`zooid_runtime::EndpointTask`] remains the fallback
+//!   and oracle) — with the session's in-memory channels (direct
+//!   `(Label, Value)` frames, dense peer indices, no codec) and a
+//!   [`zooid_runtime::CompiledMonitor`] fed **pre-interned actions**, so
+//!   steady-state serving neither hashes a string nor walks a tree;
 //! * [`server`] — the [`SessionServer`] schedules sessions over N worker
-//!   shards (crossbeam run queues, sessions hashed by id); each shard steps
-//!   its sessions in bounded quanta, so thread count is fixed by the shard
-//!   count while sessions number in the tens of thousands;
+//!   shards (sessions hashed by id, validated specs shipped to the shard
+//!   that *constructs* them, slab-stored with reusable slots, outcomes
+//!   flushed in batches); each shard steps its sessions in bounded quanta,
+//!   so thread count is fixed by the shard count while sessions number in
+//!   the tens of thousands;
 //! * [`metrics`] — per-shard counters (sessions started / completed /
 //!   violated / stalled, messages routed, queue depths) aggregated into a
 //!   [`ServerReport`];

@@ -17,15 +17,23 @@
 //! is a pure lookup: no re-projection, no recompilation, no re-exploration.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use zooid_cfsm::{Cfsm, CompiledSystem, System, Verdict};
 use zooid_dsl::Protocol;
 use zooid_mpst::common::intern::TypeId;
 use zooid_mpst::local::LocalType;
 use zooid_mpst::{Interner, Role};
+use zooid_proc::{CompiledProc, Externals, Proc};
+use zooid_runtime::cexec::EndpointProgram;
 
 use crate::error::{Result, ServerError};
+
+/// Upper bound on cached compiled endpoint programs per protocol: sessions
+/// normally submit one implementation per role, so the cache stays tiny; a
+/// workload cycling through many distinct implementations of one protocol
+/// compiles the excess ones per session instead of growing without bound.
+const PROGRAM_CACHE_CAP: usize = 64;
 
 /// Budget of the registration-time safety check: channel bound,
 /// visited-configuration cap and worker-thread count handed to the reduced
@@ -65,6 +73,10 @@ impl Default for SafetyBudget {
 #[derive(Debug, Clone)]
 struct CompiledEntry {
     locals: Arc<[(Role, LocalType)]>,
+    /// The participants, sorted — the shared role table every session's
+    /// [`zooid_runtime::transport::InMemoryNetwork`] is built from without
+    /// re-sorting or re-allocating.
+    sorted_roles: Arc<[Role]>,
     compiled: Arc<CompiledSystem>,
     verdict: Verdict,
 }
@@ -91,8 +103,15 @@ pub struct ProtocolArtifacts {
     tid: TypeId,
     protocol: Protocol,
     locals: Arc<[(Role, LocalType)]>,
+    sorted_roles: Arc<[Role]>,
     compiled: Arc<CompiledSystem>,
     verdict: Verdict,
+    /// Compiled endpoint programs ([`EndpointProgram`]), cached per
+    /// `(role, process)`: every session submitting the same implementation
+    /// of a role shares one lowered program with its action templates
+    /// pre-interned against `compiled`. Lazily filled (sessions bring their
+    /// own processes), hence the interior mutability.
+    programs: Mutex<Vec<(Role, Proc, Arc<EndpointProgram>)>>,
 }
 
 impl ProtocolArtifacts {
@@ -121,6 +140,12 @@ impl ProtocolArtifacts {
         self.locals.iter().map(|(role, _)| role)
     }
 
+    /// The participants, sorted, behind a shared `Arc` — every session's
+    /// in-memory network is built directly on this table.
+    pub(crate) fn sorted_roles(&self) -> &Arc<[Role]> {
+        &self.sorted_roles
+    }
+
     /// The compiled per-role transition tables, shared by every session's
     /// [`CompiledMonitor`](zooid_runtime::CompiledMonitor).
     pub fn compiled(&self) -> &Arc<CompiledSystem> {
@@ -135,6 +160,53 @@ impl ProtocolArtifacts {
     /// [`Verdict::Inconclusive`] — never a false `Safe`.
     pub fn safety_verdict(&self) -> Verdict {
         self.verdict
+    }
+
+    /// The compiled endpoint program for one `(role, process)` pair —
+    /// compile-once-per-implementation, shared across every session that
+    /// submits it.
+    ///
+    /// Returns `None` when the process does not lower (a jump without an
+    /// enclosing loop, a loop that can never reach a communication): the
+    /// caller falls back to the tree-walking executor, which reports the
+    /// corresponding runtime failure.
+    ///
+    /// `externals` only contributes declared signatures to the static-sort
+    /// hints; the cache deliberately ignores it — a program compiled under
+    /// one `Externals` runs correctly under any other (see
+    /// [`CompiledProc::compile`]).
+    pub fn endpoint_program(
+        &self,
+        role: &Role,
+        proc: &Proc,
+        externals: &Externals,
+    ) -> Option<Arc<EndpointProgram>> {
+        let lookup = |cache: &Vec<(Role, Proc, Arc<EndpointProgram>)>| {
+            cache
+                .iter()
+                .find(|(cached_role, cached_proc, _)| cached_role == role && cached_proc == proc)
+                .map(|(_, _, program)| Arc::clone(program))
+        };
+        if let Some(program) = lookup(&self.programs.lock().unwrap_or_else(|e| e.into_inner())) {
+            return Some(program);
+        }
+        // Compile outside the lock: a miss must not stall the other shards'
+        // session construction for the whole lowering. Losing the race just
+        // means two structurally identical programs briefly exist; the
+        // cache keeps the first.
+        let compiled = CompiledProc::compile(proc, role, externals).ok()?;
+        let program = Arc::new(EndpointProgram::with_system(
+            Arc::new(compiled),
+            &self.compiled,
+        ));
+        let mut cache = self.programs.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(existing) = lookup(&cache) {
+            return Some(existing);
+        }
+        if cache.len() < PROGRAM_CACHE_CAP {
+            cache.push((role.clone(), proc.clone(), Arc::clone(&program)));
+        }
+        Some(program)
     }
 }
 
@@ -216,6 +288,10 @@ impl ProtocolRegistry {
             Some(entry) => entry.clone(),
             None => {
                 let locals: Arc<[(Role, LocalType)]> = protocol.project_all()?.into();
+                let mut sorted: Vec<Role> = locals.iter().map(|(role, _)| role.clone()).collect();
+                sorted.sort();
+                sorted.dedup();
+                let sorted_roles: Arc<[Role]> = sorted.into();
                 let machines = locals
                     .iter()
                     .map(|(role, local)| Cfsm::from_local_type(role.clone(), local))
@@ -237,6 +313,7 @@ impl ProtocolRegistry {
                 let verdict = outcome.verdict();
                 let entry = CompiledEntry {
                     locals,
+                    sorted_roles,
                     compiled,
                     verdict,
                 };
@@ -251,8 +328,10 @@ impl ProtocolRegistry {
             tid,
             protocol,
             locals: entry.locals,
+            sorted_roles: entry.sorted_roles,
             compiled: entry.compiled,
             verdict: entry.verdict,
+            programs: Mutex::new(Vec::new()),
         }));
         Ok(id)
     }

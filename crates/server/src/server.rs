@@ -55,7 +55,14 @@ impl ServerConfig {
 }
 
 enum ShardMsg {
-    Run(Box<ActiveSession>),
+    /// A validated spec to build and run. Construction (channels, compiled
+    /// task binding, monitor cursor) happens on the worker shard so a
+    /// single submitter thread never serialises the whole batch's setup.
+    Run {
+        id: SessionId,
+        spec: SessionSpec,
+        artifacts: Arc<crate::registry::ProtocolArtifacts>,
+    },
     Shutdown,
 }
 
@@ -95,7 +102,11 @@ pub struct SessionServer {
     registry: Arc<ProtocolRegistry>,
     shards: Vec<Shard>,
     metrics: Vec<Arc<ShardMetrics>>,
-    results_rx: Receiver<SessionOutcome>,
+    results_rx: Receiver<Vec<SessionOutcome>>,
+    /// Outcomes received from a shard's batch but not yet handed to the
+    /// caller (shards flush finished sessions in batches to keep channel
+    /// traffic off the per-session path).
+    ready: VecDeque<SessionOutcome>,
     next_session: u64,
     in_flight: usize,
     /// Set when a shard worker died and its sessions were written off: the
@@ -135,6 +146,7 @@ impl SessionServer {
             shards,
             metrics,
             results_rx,
+            ready: VecDeque::new(),
             next_session: 0,
             in_flight: 0,
             degraded: false,
@@ -172,12 +184,16 @@ impl SessionServer {
             .registry
             .get(spec.protocol)
             .ok_or(ServerError::UnknownProtocol)?;
+        crate::session::validate_spec(&spec, artifacts)?;
         let id = SessionId(self.next_session);
-        let session = ActiveSession::new(id, spec, artifacts)?;
         let shard = shard_of(id, self.shards.len());
         self.shards[shard]
             .tx
-            .send(ShardMsg::Run(Box::new(session)))
+            .send(ShardMsg::Run {
+                id,
+                spec,
+                artifacts: Arc::clone(artifacts),
+            })
             .map_err(|_| ServerError::Shutdown)?;
         self.metrics[shard]
             .sessions_started
@@ -192,8 +208,14 @@ impl SessionServer {
         if self.in_flight == 0 {
             return None;
         }
+        if let Some(outcome) = self.ready.pop_front() {
+            self.in_flight -= 1;
+            return Some(outcome);
+        }
         match self.results_rx.recv_timeout(timeout) {
-            Ok(outcome) => {
+            Ok(batch) => {
+                self.ready.extend(batch);
+                let outcome = self.ready.pop_front()?;
                 self.in_flight -= 1;
                 Some(outcome)
             }
@@ -276,38 +298,97 @@ fn shard_of(id: SessionId, shards: usize) -> usize {
 /// sessions still in the run queue are closed as stalled — a session of an
 /// unbounded looping protocol would otherwise keep the worker (and the
 /// server's `shutdown` join) alive forever.
+///
+/// Sessions live in a **slab**: a flat `Vec` of slots with a free list, so
+/// the run queue is a deque of `u32` slot indices instead of boxed sessions
+/// shuffling through it, a finished session's slot (and the deque capacity)
+/// is reused by the next submission, and a quantum touches the session
+/// in place — the steady state of a loaded shard allocates nothing per
+/// reschedule.
 fn shard_worker(
     rx: Receiver<ShardMsg>,
-    results: Sender<SessionOutcome>,
+    results: Sender<Vec<SessionOutcome>>,
     metrics: Arc<ShardMetrics>,
     quantum: usize,
 ) {
-    let mut run_queue: VecDeque<Box<ActiveSession>> = VecDeque::new();
+    let mut slab: Vec<Option<ActiveSession>> = Vec::new();
+    let mut free: Vec<u32> = Vec::new();
+    let mut run_queue: VecDeque<u32> = VecDeque::new();
+    // Finished sessions are reported in batches: one channel operation per
+    // FLUSH_AT outcomes while the shard is loaded, with a freshness bound
+    // (FLUSH_EVERY_ITERS main-loop iterations) so outcomes of short
+    // sessions are never parked behind a long-running neighbour.
+    const FLUSH_AT: usize = 64;
+    const FLUSH_EVERY_ITERS: usize = 16;
+    let mut pending: Vec<SessionOutcome> = Vec::new();
+    let mut iters_since_flush = 0usize;
+    let admit = |id: SessionId,
+                 spec: SessionSpec,
+                 artifacts: Arc<crate::registry::ProtocolArtifacts>,
+                 slab: &mut Vec<Option<ActiveSession>>,
+                 free: &mut Vec<u32>,
+                 run_queue: &mut VecDeque<u32>| {
+        // The spec was validated at submission; construction is the shard's
+        // job so N shards build N sessions concurrently.
+        let session =
+            ActiveSession::new(id, spec, &artifacts).expect("spec validated at submission");
+        let slot = match free.pop() {
+            Some(slot) => slot,
+            None => {
+                slab.push(None);
+                u32::try_from(slab.len() - 1).expect("slab overflow")
+            }
+        };
+        slab[slot as usize] = Some(session);
+        run_queue.push_back(slot);
+    };
     loop {
         // Pull new sessions without blocking while there is work.
         let mut shutting_down = false;
         loop {
             match rx.try_recv() {
-                Ok(ShardMsg::Run(session)) => run_queue.push_back(session),
+                Ok(ShardMsg::Run {
+                    id,
+                    spec,
+                    artifacts,
+                }) => admit(id, spec, artifacts, &mut slab, &mut free, &mut run_queue),
                 Ok(ShardMsg::Shutdown) => shutting_down = true,
                 Err(_) => break,
             }
         }
         if shutting_down {
-            for session in run_queue.drain(..) {
-                // A send failure means the server is gone too: nothing left
-                // to report to, keep closing the remaining sessions.
-                let _ = record_outcome(&metrics, &results, session.close_stalled());
+            for slot in run_queue.drain(..) {
+                let session = slab[slot as usize].take().expect("queued slot is occupied");
+                record_outcome(&metrics, &mut pending, session.close_stalled());
             }
+            // A send failure means the server is gone too: nothing left to
+            // report to.
+            let _ = flush_outcomes(&results, &mut pending);
             return;
         }
         metrics.record_queue_depth(run_queue.len());
-        let Some(mut session) = run_queue.pop_front() else {
+        iters_since_flush += 1;
+        if !pending.is_empty()
+            && (run_queue.is_empty()
+                || pending.len() >= FLUSH_AT
+                || iters_since_flush >= FLUSH_EVERY_ITERS)
+        {
+            iters_since_flush = 0;
+            if flush_outcomes(&results, &mut pending).is_err() {
+                // The server (and with it every submitter) is gone.
+                return;
+            }
+        }
+        let Some(slot) = run_queue.pop_front() else {
             // Idle: park on the inbox. Shutdown arrives as a message on this
             // same channel (and a dropped server disconnects it), so a
             // blocking receive cannot miss it and the worker burns no wakeups.
             match rx.recv() {
-                Ok(ShardMsg::Run(session)) => run_queue.push_back(session),
+                Ok(ShardMsg::Run {
+                    id,
+                    spec,
+                    artifacts,
+                }) => admit(id, spec, artifacts, &mut slab, &mut free, &mut run_queue),
                 Ok(ShardMsg::Shutdown) => {
                     // The queue is empty: nothing to close.
                     return;
@@ -316,6 +397,9 @@ fn shard_worker(
             }
             continue;
         };
+        let session = slab[slot as usize]
+            .as_mut()
+            .expect("queued slot is occupied");
         let result = session.run_quantum(quantum);
         metrics.quanta.fetch_add(1, Ordering::Relaxed);
         metrics
@@ -326,22 +410,22 @@ fn shard_worker(
             .fetch_add(result.sends as u64, Ordering::Relaxed);
         match result.outcome {
             Some(outcome) => {
-                if record_outcome(&metrics, &results, outcome).is_err() {
-                    // The server (and with it every submitter) is gone.
-                    return;
-                }
+                slab[slot as usize] = None;
+                free.push(slot);
+                record_outcome(&metrics, &mut pending, outcome);
             }
-            None => run_queue.push_back(session),
+            None => run_queue.push_back(slot),
         }
     }
 }
 
-/// Counts a finished session in the shard metrics and reports its outcome.
+/// Counts a finished session in the shard metrics and buffers its outcome
+/// for the next batched flush.
 fn record_outcome(
     metrics: &ShardMetrics,
-    results: &Sender<SessionOutcome>,
+    pending: &mut Vec<SessionOutcome>,
     outcome: SessionOutcome,
-) -> std::result::Result<(), ()> {
+) {
     if outcome.stalled {
         metrics.sessions_stalled.fetch_add(1, Ordering::Relaxed);
     } else {
@@ -350,7 +434,19 @@ fn record_outcome(
     if !outcome.compliant {
         metrics.sessions_violated.fetch_add(1, Ordering::Relaxed);
     }
-    results.send(outcome).map_err(|_| ())
+    pending.push(outcome);
+}
+
+/// Sends the buffered outcomes as one batch. An error means the server side
+/// of the channel is gone.
+fn flush_outcomes(
+    results: &Sender<Vec<SessionOutcome>>,
+    pending: &mut Vec<SessionOutcome>,
+) -> std::result::Result<(), ()> {
+    if pending.is_empty() {
+        return Ok(());
+    }
+    results.send(std::mem::take(pending)).map_err(|_| ())
 }
 
 #[cfg(test)]

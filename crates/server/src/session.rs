@@ -1,5 +1,15 @@
 //! One hosted session: a set of resumable endpoint tasks over an in-memory
 //! network, stepped in bounded quanta with a live compiled monitor.
+//!
+//! Endpoints run on the **compiled data plane** by default: each submitted
+//! process is lowered once per `(protocol, role, process)` (cached in
+//! [`ProtocolArtifacts`]) and executed as a
+//! [`CompiledEndpointTask`] — program counter plus slot array, with the
+//! monitor fed pre-interned actions. A process that does not lower (jumps
+//! without loops and similar pathologies the tree executor only detects at
+//! run time) falls back to the tree-walking [`EndpointTask`]; both produce
+//! identical traces, statuses and verdicts (the differential suites hold
+//! one against the other).
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -7,6 +17,7 @@ use std::sync::Arc;
 use zooid_dsl::CertifiedProcess;
 use zooid_mpst::{Role, Trace};
 use zooid_proc::{erase, Externals};
+use zooid_runtime::cexec::CompiledEndpointTask;
 use zooid_runtime::exec::{EndpointReport, EndpointTask, ExecOptions, StepOutcome};
 use zooid_runtime::monitor::{CompiledMonitor, MonitorViolation};
 use zooid_runtime::transport::{InMemoryNetwork, InMemoryTransport};
@@ -20,23 +31,33 @@ pub struct SessionId(pub u64);
 
 /// Everything needed to start one session: the protocol and a certified
 /// implementation (plus externals) for every participant.
+///
+/// The endpoint list is behind an `Arc`: a load generator (or any client
+/// starting many sessions of the same implementations) builds it once and
+/// submits clones of the *handle* — the certified processes themselves are
+/// shared, never re-cloned per session, and on the worker shard the
+/// compiled-program cache means session construction only reads them.
 #[derive(Debug, Clone)]
 pub struct SessionSpec {
     /// The registered protocol the session runs.
     pub protocol: ProtocolId,
-    /// One certified endpoint per participant, in any order.
-    pub endpoints: Vec<(CertifiedProcess, Externals)>,
+    /// One certified endpoint per participant, in any order (shared).
+    pub endpoints: Arc<[(CertifiedProcess, Externals)]>,
     /// Execution options applied to every endpoint (step limits for
     /// non-terminating protocols).
     pub options: ExecOptions,
 }
 
 impl SessionSpec {
-    /// A spec with default options.
-    pub fn new(protocol: ProtocolId, endpoints: Vec<(CertifiedProcess, Externals)>) -> Self {
+    /// A spec with default options. Accepts a `Vec` (converted once) or an
+    /// already shared `Arc` slice.
+    pub fn new(
+        protocol: ProtocolId,
+        endpoints: impl Into<Arc<[(CertifiedProcess, Externals)]>>,
+    ) -> Self {
         SessionSpec {
             protocol,
-            endpoints,
+            endpoints: endpoints.into(),
             options: ExecOptions::default(),
         }
     }
@@ -97,7 +118,76 @@ pub(crate) struct QuantumResult {
     pub(crate) outcome: Option<SessionOutcome>,
 }
 
-/// A session hosted by a worker shard: one [`EndpointTask`] per role, the
+/// One endpoint of a hosted session: compiled when the process lowers (the
+/// normal case), tree-walking otherwise.
+#[derive(Debug)]
+pub(crate) enum Endpoint {
+    /// The compiled data plane: dense program, slot array, pre-interned
+    /// monitor actions.
+    Compiled(CompiledEndpointTask),
+    /// The tree-walking oracle, kept for processes that do not lower.
+    Tree(EndpointTask),
+}
+
+impl Endpoint {
+    fn is_done(&self) -> bool {
+        match self {
+            Endpoint::Compiled(task) => task.is_done(),
+            Endpoint::Tree(task) => task.is_done(),
+        }
+    }
+
+    fn mark_stalled(&mut self) {
+        match self {
+            Endpoint::Compiled(task) => task.mark_stalled(),
+            Endpoint::Tree(task) => task.mark_stalled(),
+        }
+    }
+
+    fn into_report(self) -> EndpointReport {
+        match self {
+            Endpoint::Compiled(task) => task.into_report(),
+            Endpoint::Tree(task) => task.into_report(),
+        }
+    }
+
+    /// One visible step, feeding the monitor: the compiled path hands over
+    /// the pre-interned action so the observation is hash-free; the tree
+    /// path (and compiled sites whose template did not resolve) goes through
+    /// the monitor's own lookups.
+    fn step(
+        &mut self,
+        transport: &mut InMemoryTransport,
+        monitor: &mut CompiledMonitor,
+        sends: &mut usize,
+    ) -> StepOutcome {
+        match self {
+            Endpoint::Compiled(task) => task.step_mem(transport, &mut |va, interned| {
+                if va.is_send {
+                    *sends += 1;
+                }
+                match interned {
+                    Some(interned) => {
+                        // The erased action is only built if the monitor
+                        // records it (trace on, or a violation).
+                        monitor.observe_interned(interned, || erase(va));
+                    }
+                    None => {
+                        monitor.observe(&erase(va));
+                    }
+                }
+            }),
+            Endpoint::Tree(task) => task.step(transport, &mut |va| {
+                if va.is_send {
+                    *sends += 1;
+                }
+                monitor.observe(&erase(va));
+            }),
+        }
+    }
+}
+
+/// A session hosted by a worker shard: one endpoint task per role, the
 /// session's in-memory channels, and a [`CompiledMonitor`] observing every
 /// communication.
 #[derive(Debug)]
@@ -105,57 +195,88 @@ pub(crate) struct ActiveSession {
     id: SessionId,
     protocol: ProtocolId,
     monitor: CompiledMonitor,
-    tasks: Vec<(EndpointTask, InMemoryTransport)>,
+    tasks: Vec<(Endpoint, InMemoryTransport)>,
+}
+
+/// Checks that a spec's endpoints cover the protocol's participants exactly
+/// once each (and belong to the protocol at all). Split out of
+/// [`ActiveSession::new`] so submission can validate cheaply on the caller's
+/// thread while the *construction* — channels, compiled tasks, monitor —
+/// happens on the worker shard, in parallel across shards.
+pub(crate) fn validate_spec(spec: &SessionSpec, artifacts: &ProtocolArtifacts) -> Result<()> {
+    let mut remaining: Vec<&Role> = artifacts.roles().collect();
+    for (cert, _) in spec.endpoints.iter() {
+        if cert.protocol_name() != artifacts.name() {
+            return Err(ServerError::WrongProtocol {
+                expected: artifacts.name().to_owned(),
+                found: cert.protocol_name().to_owned(),
+            });
+        }
+        let Some(pos) = remaining.iter().position(|r| *r == cert.role()) else {
+            return Err(ServerError::UnexpectedEndpoint {
+                role: cert.role().clone(),
+            });
+        };
+        remaining.swap_remove(pos);
+    }
+    if let Some(role) = remaining.first() {
+        return Err(ServerError::MissingEndpoint { role: (*role).clone() });
+    }
+    Ok(())
 }
 
 impl ActiveSession {
-    /// Builds the session, validating that the endpoints cover the
-    /// protocol's participants exactly once each.
+    /// Builds the session. The spec must already have passed
+    /// [`validate_spec`] for these artifacts — the server validates at
+    /// submission, then ships the spec to a worker shard which constructs
+    /// the session; re-walking the role coverage here would just double the
+    /// per-session cost the split exists to avoid.
     pub(crate) fn new(
         id: SessionId,
         spec: SessionSpec,
         artifacts: &Arc<ProtocolArtifacts>,
     ) -> Result<Self> {
-        let mut remaining: Vec<&Role> = artifacts.roles().collect();
-        for (cert, _) in &spec.endpoints {
-            if cert.protocol_name() != artifacts.name() {
-                return Err(ServerError::WrongProtocol {
-                    expected: artifacts.name().to_owned(),
-                    found: cert.protocol_name().to_owned(),
-                });
-            }
-            let Some(pos) = remaining.iter().position(|r| *r == cert.role()) else {
-                return Err(ServerError::UnexpectedEndpoint {
-                    role: cert.role().clone(),
-                });
-            };
-            remaining.swap_remove(pos);
-        }
-        if let Some(role) = remaining.first() {
-            return Err(ServerError::MissingEndpoint { role: (*role).clone() });
-        }
+        debug_assert!(validate_spec(&spec, artifacts).is_ok());
 
-        let mut network = InMemoryNetwork::new(artifacts.roles().cloned());
+        let mut network = InMemoryNetwork::from_sorted(Arc::clone(artifacts.sorted_roles()));
+        let options = spec.options;
+        let options_record = options.record_actions;
         let tasks = spec
             .endpoints
-            .into_iter()
+            .iter()
             .map(|(cert, externals)| {
                 let transport = network
                     .take_endpoint(cert.role())
                     .expect("coverage was validated above");
-                let task = EndpointTask::new(
-                    cert.proc().clone(),
-                    cert.role().clone(),
-                    externals,
-                    spec.options.clone(),
-                );
+                // The compiled data plane is the default; a process that
+                // does not lower runs on the tree-walking oracle instead
+                // (and fails at run time exactly where it always did). The
+                // endpoints are shared (`Arc`), so on the usual cache-hit
+                // path nothing of the process is cloned here.
+                let task = match artifacts.endpoint_program(cert.role(), cert.proc(), externals) {
+                    Some(program) => Endpoint::Compiled(CompiledEndpointTask::new(
+                        program,
+                        externals.clone(),
+                        options.clone(),
+                    )),
+                    None => Endpoint::Tree(EndpointTask::new(
+                        cert.proc().clone(),
+                        cert.role().clone(),
+                        externals.clone(),
+                        options.clone(),
+                    )),
+                };
                 (task, transport)
             })
             .collect();
+        let mut monitor = CompiledMonitor::new(Arc::clone(artifacts.compiled()));
+        // Fire-and-forget sessions (`record_actions` off) skip the global
+        // trace too: the outcome then carries the verdicts alone.
+        monitor.set_record_trace(options_record);
         Ok(ActiveSession {
             id,
             protocol: spec.protocol,
-            monitor: CompiledMonitor::new(Arc::clone(artifacts.compiled())),
+            monitor,
             tasks,
         })
     }
@@ -185,12 +306,7 @@ impl ActiveSession {
                     if actions >= budget {
                         break 'quantum;
                     }
-                    match task.step(transport, &mut |va| {
-                        if va.is_send {
-                            sends += 1;
-                        }
-                        monitor.observe(&erase(va));
-                    }) {
+                    match task.step(transport, monitor, &mut sends) {
                         StepOutcome::Progress => {
                             progressed = true;
                             actions += 1;
@@ -242,14 +358,18 @@ impl ActiveSession {
             endpoints.insert(report.role.clone(), report);
             drop(transport);
         }
+        // The monitor is done observing: move its trace and violations into
+        // the outcome instead of cloning them (verdicts are read first).
+        let compliant = self.monitor.is_compliant();
+        let complete = self.monitor.is_complete();
         SessionOutcome {
             id: self.id,
             protocol: self.protocol,
             endpoints,
-            global_trace: self.monitor.trace().clone(),
-            compliant: self.monitor.is_compliant(),
-            complete: self.monitor.is_complete(),
-            violations: self.monitor.violations().to_vec(),
+            global_trace: self.monitor.take_trace(),
+            compliant,
+            complete,
+            violations: self.monitor.take_violations(),
             stalled,
         }
     }
