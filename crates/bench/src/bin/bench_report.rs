@@ -1,4 +1,4 @@
-//! Emits a machine-readable benchmark report (`BENCH_pr5.json`) so future
+//! Emits a machine-readable benchmark report (`BENCH_pr6.json`) so future
 //! PRs can track the performance trajectory of the hot paths.
 //!
 //! For every scalable protocol family (`ring`, `chain`, `fanout`) at sizes
@@ -52,6 +52,17 @@
 //!   interned transition tables) on a compliant trace, against the
 //!   `TraceMonitor` (boxed global-LTS replay) observing the same trace.
 //!
+//! One family tracks the columnar data plane added in PR 6:
+//!
+//! * `batch_step` — per-visible-action cost of the **columnar batch
+//!   executor** ([`zooid_runtime::SessionBatch`]: struct-of-arrays state,
+//!   `(role, pc)` cohort stepping, shared frame arena, zero-hash
+//!   monitoring) running whole populations of identical monitored sessions,
+//!   against the per-session compiled executor plus `CompiledMonitor` — the
+//!   slab configuration the server falls back to — running the same
+//!   sessions one at a time. Both sides are fire-and-forget (trace
+//!   recording off); measured at several batch widths.
+//!
 //! Each remaining entry also carries a `baseline_ns`:
 //!
 //! * for `unravel`/`projection`, the seed implementation's medians, measured
@@ -66,7 +77,7 @@
 //!   engines visit identical configuration counts before timing them).
 //!
 //! Run with `cargo run --release -p zooid-bench --bin bench-report`; writes
-//! `BENCH_pr5.json` in the current directory. `--smoke` shrinks sizes and
+//! `BENCH_pr6.json` in the current directory. `--smoke` shrinks sizes and
 //! budgets for CI smoke runs, `--out PATH` redirects the report.
 
 use std::sync::Arc;
@@ -80,7 +91,9 @@ use zooid_mpst::global::GlobalType;
 use zooid_mpst::projection::project_all;
 use zooid_mpst::trace_equiv::{check_trace_equivalence, check_trace_equivalence_exhaustive};
 use zooid_mpst::{Action, Label, Role, Sort};
-use zooid_proc::{CompiledProc, Externals, Proc};
+use zooid_cfsm::CompiledSystem;
+use zooid_proc::{erase, CompiledProc, Externals, Proc};
+use zooid_runtime::cbatch::{BatchLayout, SessionBatch};
 use zooid_runtime::cexec::{CompiledEndpointTask, EndpointProgram};
 use zooid_runtime::exec::{EndpointTask, ExecOptions, StepOutcome};
 use zooid_runtime::transport::{InMemoryNetwork, InMemoryTransport};
@@ -259,6 +272,42 @@ fn run_compiled_session(
     )
 }
 
+/// The same cooperative schedule over compiled tasks with a live
+/// [`CompiledMonitor`] observing every action (trace recording off) — the
+/// per-session slab configuration the batch executor replaces, used as the
+/// `batch_step` baseline.
+fn run_monitored_session(
+    programs: &[(Role, Arc<EndpointProgram>)],
+    system: &Arc<CompiledSystem>,
+    options: &ExecOptions,
+) -> usize {
+    let roles: Vec<Role> = programs.iter().map(|(r, _)| r.clone()).collect();
+    let mut monitor = CompiledMonitor::new(Arc::clone(system));
+    monitor.set_record_trace(false);
+    drive_session(
+        &roles,
+        |role| {
+            let (_, program) = programs
+                .iter()
+                .find(|(r, _)| r == role)
+                .expect("every role has a program");
+            CompiledEndpointTask::new(Arc::clone(program), Externals::new(), options.clone())
+        },
+        |task, transport| {
+            task.step_mem(transport, &mut |va, interned| match interned {
+                Some(interned) => {
+                    monitor.observe_interned(interned, || erase(va));
+                }
+                None => {
+                    monitor.observe(&erase(va));
+                }
+            })
+        },
+        CompiledEndpointTask::is_done,
+        CompiledEndpointTask::mark_stalled,
+    )
+}
+
 /// The same cooperative schedule over tree-walking tasks.
 fn run_tree_session(procs: &[(Role, Proc)], options: &ExecOptions) -> usize {
     let roles: Vec<Role> = procs.iter().map(|(r, _)| r.clone()).collect();
@@ -293,7 +342,7 @@ struct Options {
 fn parse_args() -> Options {
     let mut opts = Options {
         smoke: false,
-        out: "BENCH_pr5.json".to_owned(),
+        out: "BENCH_pr6.json".to_owned(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -605,6 +654,121 @@ fn main() {
     }
 
     // ------------------------------------------------------------------
+    // batch_step: per-visible-action cost of the columnar batch executor
+    // (cohort stepping over struct-of-arrays state, shared frame arena,
+    // zero-hash monitoring) vs the per-session compiled executor with a
+    // live monitor — the slab configuration it replaces — running the same
+    // population one session at a time. Fire-and-forget on both sides.
+    // The batch object is reused across iterations (slots recycle), which
+    // is the server's steady state; the slab rebuilds each session, which
+    // is the slab's steady state.
+    // ------------------------------------------------------------------
+    let batch_cases: Vec<(String, GlobalType, Option<usize>, usize)> = if opts.smoke {
+        vec![
+            ("ring/4".into(), generators::ring_n(4), None, 64),
+            ("fanout_loop/4".into(), fanout_loop(4), Some(64), 64),
+        ]
+    } else {
+        vec![
+            ("ring/4".into(), generators::ring_n(4), None, 64),
+            ("ring/4".into(), generators::ring_n(4), None, 256),
+            ("fanout_loop/4".into(), fanout_loop(4), Some(256), 64),
+            ("fanout_loop/4".into(), fanout_loop(4), Some(256), 256),
+        ]
+    };
+    for (case, g, max_steps, width) in &batch_cases {
+        let mut procs: Vec<(Role, Proc)> = project_all(g)
+            .expect("bench families are projectable")
+            .into_iter()
+            .map(|(role, local)| {
+                let proc = zooid_server::synth::skeleton_proc(&local)
+                    .expect("bench families synthesize");
+                (role, proc)
+            })
+            .collect();
+        procs.sort_by(|a, b| a.0.cmp(&b.0));
+        let system = Arc::new(
+            System::from_global(g)
+                .expect("bench families are projectable")
+                .compile(),
+        );
+        let externals = Externals::new();
+        let programs: Vec<(Role, Arc<EndpointProgram>)> = procs
+            .iter()
+            .map(|(role, proc)| {
+                let compiled =
+                    CompiledProc::compile(proc, role, &externals).expect("skeletons compile");
+                (
+                    role.clone(),
+                    Arc::new(EndpointProgram::with_system(Arc::new(compiled), &system)),
+                )
+            })
+            .collect();
+        let roles: Arc<[Role]> = procs
+            .iter()
+            .map(|(r, _)| r.clone())
+            .collect::<Vec<_>>()
+            .into();
+        let layout = BatchLayout::new(
+            roles,
+            programs.iter().map(|(_, p)| Arc::clone(p)).collect(),
+            Arc::clone(&system),
+        )
+        .expect("bench skeletons are batch-eligible");
+        let options = match max_steps {
+            Some(steps) => ExecOptions::with_max_steps(*steps),
+            None => ExecOptions::default(),
+        }
+        .record_actions(false);
+
+        // Probe once: both data planes must perform the same number of
+        // visible actions per session (looping cases end at the step limit
+        // and leave as stalled stragglers on both sides).
+        let slab_actions = run_monitored_session(&programs, &system, &options);
+        assert!(slab_actions > 0, "{case}: the session made no progress");
+        let mut batch = SessionBatch::new(Arc::clone(&layout), options.clone(), *width);
+        for token in 0..*width {
+            assert!(batch.admit(token as u64), "batch sized for the width");
+        }
+        let probe = batch.run_quantum(usize::MAX);
+        assert!(batch.is_empty(), "an unbounded quantum drains the batch");
+        assert_eq!(
+            probe.actions,
+            slab_actions * width,
+            "{case}: data planes must perform the same visible actions"
+        );
+        let actions_total = probe.actions;
+
+        let ns = median_ns(
+            || {
+                for token in 0..*width {
+                    assert!(batch.admit(token as u64));
+                }
+                let out = batch.run_quantum(usize::MAX);
+                std::hint::black_box(out.actions);
+            },
+            if opts.smoke { 5 } else { 15 },
+            if opts.smoke { 300 } else { 5_000 },
+        );
+        let baseline_ns = median_ns(
+            || {
+                for _ in 0..*width {
+                    std::hint::black_box(run_monitored_session(&programs, &system, &options));
+                }
+            },
+            if opts.smoke { 3 } else { 9 },
+            if opts.smoke { 500 } else { 8_000 },
+        );
+        entries.push(Entry {
+            bench: "batch_step",
+            case: format!("{case}/w{width}/actions{actions_total}/peraction"),
+            median_ns: (ns / actions_total as u64).max(1),
+            baseline_ns: (baseline_ns / actions_total as u64).max(1),
+            baseline: "per-session CompiledEndpointTask + CompiledMonitor (same sessions, same run)",
+        });
+    }
+
+    // ------------------------------------------------------------------
     // server_throughput: a batch of concurrent sessions on the sharded
     // server vs the thread-per-participant harness.
     // ------------------------------------------------------------------
@@ -766,7 +930,7 @@ fn main() {
         });
     }
 
-    let mut json = String::from("{\n  \"pr\": 5,\n  \"benches\": [\n");
+    let mut json = String::from("{\n  \"pr\": 6,\n  \"benches\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let speedup = if e.median_ns > 0 && e.baseline_ns > 0 {
             e.baseline_ns as f64 / e.median_ns as f64

@@ -92,70 +92,92 @@ impl CExpr {
     /// Fails with the same [`ProcError`]s as [`Expr::eval`] on the
     /// corresponding source expression.
     pub fn eval(&self, slots: &[Value]) -> Result<Value> {
+        self.eval_strided(slots, 1, 0)
+    }
+
+    /// Evaluates the expression against a **strided** slot column: slot `i`
+    /// lives at `slots[i * stride + offset]`. This is how the columnar batch
+    /// executor reads one session's variables out of a struct-of-arrays
+    /// column shared by the whole batch (`stride` = batch capacity,
+    /// `offset` = session index); `eval` is the `stride == 1` special case.
+    pub fn eval_strided(&self, slots: &[Value], stride: usize, offset: usize) -> Result<Value> {
         match self {
             CExpr::Lit(v) => Ok(v.clone()),
-            CExpr::Slot(i) => Ok(slots[*i as usize].clone()),
+            CExpr::Slot(i) => Ok(slots[*i as usize * stride + offset].clone()),
             CExpr::Unbound(name) => Err(ProcError::UnboundVariable { name: name.clone() }),
             CExpr::Add(a, b) => numeric(
-                a.eval(slots)?,
-                b.eval(slots)?,
+                a.eval_strided(slots, stride, offset)?,
+                b.eval_strided(slots, stride, offset)?,
                 "+",
                 |x, y| x.checked_add(y),
                 |x, y| Some(x + y),
             ),
             CExpr::Sub(a, b) => numeric(
-                a.eval(slots)?,
-                b.eval(slots)?,
+                a.eval_strided(slots, stride, offset)?,
+                b.eval_strided(slots, stride, offset)?,
                 "-",
                 |x, y| Some(x.saturating_sub(y)),
                 |x, y| Some(x - y),
             ),
             CExpr::Mul(a, b) => numeric(
-                a.eval(slots)?,
-                b.eval(slots)?,
+                a.eval_strided(slots, stride, offset)?,
+                b.eval_strided(slots, stride, offset)?,
                 "*",
                 |x, y| x.checked_mul(y),
                 |x, y| Some(x * y),
             ),
             CExpr::Div(a, b) => numeric(
-                a.eval(slots)?,
-                b.eval(slots)?,
+                a.eval_strided(slots, stride, offset)?,
+                b.eval_strided(slots, stride, offset)?,
                 "/",
                 |x, y| Some(if y == 0 { 0 } else { x / y }),
                 |x, y| Some(if y == 0 { 0 } else { x / y }),
             ),
-            CExpr::Lt(a, b) => compare(a.eval(slots)?, b.eval(slots)?, |o| {
-                o == std::cmp::Ordering::Less
-            }),
-            CExpr::Le(a, b) => compare(a.eval(slots)?, b.eval(slots)?, |o| {
-                o != std::cmp::Ordering::Greater
-            }),
-            CExpr::Ge(a, b) => compare(a.eval(slots)?, b.eval(slots)?, |o| {
-                o != std::cmp::Ordering::Less
-            }),
-            CExpr::Eq(a, b) => Ok(Value::Bool(a.eval(slots)? == b.eval(slots)?)),
+            CExpr::Lt(a, b) => compare(
+                a.eval_strided(slots, stride, offset)?,
+                b.eval_strided(slots, stride, offset)?,
+                |o| o == std::cmp::Ordering::Less,
+            ),
+            CExpr::Le(a, b) => compare(
+                a.eval_strided(slots, stride, offset)?,
+                b.eval_strided(slots, stride, offset)?,
+                |o| o != std::cmp::Ordering::Greater,
+            ),
+            CExpr::Ge(a, b) => compare(
+                a.eval_strided(slots, stride, offset)?,
+                b.eval_strided(slots, stride, offset)?,
+                |o| o != std::cmp::Ordering::Less,
+            ),
+            CExpr::Eq(a, b) => Ok(Value::Bool(
+                a.eval_strided(slots, stride, offset)? == b.eval_strided(slots, stride, offset)?,
+            )),
             CExpr::And(a, b) => Ok(Value::Bool(
-                a.eval(slots)?.as_bool()? && b.eval(slots)?.as_bool()?,
+                a.eval_strided(slots, stride, offset)?.as_bool()?
+                    && b.eval_strided(slots, stride, offset)?.as_bool()?,
             )),
             CExpr::Or(a, b) => Ok(Value::Bool(
-                a.eval(slots)?.as_bool()? || b.eval(slots)?.as_bool()?,
+                a.eval_strided(slots, stride, offset)?.as_bool()?
+                    || b.eval_strided(slots, stride, offset)?.as_bool()?,
             )),
-            CExpr::Not(a) => Ok(Value::Bool(!a.eval(slots)?.as_bool()?)),
+            CExpr::Not(a) => Ok(Value::Bool(!a.eval_strided(slots, stride, offset)?.as_bool()?)),
             CExpr::If(c, t, e) => {
-                if c.eval(slots)?.as_bool()? {
-                    t.eval(slots)
+                if c.eval_strided(slots, stride, offset)?.as_bool()? {
+                    t.eval_strided(slots, stride, offset)
                 } else {
-                    e.eval(slots)
+                    e.eval_strided(slots, stride, offset)
                 }
             }
-            CExpr::Pair(a, b) => Ok(Value::pair(a.eval(slots)?, b.eval(slots)?)),
-            CExpr::Fst(a) => match a.eval(slots)? {
+            CExpr::Pair(a, b) => Ok(Value::pair(
+                a.eval_strided(slots, stride, offset)?,
+                b.eval_strided(slots, stride, offset)?,
+            )),
+            CExpr::Fst(a) => match a.eval_strided(slots, stride, offset)? {
                 Value::Pair(x, _) => Ok(*x),
                 other => Err(ProcError::IllTypedOperation {
                     context: format!("fst of {other}"),
                 }),
             },
-            CExpr::Snd(a) => match a.eval(slots)? {
+            CExpr::Snd(a) => match a.eval_strided(slots, stride, offset)? {
                 Value::Pair(_, y) => Ok(*y),
                 other => Err(ProcError::IllTypedOperation {
                     context: format!("snd of {other}"),
@@ -367,9 +389,24 @@ impl CompiledProc {
         &self.action_names
     }
 
+    /// Returns `true` if the program contains any external-action
+    /// instruction (`read`/`write`/`interact`). Programs that do are not
+    /// batch-eligible: externals run arbitrary host closures, which the
+    /// columnar executor cannot step in lockstep.
+    pub fn calls_externals(&self) -> bool {
+        !self.action_names.is_empty()
+    }
+
     /// Number of value slots a task running this program needs.
     pub fn slot_count(&self) -> usize {
         self.slot_count as usize
+    }
+
+    /// The declared sorts of every slot, indexed by slot id — the
+    /// slot-layout metadata a columnar executor uses to lay value columns
+    /// out per-slot across sessions.
+    pub fn slot_sorts(&self) -> &[Option<Sort>] {
+        &self.slot_sorts
     }
 
     /// The declared sort of a slot, when known (receive binders always are;

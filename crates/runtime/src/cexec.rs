@@ -39,7 +39,7 @@ use crate::transport::{InMemoryTransport, Transport};
 /// Same bound as the tree-walking semantics: a well-typed process performs
 /// finitely many internal actions between communications; the fuel protects
 /// against ill-typed ones, with the same error.
-const ADMIN_FUEL: usize = 10_000;
+pub(crate) const ADMIN_FUEL: usize = 10_000;
 
 /// One communication site of a program, resolved against the protocol: the
 /// concrete roles/label/sort for recording the action, and the pre-interned
@@ -299,6 +299,41 @@ impl CompiledEndpointTask {
             actions: Vec::new(),
             steps: 0,
             status: None,
+        }
+    }
+
+    /// Rebuilds a task from previously extracted execution state: the
+    /// program counter, slot values, recorded actions, step count and (if
+    /// the endpoint already concluded) its status. This is the slab side of
+    /// the batch executor's straggler demotion — a session pulled out of a
+    /// [`SessionBatch`](crate::cbatch::SessionBatch) resumes here exactly
+    /// where its columns left off.
+    #[allow(clippy::too_many_arguments)]
+    pub fn resume(
+        program: Arc<EndpointProgram>,
+        externals: Externals,
+        options: ExecOptions,
+        pc: u32,
+        slots: Vec<Value>,
+        actions: Vec<ValueAction>,
+        steps: usize,
+        status: Option<EndpointStatus>,
+    ) -> Self {
+        let compiled = program.program();
+        let role = compiled.role().clone();
+        debug_assert_eq!(slots.len(), compiled.slot_count());
+        let mem_peers = vec![None; compiled.snapshot().roles().len()];
+        CompiledEndpointTask {
+            program,
+            role,
+            externals,
+            options,
+            pc,
+            slots,
+            mem_peers,
+            actions,
+            steps,
+            status,
         }
     }
 

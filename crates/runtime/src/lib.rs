@@ -34,6 +34,19 @@
 //!   live monitoring does not hash strings either. The tree-walking
 //!   executor is kept as the behavioural oracle (`tests/compiled_exec.rs`
 //!   drives both in lockstep);
+//! * [`cbatch`] — the **columnar batch** executor for homogeneous session
+//!   populations: the invariant skeleton (the compiled per-role programs
+//!   and routing tables, [`cbatch::BatchLayout`]) is shared once, while the
+//!   per-session variables — program counters, value slots, monitor
+//!   cursors — live in struct-of-arrays columns ([`cbatch::SessionBatch`]),
+//!   stepped in `(role, pc)` cohorts over contiguous memory with sends
+//!   between co-batched sessions as index writes into a shared frame arena.
+//!   A session is batch-eligible when its programs call no externals and
+//!   every communication site carries a statically known sort with a
+//!   pre-interned action; stragglers (stall, violation, runtime sort
+//!   mismatch) demote mid-flight to the per-session executor without losing
+//!   their traces or monitor state (`tests/batch_exec.rs` drives batch,
+//!   slab and tree executors in lockstep);
 //! * [`monitor`] — online protocol-compliance monitors (the "dynamic
 //!   monitoring" application of type-level transition systems mentioned in
 //!   §1): [`TraceMonitor`] replays observed actions against the global
@@ -49,6 +62,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cbatch;
 pub mod cexec;
 pub mod codec;
 pub mod error;
@@ -58,6 +72,7 @@ pub mod monitor;
 pub mod tcp;
 pub mod transport;
 
+pub use cbatch::{BatchLayout, BatchOutcome, BatchQuantum, DemotedSession, SessionBatch};
 pub use cexec::{CompiledEndpointTask, EndpointProgram};
 pub use codec::Message;
 pub use error::{Result, RuntimeError};

@@ -185,6 +185,31 @@ impl CompiledMonitor {
         }
     }
 
+    /// Rebuilds a monitor from previously extracted state: the cursor, the
+    /// compliant trace, the accepted/observed counters and the violations
+    /// recorded so far. This is how a session demoted out of the columnar
+    /// batch executor hands its monitoring state to a per-session monitor
+    /// without losing a single observation.
+    pub fn resume(
+        system: Arc<CompiledSystem>,
+        cursor: MonitorCursor,
+        trace: Trace,
+        accepted: usize,
+        violations: Vec<MonitorViolation>,
+        observed: usize,
+        record_trace: bool,
+    ) -> Self {
+        CompiledMonitor {
+            system,
+            cursor,
+            trace,
+            accepted,
+            record_trace,
+            violations,
+            observed,
+        }
+    }
+
     /// Switches recording of the compliant trace on or off (default: on).
     ///
     /// Fire-and-forget workloads that only need the compliance verdict turn

@@ -26,13 +26,23 @@
 //!   steady-state serving neither hashes a string nor walks a tree;
 //! * [`server`] — the [`SessionServer`] schedules sessions over N worker
 //!   shards (sessions hashed by id, validated specs shipped to the shard
-//!   that *constructs* them, slab-stored with reusable slots, outcomes
-//!   flushed in batches); each shard steps its sessions in bounded quanta,
-//!   so thread count is fixed by the shard count while sessions number in
-//!   the tens of thousands;
+//!   that *constructs* them, outcomes flushed in batches); each shard steps
+//!   its work in bounded quanta, so thread count is fixed by the shard
+//!   count while sessions number in the tens of thousands. Homogeneous
+//!   sessions — same protocol, same compiled per-role programs, same
+//!   options, batch-eligible layout (no externals, statically sorted and
+//!   pre-interned communication sites) — coalesce into **columnar
+//!   batches** ([`zooid_runtime::SessionBatch`]): the invariant skeleton is
+//!   shared once and the per-session state lives in struct-of-arrays
+//!   columns stepped in `(role, pc)` cohorts, with co-batched sends as
+//!   index writes into a shared frame arena. Everything else — and every
+//!   straggler a batch demotes mid-flight (stall, violation, runtime sort
+//!   mismatch), with its traces, monitor cursor and in-flight frames
+//!   intact — runs on the per-session **slab** (reusable slots, also the
+//!   behavioural oracle for the batched path);
 //! * [`metrics`] — per-shard counters (sessions started / completed /
-//!   violated / stalled, messages routed, queue depths) aggregated into a
-//!   [`ServerReport`];
+//!   violated / stalled, batched / slab / demoted, messages routed, cohort
+//!   widths, queue depths) aggregated into a [`ServerReport`];
 //! * [`synth`] — skeleton endpoint implementations synthesized from
 //!   projections, used by the load generator and the differential tests.
 //!

@@ -15,6 +15,11 @@ pub(crate) struct ShardMetrics {
     pub(crate) actions_executed: AtomicU64,
     pub(crate) quanta: AtomicU64,
     pub(crate) peak_queue_depth: AtomicU64,
+    pub(crate) sessions_batched: AtomicU64,
+    pub(crate) sessions_slab: AtomicU64,
+    pub(crate) sessions_demoted: AtomicU64,
+    pub(crate) batch_cohorts: AtomicU64,
+    pub(crate) batch_cohort_sessions: AtomicU64,
 }
 
 impl ShardMetrics {
@@ -36,6 +41,11 @@ impl ShardMetrics {
             actions_executed: self.actions_executed.load(Ordering::Relaxed),
             quanta: self.quanta.load(Ordering::Relaxed),
             peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
+            sessions_batched: self.sessions_batched.load(Ordering::Relaxed),
+            sessions_slab: self.sessions_slab.load(Ordering::Relaxed),
+            sessions_demoted: self.sessions_demoted.load(Ordering::Relaxed),
+            batch_cohorts: self.batch_cohorts.load(Ordering::Relaxed),
+            batch_cohort_sessions: self.batch_cohort_sessions.load(Ordering::Relaxed),
         }
     }
 }
@@ -61,6 +71,18 @@ pub struct ShardReport {
     pub quanta: u64,
     /// Largest run-queue depth observed.
     pub peak_queue_depth: u64,
+    /// Sessions admitted into the columnar batch executor.
+    pub sessions_batched: u64,
+    /// Sessions that ran on the per-session slab executor from the start
+    /// (heterogeneous or not batch-eligible).
+    pub sessions_slab: u64,
+    /// Sessions demoted from a batch to the slab executor mid-flight.
+    pub sessions_demoted: u64,
+    /// `(role, pc)` cohorts stepped by this shard's batches.
+    pub batch_cohorts: u64,
+    /// Total sessions across those cohorts (mean cohort width =
+    /// `batch_cohort_sessions / batch_cohorts`).
+    pub batch_cohort_sessions: u64,
 }
 
 /// Aggregated server metrics: one [`ShardReport`] per worker shard.
@@ -100,6 +122,33 @@ impl ServerReport {
     pub fn actions_executed(&self) -> u64 {
         self.shards.iter().map(|s| s.actions_executed).sum()
     }
+
+    /// Total sessions admitted into the columnar batch executor.
+    pub fn sessions_batched(&self) -> u64 {
+        self.shards.iter().map(|s| s.sessions_batched).sum()
+    }
+
+    /// Total sessions that ran on the slab executor from the start.
+    pub fn sessions_slab(&self) -> u64 {
+        self.shards.iter().map(|s| s.sessions_slab).sum()
+    }
+
+    /// Total sessions demoted from a batch to the slab mid-flight.
+    pub fn sessions_demoted(&self) -> u64 {
+        self.shards.iter().map(|s| s.sessions_demoted).sum()
+    }
+
+    /// Mean width of the `(role, pc)` cohorts stepped by the batch
+    /// executors — the observable columnar win: per-cohort work is
+    /// amortised over this many sessions. `0.0` before any cohort ran.
+    pub fn mean_cohort_width(&self) -> f64 {
+        let cohorts: u64 = self.shards.iter().map(|s| s.batch_cohorts).sum();
+        if cohorts == 0 {
+            return 0.0;
+        }
+        let sessions: u64 = self.shards.iter().map(|s| s.batch_cohort_sessions).sum();
+        sessions as f64 / cohorts as f64
+    }
 }
 
 impl fmt::Display for ServerReport {
@@ -115,16 +164,27 @@ impl fmt::Display for ServerReport {
             self.messages_routed(),
             self.actions_executed(),
         )?;
+        writeln!(
+            f,
+            "  batching: {} batched / {} slab ({} demoted), mean cohort width {:.1}",
+            self.sessions_batched(),
+            self.sessions_slab(),
+            self.sessions_demoted(),
+            self.mean_cohort_width(),
+        )?;
         for s in &self.shards {
             writeln!(
                 f,
-                "  shard {}: {} started, {} completed, {} routed, {} quanta, peak queue {}",
+                "  shard {}: {} started, {} completed, {} routed, {} quanta, peak queue {}, \
+                 {} batched, {} slab",
                 s.shard,
                 s.sessions_started,
                 s.sessions_completed,
                 s.messages_routed,
                 s.quanta,
                 s.peak_queue_depth,
+                s.sessions_batched,
+                s.sessions_slab,
             )?;
         }
         Ok(())
@@ -149,6 +209,11 @@ mod tests {
                     actions_executed: 20,
                     quanta: 5,
                     peak_queue_depth: 2,
+                    sessions_batched: 2,
+                    sessions_slab: 1,
+                    sessions_demoted: 1,
+                    batch_cohorts: 4,
+                    batch_cohort_sessions: 10,
                 },
                 ShardReport {
                     shard: 1,
@@ -160,6 +225,11 @@ mod tests {
                     actions_executed: 12,
                     quanta: 4,
                     peak_queue_depth: 1,
+                    sessions_batched: 4,
+                    sessions_slab: 0,
+                    sessions_demoted: 0,
+                    batch_cohorts: 2,
+                    batch_cohort_sessions: 8,
                 },
             ],
         };
@@ -167,8 +237,19 @@ mod tests {
         assert_eq!(report.sessions_completed(), 6);
         assert_eq!(report.messages_routed(), 16);
         assert_eq!(report.actions_executed(), 32);
+        assert_eq!(report.sessions_batched(), 6);
+        assert_eq!(report.sessions_slab(), 1);
+        assert_eq!(report.sessions_demoted(), 1);
+        assert!((report.mean_cohort_width() - 3.0).abs() < 1e-9);
         let text = report.to_string();
         assert!(text.contains("7 sessions started"), "{text}");
         assert!(text.contains("shard 1"), "{text}");
+        assert!(text.contains("6 batched / 1 slab"), "{text}");
+    }
+
+    #[test]
+    fn mean_cohort_width_is_zero_before_any_cohort() {
+        let report = ServerReport { shards: Vec::new() };
+        assert_eq!(report.mean_cohort_width(), 0.0);
     }
 }

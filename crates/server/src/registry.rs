@@ -20,11 +20,12 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use zooid_cfsm::{Cfsm, CompiledSystem, System, Verdict};
-use zooid_dsl::Protocol;
+use zooid_dsl::{CertifiedProcess, Protocol};
 use zooid_mpst::common::intern::TypeId;
 use zooid_mpst::local::LocalType;
 use zooid_mpst::{Interner, Role};
 use zooid_proc::{CompiledProc, Externals, Proc};
+use zooid_runtime::cbatch::BatchLayout;
 use zooid_runtime::cexec::EndpointProgram;
 
 use crate::error::{Result, ServerError};
@@ -112,6 +113,13 @@ pub struct ProtocolArtifacts {
     /// pre-interned against `compiled`. Lazily filled (sessions bring their
     /// own processes), hence the interior mutability.
     programs: Mutex<Vec<(Role, Proc, Arc<EndpointProgram>)>>,
+    /// Batchable-layout descriptors ([`BatchLayout`]), cached per resolved
+    /// program set. The key holds the `Arc`s themselves (compared by
+    /// pointer identity) — keeping the programs alive is what makes the
+    /// identity comparison sound against allocator address reuse. `None` is
+    /// cached too: a program set that is not batch-eligible is not
+    /// re-analysed per session.
+    batch_layouts: Mutex<Vec<(Vec<Arc<EndpointProgram>>, Option<Arc<BatchLayout>>)>>,
 }
 
 impl ProtocolArtifacts {
@@ -207,6 +215,55 @@ impl ProtocolArtifacts {
             cache.push((role.clone(), proc.clone(), Arc::clone(&program)));
         }
         Some(program)
+    }
+
+    /// The shared [`BatchLayout`] for a session's endpoints, or `None` when
+    /// the combination is not batch-eligible (a process that does not
+    /// lower, calls externals, or has a communication site without a
+    /// statically known sort): the caller keeps the session on the slab
+    /// executor.
+    ///
+    /// The endpoints may come in any order; the layout's role order is the
+    /// protocol's sorted role table. Results — including `None` — are
+    /// cached per resolved program set, so the steady state is one lock and
+    /// a handful of pointer comparisons per session.
+    pub(crate) fn batch_layout(
+        &self,
+        endpoints: &[(CertifiedProcess, Externals)],
+    ) -> Option<Arc<BatchLayout>> {
+        let roles = self.sorted_roles();
+        let mut resolved: Vec<Option<Arc<EndpointProgram>>> = vec![None; roles.len()];
+        for (cert, externals) in endpoints {
+            let pos = roles.binary_search(cert.role()).ok()?;
+            resolved[pos] = Some(self.endpoint_program(cert.role(), cert.proc(), externals)?);
+        }
+        let programs: Vec<Arc<EndpointProgram>> = resolved.into_iter().collect::<Option<_>>()?;
+        let lookup = |cache: &Vec<(Vec<Arc<EndpointProgram>>, Option<Arc<BatchLayout>>)>| {
+            cache
+                .iter()
+                .find(|(key, _)| {
+                    key.len() == programs.len()
+                        && key.iter().zip(&programs).all(|(a, b)| Arc::ptr_eq(a, b))
+                })
+                .map(|(_, layout)| layout.clone())
+        };
+        if let Some(cached) = lookup(&self.batch_layouts.lock().unwrap_or_else(|e| e.into_inner()))
+        {
+            return cached;
+        }
+        let layout = BatchLayout::new(
+            Arc::clone(roles),
+            programs.clone(),
+            Arc::clone(&self.compiled),
+        );
+        let mut cache = self.batch_layouts.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(cached) = lookup(&cache) {
+            return cached;
+        }
+        if cache.len() < PROGRAM_CACHE_CAP {
+            cache.push((programs, layout.clone()));
+        }
+        layout
     }
 }
 
@@ -332,6 +389,7 @@ impl ProtocolRegistry {
             compiled: entry.compiled,
             verdict: entry.verdict,
             programs: Mutex::new(Vec::new()),
+            batch_layouts: Mutex::new(Vec::new()),
         }));
         Ok(id)
     }

@@ -19,10 +19,11 @@ use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use zooid_mpst::common::intern::FxHasher;
+use zooid_runtime::cbatch::{BatchLayout, BatchOutcome, SessionBatch};
 
 use crate::error::{Result, ServerError};
 use crate::metrics::{ServerReport, ShardMetrics};
-use crate::registry::{ProtocolRegistry, ProtocolId};
+use crate::registry::{ProtocolArtifacts, ProtocolRegistry, ProtocolId};
 use crate::session::{ActiveSession, SessionId, SessionOutcome, SessionSpec};
 
 /// Configuration of a [`SessionServer`].
@@ -293,18 +294,153 @@ fn shard_of(id: SessionId, shards: usize) -> usize {
     (hasher.finish() as usize) % shards.max(1)
 }
 
+/// Maximum sessions one [`SessionBatch`] holds before the next eligible
+/// session opens a new batch.
+const BATCH_CAPACITY: usize = 512;
+/// Tag bit distinguishing batch indices from slab slots in the run queue.
+const BATCH_BIT: u32 = 1 << 31;
+/// Cap on the number of distinct batches a shard keeps alive; eligible
+/// sessions beyond it fall back to the slab.
+const MAX_BATCHES: usize = 64;
+
+/// One columnar batch hosted by a shard, plus the key that decides which
+/// sessions may coalesce into it: same protocol, same compiled per-role
+/// programs (the layout is cached per program set, so pointer equality is
+/// the comparison) and same execution options.
+struct ShardBatch {
+    protocol: ProtocolId,
+    artifacts: Arc<ProtocolArtifacts>,
+    layout: Arc<BatchLayout>,
+    max_steps: Option<usize>,
+    record: bool,
+    batch: SessionBatch,
+    /// Whether the batch currently has an entry in the run queue (batches
+    /// are queued once, not once per member session).
+    queued: bool,
+}
+
+/// Places a validated session on its shard: into a matching columnar batch
+/// when the spec's endpoints compile to a batch-eligible layout, into the
+/// per-session slab otherwise.
+#[allow(clippy::too_many_arguments)]
+fn admit_session(
+    id: SessionId,
+    spec: SessionSpec,
+    artifacts: Arc<ProtocolArtifacts>,
+    slab: &mut Vec<Option<ActiveSession>>,
+    free: &mut Vec<u32>,
+    run_queue: &mut VecDeque<u32>,
+    batches: &mut Vec<ShardBatch>,
+    metrics: &ShardMetrics,
+) {
+    if let Some(layout) = artifacts.batch_layout(&spec.endpoints) {
+        let max_steps = spec.options.max_steps;
+        let record = spec.options.record_actions;
+        let existing = batches.iter().position(|b| {
+            b.protocol == spec.protocol
+                && Arc::ptr_eq(&b.layout, &layout)
+                && b.max_steps == max_steps
+                && b.record == record
+                && !b.batch.is_full()
+        });
+        let bi = match existing {
+            Some(bi) => Some(bi),
+            None if batches.len() < MAX_BATCHES => {
+                let batch =
+                    SessionBatch::new(Arc::clone(&layout), spec.options.clone(), BATCH_CAPACITY);
+                batches.push(ShardBatch {
+                    protocol: spec.protocol,
+                    artifacts: Arc::clone(&artifacts),
+                    layout,
+                    max_steps,
+                    record,
+                    batch,
+                    queued: false,
+                });
+                Some(batches.len() - 1)
+            }
+            None => None,
+        };
+        if let Some(bi) = bi {
+            let sb = &mut batches[bi];
+            let admitted = sb.batch.admit(id.0);
+            debug_assert!(admitted, "batch was checked for room");
+            metrics.sessions_batched.fetch_add(1, Ordering::Relaxed);
+            if !sb.queued {
+                sb.queued = true;
+                run_queue.push_back(BATCH_BIT | u32::try_from(bi).expect("batch index fits"));
+            }
+            return;
+        }
+    }
+    // The spec was validated at submission; construction is the shard's
+    // job so N shards build N sessions concurrently.
+    metrics.sessions_slab.fetch_add(1, Ordering::Relaxed);
+    let session = ActiveSession::new(id, spec, &artifacts).expect("spec validated at submission");
+    let slot = slab_admit(slab, free, session);
+    run_queue.push_back(slot);
+}
+
+/// Stores a session in a free slab slot (growing the slab if none is free)
+/// and returns the slot index.
+fn slab_admit(
+    slab: &mut Vec<Option<ActiveSession>>,
+    free: &mut Vec<u32>,
+    session: ActiveSession,
+) -> u32 {
+    let slot = match free.pop() {
+        Some(slot) => slot,
+        None => {
+            slab.push(None);
+            u32::try_from(slab.len() - 1).expect("slab overflow")
+        }
+    };
+    debug_assert!(slot & BATCH_BIT == 0, "slab slot collides with batch tag");
+    slab[slot as usize] = Some(session);
+    slot
+}
+
+/// Converts a batch-finished session into the server's [`SessionOutcome`].
+fn batch_session_outcome(protocol: ProtocolId, outcome: BatchOutcome) -> SessionOutcome {
+    SessionOutcome {
+        id: SessionId(outcome.token),
+        protocol,
+        endpoints: outcome
+            .endpoints
+            .into_iter()
+            .map(|report| (report.role.clone(), report))
+            .collect(),
+        global_trace: outcome.global_trace,
+        compliant: outcome.compliant,
+        complete: outcome.complete,
+        violations: outcome.violations,
+        stalled: outcome.stalled,
+    }
+}
+
 /// One worker shard: drains its inbox, steps the front of its run queue for
-/// one quantum, re-queues or finishes the session, repeats. On shutdown the
-/// sessions still in the run queue are closed as stalled — a session of an
-/// unbounded looping protocol would otherwise keep the worker (and the
+/// one quantum, re-queues or finishes the work item, repeats. On shutdown
+/// the sessions still in the run queue are closed as stalled — a session of
+/// an unbounded looping protocol would otherwise keep the worker (and the
 /// server's `shutdown` join) alive forever.
 ///
-/// Sessions live in a **slab**: a flat `Vec` of slots with a free list, so
-/// the run queue is a deque of `u32` slot indices instead of boxed sessions
-/// shuffling through it, a finished session's slot (and the deque capacity)
-/// is reused by the next submission, and a quantum touches the session
-/// in place — the steady state of a loaded shard allocates nothing per
-/// reschedule.
+/// A run-queue entry is either a **slab slot** (one heterogeneous or
+/// demoted session, stepped by [`ActiveSession::run_quantum`]) or, tagged
+/// with [`BATCH_BIT`], a **batch index**: up to [`BATCH_CAPACITY`]
+/// homogeneous sessions of one protocol stepped together in `(role, pc)`
+/// cohorts over columnar state by [`SessionBatch::run_quantum`]. A batch is
+/// one queue entry however many sessions it holds; its quantum budget
+/// scales with its live population so batched sessions get the same action
+/// budget per pass through the queue as slab sessions do. Sessions the
+/// batch cannot carry further (stall, violation, runtime sort mismatch)
+/// are demoted: rebuilt as slab sessions mid-flight with their traces,
+/// monitor cursor and in-flight frames intact.
+///
+/// Slab sessions live in a flat `Vec` of slots with a free list, so the run
+/// queue is a deque of `u32` indices instead of boxed sessions shuffling
+/// through it, a finished session's slot (and the deque capacity) is reused
+/// by the next submission, and a quantum touches the session in place — the
+/// steady state of a loaded shard allocates nothing per reschedule.
 fn shard_worker(
     rx: Receiver<ShardMsg>,
     results: Sender<Vec<SessionOutcome>>,
@@ -313,6 +449,7 @@ fn shard_worker(
 ) {
     let mut slab: Vec<Option<ActiveSession>> = Vec::new();
     let mut free: Vec<u32> = Vec::new();
+    let mut batches: Vec<ShardBatch> = Vec::new();
     let mut run_queue: VecDeque<u32> = VecDeque::new();
     // Finished sessions are reported in batches: one channel operation per
     // FLUSH_AT outcomes while the shard is loaded, with a freshness bound
@@ -322,26 +459,6 @@ fn shard_worker(
     const FLUSH_EVERY_ITERS: usize = 16;
     let mut pending: Vec<SessionOutcome> = Vec::new();
     let mut iters_since_flush = 0usize;
-    let admit = |id: SessionId,
-                 spec: SessionSpec,
-                 artifacts: Arc<crate::registry::ProtocolArtifacts>,
-                 slab: &mut Vec<Option<ActiveSession>>,
-                 free: &mut Vec<u32>,
-                 run_queue: &mut VecDeque<u32>| {
-        // The spec was validated at submission; construction is the shard's
-        // job so N shards build N sessions concurrently.
-        let session =
-            ActiveSession::new(id, spec, &artifacts).expect("spec validated at submission");
-        let slot = match free.pop() {
-            Some(slot) => slot,
-            None => {
-                slab.push(None);
-                u32::try_from(slab.len() - 1).expect("slab overflow")
-            }
-        };
-        slab[slot as usize] = Some(session);
-        run_queue.push_back(slot);
-    };
     loop {
         // Pull new sessions without blocking while there is work.
         let mut shutting_down = false;
@@ -351,15 +468,36 @@ fn shard_worker(
                     id,
                     spec,
                     artifacts,
-                }) => admit(id, spec, artifacts, &mut slab, &mut free, &mut run_queue),
+                }) => admit_session(
+                    id,
+                    spec,
+                    artifacts,
+                    &mut slab,
+                    &mut free,
+                    &mut run_queue,
+                    &mut batches,
+                    &metrics,
+                ),
                 Ok(ShardMsg::Shutdown) => shutting_down = true,
                 Err(_) => break,
             }
         }
         if shutting_down {
-            for slot in run_queue.drain(..) {
-                let session = slab[slot as usize].take().expect("queued slot is occupied");
-                record_outcome(&metrics, &mut pending, session.close_stalled());
+            for entry in run_queue.drain(..) {
+                if entry & BATCH_BIT != 0 {
+                    let sb = &mut batches[(entry & !BATCH_BIT) as usize];
+                    sb.queued = false;
+                    for outcome in sb.batch.close_all() {
+                        record_outcome(
+                            &metrics,
+                            &mut pending,
+                            batch_session_outcome(sb.protocol, outcome),
+                        );
+                    }
+                } else {
+                    let session = slab[entry as usize].take().expect("queued slot is occupied");
+                    record_outcome(&metrics, &mut pending, session.close_stalled());
+                }
             }
             // A send failure means the server is gone too: nothing left to
             // report to.
@@ -379,7 +517,7 @@ fn shard_worker(
                 return;
             }
         }
-        let Some(slot) = run_queue.pop_front() else {
+        let Some(entry) = run_queue.pop_front() else {
             // Idle: park on the inbox. Shutdown arrives as a message on this
             // same channel (and a dropped server disconnects it), so a
             // blocking receive cannot miss it and the worker burns no wakeups.
@@ -388,7 +526,16 @@ fn shard_worker(
                     id,
                     spec,
                     artifacts,
-                }) => admit(id, spec, artifacts, &mut slab, &mut free, &mut run_queue),
+                }) => admit_session(
+                    id,
+                    spec,
+                    artifacts,
+                    &mut slab,
+                    &mut free,
+                    &mut run_queue,
+                    &mut batches,
+                    &metrics,
+                ),
                 Ok(ShardMsg::Shutdown) => {
                     // The queue is empty: nothing to close.
                     return;
@@ -397,7 +544,56 @@ fn shard_worker(
             }
             continue;
         };
-        let session = slab[slot as usize]
+        if entry & BATCH_BIT != 0 {
+            let bi = (entry & !BATCH_BIT) as usize;
+            let sb = &mut batches[bi];
+            // The batch is one queue entry standing for its whole live
+            // population, so it gets the quantum each member would have
+            // gotten on the slab.
+            let budget = quantum.saturating_mul(sb.batch.live_count().max(1));
+            let result = sb.batch.run_quantum(budget);
+            metrics.quanta.fetch_add(1, Ordering::Relaxed);
+            metrics
+                .actions_executed
+                .fetch_add(result.actions as u64, Ordering::Relaxed);
+            metrics
+                .messages_routed
+                .fetch_add(result.sends as u64, Ordering::Relaxed);
+            metrics
+                .batch_cohorts
+                .fetch_add(result.cohorts as u64, Ordering::Relaxed);
+            metrics
+                .batch_cohort_sessions
+                .fetch_add(result.cohort_sessions as u64, Ordering::Relaxed);
+            let protocol = sb.protocol;
+            let artifacts = Arc::clone(&sb.artifacts);
+            for outcome in result.finished {
+                record_outcome(
+                    &metrics,
+                    &mut pending,
+                    batch_session_outcome(protocol, outcome),
+                );
+            }
+            for demoted in result.demoted {
+                metrics.sessions_demoted.fetch_add(1, Ordering::Relaxed);
+                let session = ActiveSession::from_demoted(
+                    SessionId(demoted.token),
+                    protocol,
+                    demoted,
+                    &artifacts,
+                );
+                let slot = slab_admit(&mut slab, &mut free, session);
+                run_queue.push_back(slot);
+            }
+            let sb = &mut batches[bi];
+            if sb.batch.is_empty() {
+                sb.queued = false;
+            } else {
+                run_queue.push_back(entry);
+            }
+            continue;
+        }
+        let session = slab[entry as usize]
             .as_mut()
             .expect("queued slot is occupied");
         let result = session.run_quantum(quantum);
@@ -410,11 +606,11 @@ fn shard_worker(
             .fetch_add(result.sends as u64, Ordering::Relaxed);
         match result.outcome {
             Some(outcome) => {
-                slab[slot as usize] = None;
-                free.push(slot);
+                slab[entry as usize] = None;
+                free.push(entry);
                 record_outcome(&metrics, &mut pending, outcome);
             }
-            None => run_queue.push_back(slot),
+            None => run_queue.push_back(entry),
         }
     }
 }
@@ -504,10 +700,74 @@ mod tests {
         assert_eq!(outcomes.len(), 50);
         assert!(outcomes.iter().all(|o| o.all_finished_and_compliant()));
         let report = server.shutdown();
-        // 6 actions per session, 1 per quantum: many more quanta than
-        // sessions proves the scheduler round-robins.
-        assert!(report.shards[0].quanta >= 300, "{report}");
-        assert!(report.shards[0].peak_queue_depth > 1, "{report}");
+        // The 50 homogeneous ring sessions coalesce into one columnar batch
+        // (one run-queue entry), whose budget scales with its population:
+        // quantum 1 × 50 live sessions. A ring session takes 6 actions, so
+        // the batch needs several bounded quanta rather than one
+        // run-to-death pass.
+        assert_eq!(report.sessions_batched(), 50, "{report}");
+        assert_eq!(report.sessions_slab(), 0, "{report}");
+        assert!(report.shards[0].quanta >= 2, "{report}");
+        // Cohort stepping amortises per-instruction work over the lockstep
+        // population: cohorts span many sessions.
+        assert!(report.mean_cohort_width() > 8.0, "{report}");
+    }
+
+    #[test]
+    fn homogeneous_sessions_batch_and_agree_with_slab_accounting() {
+        let (registry, ring) = ring_registry();
+        let endpoints = skeleton_endpoints(registry.get(ring).unwrap().protocol()).unwrap();
+        let mut server = SessionServer::start(registry, ServerConfig::with_shards(1));
+        for _ in 0..200 {
+            server.submit(SessionSpec::new(ring, endpoints.clone())).unwrap();
+        }
+        let outcomes = server.drain();
+        assert_eq!(outcomes.len(), 200);
+        assert!(outcomes.iter().all(|o| o.all_finished_and_compliant()));
+        // Every session carries its full global trace out of the batch.
+        assert!(outcomes.iter().all(|o| o.messages_exchanged() == 3));
+        let report = server.shutdown();
+        assert_eq!(report.sessions_batched(), 200, "{report}");
+        assert_eq!(report.sessions_slab(), 0, "{report}");
+        assert_eq!(report.sessions_demoted(), 0, "{report}");
+        // Action accounting matches the slab's: 3 sends + 3 receives each.
+        assert_eq!(report.messages_routed(), 600);
+        assert_eq!(report.actions_executed(), 1_200);
+        assert!(report.mean_cohort_width() > 1.0, "{report}");
+    }
+
+    #[test]
+    fn blocked_batch_sessions_demote_to_slab_and_close_as_stalled() {
+        // Pipeline with a step limit: the upstream endpoints hit their
+        // limits inside the batch, the tail receiver then blocks forever,
+        // and the batch's no-progress pass demotes the session to the slab,
+        // which closes it as stalled — same verdicts the slab produces when
+        // it runs the session from the start.
+        let mut registry = ProtocolRegistry::new();
+        let id = registry
+            .register(Protocol::new("pipeline", generators::pipeline()).unwrap())
+            .unwrap();
+        let endpoints = skeleton_endpoints(registry.get(id).unwrap().protocol()).unwrap();
+        let mut server = SessionServer::start(registry, ServerConfig::with_shards(1));
+        for _ in 0..8 {
+            server
+                .submit(SessionSpec::new(id, endpoints.clone()).with_max_steps(10))
+                .unwrap();
+        }
+        let outcomes = server.drain();
+        assert_eq!(outcomes.len(), 8);
+        for outcome in &outcomes {
+            assert!(outcome.compliant, "{:?}", outcome.violations);
+            assert!(!outcome.complete);
+            assert!(outcome
+                .endpoints
+                .values()
+                .any(|r| r.status == EndpointStatus::StepLimitReached));
+        }
+        let report = server.shutdown();
+        assert_eq!(report.sessions_batched(), 8, "{report}");
+        assert_eq!(report.sessions_demoted(), 8, "{report}");
+        assert_eq!(report.sessions_stalled(), 8, "{report}");
     }
 
     #[test]

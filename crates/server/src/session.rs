@@ -17,10 +17,11 @@ use std::sync::Arc;
 use zooid_dsl::CertifiedProcess;
 use zooid_mpst::{Role, Trace};
 use zooid_proc::{erase, Externals};
+use zooid_runtime::cbatch::DemotedSession;
 use zooid_runtime::cexec::CompiledEndpointTask;
 use zooid_runtime::exec::{EndpointReport, EndpointTask, ExecOptions, StepOutcome};
 use zooid_runtime::monitor::{CompiledMonitor, MonitorViolation};
-use zooid_runtime::transport::{InMemoryNetwork, InMemoryTransport};
+use zooid_runtime::transport::{InMemoryNetwork, InMemoryTransport, Transport};
 
 use crate::error::{Result, ServerError};
 use crate::registry::{ProtocolArtifacts, ProtocolId};
@@ -279,6 +280,65 @@ impl ActiveSession {
             monitor,
             tasks,
         })
+    }
+
+    /// Rebuilds a session from the state a [`SessionBatch`] extracted when
+    /// it demoted the session mid-flight: every endpoint resumes as a
+    /// compiled task at its exact program counter with its slot values,
+    /// recorded actions and step count; the monitor resumes mid-stream; and
+    /// the frames that were still in flight in the batch arena are
+    /// re-injected through the senders' transports, preserving per-channel
+    /// FIFO order. Nothing of the session's observable history is lost.
+    ///
+    /// [`SessionBatch`]: zooid_runtime::cbatch::SessionBatch
+    pub(crate) fn from_demoted(
+        id: SessionId,
+        protocol: ProtocolId,
+        demoted: DemotedSession,
+        artifacts: &Arc<ProtocolArtifacts>,
+    ) -> Self {
+        let DemotedSession {
+            options,
+            endpoints,
+            monitor,
+            frames,
+            ..
+        } = demoted;
+        let mut network = InMemoryNetwork::from_sorted(Arc::clone(artifacts.sorted_roles()));
+        let roles: Vec<Role> = endpoints.iter().map(|ep| ep.role.clone()).collect();
+        let mut tasks: Vec<(Endpoint, InMemoryTransport)> = endpoints
+            .into_iter()
+            .map(|ep| {
+                let transport = network
+                    .take_endpoint(&ep.role)
+                    .expect("batch role order is the sorted role table");
+                // Batch-eligible programs call no externals, so resuming
+                // with an empty set is exact.
+                let task = CompiledEndpointTask::resume(
+                    ep.program,
+                    Externals::new(),
+                    options.clone(),
+                    ep.pc,
+                    ep.slots,
+                    ep.actions,
+                    ep.steps,
+                    ep.status,
+                );
+                (Endpoint::Compiled(task), transport)
+            })
+            .collect();
+        for (from, to, label, value) in frames {
+            let (_, transport) = &mut tasks[from as usize];
+            transport
+                .send(&roles[to as usize], &label, &value)
+                .expect("co-batched roles are network peers");
+        }
+        ActiveSession {
+            id,
+            protocol,
+            monitor,
+            tasks,
+        }
     }
 
     /// Runs the session for at most `budget` visible communications.

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 CI for the zooid workspace: release build, full test-suite, and a
 # bench-report smoke run that validates the machine-readable benchmark
-# report (BENCH_pr5.json schema) without paying full measurement budgets.
+# report (BENCH_pr6.json schema) without paying full measurement budgets.
 #
 # The smoke bench-report is also the explore_parallel smoke suite: it runs
 # the work-stealing explorer at threads=2 and asserts verdict and
@@ -22,10 +22,15 @@ echo "== cargo test --workspace -q"
 # tests.
 cargo test --workspace -q
 
+echo "== batch differential suite (batched vs slab-compiled vs tree executors)"
+# Already covered by --workspace above, but run it by name so a batching
+# regression is called out on its own line before the bench smoke.
+cargo test --release -q -p zooid-runtime --test batch_exec
+
 echo "== bench-report smoke (includes explore_parallel threads=2 agreement checks)"
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
-report="$tmpdir/BENCH_pr5.json"
+report="$tmpdir/BENCH_pr6.json"
 cargo run --release -p zooid-bench --bin bench-report -- --smoke --out "$report" >/dev/null
 
 echo "== validating $report"
@@ -37,7 +42,7 @@ import sys
 with open(sys.argv[1]) as f:
     report = json.load(f)
 
-assert report["pr"] == 5, f"unexpected pr marker: {report['pr']}"
+assert report["pr"] == 6, f"unexpected pr marker: {report['pr']}"
 benches = report["benches"]
 families = {e["bench"] for e in benches}
 for family in (
@@ -45,6 +50,7 @@ for family in (
     "cfsm_explore_por",
     "cfsm_explore_par",
     "endpoint_step",
+    "batch_step",
     "server_throughput",
     "monitor_action",
 ):
@@ -58,6 +64,14 @@ assert all(e["median_ns"] > 0 and e["baseline_ns"] > 0 for e in endpoint), \
 assert any("chain/" in e["case"] for e in endpoint) and any(
     "fanout/" in e["case"] for e in endpoint
 ), "endpoint_step must cover chain and fanout"
+batch = [e for e in benches if e["bench"] == "batch_step"]
+assert all(e["median_ns"] > 0 and e["baseline_ns"] > 0 for e in batch), \
+    "batch_step medians must be positive"
+assert any("ring/" in e["case"] for e in batch) and any(
+    "fanout_loop/" in e["case"] for e in batch
+), "batch_step must cover ring and fanout_loop"
+assert all("/w" in e["case"] and "peraction" in e["case"] for e in batch), \
+    "batch_step cases must record batch width and per-action units"
 server = [e for e in benches if e["bench"] == "server_throughput"]
 assert all(e["median_ns"] > 0 for e in server), "server medians must be positive"
 assert any("shards4" in e["case"] for e in server), "expected a 4-shard case"
@@ -75,22 +89,24 @@ assert any("threads2" in e["case"] for e in par), "expected a 2-thread case"
 assert all(e["median_ns"] > 0 for e in par), "parallel medians must be positive"
 print(
     f"OK: {len(benches)} entries, {len(explore)} cfsm_explore, {len(por)} cfsm_explore_por, "
-    f"{len(par)} cfsm_explore_par, {len(endpoint)} endpoint_step, "
+    f"{len(par)} cfsm_explore_par, {len(endpoint)} endpoint_step, {len(batch)} batch_step, "
     f"{len(server)} server_throughput, {len(monitor)} monitor_action cases"
 )
 EOF
 else
     # Fallback when python3 is unavailable: shape-check with grep.
-    grep -q '"pr": 5' "$report"
+    grep -q '"pr": 6' "$report"
     grep -q '"bench": "cfsm_explore"' "$report"
     grep -q '"bench": "cfsm_explore_por"' "$report"
     grep -q '"bench": "cfsm_explore_par"' "$report"
     grep -q 'threads2' "$report"
     grep -q '"bench": "endpoint_step"' "$report"
+    grep -q '"bench": "batch_step"' "$report"
+    grep -q 'peraction' "$report"
     grep -q '"bench": "server_throughput"' "$report"
     grep -q 'notrace' "$report"
     grep -q '"bench": "monitor_action"' "$report"
-    echo "OK (grep fallback): all six bench families present"
+    echo "OK (grep fallback): all seven bench families present"
 fi
 
 echo "== CI green"
