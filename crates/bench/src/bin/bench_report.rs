@@ -1,4 +1,4 @@
-//! Emits a machine-readable benchmark report (`BENCH_pr6.json`) so future
+//! Emits a machine-readable benchmark report (`BENCH_pr7.json`) so future
 //! PRs can track the performance trajectory of the hot paths.
 //!
 //! For every scalable protocol family (`ring`, `chain`, `fanout`) at sizes
@@ -52,6 +52,16 @@
 //!   interned transition tables) on a compliant trace, against the
 //!   `TraceMonitor` (boxed global-LTS replay) observing the same trace.
 //!
+//! One family tracks the networked serving plane added in PR 7:
+//!
+//! * `server_throughput_tcp` — wall-clock of the same session batch served
+//!   over real loopback sockets by the event-driven
+//!   [`zooid_server::NetServer`] (one non-blocking IO thread, framed
+//!   multiplexed wire protocol, client threads windowing their opens and
+//!   awaiting `Done` frames), baselined against the in-memory 4-shard
+//!   `server_throughput` figure from the same run — the delta *is* the
+//!   wire.
+//!
 //! One family tracks the columnar data plane added in PR 6:
 //!
 //! * `batch_step` — per-visible-action cost of the **columnar batch
@@ -77,7 +87,7 @@
 //!   engines visit identical configuration counts before timing them).
 //!
 //! Run with `cargo run --release -p zooid-bench --bin bench-report`; writes
-//! `BENCH_pr6.json` in the current directory. `--smoke` shrinks sizes and
+//! `BENCH_pr7.json` in the current directory. `--smoke` shrinks sizes and
 //! budgets for CI smoke runs, `--out PATH` redirects the report.
 
 use std::sync::Arc;
@@ -98,8 +108,12 @@ use zooid_runtime::cexec::{CompiledEndpointTask, EndpointProgram};
 use zooid_runtime::exec::{EndpointTask, ExecOptions, StepOutcome};
 use zooid_runtime::transport::{InMemoryNetwork, InMemoryTransport};
 use zooid_runtime::{CompiledMonitor, SessionHarness, TraceMonitor};
+use zooid_runtime::MuxFrame;
 use zooid_server::synth::skeleton_endpoints;
-use zooid_server::{ProtocolRegistry, ServerConfig, SessionServer, SessionSpec};
+use zooid_server::{
+    NetClient, NetServer, NetServerConfig, ProtocolRegistry, ServerConfig, Service, SessionServer,
+    SessionSpec,
+};
 
 const SIZES: [usize; 4] = [2, 8, 32, 128];
 const SMOKE_SIZES: [usize; 2] = [2, 8];
@@ -342,7 +356,7 @@ struct Options {
 fn parse_args() -> Options {
     let mut opts = Options {
         smoke: false,
-        out: "BENCH_pr6.json".to_owned(),
+        out: "BENCH_pr7.json".to_owned(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -801,6 +815,7 @@ fn main() {
 
     // (shards, record per-endpoint traces?): the `notrace` case is the
     // fire-and-forget configuration — monitor verdicts only.
+    let mut inmem4_ns = harness_batch_ns;
     for (shards, record) in [(1usize, true), (4, true), (4, false)] {
         let ns = median_ns(
             || {
@@ -826,6 +841,9 @@ fn main() {
             if opts.smoke { 2 } else { 3 },
             if opts.smoke { 2_000 } else { 20_000 },
         );
+        if shards == 4 && record {
+            inmem4_ns = ns;
+        }
         entries.push(Entry {
             bench: "server_throughput",
             case: format!(
@@ -837,6 +855,83 @@ fn main() {
             baseline: "SessionHarness thread-per-endpoint (smaller batch, scaled per-session)",
         });
     }
+
+    // ------------------------------------------------------------------
+    // server_throughput_tcp: the same session batch served over real
+    // loopback sockets by the event-driven NetServer. Client threads each
+    // own one multiplexed connection, window their opens (so the
+    // per-connection in-flight cap never trips) and await every Done
+    // frame. The baseline is the in-memory 4-shard figure from this same
+    // run, so the reported speedup is exactly the cost of the wire.
+    // ------------------------------------------------------------------
+    let conns: usize = if opts.smoke { 2 } else { 8 };
+    let tcp_sessions = (sessions / conns) * conns;
+    let per_conn = tcp_sessions / conns;
+    const OPEN_WINDOW: usize = 256;
+    let ns = median_ns(
+        || {
+            let mut registry = ProtocolRegistry::new();
+            let id = registry.register(protocol.clone()).expect("registrable");
+            let service = Service {
+                protocol: id,
+                endpoints: Arc::clone(&shared),
+                options: ExecOptions::default(),
+            };
+            let config = NetServerConfig {
+                server: ServerConfig::with_shards(4),
+                ..NetServerConfig::default()
+            };
+            let net = NetServer::start(registry, [service], config).expect("binds loopback");
+            let addr = net.local_addr();
+            let clients: Vec<_> = (0..conns)
+                .map(|_| {
+                    std::thread::spawn(move || {
+                        let mut client = NetClient::connect(addr).expect("connects");
+                        let mut to_open = per_conn;
+                        let mut inflight = 0usize;
+                        let mut done = 0usize;
+                        while done < per_conn {
+                            while to_open > 0 && inflight < OPEN_WINDOW {
+                                client.open("ring").expect("opens");
+                                to_open -= 1;
+                                inflight += 1;
+                            }
+                            match client
+                                .poll_event(std::time::Duration::from_secs(30))
+                                .expect("server stays up")
+                            {
+                                Some(MuxFrame::Accepted { .. }) => {}
+                                Some(MuxFrame::Done {
+                                    compliant, complete, ..
+                                }) => {
+                                    assert!(compliant && complete, "session misbehaved");
+                                    inflight -= 1;
+                                    done += 1;
+                                }
+                                Some(other) => panic!("unexpected frame {other:?}"),
+                                None => panic!("server went silent"),
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for client in clients {
+                client.join().expect("client thread");
+            }
+            let report = net.shutdown();
+            assert_eq!(report.net.sessions_done as usize, tcp_sessions);
+            assert_eq!(report.net.bad_frames, 0);
+        },
+        if opts.smoke { 2 } else { 3 },
+        if opts.smoke { 2_000 } else { 20_000 },
+    );
+    entries.push(Entry {
+        bench: "server_throughput_tcp",
+        case: format!("ring4/s{tcp_sessions}/conns{conns}/shards4"),
+        median_ns: ns,
+        baseline_ns: inmem4_ns,
+        baseline: "in-memory SessionServer, same batch (4 shards, traced, same run)",
+    });
 
     // ------------------------------------------------------------------
     // monitor_action: per-action cost of the compiled monitor vs the
@@ -930,7 +1025,7 @@ fn main() {
         });
     }
 
-    let mut json = String::from("{\n  \"pr\": 6,\n  \"benches\": [\n");
+    let mut json = String::from("{\n  \"pr\": 7,\n  \"benches\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let speedup = if e.median_ns > 0 && e.baseline_ns > 0 {
             e.baseline_ns as f64 / e.median_ns as f64

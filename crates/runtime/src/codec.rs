@@ -74,7 +74,7 @@ pub fn decode_message(mut bytes: &[u8]) -> Result<Message> {
     })
 }
 
-fn put_value(buf: &mut BytesMut, value: &Value) {
+pub(crate) fn put_value(buf: &mut BytesMut, value: &Value) {
     match value {
         Value::Unit => buf.put_u8(TAG_UNIT),
         Value::Nat(n) => {
@@ -114,7 +114,7 @@ fn put_value(buf: &mut BytesMut, value: &Value) {
     }
 }
 
-fn get_value(bytes: &mut &[u8]) -> Result<Value> {
+pub(crate) fn get_value(bytes: &mut &[u8]) -> Result<Value> {
     let tag = get_u8(bytes)?;
     Ok(match tag {
         TAG_UNIT => Value::Unit,
@@ -146,12 +146,12 @@ fn get_value(bytes: &mut &[u8]) -> Result<Value> {
     })
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+pub(crate) fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32(u32::try_from(s.len()).unwrap_or(u32::MAX));
     buf.put_slice(s.as_bytes());
 }
 
-fn get_str(bytes: &mut &[u8]) -> Result<String> {
+pub(crate) fn get_str(bytes: &mut &[u8]) -> Result<String> {
     let len = get_u32(bytes)? as usize;
     if bytes.len() < len {
         return Err(RuntimeError::Codec {
@@ -168,7 +168,7 @@ fn get_str(bytes: &mut &[u8]) -> Result<String> {
     Ok(s)
 }
 
-fn get_u8(bytes: &mut &[u8]) -> Result<u8> {
+pub(crate) fn get_u8(bytes: &mut &[u8]) -> Result<u8> {
     if bytes.is_empty() {
         return Err(RuntimeError::Codec {
             reason: "truncated frame".to_owned(),
@@ -179,7 +179,7 @@ fn get_u8(bytes: &mut &[u8]) -> Result<u8> {
     Ok(v)
 }
 
-fn get_u32(bytes: &mut &[u8]) -> Result<u32> {
+pub(crate) fn get_u32(bytes: &mut &[u8]) -> Result<u32> {
     if bytes.len() < 4 {
         return Err(RuntimeError::Codec {
             reason: "truncated integer".to_owned(),
@@ -188,7 +188,7 @@ fn get_u32(bytes: &mut &[u8]) -> Result<u32> {
     Ok(bytes.get_u32())
 }
 
-fn get_u64(bytes: &mut &[u8]) -> Result<u64> {
+pub(crate) fn get_u64(bytes: &mut &[u8]) -> Result<u64> {
     if bytes.len() < 8 {
         return Err(RuntimeError::Codec {
             reason: "truncated integer".to_owned(),

@@ -32,6 +32,16 @@ pub enum RuntimeError {
         /// Description of the decoding failure.
         reason: String,
     },
+    /// A wire frame announced a length above the transport's configured
+    /// cap. Raised from the 4-byte header alone — the oversized body is
+    /// never buffered, so a hostile length prefix cannot force a large
+    /// allocation.
+    FrameTooLarge {
+        /// The length the frame header announced.
+        len: usize,
+        /// The configured `max_frame_bytes` cap it exceeded.
+        max: usize,
+    },
     /// The process received a message whose label it cannot handle in its
     /// current state.
     UnexpectedMessage {
@@ -74,6 +84,9 @@ impl fmt::Display for RuntimeError {
                 write!(f, "timed out waiting for a message from `{from}`")
             }
             RuntimeError::Codec { reason } => write!(f, "malformed frame: {reason}"),
+            RuntimeError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
             RuntimeError::UnexpectedMessage { from, label } => {
                 write!(f, "unexpected message `{label}` from `{from}`")
             }
@@ -132,6 +145,10 @@ mod tests {
             },
             RuntimeError::Codec {
                 reason: "truncated frame".into(),
+            },
+            RuntimeError::FrameTooLarge {
+                len: 1 << 32,
+                max: 1 << 24,
             },
             RuntimeError::UnexpectedMessage {
                 from: Role::new("q"),

@@ -12,10 +12,29 @@
 //!   frames directly — no codec round-trip in process — with peers
 //!   addressable by **dense index** for the compiled fast path; [`tcp`]
 //!   provides the §4.5 TCP transport with `Server`/`Client` connection
-//!   specs;
+//!   specs, hardened against hostile framing (frame-size caps, connect and
+//!   receive deadlines, a genuinely non-blocking `try_recv` over
+//!   permanently non-blocking sockets);
 //! * [`codec`] — a length-delimited binary encoding of messages, standing in
 //!   for OCaml's `Marshal` module (the wire format of the TCP path, kept
 //!   honest by round-trip property tests);
+//! * [`wire`] — framing for real sockets: every frame is a big-endian `u32`
+//!   length followed by that many payload bytes, the length validated
+//!   against a configurable `max_frame_bytes` cap (default 16 MiB) **before
+//!   any body byte is buffered**, so a hostile length prefix can never
+//!   force a large allocation. [`wire::FrameReader`] parses incrementally
+//!   (partial frames persist across non-blocking reads) and
+//!   [`wire::MuxFrame`] defines the session-multiplexing control frames
+//!   (`Open`/`Accepted`/`Rejected`/`Done`) the networked serving plane
+//!   speaks — many sessions per connection, client-chosen ids echoed on
+//!   every response, structured load-shed rejections
+//!   ([`wire::RejectCode`]);
+//! * [`poll`] — a minimal readiness-poll loop over non-blocking `std::net`
+//!   sockets (hermetic: no tokio/mio, no unsafe FFI): `peek`-based probes
+//!   classify each socket as readable/empty/closed and [`poll::Poller`]
+//!   sweeps a socket set with adaptive idle backoff, so an event loop can
+//!   multiplex many connections on one thread and hand readable sockets to
+//!   the shard scheduler instead of parking a thread per connection;
 //! * [`exec`] — the tree-walking interpreter that runs a certified process
 //!   against a transport (the counterpart of `extract_proc` composed with
 //!   the monad instance), recording the endpoint's trace. The interpreter is
@@ -69,8 +88,10 @@ pub mod error;
 pub mod exec;
 pub mod harness;
 pub mod monitor;
+pub mod poll;
 pub mod tcp;
 pub mod transport;
+pub mod wire;
 
 pub use cbatch::{BatchLayout, BatchOutcome, BatchQuantum, DemotedSession, SessionBatch};
 pub use cexec::{CompiledEndpointTask, EndpointProgram};
@@ -80,3 +101,4 @@ pub use exec::{execute, EndpointReport, EndpointStatus, EndpointTask, ExecOption
 pub use harness::{SessionHarness, SessionReport};
 pub use monitor::{CompiledMonitor, MonitorViolation, TraceMonitor};
 pub use transport::{InMemoryNetwork, Transport};
+pub use wire::{FrameReader, MuxFrame, RejectCode, DEFAULT_MAX_FRAME_BYTES};

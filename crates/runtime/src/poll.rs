@@ -1,0 +1,212 @@
+//! A minimal readiness-poll loop over non-blocking `std::net` sockets.
+//!
+//! The hermetic build has no tokio/mio and the crate forbids `unsafe`, so
+//! `epoll` FFI is off the table. What std *does* give us is
+//! [`TcpStream::peek`] on a non-blocking socket, which distinguishes the
+//! three states an event loop cares about without consuming input:
+//!
+//! * `Ok(0)` — the peer closed its write side ([`Readiness::Closed`]);
+//! * `Ok(n)`, `n > 0` — at least `n` bytes are readable
+//!   ([`Readiness::Readable`]);
+//! * `Err(WouldBlock)` — nothing buffered ([`Readiness::Empty`]).
+//!
+//! [`Poller::poll`] scans a set of sockets with that probe and sleeps in
+//! short, adaptively growing slices between sweeps, returning as soon as any
+//! socket has an event or the timeout elapses. A sweep over `n` sockets is
+//! `n` cheap syscalls — an honest stand-in for `epoll_wait` that keeps the
+//! serving plane's architecture (readable socket ⇒ enqueue session for a
+//! quantum) identical to what a real selector would drive, behind a module
+//! boundary where one can later swap the probe loop for `mio` with a
+//! one-line `Cargo.toml` change.
+
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// What a readiness probe observed on one socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Readiness {
+    /// Bytes are buffered and a read will make progress.
+    Readable,
+    /// Nothing to read right now.
+    Empty,
+    /// The peer closed the connection (EOF) or the socket errored.
+    Closed,
+}
+
+/// Probes a non-blocking stream for readability without consuming input.
+///
+/// Genuine I/O errors (reset, aborted, ...) report [`Readiness::Closed`]:
+/// for an event loop both mean "hand the socket to its reader, which will
+/// surface the structured error".
+pub fn probe(stream: &TcpStream) -> Readiness {
+    let mut byte = [0u8; 1];
+    match stream.peek(&mut byte) {
+        Ok(0) => Readiness::Closed,
+        Ok(_) => Readiness::Readable,
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Readiness::Empty,
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => Readiness::Empty,
+        Err(_) => Readiness::Closed,
+    }
+}
+
+/// A readiness event: the token the caller registered alongside its socket,
+/// plus what the probe saw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen identifier (e.g. a connection slot index).
+    pub token: usize,
+    /// The observed state.
+    pub readiness: Readiness,
+}
+
+/// Sweep-and-backoff scheduler for readiness probes.
+///
+/// Not an OS selector: it owns no registrations, just the adaptive idle
+/// backoff. Callers pass the current socket set to every [`Poller::poll`]
+/// call, which fits an event loop whose connection table changes as peers
+/// come and go.
+#[derive(Debug)]
+pub struct Poller {
+    idle_sleep: Duration,
+}
+
+/// First back-off slice after an idle sweep.
+const MIN_IDLE_SLEEP: Duration = Duration::from_micros(100);
+/// Largest back-off slice between sweeps; also bounds how stale an idle
+/// poller's view of a new connection or pending accept can get.
+const MAX_IDLE_SLEEP: Duration = Duration::from_millis(2);
+
+impl Poller {
+    /// Creates a poller with the backoff in its most reactive state.
+    pub fn new() -> Self {
+        Poller {
+            idle_sleep: MIN_IDLE_SLEEP,
+        }
+    }
+
+    /// Probes every `(token, stream)` pair, appending non-[`Readiness::Empty`]
+    /// observations to `events`; sleeps and re-sweeps until something shows
+    /// up or `timeout` elapses. Returns the number of events appended.
+    ///
+    /// An empty sweep grows the idle backoff (100µs → 2ms); any event resets
+    /// it, so a busy loop burns no sleeps and an idle one burns no CPU.
+    pub fn poll<'a, I>(&mut self, sources: impl Fn() -> I, events: &mut Vec<Event>, timeout: Duration) -> usize
+    where
+        I: Iterator<Item = (usize, &'a TcpStream)>,
+    {
+        let deadline = Instant::now() + timeout;
+        let before = events.len();
+        loop {
+            for (token, stream) in sources() {
+                let readiness = probe(stream);
+                if readiness != Readiness::Empty {
+                    events.push(Event { token, readiness });
+                }
+            }
+            if events.len() > before {
+                self.idle_sleep = MIN_IDLE_SLEEP;
+                return events.len() - before;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return 0;
+            }
+            let slice = self.idle_sleep.min(deadline - now);
+            std::thread::sleep(slice);
+            self.idle_sleep = (self.idle_sleep * 2).min(MAX_IDLE_SLEEP);
+        }
+    }
+}
+
+impl Default for Poller {
+    fn default() -> Self {
+        Poller::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{IpAddr, Ipv4Addr, TcpListener};
+
+    fn nonblocking_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind((IpAddr::V4(Ipv4Addr::LOCALHOST), 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        (server, client)
+    }
+
+    #[test]
+    fn probe_distinguishes_empty_readable_closed() {
+        let (server, mut client) = nonblocking_pair();
+        assert_eq!(probe(&server), Readiness::Empty);
+        client.write_all(b"x").unwrap();
+        // Loopback delivery is fast but not instantaneous.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while probe(&server) != Readiness::Readable {
+            assert!(Instant::now() < deadline, "byte never became readable");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        drop(client);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            // The buffered byte keeps the socket Readable until drained;
+            // peek does not consume, so read it off to observe the close.
+            use std::io::Read;
+            let mut sink = [0u8; 16];
+            match (&server).read(&mut sink) {
+                Ok(0) => break,
+                Ok(_) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            assert!(Instant::now() < deadline, "close never observed");
+        }
+        assert_eq!(probe(&server), Readiness::Closed);
+    }
+
+    #[test]
+    fn poll_returns_on_cross_thread_arrival_and_times_out_on_silence() {
+        let (server, mut client) = nonblocking_pair();
+        let mut poller = Poller::new();
+        let mut events = Vec::new();
+
+        // Silence: no events, returns at the deadline.
+        let start = Instant::now();
+        let n = poller.poll(
+            || std::iter::once((7usize, &server)),
+            &mut events,
+            Duration::from_millis(20),
+        );
+        assert_eq!(n, 0);
+        assert!(events.is_empty());
+        assert!(start.elapsed() >= Duration::from_millis(20));
+
+        // A byte written from another thread wakes the poll well before the
+        // (generous) deadline.
+        let writer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            client.write_all(b"y").unwrap();
+            client
+        });
+        let n = poller.poll(
+            || std::iter::once((7usize, &server)),
+            &mut events,
+            Duration::from_secs(5),
+        );
+        assert_eq!(n, 1);
+        assert_eq!(
+            events,
+            vec![Event {
+                token: 7,
+                readiness: Readiness::Readable
+            }]
+        );
+        drop(writer.join().unwrap());
+    }
+}

@@ -55,11 +55,13 @@ pub trait Transport {
     /// calls, so that a scheduler multiplexing many endpoints on one thread
     /// never parks on a single session. The default implementation falls
     /// back to the blocking [`Transport::recv`], mapping its timeout to
-    /// `Ok(None)`: correct for transports that cannot poll (e.g. the TCP
-    /// transport), but it parks the calling thread for up to the transport's
-    /// receive timeout first — schedulers multiplexing many sessions should
-    /// only be fed transports with a real non-blocking implementation, like
-    /// [`InMemoryTransport`].
+    /// `Ok(None)`: a last resort for transports that cannot poll, and one
+    /// that parks the calling thread for up to the transport's receive
+    /// timeout first — schedulers multiplexing many sessions must only be
+    /// fed transports with a real non-blocking implementation. Both
+    /// [`InMemoryTransport`] and [`crate::tcp::TcpTransport`] provide one
+    /// (the latter buffers partial frames across calls, so a half-received
+    /// frame never blocks the scheduler).
     ///
     /// # Errors
     ///

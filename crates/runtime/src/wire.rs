@@ -1,0 +1,549 @@
+//! Framing for the networked serving plane: an incremental length-prefixed
+//! frame reader and the session-multiplexing control frames.
+//!
+//! # Wire format
+//!
+//! Every frame on a socket is `u32` big-endian length `n`, followed by `n`
+//! payload bytes. Two payload vocabularies ride on this framing:
+//!
+//! * **peer-to-peer messages** ([`crate::codec`]): label + value, used by
+//!   [`crate::tcp::TcpTransport`] between session endpoints;
+//! * **multiplexing frames** ([`MuxFrame`]): a one-byte tag, a `u64` session
+//!   id, and tag-specific fields, used between a client and the
+//!   `zooid-server` networked serving plane to open sessions, accept or
+//!   reject them, and stream back completions. Many sessions share one
+//!   connection; frames for different sessions interleave freely.
+//!
+//! # Bounded buffering
+//!
+//! The length header is validated against a configurable `max_frame_bytes`
+//! cap **before any body byte is buffered**: a hostile 4 GiB length prefix
+//! yields [`RuntimeError::FrameTooLarge`] from 4 bytes of input, never an
+//! allocation. [`FrameReader`] owns the partial-frame buffer, so callers can
+//! interleave non-blocking reads across many sockets and resume a
+//! half-received frame later — the readiness-polling loop in
+//! [`crate::poll`] depends on this.
+
+use bytes::{BufMut, BytesMut};
+use std::io::Read;
+
+use crate::codec::{get_str, get_u32, get_u64, get_u8, put_str};
+use crate::error::{Result, RuntimeError};
+
+/// Default cap on a single frame's payload: 16 MiB.
+///
+/// Generous for any value the codec produces in practice, small enough that
+/// a hostile length prefix cannot make the receiver allocate unbounded
+/// memory.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// How many bytes one `fill` call may pull off a socket before yielding
+/// back to the caller, so a single chatty connection cannot starve the
+/// others in an event loop iteration.
+const MAX_READ_PER_FILL: usize = 64 * 1024;
+
+/// What one non-blocking pump of a [`FrameReader`] observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillStatus {
+    /// The peer has closed its write side; no further bytes will arrive.
+    Eof,
+    /// The socket had no bytes ready (`WouldBlock`).
+    WouldBlock,
+    /// Some bytes were buffered (complete frames may now be available).
+    Progress,
+}
+
+/// An incremental parser for length-prefixed frames.
+///
+/// Feed it bytes — either directly ([`FrameReader::extend`]) or by pumping a
+/// non-blocking reader ([`FrameReader::fill`]) — and pop complete payloads
+/// with [`FrameReader::next_frame`]. Partial frames persist across calls;
+/// oversized length headers fail fast without buffering the body.
+#[derive(Debug)]
+pub struct FrameReader {
+    buf: BytesMut,
+    max_frame_bytes: usize,
+    /// Set once a header above the cap has been seen: the stream is
+    /// unrecoverable from that point (we refuse to resynchronise inside
+    /// attacker-controlled bytes), so every later call re-reports the error.
+    poisoned: Option<(usize, usize)>,
+}
+
+impl FrameReader {
+    /// Creates a reader enforcing the given per-frame payload cap.
+    pub fn new(max_frame_bytes: usize) -> Self {
+        FrameReader {
+            buf: BytesMut::new(),
+            max_frame_bytes,
+            poisoned: None,
+        }
+    }
+
+    /// The configured per-frame payload cap.
+    pub fn max_frame_bytes(&self) -> usize {
+        self.max_frame_bytes
+    }
+
+    /// Changes the per-frame payload cap in place, keeping any buffered
+    /// partial frame. The new cap applies from the next header check.
+    pub fn set_max_frame_bytes(&mut self, max: usize) {
+        self.max_frame_bytes = max;
+    }
+
+    /// Number of buffered bytes not yet consumed as complete frames.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Appends raw bytes to the internal buffer.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pumps up to [`MAX_READ_PER_FILL`] bytes from a non-blocking reader
+    /// into the buffer.
+    ///
+    /// Returns what stopped the pump: end-of-stream, an empty socket, or a
+    /// successful partial read. `Interrupted` is retried internally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates genuine I/O errors (connection reset, ...) as
+    /// [`RuntimeError::Io`].
+    pub fn fill(&mut self, reader: &mut impl Read) -> Result<FillStatus> {
+        let mut chunk = [0u8; 4096];
+        let mut total = 0usize;
+        loop {
+            if total >= MAX_READ_PER_FILL {
+                return Ok(FillStatus::Progress);
+            }
+            match reader.read(&mut chunk) {
+                Ok(0) => return Ok(FillStatus::Eof),
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    total += n;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(if total == 0 {
+                        FillStatus::WouldBlock
+                    } else {
+                        FillStatus::Progress
+                    });
+                }
+                Err(e) => return Err(RuntimeError::Io(e)),
+            }
+        }
+    }
+
+    /// Pops the next complete frame payload, if the buffer holds one.
+    ///
+    /// `Ok(None)` means "not enough bytes yet" — call again after feeding
+    /// more input.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::FrameTooLarge`] as soon as a 4-byte header announces
+    /// a payload above the cap; the reader stays poisoned and keeps
+    /// returning the error (a framing stream cannot be resynchronised after
+    /// a bad header).
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>> {
+        if let Some((len, max)) = self.poisoned {
+            return Err(RuntimeError::FrameTooLarge { len, max });
+        }
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > self.max_frame_bytes {
+            self.poisoned = Some((len, self.max_frame_bytes));
+            return Err(RuntimeError::FrameTooLarge {
+                len,
+                max: self.max_frame_bytes,
+            });
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let _ = self.buf.split_to(4);
+        Ok(Some(self.buf.split_to(len).to_vec()))
+    }
+}
+
+/// Encodes one frame (length prefix + payload) into an output buffer.
+///
+/// # Errors
+///
+/// [`RuntimeError::FrameTooLarge`] if the payload exceeds `max_frame_bytes`
+/// — the sender enforces the same cap the receiver does, so a compliant
+/// peer can never trip the receiver's guard.
+pub fn put_frame(out: &mut BytesMut, payload: &[u8], max_frame_bytes: usize) -> Result<()> {
+    if payload.len() > max_frame_bytes {
+        return Err(RuntimeError::FrameTooLarge {
+            len: payload.len(),
+            max: max_frame_bytes,
+        });
+    }
+    // The cap also guarantees the length fits a u32 (caps above 4 GiB are
+    // not constructible through the public config).
+    out.put_u32(payload.len() as u32);
+    out.put_slice(payload);
+    Ok(())
+}
+
+/// Why the serving plane refused an `Open` (or the whole connection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RejectCode {
+    /// The requested protocol name is not in the server's service catalog.
+    UnknownProtocol = 1,
+    /// The server is at its connection limit; try again later.
+    ConnectionLimit = 2,
+    /// This connection is at its per-connection in-flight session cap.
+    SessionLimit = 3,
+    /// The server as a whole is at its global in-flight cap (load shed).
+    Overloaded = 4,
+    /// The frame was malformed; the connection will be closed.
+    BadFrame = 5,
+    /// The server is shutting down.
+    ShuttingDown = 6,
+}
+
+impl RejectCode {
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => RejectCode::UnknownProtocol,
+            2 => RejectCode::ConnectionLimit,
+            3 => RejectCode::SessionLimit,
+            4 => RejectCode::Overloaded,
+            5 => RejectCode::BadFrame,
+            6 => RejectCode::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for RejectCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RejectCode::UnknownProtocol => "unknown-protocol",
+            RejectCode::ConnectionLimit => "connection-limit",
+            RejectCode::SessionLimit => "session-limit",
+            RejectCode::Overloaded => "overloaded",
+            RejectCode::BadFrame => "bad-frame",
+            RejectCode::ShuttingDown => "shutting-down",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A control frame on a multiplexed serving-plane connection.
+///
+/// The `session` id is chosen by the client and scoped to its connection;
+/// the server echoes it on every frame about that session, which is what
+/// lets many sessions share one socket with out-of-order completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MuxFrame {
+    /// Client → server: start a session of the named service protocol.
+    Open {
+        /// Client-chosen id, echoed on all responses.
+        session: u64,
+        /// Service catalog key (a registered protocol name).
+        protocol: String,
+    },
+    /// Server → client: the session was admitted and scheduled.
+    Accepted {
+        /// The id from the `Open`.
+        session: u64,
+    },
+    /// Server → client: the session (or connection) was refused.
+    Rejected {
+        /// The id from the `Open` (0 for connection-level rejections).
+        session: u64,
+        /// Machine-readable reason.
+        code: RejectCode,
+        /// Human-readable detail.
+        reason: String,
+    },
+    /// Server → client: the session ran to an outcome.
+    Done {
+        /// The id from the `Open`.
+        session: u64,
+        /// Every endpoint trace satisfied its monitor.
+        compliant: bool,
+        /// The global protocol ran to completion.
+        complete: bool,
+        /// At least one endpoint stalled waiting on a peer.
+        stalled: bool,
+        /// Number of monitor violations recorded.
+        violations: u32,
+        /// Total value-level actions across all endpoints.
+        actions: u64,
+    },
+}
+
+const MUX_OPEN: u8 = 1;
+const MUX_ACCEPTED: u8 = 2;
+const MUX_REJECTED: u8 = 3;
+const MUX_DONE: u8 = 4;
+
+const DONE_COMPLIANT: u8 = 1;
+const DONE_COMPLETE: u8 = 2;
+const DONE_STALLED: u8 = 4;
+
+/// Encodes a multiplexing frame payload (no length prefix — see
+/// [`put_frame`]).
+pub fn encode_mux(frame: &MuxFrame) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    match frame {
+        MuxFrame::Open { session, protocol } => {
+            buf.put_u8(MUX_OPEN);
+            buf.put_u64(*session);
+            put_str(&mut buf, protocol);
+        }
+        MuxFrame::Accepted { session } => {
+            buf.put_u8(MUX_ACCEPTED);
+            buf.put_u64(*session);
+        }
+        MuxFrame::Rejected {
+            session,
+            code,
+            reason,
+        } => {
+            buf.put_u8(MUX_REJECTED);
+            buf.put_u64(*session);
+            buf.put_u8(*code as u8);
+            put_str(&mut buf, reason);
+        }
+        MuxFrame::Done {
+            session,
+            compliant,
+            complete,
+            stalled,
+            violations,
+            actions,
+        } => {
+            buf.put_u8(MUX_DONE);
+            buf.put_u64(*session);
+            let mut flags = 0u8;
+            if *compliant {
+                flags |= DONE_COMPLIANT;
+            }
+            if *complete {
+                flags |= DONE_COMPLETE;
+            }
+            if *stalled {
+                flags |= DONE_STALLED;
+            }
+            buf.put_u8(flags);
+            buf.put_u32(*violations);
+            buf.put_u64(*actions);
+        }
+    }
+    buf.to_vec()
+}
+
+/// Decodes a multiplexing frame payload.
+///
+/// # Errors
+///
+/// [`RuntimeError::Codec`] on unknown tags, unknown reject codes, truncated
+/// fields or trailing bytes.
+pub fn decode_mux(mut bytes: &[u8]) -> Result<MuxFrame> {
+    let tag = get_u8(&mut bytes)?;
+    let session = get_u64(&mut bytes)?;
+    let frame = match tag {
+        MUX_OPEN => MuxFrame::Open {
+            session,
+            protocol: get_str(&mut bytes)?,
+        },
+        MUX_ACCEPTED => MuxFrame::Accepted { session },
+        MUX_REJECTED => {
+            let raw = get_u8(&mut bytes)?;
+            let code = RejectCode::from_u8(raw).ok_or_else(|| RuntimeError::Codec {
+                reason: format!("unknown reject code {raw}"),
+            })?;
+            MuxFrame::Rejected {
+                session,
+                code,
+                reason: get_str(&mut bytes)?,
+            }
+        }
+        MUX_DONE => {
+            let flags = get_u8(&mut bytes)?;
+            let violations = get_u32(&mut bytes)?;
+            let actions = get_u64(&mut bytes)?;
+            MuxFrame::Done {
+                session,
+                compliant: flags & DONE_COMPLIANT != 0,
+                complete: flags & DONE_COMPLETE != 0,
+                stalled: flags & DONE_STALLED != 0,
+                violations,
+                actions,
+            }
+        }
+        other => {
+            return Err(RuntimeError::Codec {
+                reason: format!("unknown mux frame tag {other}"),
+            })
+        }
+    };
+    if !bytes.is_empty() {
+        return Err(RuntimeError::Codec {
+            reason: format!("{} trailing bytes after the mux frame", bytes.len()),
+        });
+    }
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mux_cases() -> Vec<MuxFrame> {
+        vec![
+            MuxFrame::Open {
+                session: 7,
+                protocol: "two_buyer".into(),
+            },
+            MuxFrame::Accepted { session: u64::MAX },
+            MuxFrame::Rejected {
+                session: 0,
+                code: RejectCode::Overloaded,
+                reason: "global in-flight cap reached".into(),
+            },
+            MuxFrame::Done {
+                session: 42,
+                compliant: true,
+                complete: false,
+                stalled: true,
+                violations: 3,
+                actions: 1234,
+            },
+        ]
+    }
+
+    #[test]
+    fn mux_frames_round_trip() {
+        for frame in mux_cases() {
+            let encoded = encode_mux(&frame);
+            assert_eq!(decode_mux(&encoded).unwrap(), frame, "{frame:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_mux_frames_are_rejected() {
+        for frame in mux_cases() {
+            let encoded = encode_mux(&frame);
+            for cut in 0..encoded.len() {
+                assert!(
+                    decode_mux(&encoded[..cut]).is_err(),
+                    "{frame:?} cut at {cut} should fail"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_and_unknown_tags_are_rejected() {
+        let mut encoded = encode_mux(&MuxFrame::Accepted { session: 1 });
+        encoded.push(0);
+        assert!(decode_mux(&encoded).is_err());
+        assert!(decode_mux(&[99, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+        // Unknown reject code.
+        let mut bad = encode_mux(&MuxFrame::Rejected {
+            session: 1,
+            code: RejectCode::BadFrame,
+            reason: String::new(),
+        });
+        bad[9] = 200;
+        assert!(decode_mux(&bad).is_err());
+    }
+
+    #[test]
+    fn frame_reader_reassembles_across_arbitrary_splits() {
+        let payloads: Vec<Vec<u8>> = vec![vec![1, 2, 3], vec![], vec![9; 1000]];
+        let mut wire = BytesMut::new();
+        for p in &payloads {
+            put_frame(&mut wire, p, DEFAULT_MAX_FRAME_BYTES).unwrap();
+        }
+        for chunk in [1usize, 2, 3, 5, 7, wire.len()] {
+            let mut reader = FrameReader::new(DEFAULT_MAX_FRAME_BYTES);
+            let mut got = Vec::new();
+            for piece in wire.chunks(chunk) {
+                reader.extend(piece);
+                while let Some(frame) = reader.next_frame().unwrap() {
+                    got.push(frame);
+                }
+            }
+            assert_eq!(got, payloads, "chunk size {chunk}");
+            assert_eq!(reader.pending_bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn oversized_header_fails_before_buffering_the_body() {
+        let mut reader = FrameReader::new(1024);
+        reader.extend(&u32::MAX.to_be_bytes());
+        match reader.next_frame() {
+            Err(RuntimeError::FrameTooLarge { len, max }) => {
+                assert_eq!(len, u32::MAX as usize);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+        // Only the 4 header bytes were ever buffered.
+        assert_eq!(reader.pending_bytes(), 4);
+        // The reader stays poisoned: no resynchronising inside hostile bytes.
+        reader.extend(&[0u8; 64]);
+        assert!(matches!(
+            reader.next_frame(),
+            Err(RuntimeError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn senders_enforce_the_same_cap() {
+        let mut out = BytesMut::new();
+        assert!(matches!(
+            put_frame(&mut out, &[0u8; 2048], 1024),
+            Err(RuntimeError::FrameTooLarge { len: 2048, max: 1024 })
+        ));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fill_reports_eof_wouldblock_and_progress() {
+        struct Script(Vec<std::io::Result<Vec<u8>>>);
+        impl Read for Script {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                match self.0.pop() {
+                    Some(Ok(bytes)) => {
+                        buf[..bytes.len()].copy_from_slice(&bytes);
+                        Ok(bytes.len())
+                    }
+                    Some(Err(e)) => Err(e),
+                    None => Ok(0),
+                }
+            }
+        }
+        let mut reader = FrameReader::new(1024);
+        // Reversed pop order: some bytes, then WouldBlock.
+        let mut script = Script(vec![
+            Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "empty")),
+            Ok(vec![0, 0, 0, 1]),
+        ]);
+        assert_eq!(reader.fill(&mut script).unwrap(), FillStatus::Progress);
+        assert_eq!(reader.pending_bytes(), 4);
+        let mut empty = Script(vec![Err(std::io::Error::new(
+            std::io::ErrorKind::WouldBlock,
+            "empty",
+        ))]);
+        assert_eq!(reader.fill(&mut empty).unwrap(), FillStatus::WouldBlock);
+        let mut eof = Script(vec![]);
+        assert_eq!(reader.fill(&mut eof).unwrap(), FillStatus::Eof);
+    }
+}

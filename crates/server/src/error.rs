@@ -50,6 +50,12 @@ pub enum ServerError {
     },
     /// The server's worker shards are gone (already shut down).
     Shutdown,
+    /// The networked serving plane hit a socket-level failure (bind,
+    /// listen).
+    Net {
+        /// The underlying IO error, rendered.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServerError {
@@ -73,6 +79,7 @@ impl fmt::Display for ServerError {
             ),
             ServerError::Unsupported { reason } => write!(f, "unsupported: {reason}"),
             ServerError::Shutdown => write!(f, "the server has been shut down"),
+            ServerError::Net { reason } => write!(f, "network error: {reason}"),
         }
     }
 }
@@ -116,6 +123,9 @@ mod tests {
             },
             ServerError::Unsupported { reason: "sum sorts".into() },
             ServerError::Shutdown,
+            ServerError::Net {
+                reason: "address in use".into(),
+            },
         ];
         for e in cases {
             let msg = e.to_string();

@@ -44,7 +44,15 @@
 //!   violated / stalled, batched / slab / demoted, messages routed, cohort
 //!   widths, queue depths) aggregated into a [`ServerReport`];
 //! * [`synth`] — skeleton endpoint implementations synthesized from
-//!   projections, used by the load generator and the differential tests.
+//!   projections, used by the load generator and the differential tests;
+//! * [`net`] — the event-driven networked serving plane: a [`NetServer`]
+//!   fronts the [`SessionServer`] with one non-blocking IO thread (the
+//!   readiness-poll loop of [`zooid_runtime::poll`]) speaking the framed,
+//!   multiplexed wire protocol of [`zooid_runtime::wire`]. Many sessions
+//!   share one connection; admission control (bounded accepts, per-
+//!   connection and global in-flight caps) sheds load with structured
+//!   rejection frames, and hostile framing is a counted, bounded error —
+//!   never an allocation or a hang.
 //!
 //! The harness-vs-server differential suite (`tests/differential.rs`)
 //! checks that a session hosted here is indistinguishable — per-endpoint
@@ -57,13 +65,15 @@
 
 pub mod error;
 pub mod metrics;
+pub mod net;
 pub mod registry;
 pub mod server;
 pub mod session;
 pub mod synth;
 
 pub use error::{Result, ServerError};
-pub use metrics::{ServerReport, ShardReport};
+pub use metrics::{NetReport, NetServerReport, ServerReport, ShardReport};
+pub use net::{NetClient, NetServer, NetServerConfig, Service};
 pub use registry::{ProtocolArtifacts, ProtocolId, ProtocolRegistry, SafetyBudget};
 pub use server::{ServerConfig, SessionServer};
 pub use session::{SessionId, SessionOutcome, SessionSpec};

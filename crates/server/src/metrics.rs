@@ -85,6 +85,104 @@ pub struct ShardReport {
     pub batch_cohort_sessions: u64,
 }
 
+/// Live counters of the networked serving plane's IO event loop (updated
+/// by the loop thread, snapshotted by [`crate::NetServer::net_report`]).
+#[derive(Debug, Default)]
+pub(crate) struct NetMetrics {
+    pub(crate) connections_accepted: AtomicU64,
+    pub(crate) connections_rejected: AtomicU64,
+    pub(crate) connections_closed: AtomicU64,
+    pub(crate) sessions_opened: AtomicU64,
+    pub(crate) sessions_rejected: AtomicU64,
+    pub(crate) sessions_shed: AtomicU64,
+    pub(crate) sessions_done: AtomicU64,
+    pub(crate) frames_read: AtomicU64,
+    pub(crate) frames_written: AtomicU64,
+    pub(crate) bad_frames: AtomicU64,
+}
+
+impl NetMetrics {
+    pub(crate) fn snapshot(&self) -> NetReport {
+        NetReport {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
+            connections_closed: self.connections_closed.load(Ordering::Relaxed),
+            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
+            sessions_rejected: self.sessions_rejected.load(Ordering::Relaxed),
+            sessions_shed: self.sessions_shed.load(Ordering::Relaxed),
+            sessions_done: self.sessions_done.load(Ordering::Relaxed),
+            frames_read: self.frames_read.load(Ordering::Relaxed),
+            frames_written: self.frames_written.load(Ordering::Relaxed),
+            bad_frames: self.bad_frames.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of the networked serving plane's counters: admission control
+/// (accepted/rejected connections, shed sessions) and wire health (frames,
+/// bad frames).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetReport {
+    /// Connections admitted into the event loop.
+    pub connections_accepted: u64,
+    /// Connections refused at accept time (connection limit).
+    pub connections_rejected: u64,
+    /// Connections closed (peer hangup, error, or hostile framing).
+    pub connections_closed: u64,
+    /// Sessions admitted and submitted to the shard scheduler.
+    pub sessions_opened: u64,
+    /// `Open` requests refused for cause (unknown protocol).
+    pub sessions_rejected: u64,
+    /// `Open` requests load-shed (per-connection or global in-flight cap).
+    pub sessions_shed: u64,
+    /// Sessions whose `Done` frame was queued back to the client.
+    pub sessions_done: u64,
+    /// Well-formed multiplexing frames read.
+    pub frames_read: u64,
+    /// Frames written back to clients.
+    pub frames_written: u64,
+    /// Malformed or oversized frames observed (each closes its connection).
+    pub bad_frames: u64,
+}
+
+impl fmt::Display for NetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "net report: {} conns accepted ({} rejected, {} closed), \
+             {} sessions opened ({} rejected, {} shed), {} done",
+            self.connections_accepted,
+            self.connections_rejected,
+            self.connections_closed,
+            self.sessions_opened,
+            self.sessions_rejected,
+            self.sessions_shed,
+            self.sessions_done,
+        )?;
+        writeln!(
+            f,
+            "  wire: {} frames in, {} frames out, {} bad",
+            self.frames_read, self.frames_written, self.bad_frames,
+        )
+    }
+}
+
+/// The networked serving plane's final report: the IO loop's counters next
+/// to the shard scheduler's.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetServerReport {
+    /// IO event-loop counters.
+    pub net: NetReport,
+    /// The hosted [`crate::SessionServer`]'s per-shard report.
+    pub shards: ServerReport,
+}
+
+impl fmt::Display for NetServerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.net, self.shards)
+    }
+}
+
 /// Aggregated server metrics: one [`ShardReport`] per worker shard.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerReport {

@@ -1,0 +1,750 @@
+//! The event-driven networked serving plane: sessions over real sockets.
+//!
+//! [`NetServer`] puts the in-memory [`SessionServer`] behind a TCP front
+//! door. One IO thread owns a non-blocking listener and every client
+//! connection, multiplexed with the readiness-poll loop from
+//! [`zooid_runtime::poll`] — no thread per connection, no parked accepts.
+//! Clients speak the framed wire protocol of [`zooid_runtime::wire`]: each
+//! frame is a `u32` length prefix (capped — hostile lengths are structured
+//! errors, not allocations) followed by a [`MuxFrame`], and many sessions
+//! share one connection through client-chosen session ids echoed on every
+//! response.
+//!
+//! The data path is event-driven end to end: a readable socket is pumped
+//! into its connection's [`FrameReader`]; each complete `Open` frame is an
+//! admission decision and — when admitted — a [`SessionSpec`] submitted to
+//! the shard scheduler, which enqueues the session for a quantum on its
+//! worker shard. Finished sessions come back through the server's
+//! non-blocking outcome poll and leave as `Done` frames on the owning
+//! connection's buffered writer. Sockets, admissions and completions all
+//! interleave on the one loop thread.
+//!
+//! # Backpressure and admission control
+//!
+//! * **Bounded accept queue** — at most [`ACCEPTS_PER_SWEEP`] connections
+//!   are admitted per loop iteration, and a connection beyond
+//!   [`NetServerConfig::max_connections`] is refused with a structured
+//!   [`RejectCode::ConnectionLimit`] frame before its socket is closed.
+//! * **Per-connection in-flight cap** — a connection may have at most
+//!   [`NetServerConfig::max_inflight_per_conn`] sessions open; further
+//!   `Open`s are shed with [`RejectCode::SessionLimit`].
+//! * **Global load shed** — past
+//!   [`NetServerConfig::max_inflight_total`] in-flight sessions the server
+//!   sheds every `Open` with [`RejectCode::Overloaded`] instead of letting
+//!   the shard queues grow without bound.
+//! * **Hostile framing** — an oversized length prefix or an undecodable
+//!   frame draws one [`RejectCode::BadFrame`] rejection and closes the
+//!   connection; the server itself stays healthy (see the counters in
+//!   [`NetReport`]).
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use zooid_dsl::CertifiedProcess;
+use zooid_proc::Externals;
+use zooid_runtime::exec::ExecOptions;
+use zooid_runtime::poll::{Poller, Readiness};
+use zooid_runtime::wire::{
+    decode_mux, encode_mux, put_frame, FillStatus, FrameReader, MuxFrame, RejectCode,
+};
+use zooid_runtime::RuntimeError;
+
+use crate::metrics::{NetMetrics, NetReport, NetServerReport};
+use crate::registry::{ProtocolId, ProtocolRegistry};
+use crate::server::{ServerConfig, SessionServer};
+use crate::session::{SessionId, SessionSpec};
+use crate::{Result, ServerError};
+
+/// Maximum connections admitted in one event-loop sweep: the bounded
+/// accept queue. Pending peers stay in the kernel backlog until the next
+/// iteration, so a connect storm cannot starve in-flight sessions.
+const ACCEPTS_PER_SWEEP: usize = 64;
+
+/// Poll timeout per loop iteration: bounds how stale the loop's view of
+/// pending accepts and finished sessions can get while every socket idles.
+const SWEEP_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// One entry of the service catalog: what to run when a client opens a
+/// session of a protocol.
+///
+/// The serving plane is a *submission* plane: the server hosts every
+/// endpoint of the session on its shards (the endpoints are certified at
+/// registration time), and the wire carries session control — open,
+/// accept/reject, done — not individual payload messages.
+#[derive(Debug, Clone)]
+pub struct Service {
+    /// The registered protocol this service runs.
+    pub protocol: ProtocolId,
+    /// One certified endpoint per participant.
+    pub endpoints: Arc<[(CertifiedProcess, Externals)]>,
+    /// Execution options for every session of this service.
+    pub options: ExecOptions,
+}
+
+impl Service {
+    /// Builds the deterministic skeleton service (first-branch sends,
+    /// default payloads) for a registered protocol.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the protocol id is unknown or its projections need payload
+    /// sorts with no default value.
+    pub fn skeleton(registry: &ProtocolRegistry, protocol: ProtocolId) -> Result<Service> {
+        let artifacts = registry.get(protocol).ok_or(ServerError::UnknownProtocol)?;
+        let endpoints = crate::synth::skeleton_endpoints(artifacts.protocol())?;
+        Ok(Service {
+            protocol,
+            endpoints: endpoints.into(),
+            options: ExecOptions::default(),
+        })
+    }
+
+    /// Limits every session of this service to `max_steps` communications
+    /// per endpoint (required for looping protocols).
+    pub fn with_max_steps(mut self, max_steps: usize) -> Self {
+        self.options = ExecOptions::with_max_steps(max_steps);
+        self
+    }
+}
+
+/// Configuration of a [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Address to bind (use port 0 for an ephemeral test port).
+    pub addr: SocketAddr,
+    /// Shard scheduler configuration for the hosted [`SessionServer`].
+    pub server: ServerConfig,
+    /// Connections beyond this are refused with `ConnectionLimit`.
+    pub max_connections: usize,
+    /// Per-connection cap on sessions opened but not yet done; beyond it
+    /// `Open`s are shed with `SessionLimit`.
+    pub max_inflight_per_conn: usize,
+    /// Global cap on in-flight sessions; beyond it `Open`s are shed with
+    /// `Overloaded`.
+    pub max_inflight_total: usize,
+    /// Per-frame payload cap on every connection (default 16 MiB).
+    pub max_frame_bytes: usize,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            server: ServerConfig::default(),
+            max_connections: 1024,
+            max_inflight_per_conn: 256,
+            max_inflight_total: 16 * 1024,
+            max_frame_bytes: zooid_runtime::wire::DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
+}
+
+/// One client connection in the event loop.
+#[derive(Debug)]
+struct NetConn {
+    stream: TcpStream,
+    reader: FrameReader,
+    /// Userspace write buffer: the loop never blocks on a slow reader.
+    out: Vec<u8>,
+    /// How much of `out` has already reached the socket.
+    written: usize,
+    /// Sessions opened on this connection and not yet done.
+    inflight: usize,
+    /// Set when the connection must close once `out` has drained (bad
+    /// frame, peer EOF).
+    closing: bool,
+}
+
+impl NetConn {
+    fn new(stream: TcpStream, max_frame_bytes: usize) -> Self {
+        NetConn {
+            stream,
+            reader: FrameReader::new(max_frame_bytes),
+            out: Vec::new(),
+            written: 0,
+            inflight: 0,
+            closing: false,
+        }
+    }
+
+    fn queue(&mut self, frame: &MuxFrame, max_frame_bytes: usize) {
+        let payload = encode_mux(frame);
+        let mut buf = bytes::BytesMut::new();
+        // Control frames are tiny; the cap cannot trip for a compliant
+        // server, but keep the single enforcement point anyway.
+        if put_frame(&mut buf, &payload, max_frame_bytes).is_ok() {
+            self.out.extend_from_slice(&buf);
+        }
+    }
+
+    fn pending_out(&self) -> bool {
+        self.written < self.out.len()
+    }
+
+    /// Pushes buffered bytes into the socket without blocking. Returns
+    /// `false` when the connection died.
+    fn flush(&mut self) -> bool {
+        while self.written < self.out.len() {
+            match self.stream.write(&self.out[self.written..]) {
+                Ok(0) => return false,
+                Ok(n) => self.written += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => return false,
+            }
+        }
+        if self.written == self.out.len() {
+            self.out.clear();
+            self.written = 0;
+        } else if self.written > 64 * 1024 {
+            // Compact so an always-partially-flushed connection cannot grow
+            // its buffer without bound.
+            self.out.drain(..self.written);
+            self.written = 0;
+        }
+        true
+    }
+}
+
+/// The networked serving plane: a [`SessionServer`] fronted by one
+/// event-driven IO thread speaking the multiplexed wire protocol.
+#[derive(Debug)]
+pub struct NetServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<NetMetrics>,
+    handle: Option<JoinHandle<NetServerReport>>,
+}
+
+impl NetServer {
+    /// Compiles the service catalog, binds the listener and spawns the IO
+    /// event loop (which in turn starts the shard scheduler).
+    ///
+    /// # Errors
+    ///
+    /// Fails if a service references an unregistered protocol or the bind
+    /// fails.
+    pub fn start(
+        registry: ProtocolRegistry,
+        services: impl IntoIterator<Item = Service>,
+        config: NetServerConfig,
+    ) -> Result<NetServer> {
+        // Key the catalog by registered protocol name: the wire carries
+        // names, the scheduler wants ids.
+        let mut catalog: BTreeMap<String, Service> = BTreeMap::new();
+        for service in services {
+            let artifacts = registry
+                .get(service.protocol)
+                .ok_or(ServerError::UnknownProtocol)?;
+            catalog.insert(artifacts.name().to_owned(), service);
+        }
+        let listener = TcpListener::bind(config.addr).map_err(io_err)?;
+        listener.set_nonblocking(true).map_err(io_err)?;
+        let local_addr = listener.local_addr().map_err(io_err)?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(NetMetrics::default());
+        let loop_stop = Arc::clone(&stop);
+        let loop_metrics = Arc::clone(&metrics);
+        let server = SessionServer::start(registry, config.server.clone());
+        let handle = std::thread::Builder::new()
+            .name("zooid-net-io".into())
+            .spawn(move || io_loop(listener, server, catalog, config, loop_stop, loop_metrics))
+            .expect("spawning the IO thread");
+
+        Ok(NetServer {
+            local_addr,
+            stop,
+            metrics,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (with the real port when configured with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshots the IO loop's counters.
+    pub fn net_report(&self) -> NetReport {
+        self.metrics.snapshot()
+    }
+
+    /// Stops the IO loop and the shard scheduler, returning both reports.
+    /// In-flight sessions are closed as stalled by the scheduler's own
+    /// shutdown; unread client bytes are discarded.
+    pub fn shutdown(mut self) -> NetServerReport {
+        self.stop.store(true, Ordering::Release);
+        let handle = self.handle.take().expect("shutdown runs once");
+        handle.join().unwrap_or_else(|_| NetServerReport {
+            net: self.metrics.snapshot(),
+            shards: crate::ServerReport { shards: Vec::new() },
+        })
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn io_err(e: std::io::Error) -> ServerError {
+    ServerError::Net {
+        reason: e.to_string(),
+    }
+}
+
+/// The IO event loop: accepts, reads, admits, drains outcomes, flushes.
+fn io_loop(
+    listener: TcpListener,
+    mut server: SessionServer,
+    catalog: BTreeMap<String, Service>,
+    config: NetServerConfig,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<NetMetrics>,
+) -> NetServerReport {
+    let mut conns: Vec<Option<NetConn>> = Vec::new();
+    // Server-side session id → (connection slot, client-chosen id).
+    let mut routes: BTreeMap<SessionId, (usize, u64)> = BTreeMap::new();
+    let mut open_sessions = 0usize;
+    let mut poller = Poller::new();
+    let mut events = Vec::new();
+    // Eager first sweep; after that, spin only while work keeps arriving.
+    let mut prev_busy = true;
+
+    while !stop.load(Ordering::Acquire) {
+        let mut busy = false;
+
+        // 1. Admit new connections (bounded per sweep).
+        for _ in 0..ACCEPTS_PER_SWEEP {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    busy = true;
+                    let active = conns.iter().filter(|c| c.is_some()).count();
+                    if active >= config.max_connections {
+                        metrics.connections_rejected.fetch_add(1, Ordering::Relaxed);
+                        reject_and_drop(stream, config.max_frame_bytes);
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    metrics.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                    let conn = NetConn::new(stream, config.max_frame_bytes);
+                    match conns.iter_mut().position(|c| c.is_none()) {
+                        Some(slot) => conns[slot] = Some(conn),
+                        None => conns.push(Some(conn)),
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::Interrupted =>
+                {
+                    break
+                }
+                Err(_) => break,
+            }
+        }
+
+        // 2. Sweep readable sockets. Sleep (with the poller's adaptive
+        // backoff) whenever neither this sweep's accepts nor the previous
+        // sweep made progress — on small machines a spinning IO thread
+        // starves the very shards it is waiting on.
+        events.clear();
+        let timeout = if busy || prev_busy {
+            Duration::ZERO
+        } else {
+            SWEEP_TIMEOUT
+        };
+        poller.poll(
+            || {
+                conns
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(slot, c)| c.as_ref().map(|c| (slot, &c.stream)))
+            },
+            &mut events,
+            timeout,
+        );
+
+        // 3. Pump every readable connection and act on its frames.
+        for event in events.drain(..) {
+            let slot = event.token;
+            let Some(conn) = conns[slot].as_mut() else {
+                continue;
+            };
+            if conn.closing {
+                continue;
+            }
+            let eof = match event.readiness {
+                Readiness::Closed => {
+                    // Drain whatever arrived before the close below; the
+                    // fill observes the EOF itself.
+                    true
+                }
+                Readiness::Readable => false,
+                Readiness::Empty => continue,
+            };
+            busy = true;
+            let fill = conn.reader.fill(&mut conn.stream);
+            // Parse every complete frame that is now buffered.
+            let mut hostile: Option<String> = None;
+            loop {
+                match conn.reader.next_frame() {
+                    Ok(Some(payload)) => match decode_mux(&payload) {
+                        Ok(frame) => {
+                            metrics.frames_read.fetch_add(1, Ordering::Relaxed);
+                            handle_frame(
+                                frame,
+                                slot,
+                                conn,
+                                &mut server,
+                                &catalog,
+                                &config,
+                                &mut routes,
+                                &mut open_sessions,
+                                &metrics,
+                            );
+                        }
+                        Err(e) => {
+                            hostile = Some(e.to_string());
+                            break;
+                        }
+                    },
+                    Ok(None) => break,
+                    Err(e) => {
+                        // Oversized length prefix: poisoned reader.
+                        hostile = Some(e.to_string());
+                        break;
+                    }
+                }
+            }
+            let half_open = conn.reader.pending_bytes() > 0;
+            match (hostile, fill) {
+                (Some(reason), _) => {
+                    metrics.bad_frames.fetch_add(1, Ordering::Relaxed);
+                    conn.queue(
+                        &MuxFrame::Rejected {
+                            session: 0,
+                            code: RejectCode::BadFrame,
+                            reason,
+                        },
+                        config.max_frame_bytes,
+                    );
+                    metrics.frames_written.fetch_add(1, Ordering::Relaxed);
+                    conn.closing = true;
+                }
+                (None, Ok(FillStatus::Eof)) => {
+                    if half_open {
+                        metrics.bad_frames.fetch_add(1, Ordering::Relaxed);
+                    }
+                    conn.closing = true;
+                }
+                (None, Err(_)) => {
+                    conn.closing = true;
+                }
+                (None, Ok(_)) => {
+                    if eof {
+                        conn.closing = true;
+                    }
+                }
+            }
+        }
+
+        // 4. Drain finished sessions into Done frames.
+        while let Some(outcome) = server.try_next_outcome() {
+            busy = true;
+            open_sessions = open_sessions.saturating_sub(1);
+            let Some((slot, client_id)) = routes.remove(&outcome.id) else {
+                continue;
+            };
+            let Some(conn) = conns[slot].as_mut() else {
+                // The owning connection died while the session ran.
+                continue;
+            };
+            conn.inflight = conn.inflight.saturating_sub(1);
+            let actions: u64 = outcome
+                .endpoints
+                .values()
+                .map(|r| r.actions.len() as u64)
+                .sum();
+            conn.queue(
+                &MuxFrame::Done {
+                    session: client_id,
+                    compliant: outcome.compliant,
+                    complete: outcome.complete,
+                    stalled: outcome.stalled,
+                    violations: outcome.violations.len().min(u32::MAX as usize) as u32,
+                    actions,
+                },
+                config.max_frame_bytes,
+            );
+            metrics.frames_written.fetch_add(1, Ordering::Relaxed);
+            metrics.sessions_done.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // 5. Flush write buffers; collect the dead.
+        for slot in 0..conns.len() {
+            let Some(conn) = conns[slot].as_mut() else {
+                continue;
+            };
+            let alive = conn.flush();
+            if !alive || (conn.closing && !conn.pending_out()) {
+                metrics.connections_closed.fetch_add(1, Ordering::Relaxed);
+                conns[slot] = None;
+            }
+        }
+        prev_busy = busy;
+    }
+
+    // Shutdown: tell the lingering clients, then stop the scheduler (which
+    // closes in-flight sessions as stalled).
+    for conn in conns.iter_mut().flatten() {
+        conn.queue(
+            &MuxFrame::Rejected {
+                session: 0,
+                code: RejectCode::ShuttingDown,
+                reason: "server shutting down".into(),
+            },
+            config.max_frame_bytes,
+        );
+        let _ = conn.flush();
+    }
+    let shards = server.shutdown();
+    NetServerReport {
+        net: metrics.snapshot(),
+        shards,
+    }
+}
+
+/// Best-effort `ConnectionLimit` rejection on a socket that was never
+/// admitted.
+///
+/// Closing a socket with unread inbound bytes (the peer already sent its
+/// `Open`) aborts the connection and discards our buffered rejection
+/// frame, so after the write we shut the write half down and drain reads
+/// — bounded, a few tens of milliseconds at most — until the peer closes.
+fn reject_and_drop(mut stream: TcpStream, max_frame_bytes: usize) {
+    let payload = encode_mux(&MuxFrame::Rejected {
+        session: 0,
+        code: RejectCode::ConnectionLimit,
+        reason: "connection limit reached".into(),
+    });
+    let mut buf = bytes::BytesMut::new();
+    if put_frame(&mut buf, &payload, max_frame_bytes).is_err() {
+        return;
+    }
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
+    if stream.write_all(&buf).is_err() {
+        return;
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut scratch = [0u8; 1024];
+    for _ in 0..5 {
+        match std::io::Read::read(&mut stream, &mut scratch) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// Admission control for one decoded client frame.
+#[allow(clippy::too_many_arguments)]
+fn handle_frame(
+    frame: MuxFrame,
+    slot: usize,
+    conn: &mut NetConn,
+    server: &mut SessionServer,
+    catalog: &BTreeMap<String, Service>,
+    config: &NetServerConfig,
+    routes: &mut BTreeMap<SessionId, (usize, u64)>,
+    open_sessions: &mut usize,
+    metrics: &NetMetrics,
+) {
+    let MuxFrame::Open { session, protocol } = frame else {
+        // Clients may only send Open; anything else is a protocol error.
+        metrics.bad_frames.fetch_add(1, Ordering::Relaxed);
+        conn.queue(
+            &MuxFrame::Rejected {
+                session: 0,
+                code: RejectCode::BadFrame,
+                reason: "only Open frames may be sent by clients".into(),
+            },
+            config.max_frame_bytes,
+        );
+        metrics.frames_written.fetch_add(1, Ordering::Relaxed);
+        conn.closing = true;
+        return;
+    };
+
+    let reject = |conn: &mut NetConn, code: RejectCode, reason: String| {
+        conn.queue(
+            &MuxFrame::Rejected {
+                session,
+                code,
+                reason,
+            },
+            config.max_frame_bytes,
+        );
+        metrics.frames_written.fetch_add(1, Ordering::Relaxed);
+    };
+
+    let Some(service) = catalog.get(&protocol) else {
+        metrics.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+        reject(
+            conn,
+            RejectCode::UnknownProtocol,
+            format!("no service registered for `{protocol}`"),
+        );
+        return;
+    };
+    if conn.inflight >= config.max_inflight_per_conn {
+        metrics.sessions_shed.fetch_add(1, Ordering::Relaxed);
+        reject(
+            conn,
+            RejectCode::SessionLimit,
+            format!(
+                "connection already has {} sessions in flight",
+                conn.inflight
+            ),
+        );
+        return;
+    }
+    if *open_sessions >= config.max_inflight_total {
+        metrics.sessions_shed.fetch_add(1, Ordering::Relaxed);
+        reject(
+            conn,
+            RejectCode::Overloaded,
+            format!("server has {open_sessions} sessions in flight"),
+        );
+        return;
+    }
+
+    let spec = SessionSpec {
+        protocol: service.protocol,
+        endpoints: Arc::clone(&service.endpoints),
+        options: service.options.clone(),
+    };
+    match server.submit(spec) {
+        Ok(id) => {
+            routes.insert(id, (slot, session));
+            conn.inflight += 1;
+            *open_sessions += 1;
+            metrics.sessions_opened.fetch_add(1, Ordering::Relaxed);
+            conn.queue(&MuxFrame::Accepted { session }, config.max_frame_bytes);
+            metrics.frames_written.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(e) => {
+            metrics.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+            reject(conn, RejectCode::ShuttingDown, e.to_string());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+/// A blocking client for the multiplexed serving plane: open many sessions
+/// over one connection and poll their events.
+#[derive(Debug)]
+pub struct NetClient {
+    stream: TcpStream,
+    reader: FrameReader,
+    next_session: u64,
+}
+
+impl NetClient {
+    /// Connects to a [`NetServer`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the TCP connect fails.
+    pub fn connect(addr: SocketAddr) -> zooid_runtime::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        // Blocking socket with a short read timeout: `poll_event` loops on
+        // its own deadline.
+        stream.set_read_timeout(Some(Duration::from_millis(20)))?;
+        Ok(NetClient {
+            stream,
+            reader: FrameReader::new(zooid_runtime::wire::DEFAULT_MAX_FRAME_BYTES),
+            next_session: 1,
+        })
+    }
+
+    /// Sends an `Open` for the named protocol, returning the client-side
+    /// session id to correlate later events with.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the write fails.
+    pub fn open(&mut self, protocol: &str) -> zooid_runtime::Result<u64> {
+        let session = self.next_session;
+        self.next_session += 1;
+        let payload = encode_mux(&MuxFrame::Open {
+            session,
+            protocol: protocol.to_owned(),
+        });
+        let mut buf = bytes::BytesMut::new();
+        put_frame(
+            &mut buf,
+            &payload,
+            zooid_runtime::wire::DEFAULT_MAX_FRAME_BYTES,
+        )?;
+        self.stream.write_all(&buf)?;
+        Ok(session)
+    }
+
+    /// Waits up to `timeout` for the next server frame
+    /// (`Accepted`/`Rejected`/`Done`), returning `Ok(None)` on silence.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection loss or malformed server frames.
+    pub fn poll_event(&mut self, timeout: Duration) -> zooid_runtime::Result<Option<MuxFrame>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(payload) = self.reader.next_frame()? {
+                return Ok(Some(decode_mux(&payload)?));
+            }
+            match self.reader.fill(&mut self.stream)? {
+                FillStatus::Progress => {}
+                FillStatus::Eof => {
+                    // The close may ride right behind complete frames:
+                    // hand those out before reporting the shutdown.
+                    if let Some(payload) = self.reader.next_frame()? {
+                        return Ok(Some(decode_mux(&payload)?));
+                    }
+                    if self.reader.pending_bytes() > 0 {
+                        return Err(RuntimeError::Codec {
+                            reason: "server disconnected mid-frame".into(),
+                        });
+                    }
+                    return Err(RuntimeError::Disconnected {
+                        role: zooid_mpst::Role::new("server"),
+                    });
+                }
+                FillStatus::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -224,6 +224,31 @@ impl SessionServer {
         }
     }
 
+    /// Receives the next finished session if one is already available,
+    /// without blocking.
+    ///
+    /// This is the poll the networked serving plane's IO event loop uses
+    /// between socket sweeps: sockets and session outcomes are multiplexed
+    /// on one thread, so neither side may park waiting for the other.
+    pub fn try_next_outcome(&mut self) -> Option<SessionOutcome> {
+        if self.in_flight == 0 {
+            return None;
+        }
+        if let Some(outcome) = self.ready.pop_front() {
+            self.in_flight -= 1;
+            return Some(outcome);
+        }
+        match self.results_rx.try_recv() {
+            Ok(batch) => {
+                self.ready.extend(batch);
+                let outcome = self.ready.pop_front()?;
+                self.in_flight -= 1;
+                Some(outcome)
+            }
+            Err(_) => None,
+        }
+    }
+
     /// Collects every in-flight session's outcome, blocking until all
     /// submitted sessions have finished. A session whose endpoints all block
     /// is detected as stalled by its shard and closed, so every *bounded*

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 CI for the zooid workspace: release build, full test-suite, and a
 # bench-report smoke run that validates the machine-readable benchmark
-# report (BENCH_pr6.json schema) without paying full measurement budgets.
+# report (BENCH_pr7.json schema) without paying full measurement budgets.
 #
 # The smoke bench-report is also the explore_parallel smoke suite: it runs
 # the work-stealing explorer at threads=2 and asserts verdict and
@@ -27,10 +27,16 @@ echo "== batch differential suite (batched vs slab-compiled vs tree executors)"
 # regression is called out on its own line before the bench smoke.
 cargo test --release -q -p zooid-runtime --test batch_exec
 
+echo "== TCP hardening suite (memory-vs-TCP differential, hostile framing)"
+cargo test --release -q -p zooid-runtime --test tcp_differential
+
+echo "== networked serving plane suite (mux protocol, admission control)"
+cargo test --release -q -p zooid-server --test net_plane
+
 echo "== bench-report smoke (includes explore_parallel threads=2 agreement checks)"
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
-report="$tmpdir/BENCH_pr6.json"
+report="$tmpdir/BENCH_pr7.json"
 cargo run --release -p zooid-bench --bin bench-report -- --smoke --out "$report" >/dev/null
 
 echo "== validating $report"
@@ -42,7 +48,7 @@ import sys
 with open(sys.argv[1]) as f:
     report = json.load(f)
 
-assert report["pr"] == 6, f"unexpected pr marker: {report['pr']}"
+assert report["pr"] == 7, f"unexpected pr marker: {report['pr']}"
 benches = report["benches"]
 families = {e["bench"] for e in benches}
 for family in (
@@ -52,6 +58,7 @@ for family in (
     "endpoint_step",
     "batch_step",
     "server_throughput",
+    "server_throughput_tcp",
     "monitor_action",
 ):
     assert family in families, f"missing {family} family, got {sorted(families)}"
@@ -76,6 +83,11 @@ server = [e for e in benches if e["bench"] == "server_throughput"]
 assert all(e["median_ns"] > 0 for e in server), "server medians must be positive"
 assert any("shards4" in e["case"] for e in server), "expected a 4-shard case"
 assert any("notrace" in e["case"] for e in server), "expected a notrace case"
+tcp = [e for e in benches if e["bench"] == "server_throughput_tcp"]
+assert all(e["median_ns"] > 0 and e["baseline_ns"] > 0 for e in tcp), \
+    "server_throughput_tcp needs a live in-memory baseline"
+assert any("conns" in e["case"] and "shards" in e["case"] for e in tcp), \
+    "server_throughput_tcp cases must record connection and shard counts"
 monitor = [e for e in benches if e["bench"] == "monitor_action"]
 assert all(e["median_ns"] > 0 and e["baseline_ns"] > 0 for e in monitor)
 explore = [e for e in benches if e["bench"] == "cfsm_explore"]
@@ -90,12 +102,13 @@ assert all(e["median_ns"] > 0 for e in par), "parallel medians must be positive"
 print(
     f"OK: {len(benches)} entries, {len(explore)} cfsm_explore, {len(por)} cfsm_explore_por, "
     f"{len(par)} cfsm_explore_par, {len(endpoint)} endpoint_step, {len(batch)} batch_step, "
-    f"{len(server)} server_throughput, {len(monitor)} monitor_action cases"
+    f"{len(server)} server_throughput, {len(tcp)} server_throughput_tcp, "
+    f"{len(monitor)} monitor_action cases"
 )
 EOF
 else
     # Fallback when python3 is unavailable: shape-check with grep.
-    grep -q '"pr": 6' "$report"
+    grep -q '"pr": 7' "$report"
     grep -q '"bench": "cfsm_explore"' "$report"
     grep -q '"bench": "cfsm_explore_por"' "$report"
     grep -q '"bench": "cfsm_explore_par"' "$report"
@@ -104,9 +117,10 @@ else
     grep -q '"bench": "batch_step"' "$report"
     grep -q 'peraction' "$report"
     grep -q '"bench": "server_throughput"' "$report"
+    grep -q '"bench": "server_throughput_tcp"' "$report"
     grep -q 'notrace' "$report"
     grep -q '"bench": "monitor_action"' "$report"
-    echo "OK (grep fallback): all seven bench families present"
+    echo "OK (grep fallback): all eight bench families present"
 fi
 
 echo "== CI green"

@@ -53,6 +53,26 @@ impl BytesMut {
     pub fn freeze(self) -> Bytes {
         Bytes { data: self.data }
     }
+
+    /// Appends raw bytes (same as the real crate's inherent method, so the
+    /// `BufMut` import is not required just to extend).
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Splits off and returns the first `at` bytes, leaving the rest.
+    ///
+    /// The real crate does this without copying via refcounted buffers; the
+    /// stub pays a copy-and-shift, which is fine at stub scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is out of bounds, like the real crate.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        let head = self.data[..at].to_vec();
+        self.data.drain(..at);
+        BytesMut { data: head }
+    }
 }
 
 impl Deref for BytesMut {
