@@ -18,7 +18,11 @@
 //!   [`RuntimeError::Disconnected`]);
 //! * blocking [`Transport::recv`] is a deadline loop (default 30 s,
 //!   configurable via [`TcpTransport::set_recv_timeout`]) that returns
-//!   [`RuntimeError::Timeout`] instead of parking forever.
+//!   [`RuntimeError::Timeout`] instead of parking forever;
+//! * a send that fails after a *partial* write poisons the peer connection
+//!   — a half-written frame cannot be resynchronised, so every later
+//!   `send`/`recv` on that peer returns a structured [`RuntimeError::Codec`]
+//!   instead of emitting bytes the peer would parse as garbage mid-frame.
 //!
 //! All streams run in non-blocking mode from the moment the transport owns
 //! them, which is what makes [`Transport::try_recv`] genuinely
@@ -92,6 +96,12 @@ impl ConnDesc {
 struct PeerConn {
     stream: TcpStream,
     reader: FrameReader,
+    /// Set once a send died with part of a frame already on the wire: the
+    /// peer's framing can never be resynchronised (mirroring
+    /// [`FrameReader`]'s poisoning on the receive side), so every later
+    /// operation on this peer re-reports a structured error instead of
+    /// emitting bytes the peer will parse as garbage mid-frame.
+    poisoned: bool,
 }
 
 /// A TCP transport: one framed stream per peer.
@@ -158,6 +168,7 @@ impl TcpTransport {
                 PeerConn {
                     stream,
                     reader: FrameReader::new(DEFAULT_MAX_FRAME_BYTES),
+                    poisoned: false,
                 },
             );
         }
@@ -185,6 +196,7 @@ impl TcpTransport {
                     PeerConn {
                         stream,
                         reader: FrameReader::new(DEFAULT_MAX_FRAME_BYTES),
+                        poisoned: false,
                     },
                 )
             })
@@ -221,32 +233,44 @@ impl TcpTransport {
 
     /// Writes the whole buffer to a non-blocking stream, sleeping through
     /// `WouldBlock` until `deadline`.
+    ///
+    /// On failure the error carries how many bytes already reached the
+    /// socket, so the caller can tell a clean failure (nothing sent) from
+    /// one that left a partial frame on the wire.
     fn write_all_deadline(
         stream: &mut TcpStream,
-        mut buf: &[u8],
+        buf: &[u8],
         deadline: Instant,
         to: &Role,
-    ) -> Result<()> {
-        while !buf.is_empty() {
-            match stream.write(buf) {
+    ) -> std::result::Result<(), (usize, RuntimeError)> {
+        let mut written = 0usize;
+        while written < buf.len() {
+            match stream.write(&buf[written..]) {
                 Ok(0) => {
-                    return Err(RuntimeError::Disconnected { role: to.clone() });
+                    return Err((written, RuntimeError::Disconnected { role: to.clone() }));
                 }
-                Ok(n) => buf = &buf[n..],
+                Ok(n) => written += n,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut =>
                 {
                     if Instant::now() >= deadline {
-                        return Err(RuntimeError::Timeout { from: to.clone() });
+                        return Err((written, RuntimeError::Timeout { from: to.clone() }));
                     }
                     std::thread::sleep(WAIT_SLICE);
                 }
-                Err(e) => return Err(e.into()),
+                Err(e) => return Err((written, e.into())),
             }
         }
         Ok(())
+    }
+
+    /// The structured error every operation on a poisoned peer returns.
+    fn poisoned_error(role: &Role) -> RuntimeError {
+        RuntimeError::Codec {
+            reason: format!("connection to `{role}` unusable after an aborted mid-frame send"),
+        }
     }
 
     /// Pops a complete frame from a peer's reader, decoded. `Ok(None)` =
@@ -288,18 +312,37 @@ impl Transport for TcpTransport {
                 max,
             });
         }
+        // The cap does not imply the length fits the prefix: the public
+        // `set_max_frame_bytes` accepts caps above `u32::MAX`, and a
+        // truncated length prefix would corrupt the whole stream.
+        let len = u32::try_from(frame.len()).map_err(|_| RuntimeError::FrameTooLarge {
+            len: frame.len(),
+            max: u32::MAX as usize,
+        })?;
         let conn = self.conn_mut(to)?;
-        let len = frame.len() as u32;
+        if conn.poisoned {
+            return Err(Self::poisoned_error(to));
+        }
         let mut wire = Vec::with_capacity(4 + frame.len());
         wire.extend_from_slice(&len.to_be_bytes());
         wire.extend_from_slice(&frame);
-        Self::write_all_deadline(&mut conn.stream, &wire, deadline, to)?;
+        if let Err((written, e)) = Self::write_all_deadline(&mut conn.stream, &wire, deadline, to) {
+            // Part of the frame is on the wire: the peer's framing can no
+            // longer be trusted, so refuse every later use of this peer.
+            if written > 0 {
+                conn.poisoned = true;
+            }
+            return Err(e);
+        }
         Ok(())
     }
 
     fn recv(&mut self, from: &Role) -> Result<(Label, Value)> {
         let deadline = Instant::now() + self.recv_timeout;
         let conn = self.conn_mut(from)?;
+        if conn.poisoned {
+            return Err(Self::poisoned_error(from));
+        }
         loop {
             if let Some(message) = Self::pop_frame(conn)? {
                 return Ok(message);
@@ -326,6 +369,9 @@ impl Transport for TcpTransport {
 
     fn try_recv(&mut self, from: &Role) -> Result<Option<(Label, Value)>> {
         let conn = self.conn_mut(from)?;
+        if conn.poisoned {
+            return Err(Self::poisoned_error(from));
+        }
         loop {
             if let Some(message) = Self::pop_frame(conn)? {
                 return Ok(Some(message));
@@ -466,6 +512,26 @@ mod tests {
             Err(RuntimeError::Timeout { .. })
         ));
         assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn mid_frame_send_timeout_poisons_the_peer() {
+        let (mut p, _q) = loopback_pair();
+        p.set_recv_timeout(Duration::from_millis(50));
+        // A frame far larger than the loopback socket buffers, sent to a
+        // peer that never reads: the deadline fires with part of the frame
+        // already on the wire.
+        let big = Value::Str("x".repeat(8 * 1024 * 1024));
+        let result = p.send(&r("q"), &Label::new("l"), &big);
+        assert!(matches!(result, Err(RuntimeError::Timeout { .. })), "{result:?}");
+        // The peer connection is poisoned: no operation may touch a stream
+        // carrying half a frame.
+        assert!(matches!(
+            p.send(&r("q"), &Label::new("m"), &Value::Unit),
+            Err(RuntimeError::Codec { .. })
+        ));
+        assert!(matches!(p.recv(&r("q")), Err(RuntimeError::Codec { .. })));
+        assert!(matches!(p.try_recv(&r("q")), Err(RuntimeError::Codec { .. })));
     }
 
     #[test]

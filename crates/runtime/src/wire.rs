@@ -187,9 +187,14 @@ pub fn put_frame(out: &mut BytesMut, payload: &[u8], max_frame_bytes: usize) -> 
             max: max_frame_bytes,
         });
     }
-    // The cap also guarantees the length fits a u32 (caps above 4 GiB are
-    // not constructible through the public config).
-    out.put_u32(payload.len() as u32);
+    // The cap is usize-valued and caps above 4 GiB are constructible, so
+    // the length must be checked against the prefix width too — a silently
+    // truncated prefix would corrupt the whole stream.
+    let len = u32::try_from(payload.len()).map_err(|_| RuntimeError::FrameTooLarge {
+        len: payload.len(),
+        max: u32::MAX as usize,
+    })?;
+    out.put_u32(len);
     out.put_slice(payload);
     Ok(())
 }

@@ -25,9 +25,17 @@
 //!   are admitted per loop iteration, and a connection beyond
 //!   [`NetServerConfig::max_connections`] is refused with a structured
 //!   [`RejectCode::ConnectionLimit`] frame before its socket is closed.
+//!   The refusal itself is non-blocking: the socket lingers in the loop as
+//!   a write-only entry just long enough to flush the frame (bounded by
+//!   [`MAX_PENDING_REJECTS`] and [`REJECT_LINGER`]), so a connect flood at
+//!   the limit cannot stall live connections.
 //! * **Per-connection in-flight cap** — a connection may have at most
 //!   [`NetServerConfig::max_inflight_per_conn`] sessions open; further
 //!   `Open`s are shed with [`RejectCode::SessionLimit`].
+//! * **Bounded write buffers** — a client that triggers response frames
+//!   faster than it reads them is disconnected once its userspace write
+//!   backlog passes [`NetServerConfig::max_conn_outbuf_bytes`]; a
+//!   non-reading hostile client cannot grow server memory without bound.
 //! * **Global load shed** — past
 //!   [`NetServerConfig::max_inflight_total`] in-flight sessions the server
 //!   sheds every `Open` with [`RejectCode::Overloaded`] instead of letting
@@ -68,6 +76,21 @@ const ACCEPTS_PER_SWEEP: usize = 64;
 /// Poll timeout per loop iteration: bounds how stale the loop's view of
 /// pending accepts and finished sessions can get while every socket idles.
 const SWEEP_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// How long a connection refused at accept time may linger (non-blocking,
+/// write-only) so the peer can read its `ConnectionLimit` rejection before
+/// the close.
+const REJECT_LINGER: Duration = Duration::from_millis(250);
+
+/// Cap on simultaneously lingering refused connections: a connect flood at
+/// the connection limit beyond this is dropped without the courtesy frame
+/// instead of tying up loop state.
+const MAX_PENDING_REJECTS: usize = 128;
+
+/// How many inbound bytes a closing connection discards per sweep. Reading
+/// (and throwing away) the peer's in-flight bytes keeps the final close
+/// from turning into a RST that could destroy the queued rejection frame.
+const DISCARD_PER_SWEEP: usize = 64 * 1024;
 
 /// One entry of the service catalog: what to run when a client opens a
 /// session of a protocol.
@@ -129,6 +152,10 @@ pub struct NetServerConfig {
     pub max_inflight_total: usize,
     /// Per-frame payload cap on every connection (default 16 MiB).
     pub max_frame_bytes: usize,
+    /// High-water mark on a connection's buffered-but-unflushed outbound
+    /// bytes: a client that triggers response frames faster than it reads
+    /// them is disconnected when its backlog passes this (default 256 KiB).
+    pub max_conn_outbuf_bytes: usize,
 }
 
 impl Default for NetServerConfig {
@@ -140,6 +167,7 @@ impl Default for NetServerConfig {
             max_inflight_per_conn: 256,
             max_inflight_total: 16 * 1024,
             max_frame_bytes: zooid_runtime::wire::DEFAULT_MAX_FRAME_BYTES,
+            max_conn_outbuf_bytes: 256 * 1024,
         }
     }
 }
@@ -156,12 +184,25 @@ struct NetConn {
     /// Sessions opened on this connection and not yet done.
     inflight: usize,
     /// Set when the connection must close once `out` has drained (bad
-    /// frame, peer EOF).
+    /// frame, peer EOF, write backlog over the high-water mark).
     closing: bool,
+    /// High-water mark on `out.len() - written`; past it the connection is
+    /// aborted instead of buffering without bound.
+    outbuf_limit: usize,
+    /// True for a connection refused at accept time (over
+    /// `max_connections`): it exists only to deliver the rejection frame
+    /// and never counts against the connection limit.
+    limit_reject: bool,
+    /// The peer closed its write side while this connection was closing.
+    peer_eof: bool,
+    /// Write half shut down after the last queued byte was flushed.
+    fin_sent: bool,
+    /// Hard deadline for a refused connection to drain and close.
+    linger_until: Option<Instant>,
 }
 
 impl NetConn {
-    fn new(stream: TcpStream, max_frame_bytes: usize) -> Self {
+    fn new(stream: TcpStream, max_frame_bytes: usize, outbuf_limit: usize) -> Self {
         NetConn {
             stream,
             reader: FrameReader::new(max_frame_bytes),
@@ -169,10 +210,20 @@ impl NetConn {
             written: 0,
             inflight: 0,
             closing: false,
+            outbuf_limit,
+            limit_reject: false,
+            peer_eof: false,
+            fin_sent: false,
+            linger_until: None,
         }
     }
 
     fn queue(&mut self, frame: &MuxFrame, max_frame_bytes: usize) {
+        if self.closing {
+            // The connection already earned its close; buffering more for a
+            // peer that may never read it would undo the backlog bound.
+            return;
+        }
         let payload = encode_mux(frame);
         let mut buf = bytes::BytesMut::new();
         // Control frames are tiny; the cap cannot trip for a compliant
@@ -180,10 +231,39 @@ impl NetConn {
         if put_frame(&mut buf, &payload, max_frame_bytes).is_ok() {
             self.out.extend_from_slice(&buf);
         }
+        if self.out.len() - self.written > self.outbuf_limit {
+            // The peer triggers frames faster than it reads them: abort the
+            // connection rather than grow the buffer without bound.
+            self.out.truncate(self.written);
+            self.closing = true;
+        }
     }
 
     fn pending_out(&self) -> bool {
         self.written < self.out.len()
+    }
+
+    /// Reads and discards inbound bytes on a closing connection (bounded
+    /// per sweep), so the eventual close does not turn into a RST that
+    /// destroys the queued rejection before the peer reads it.
+    fn discard_input(&mut self) {
+        let mut scratch = [0u8; 4096];
+        let mut total = 0usize;
+        while total < DISCARD_PER_SWEEP {
+            match std::io::Read::read(&mut self.stream, &mut scratch) {
+                Ok(0) => {
+                    self.peer_eof = true;
+                    return;
+                }
+                Ok(n) => total += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(_) => {
+                    self.peer_eof = true;
+                    return;
+                }
+            }
+        }
     }
 
     /// Pushes buffered bytes into the socket without blocking. Returns
@@ -313,8 +393,13 @@ fn io_loop(
     metrics: Arc<NetMetrics>,
 ) -> NetServerReport {
     let mut conns: Vec<Option<NetConn>> = Vec::new();
-    // Server-side session id → (connection slot, client-chosen id).
-    let mut routes: BTreeMap<SessionId, (usize, u64)> = BTreeMap::new();
+    // Per-slot generation, bumped on every removal: slots are reused, so a
+    // route must name (slot, generation) to prove the connection it was
+    // created for is still the one living there.
+    let mut gens: Vec<u64> = Vec::new();
+    // Server-side session id → (connection slot, slot generation,
+    // client-chosen id).
+    let mut routes: BTreeMap<SessionId, (usize, u64, u64)> = BTreeMap::new();
     let mut open_sessions = 0usize;
     let mut poller = Poller::new();
     let mut events = Vec::new();
@@ -329,10 +414,38 @@ fn io_loop(
             match listener.accept() {
                 Ok((stream, _)) => {
                     busy = true;
-                    let active = conns.iter().filter(|c| c.is_some()).count();
+                    let active = conns.iter().flatten().filter(|c| !c.limit_reject).count();
                     if active >= config.max_connections {
                         metrics.connections_rejected.fetch_add(1, Ordering::Relaxed);
-                        reject_and_drop(stream, config.max_frame_bytes);
+                        let pending =
+                            conns.iter().flatten().filter(|c| c.limit_reject).count();
+                        if pending >= MAX_PENDING_REJECTS
+                            || stream.set_nonblocking(true).is_err()
+                        {
+                            // Flooded: drop without the courtesy frame.
+                            continue;
+                        }
+                        // Refuse non-blockingly: a short-lived write-only
+                        // entry in the loop delivers the rejection; the old
+                        // blocking write-and-drain here could stall every
+                        // live connection through a connect flood.
+                        let mut conn = NetConn::new(
+                            stream,
+                            config.max_frame_bytes,
+                            config.max_conn_outbuf_bytes,
+                        );
+                        conn.queue(
+                            &MuxFrame::Rejected {
+                                session: 0,
+                                code: RejectCode::ConnectionLimit,
+                                reason: "connection limit reached".into(),
+                            },
+                            config.max_frame_bytes,
+                        );
+                        conn.closing = true;
+                        conn.limit_reject = true;
+                        conn.linger_until = Some(Instant::now() + REJECT_LINGER);
+                        install(&mut conns, &mut gens, conn);
                         continue;
                     }
                     let _ = stream.set_nodelay(true);
@@ -340,11 +453,9 @@ fn io_loop(
                         continue;
                     }
                     metrics.connections_accepted.fetch_add(1, Ordering::Relaxed);
-                    let conn = NetConn::new(stream, config.max_frame_bytes);
-                    match conns.iter_mut().position(|c| c.is_none()) {
-                        Some(slot) => conns[slot] = Some(conn),
-                        None => conns.push(Some(conn)),
-                    }
+                    let conn =
+                        NetConn::new(stream, config.max_frame_bytes, config.max_conn_outbuf_bytes);
+                    install(&mut conns, &mut gens, conn);
                 }
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
@@ -384,6 +495,8 @@ fn io_loop(
                 continue;
             };
             if conn.closing {
+                // Still read (and discard) so the close stays graceful.
+                conn.discard_input();
                 continue;
             }
             let eof = match event.readiness {
@@ -407,6 +520,7 @@ fn io_loop(
                             handle_frame(
                                 frame,
                                 slot,
+                                gens[slot],
                                 conn,
                                 &mut server,
                                 &catalog,
@@ -465,9 +579,15 @@ fn io_loop(
         while let Some(outcome) = server.try_next_outcome() {
             busy = true;
             open_sessions = open_sessions.saturating_sub(1);
-            let Some((slot, client_id)) = routes.remove(&outcome.id) else {
+            let Some((slot, gen, client_id)) = routes.remove(&outcome.id) else {
                 continue;
             };
+            if gens[slot] != gen {
+                // The opening connection died and its slot was reused: the
+                // unrelated client living there now must not see this
+                // outcome or have its admission counter touched.
+                continue;
+            }
             let Some(conn) = conns[slot].as_mut() else {
                 // The owning connection died while the session ran.
                 continue;
@@ -494,14 +614,26 @@ fn io_loop(
         }
 
         // 5. Flush write buffers; collect the dead.
+        let now = Instant::now();
         for slot in 0..conns.len() {
             let Some(conn) = conns[slot].as_mut() else {
                 continue;
             };
             let alive = conn.flush();
-            if !alive || (conn.closing && !conn.pending_out()) {
-                metrics.connections_closed.fetch_add(1, Ordering::Relaxed);
+            if alive && conn.limit_reject && !conn.pending_out() && !conn.fin_sent {
+                // The rejection is flushed: half-close so a peer reading to
+                // EOF finishes promptly; the socket itself lives until the
+                // peer closes or the linger deadline fires.
+                let _ = conn.stream.shutdown(std::net::Shutdown::Write);
+                conn.fin_sent = true;
+            }
+            let lingering = !conn.peer_eof && conn.linger_until.is_some_and(|t| now < t);
+            if !alive || (conn.closing && !conn.pending_out() && !lingering) {
+                if !conn.limit_reject {
+                    metrics.connections_closed.fetch_add(1, Ordering::Relaxed);
+                }
                 conns[slot] = None;
+                gens[slot] = gens[slot].wrapping_add(1);
             }
         }
         prev_busy = busy;
@@ -527,37 +659,14 @@ fn io_loop(
     }
 }
 
-/// Best-effort `ConnectionLimit` rejection on a socket that was never
-/// admitted.
-///
-/// Closing a socket with unread inbound bytes (the peer already sent its
-/// `Open`) aborts the connection and discards our buffered rejection
-/// frame, so after the write we shut the write half down and drain reads
-/// — bounded, a few tens of milliseconds at most — until the peer closes.
-fn reject_and_drop(mut stream: TcpStream, max_frame_bytes: usize) {
-    let payload = encode_mux(&MuxFrame::Rejected {
-        session: 0,
-        code: RejectCode::ConnectionLimit,
-        reason: "connection limit reached".into(),
-    });
-    let mut buf = bytes::BytesMut::new();
-    if put_frame(&mut buf, &payload, max_frame_bytes).is_err() {
-        return;
-    }
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(50)));
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
-    if stream.write_all(&buf).is_err() {
-        return;
-    }
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    let mut scratch = [0u8; 1024];
-    for _ in 0..5 {
-        match std::io::Read::read(&mut stream, &mut scratch) {
-            Ok(0) => break,
-            Ok(_) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(_) => break,
+/// Installs a connection into the first free slot (or a new one), keeping
+/// the per-slot generation vector in step with the slot vector.
+fn install(conns: &mut Vec<Option<NetConn>>, gens: &mut Vec<u64>, conn: NetConn) {
+    match conns.iter_mut().position(|c| c.is_none()) {
+        Some(slot) => conns[slot] = Some(conn),
+        None => {
+            conns.push(Some(conn));
+            gens.push(0);
         }
     }
 }
@@ -567,11 +676,12 @@ fn reject_and_drop(mut stream: TcpStream, max_frame_bytes: usize) {
 fn handle_frame(
     frame: MuxFrame,
     slot: usize,
+    slot_gen: u64,
     conn: &mut NetConn,
     server: &mut SessionServer,
     catalog: &BTreeMap<String, Service>,
     config: &NetServerConfig,
-    routes: &mut BTreeMap<SessionId, (usize, u64)>,
+    routes: &mut BTreeMap<SessionId, (usize, u64, u64)>,
     open_sessions: &mut usize,
     metrics: &NetMetrics,
 ) {
@@ -641,7 +751,7 @@ fn handle_frame(
     };
     match server.submit(spec) {
         Ok(id) => {
-            routes.insert(id, (slot, session));
+            routes.insert(id, (slot, slot_gen, session));
             conn.inflight += 1;
             *open_sessions += 1;
             metrics.sessions_opened.fetch_add(1, Ordering::Relaxed);

@@ -401,6 +401,107 @@ fn hostile_bytes_cost_one_connection_not_the_server() {
 }
 
 #[test]
+fn outcomes_for_dead_connections_are_not_misdelivered() {
+    let (registry, ids) = registry_with_case_studies();
+    let catalog = services(&registry, &ids);
+    let server = NetServer::start(registry, catalog, NetServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // Repeatedly open a burst of sessions and vanish before their outcomes
+    // return, then immediately connect a fresh client that may reuse the
+    // dead connection's slot. The stale outcomes must be dropped — the new
+    // client must see frames only for sessions it opened itself.
+    for _ in 0..10 {
+        {
+            let mut ghost = NetClient::connect(addr).unwrap();
+            for _ in 0..32 {
+                ghost.open("ring").unwrap();
+            }
+        } // dropped with every outcome still in flight
+        let mut client = NetClient::connect(addr).unwrap();
+        let session = client.open("ring").unwrap();
+        let mut accepted = false;
+        loop {
+            let frame = next_event(&mut client);
+            let (MuxFrame::Accepted { session: s }
+            | MuxFrame::Done { session: s, .. }
+            | MuxFrame::Rejected { session: s, .. }) = frame
+            else {
+                panic!("unexpected frame {frame:?}")
+            };
+            assert_eq!(s, session, "frame for a session this client never opened: {frame:?}");
+            match frame {
+                MuxFrame::Accepted { .. } => accepted = true,
+                MuxFrame::Done { .. } => break,
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        assert!(accepted, "done before accept");
+        // After this client's own Done, nothing further may arrive: a stale
+        // ghost outcome surfacing here is exactly the misdelivery bug.
+        assert_eq!(client.poll_event(Duration::from_millis(50)).unwrap(), None);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn write_hog_is_disconnected_not_buffered_without_bound() {
+    let (registry, ids) = registry_with_case_studies();
+    let catalog = services(&registry, &ids);
+    // Every Open is shed with a rejection frame; a tiny write high-water
+    // mark makes the backlog bound observable quickly.
+    let config = NetServerConfig {
+        max_inflight_per_conn: 0,
+        max_conn_outbuf_bytes: 64 * 1024,
+        ..NetServerConfig::default()
+    };
+    let server = NetServer::start(registry, catalog, config).unwrap();
+
+    // A hog that floods Opens and never reads: once the kernel buffers are
+    // full, the server's userspace backlog hits the mark and the hog is
+    // disconnected instead of growing server memory without bound.
+    let mut hog = TcpStream::connect(server.local_addr()).unwrap();
+    hog.set_write_timeout(Some(Duration::from_secs(10))).unwrap();
+    let open = {
+        let payload = zooid_runtime::wire::encode_mux(&MuxFrame::Open {
+            session: 1,
+            protocol: "ring".into(),
+        });
+        let mut buf = bytes::BytesMut::new();
+        zooid_runtime::wire::put_frame(
+            &mut buf,
+            &payload,
+            zooid_runtime::DEFAULT_MAX_FRAME_BYTES,
+        )
+        .unwrap();
+        buf.to_vec()
+    };
+    let mut cut_off = false;
+    for _ in 0..400_000 {
+        if hog.write_all(&open).is_err() {
+            cut_off = true;
+            break;
+        }
+    }
+    assert!(cut_off, "the non-reading flood was never disconnected");
+
+    // The server itself stays healthy for a compliant client.
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    let probe = client.open("ring").unwrap();
+    match next_event(&mut client) {
+        MuxFrame::Rejected { session, code, .. } => {
+            assert_eq!(session, probe);
+            assert_eq!(code, RejectCode::SessionLimit);
+        }
+        other => panic!("expected SessionLimit (per-conn cap is 0), got {other:?}"),
+    }
+
+    let report = server.shutdown();
+    assert!(report.net.connections_closed >= 1, "{}", report.net);
+    assert!(report.net.sessions_shed > 0, "{}", report.net);
+}
+
+#[test]
 fn shutdown_tells_lingering_clients() {
     let (registry, ids) = registry_with_case_studies();
     let catalog = services(&registry, &ids);
