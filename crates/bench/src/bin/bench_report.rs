@@ -1,4 +1,4 @@
-//! Emits a machine-readable benchmark report (`BENCH_pr7.json`) so future
+//! Emits a machine-readable benchmark report (`BENCH_pr8.json`) so future
 //! PRs can track the performance trajectory of the hot paths.
 //!
 //! For every scalable protocol family (`ring`, `chain`, `fanout`) at sizes
@@ -73,6 +73,15 @@
 //!   sessions one at a time. Both sides are fire-and-forget (trace
 //!   recording off); measured at several batch widths.
 //!
+//! One family tracks the observability plane added in PR 8:
+//!
+//! * `obs_overhead` — the same columnar batch stepping with the shard
+//!   worker's full observability instrumentation attached (flight-recorder
+//!   admission events, per-quantum clock reads into the per-action
+//!   histogram, the cohort-width fold, session wall-time recording per
+//!   outcome) against the bare loop. The ratio is the whole cost of the
+//!   recorder and must stay within noise; `scripts/ci.sh` asserts it.
+//!
 //! Each remaining entry also carries a `baseline_ns`:
 //!
 //! * for `unravel`/`projection`, the seed implementation's medians, measured
@@ -87,7 +96,7 @@
 //!   engines visit identical configuration counts before timing them).
 //!
 //! Run with `cargo run --release -p zooid-bench --bin bench-report`; writes
-//! `BENCH_pr7.json` in the current directory. `--smoke` shrinks sizes and
+//! `BENCH_pr8.json` in the current directory. `--smoke` shrinks sizes and
 //! budgets for CI smoke runs, `--out PATH` redirects the report.
 
 use std::sync::Arc;
@@ -95,6 +104,7 @@ use std::time::Instant;
 
 use zooid_cfsm::System;
 use zooid_dsl::Protocol;
+use zooid_mpst::common::intern::FxHashMap;
 use zooid_mpst::generators;
 use zooid_mpst::global::unravel_global;
 use zooid_mpst::global::GlobalType;
@@ -109,10 +119,11 @@ use zooid_runtime::exec::{EndpointTask, ExecOptions, StepOutcome};
 use zooid_runtime::transport::{InMemoryNetwork, InMemoryTransport};
 use zooid_runtime::{CompiledMonitor, SessionHarness, TraceMonitor};
 use zooid_runtime::MuxFrame;
+use zooid_server::obs::ShardObs;
 use zooid_server::synth::skeleton_endpoints;
 use zooid_server::{
-    NetClient, NetServer, NetServerConfig, ProtocolRegistry, ServerConfig, Service, SessionServer,
-    SessionSpec,
+    FlightEvent, NetClient, NetServer, NetServerConfig, ProtocolRegistry, ServerConfig, Service,
+    SessionServer, SessionSpec,
 };
 
 const SIZES: [usize; 4] = [2, 8, 32, 128];
@@ -187,6 +198,30 @@ fn median_ns<F: FnMut()>(mut f: F, samples: usize, budget_ms: u64) -> u64 {
     }
     observed.sort_unstable();
     observed[observed.len() / 2]
+}
+
+/// Interleaved paired measurement for ratio families: alternates single
+/// timed runs of `f(true)` and `f(false)` so machine drift (frequency
+/// scaling, cache evictions, neighbours on the CI box) lands on both sides
+/// equally, and returns `(median_true_ns, median_false_ns)`. A family that
+/// asserts a *ratio* needs the pairing far more than it needs long budgets.
+fn paired_median_ns<F: FnMut(bool)>(mut f: F, samples: usize) -> (u64, u64) {
+    // Warm both paths.
+    f(true);
+    f(false);
+    let mut on = Vec::with_capacity(samples);
+    let mut off = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        f(true);
+        on.push(t.elapsed().as_nanos() as u64);
+        let t = Instant::now();
+        f(false);
+        off.push(t.elapsed().as_nanos() as u64);
+    }
+    on.sort_unstable();
+    off.sort_unstable();
+    (on[on.len() / 2], off[off.len() / 2])
 }
 
 struct Entry {
@@ -356,7 +391,7 @@ struct Options {
 fn parse_args() -> Options {
     let mut opts = Options {
         smoke: false,
-        out: "BENCH_pr7.json".to_owned(),
+        out: "BENCH_pr8.json".to_owned(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -783,6 +818,155 @@ fn main() {
     }
 
     // ------------------------------------------------------------------
+    // obs_overhead: the columnar batch executor stepped exactly as the
+    // shard worker steps it *with* the observability plane attached —
+    // flight-recorder admission events, two clock reads per quantum into
+    // the per-action histogram, the cohort-width fold, and session
+    // wall-time recording per outcome — against the bare stepping loop
+    // (the `batch_step` configuration). The delta is the whole price of
+    // the recorder; it must stay within noise of the uninstrumented
+    // plane (CI asserts the ratio).
+    // ------------------------------------------------------------------
+    let obs_cases: Vec<(String, GlobalType, Option<usize>, usize)> = if opts.smoke {
+        vec![("ring/4".into(), generators::ring_n(4), None, 64)]
+    } else {
+        vec![
+            // Short sessions: per-admission bookkeeping amortises over only
+            // 8 actions — the recorder's worst case.
+            ("ring/4".into(), generators::ring_n(4), None, 64),
+            ("ring/4".into(), generators::ring_n(4), None, 256),
+            // Long sessions: the steady state the shard worker actually
+            // runs in, where the per-quantum clock reads dominate.
+            ("fanout_loop/4".into(), fanout_loop(4), Some(256), 64),
+        ]
+    };
+    for (case, g, max_steps, width) in &obs_cases {
+        let mut procs: Vec<(Role, Proc)> = project_all(g)
+            .expect("bench families are projectable")
+            .into_iter()
+            .map(|(role, local)| {
+                let proc = zooid_server::synth::skeleton_proc(&local)
+                    .expect("bench families synthesize");
+                (role, proc)
+            })
+            .collect();
+        procs.sort_by(|a, b| a.0.cmp(&b.0));
+        let system = Arc::new(
+            System::from_global(g)
+                .expect("bench families are projectable")
+                .compile(),
+        );
+        let externals = Externals::new();
+        let programs: Vec<Arc<EndpointProgram>> = procs
+            .iter()
+            .map(|(role, proc)| {
+                let compiled =
+                    CompiledProc::compile(proc, role, &externals).expect("skeletons compile");
+                Arc::new(EndpointProgram::with_system(Arc::new(compiled), &system))
+            })
+            .collect();
+        let roles: Arc<[Role]> = procs
+            .iter()
+            .map(|(r, _)| r.clone())
+            .collect::<Vec<_>>()
+            .into();
+        let layout = BatchLayout::new(roles, programs, Arc::clone(&system))
+            .expect("bench skeletons are batch-eligible");
+        let options = match max_steps {
+            Some(steps) => ExecOptions::with_max_steps(*steps),
+            None => ExecOptions::default(),
+        }
+        .record_actions(false);
+
+        let mut batch = SessionBatch::new(Arc::clone(&layout), options.clone(), *width);
+        let obs = ShardObs::new();
+        let mut admitted: FxHashMap<u64, Instant> = FxHashMap::default();
+        let probe_actions = {
+            for token in 0..*width {
+                assert!(batch.admit(token as u64), "batch sized for the width");
+            }
+            let out = batch.run_quantum(usize::MAX);
+            assert!(batch.is_empty(), "an unbounded quantum drains the batch");
+            assert!(out.actions > 0, "{case}: the batch made no progress");
+            out.actions
+        };
+
+        let (ns, baseline_ns) = paired_median_ns(
+            |instrumented| {
+                if !instrumented {
+                    for token in 0..*width {
+                        assert!(batch.admit(token as u64));
+                    }
+                    let out = batch.run_quantum(usize::MAX);
+                    std::hint::black_box(out.actions);
+                    return;
+                }
+                // One clock read stamps the whole admission sweep, exactly
+                // as the shard worker's inbox drain does.
+                let at = Instant::now();
+                for token in 0..*width {
+                    assert!(batch.admit(token as u64));
+                    admitted.insert(token as u64, at);
+                    obs.recorder.record(FlightEvent::Admitted {
+                        session: token as u64,
+                        batched: true,
+                    });
+                }
+                let started = Instant::now();
+                let out = batch.run_quantum(usize::MAX);
+                let ended = Instant::now();
+                if out.actions > 0 {
+                    let per = u64::try_from(
+                        ended.saturating_duration_since(started).as_nanos(),
+                    )
+                    .unwrap_or(u64::MAX)
+                        / out.actions as u64;
+                    obs.action_cost.record(per);
+                }
+                for (bucket, &n) in out.cohort_widths.iter().enumerate() {
+                    obs.cohort_width.add_count(bucket, n);
+                }
+                for outcome in &out.finished {
+                    if let Some(start) = admitted.remove(&outcome.token) {
+                        let wall =
+                            u64::try_from(ended.saturating_duration_since(start).as_nanos())
+                                .unwrap_or(u64::MAX);
+                        obs.session_wall.record(wall);
+                    }
+                }
+                // Step-limited sessions leave the batch as demotions; the
+                // shard worker records the event and keeps their admission
+                // stamp until the slab concludes them — the bench stops at
+                // the batch boundary, so stamp the wall time here too.
+                for demoted in &out.demoted {
+                    obs.recorder.record(FlightEvent::BatchDemoted {
+                        session: demoted.token,
+                    });
+                    if let Some(start) = admitted.remove(&demoted.token) {
+                        let wall =
+                            u64::try_from(ended.saturating_duration_since(start).as_nanos())
+                                .unwrap_or(u64::MAX);
+                        obs.session_wall.record(wall);
+                    }
+                }
+                std::hint::black_box(out.actions);
+            },
+            if opts.smoke { 31 } else { 101 },
+        );
+        assert!(
+            obs.session_wall.snapshot().count() > 0,
+            "{case}: the instrumented runs recorded no session wall times"
+        );
+        entries.push(Entry {
+            bench: "obs_overhead",
+            case: format!("{case}/w{width}/actions{probe_actions}/peraction"),
+            median_ns: (ns / probe_actions as u64).max(1),
+            baseline_ns: (baseline_ns / probe_actions as u64).max(1),
+            baseline: "identical batch stepping with the observability plane detached",
+        });
+    }
+
+    // ------------------------------------------------------------------
     // server_throughput: a batch of concurrent sessions on the sharded
     // server vs the thread-per-participant harness.
     // ------------------------------------------------------------------
@@ -1025,7 +1209,7 @@ fn main() {
         });
     }
 
-    let mut json = String::from("{\n  \"pr\": 7,\n  \"benches\": [\n");
+    let mut json = String::from("{\n  \"pr\": 8,\n  \"benches\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let speedup = if e.median_ns > 0 && e.baseline_ns > 0 {
             e.baseline_ns as f64 / e.median_ns as f64

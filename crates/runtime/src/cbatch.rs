@@ -231,6 +231,12 @@ pub struct BatchQuantum {
     /// Total sessions across those cohorts (mean cohort width =
     /// `cohort_sessions / cohorts`).
     pub cohort_sessions: usize,
+    /// Cohort-width distribution: `cohort_widths[b]` counts cohorts whose
+    /// width fell in log2 bucket `b` (bucket 0 is unused — a cohort has at
+    /// least one session; widths ≥ 2^15 land in the last bucket). The
+    /// server folds this into its width histogram without touching the
+    /// stepping loop.
+    pub cohort_widths: [u64; 16],
 }
 
 /// The conclusion of one batched session, in the same terms as a slab
@@ -494,6 +500,8 @@ impl SessionBatch {
                 }
                 out.cohorts += 1;
                 out.cohort_sessions += j - i;
+                let width = (j - i) as u64;
+                out.cohort_widths[(64 - width.leading_zeros()).min(15) as usize] += 1;
                 self.step_cohort(layout, r, pc, &scratch[i..j], out);
                 i = j;
             }

@@ -310,6 +310,19 @@ impl CompiledMonitor {
     pub fn is_complete(&self) -> bool {
         self.system.is_terminated(&self.cursor)
     }
+
+    /// The monitor's current cursor (the exact product state + channel
+    /// contents reached by the compliant observations so far). Incident
+    /// capture snapshots this next to the violating action so the
+    /// counterexample is replayable offline.
+    pub fn cursor(&self) -> &MonitorCursor {
+        &self.cursor
+    }
+
+    /// The compiled system this monitor observes against.
+    pub fn system(&self) -> &Arc<CompiledSystem> {
+        &self.system
+    }
 }
 
 #[cfg(test)]

@@ -27,8 +27,9 @@
 use bytes::{BufMut, BytesMut};
 use std::io::Read;
 
-use crate::codec::{get_str, get_u32, get_u64, get_u8, put_str};
+use crate::codec::{get_str, get_u32, get_u64, get_u8, get_value, put_str, put_value};
 use crate::error::{Result, RuntimeError};
+use zooid_proc::Value;
 
 /// Default cap on a single frame's payload: 16 MiB.
 ///
@@ -288,12 +289,29 @@ pub enum MuxFrame {
         /// Total value-level actions across all endpoints.
         actions: u64,
     },
+    /// Client → server: request a live stats snapshot (reports, histogram
+    /// percentiles, recent incidents). Read-only introspection — no session
+    /// is opened; the `session` id is a client-chosen request correlator.
+    Stats {
+        /// Client-chosen id, echoed on the reply.
+        session: u64,
+    },
+    /// Server → client: the stats snapshot, as a self-describing codec
+    /// [`Value`] (the server crate defines the record layout).
+    StatsReply {
+        /// The id from the `Stats` request.
+        session: u64,
+        /// The snapshot, codec-encoded.
+        stats: Value,
+    },
 }
 
 const MUX_OPEN: u8 = 1;
 const MUX_ACCEPTED: u8 = 2;
 const MUX_REJECTED: u8 = 3;
 const MUX_DONE: u8 = 4;
+const MUX_STATS: u8 = 5;
+const MUX_STATS_REPLY: u8 = 6;
 
 const DONE_COMPLIANT: u8 = 1;
 const DONE_COMPLETE: u8 = 2;
@@ -347,6 +365,15 @@ pub fn encode_mux(frame: &MuxFrame) -> Vec<u8> {
             buf.put_u32(*violations);
             buf.put_u64(*actions);
         }
+        MuxFrame::Stats { session } => {
+            buf.put_u8(MUX_STATS);
+            buf.put_u64(*session);
+        }
+        MuxFrame::StatsReply { session, stats } => {
+            buf.put_u8(MUX_STATS_REPLY);
+            buf.put_u64(*session);
+            put_value(&mut buf, stats);
+        }
     }
     buf.to_vec()
 }
@@ -390,6 +417,11 @@ pub fn decode_mux(mut bytes: &[u8]) -> Result<MuxFrame> {
                 actions,
             }
         }
+        MUX_STATS => MuxFrame::Stats { session },
+        MUX_STATS_REPLY => MuxFrame::StatsReply {
+            session,
+            stats: get_value(&mut bytes)?,
+        },
         other => {
             return Err(RuntimeError::Codec {
                 reason: format!("unknown mux frame tag {other}"),
@@ -427,6 +459,14 @@ mod tests {
                 stalled: true,
                 violations: 3,
                 actions: 1234,
+            },
+            MuxFrame::Stats { session: 9 },
+            MuxFrame::StatsReply {
+                session: 9,
+                stats: Value::pair(
+                    Value::Str("sessions_done".into()),
+                    Value::Seq(vec![Value::Nat(17), Value::Bool(true)]),
+                ),
             },
         ]
     }

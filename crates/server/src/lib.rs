@@ -42,7 +42,17 @@
 //!   behavioural oracle for the batched path);
 //! * [`metrics`] — per-shard counters (sessions started / completed /
 //!   violated / stalled, batched / slab / demoted, messages routed, cohort
-//!   widths, queue depths) aggregated into a [`ServerReport`];
+//!   widths, queue depths, per-[`zooid_runtime::wire::RejectCode`]
+//!   rejections) aggregated into a [`ServerReport`];
+//! * [`obs`] — the observability plane: lock-free log2-bucket latency
+//!   [`obs::Histogram`]s (session wall time, per-action cost, cohort
+//!   widths, IO-pass duration) with `p50/p90/p99/max` in the reports, a
+//!   bounded per-shard [`obs::FlightRecorder`] of dense structured events,
+//!   and — on every monitor violation — a replayable [`obs::Incident`]
+//!   (role, action, monitor cursor, bounded compliant-trace prefix) that
+//!   re-certifies the violation against the [`zooid_cfsm::CompiledSystem`].
+//!   A live [`NetServer`] answers `MuxFrame::Stats` introspection frames
+//!   with the whole bundle ([`obs::StatsSnapshot`]) over the wire;
 //! * [`synth`] — skeleton endpoint implementations synthesized from
 //!   projections, used by the load generator and the differential tests;
 //! * [`net`] — the event-driven networked serving plane: a [`NetServer`]
@@ -66,13 +76,18 @@
 pub mod error;
 pub mod metrics;
 pub mod net;
+pub mod obs;
 pub mod registry;
 pub mod server;
 pub mod session;
 pub mod synth;
 
 pub use error::{Result, ServerError};
-pub use metrics::{NetReport, NetServerReport, ServerReport, ShardReport};
+pub use metrics::{NetReport, NetServerReport, RejectCounts, ServerReport, ShardReport};
+pub use obs::{
+    FlightEvent, FlightRecorder, Histogram, HistogramSnapshot, Incident, IncidentStore,
+    IncidentSummary, ObsReport, StatsSnapshot,
+};
 pub use net::{NetClient, NetServer, NetServerConfig, Service};
 pub use registry::{ProtocolArtifacts, ProtocolId, ProtocolRegistry, SafetyBudget};
 pub use server::{ServerConfig, SessionServer};

@@ -3,6 +3,10 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use zooid_runtime::wire::RejectCode;
+
+use crate::obs::{HistogramSnapshot, ObsReport};
+
 /// Live counters of one worker shard (updated lock-free by the worker,
 /// snapshotted by [`crate::SessionServer::report`]).
 #[derive(Debug, Default)]
@@ -99,9 +103,16 @@ pub(crate) struct NetMetrics {
     pub(crate) frames_read: AtomicU64,
     pub(crate) frames_written: AtomicU64,
     pub(crate) bad_frames: AtomicU64,
+    /// One counter per [`RejectCode`], indexed by `code as u8 - 1`.
+    pub(crate) rejects: [AtomicU64; 6],
 }
 
 impl NetMetrics {
+    /// Bumps the per-code counter for one rejection sent to a client.
+    pub(crate) fn record_reject(&self, code: RejectCode) {
+        self.rejects[(code as u8 - 1) as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> NetReport {
         NetReport {
             connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
@@ -114,7 +125,46 @@ impl NetMetrics {
             frames_read: self.frames_read.load(Ordering::Relaxed),
             frames_written: self.frames_written.load(Ordering::Relaxed),
             bad_frames: self.bad_frames.load(Ordering::Relaxed),
+            rejects: RejectCounts {
+                unknown_protocol: self.rejects[0].load(Ordering::Relaxed),
+                connection_limit: self.rejects[1].load(Ordering::Relaxed),
+                session_limit: self.rejects[2].load(Ordering::Relaxed),
+                overloaded: self.rejects[3].load(Ordering::Relaxed),
+                bad_frame: self.rejects[4].load(Ordering::Relaxed),
+                shutting_down: self.rejects[5].load(Ordering::Relaxed),
+            },
+            io_pass_ns: HistogramSnapshot::default(),
         }
+    }
+}
+
+/// Rejections sent to clients, broken out per [`RejectCode`] — the
+/// aggregate counters say *how many* opens were refused; these say *why*.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RejectCounts {
+    /// `RejectCode::UnknownProtocol` rejections.
+    pub unknown_protocol: u64,
+    /// `RejectCode::ConnectionLimit` rejections (at accept time).
+    pub connection_limit: u64,
+    /// `RejectCode::SessionLimit` rejections (per-connection cap).
+    pub session_limit: u64,
+    /// `RejectCode::Overloaded` rejections (global in-flight cap).
+    pub overloaded: u64,
+    /// `RejectCode::BadFrame` rejections (hostile or malformed framing).
+    pub bad_frame: u64,
+    /// `RejectCode::ShuttingDown` rejections.
+    pub shutting_down: u64,
+}
+
+impl RejectCounts {
+    /// Total rejections across all codes.
+    pub fn total(&self) -> u64 {
+        self.unknown_protocol
+            + self.connection_limit
+            + self.session_limit
+            + self.overloaded
+            + self.bad_frame
+            + self.shutting_down
     }
 }
 
@@ -143,6 +193,11 @@ pub struct NetReport {
     pub frames_written: u64,
     /// Malformed or oversized frames observed (each closes its connection).
     pub bad_frames: u64,
+    /// Rejections broken out per [`RejectCode`].
+    pub rejects: RejectCounts,
+    /// IO event-loop pass duration in nanoseconds (one observation per
+    /// accept/read/step/write/sweep pass).
+    pub io_pass_ns: HistogramSnapshot,
 }
 
 impl fmt::Display for NetReport {
@@ -163,7 +218,19 @@ impl fmt::Display for NetReport {
             f,
             "  wire: {} frames in, {} frames out, {} bad",
             self.frames_read, self.frames_written, self.bad_frames,
-        )
+        )?;
+        writeln!(
+            f,
+            "  rejects: {} unknown-protocol, {} conn-limit, {} session-limit, \
+             {} overloaded, {} bad-frame, {} shutting-down",
+            self.rejects.unknown_protocol,
+            self.rejects.connection_limit,
+            self.rejects.session_limit,
+            self.rejects.overloaded,
+            self.rejects.bad_frame,
+            self.rejects.shutting_down,
+        )?;
+        writeln!(f, "  io pass ns: {}", self.io_pass_ns)
     }
 }
 
@@ -184,10 +251,13 @@ impl fmt::Display for NetServerReport {
 }
 
 /// Aggregated server metrics: one [`ShardReport`] per worker shard.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServerReport {
     /// Per-shard snapshots, in shard order.
     pub shards: Vec<ShardReport>,
+    /// Aggregated observability figures (latency histograms, incident and
+    /// flight-recorder totals), merged across shards.
+    pub obs: ObsReport,
 }
 
 impl ServerReport {
@@ -270,6 +340,7 @@ impl fmt::Display for ServerReport {
             self.sessions_demoted(),
             self.mean_cohort_width(),
         )?;
+        write!(f, "{}", self.obs)?;
         for s in &self.shards {
             writeln!(
                 f,
@@ -330,6 +401,7 @@ mod tests {
                     batch_cohort_sessions: 8,
                 },
             ],
+            obs: ObsReport::default(),
         };
         assert_eq!(report.sessions_started(), 7);
         assert_eq!(report.sessions_completed(), 6);
@@ -347,7 +419,72 @@ mod tests {
 
     #[test]
     fn mean_cohort_width_is_zero_before_any_cohort() {
-        let report = ServerReport { shards: Vec::new() };
+        let report = ServerReport::default();
         assert_eq!(report.mean_cohort_width(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_reports_display_without_dividing_by_zero() {
+        // Entirely empty: no shards, no observations, no cohorts.
+        let empty = ServerReport::default();
+        assert_eq!(empty.sessions_started(), 0);
+        assert_eq!(empty.mean_cohort_width(), 0.0);
+        assert_eq!(empty.obs.session_wall_ns.p99(), 0);
+        let text = empty.to_string();
+        assert!(text.contains("0 sessions started"), "{text}");
+        assert!(text.contains("mean cohort width 0.0"), "{text}");
+
+        // A shard that ran but never formed a cohort (pure slab traffic):
+        // the width ratio must stay defined.
+        let slab_only = ServerReport {
+            shards: vec![ShardReport {
+                shard: 0,
+                sessions_started: 5,
+                sessions_completed: 5,
+                sessions_violated: 0,
+                sessions_stalled: 0,
+                messages_routed: 15,
+                actions_executed: 30,
+                quanta: 5,
+                peak_queue_depth: 1,
+                sessions_batched: 0,
+                sessions_slab: 5,
+                sessions_demoted: 0,
+                batch_cohorts: 0,
+                batch_cohort_sessions: 0,
+            }],
+            obs: ObsReport::default(),
+        };
+        assert_eq!(slab_only.mean_cohort_width(), 0.0);
+        assert!(slab_only.to_string().contains("mean cohort width 0.0"));
+    }
+
+    #[test]
+    fn net_report_displays_per_code_rejects_and_io_pass_percentiles() {
+        let metrics = NetMetrics::default();
+        metrics.record_reject(RejectCode::Overloaded);
+        metrics.record_reject(RejectCode::Overloaded);
+        metrics.record_reject(RejectCode::BadFrame);
+        metrics.record_reject(RejectCode::UnknownProtocol);
+        metrics.record_reject(RejectCode::ConnectionLimit);
+        metrics.record_reject(RejectCode::SessionLimit);
+        metrics.record_reject(RejectCode::ShuttingDown);
+        let report = metrics.snapshot();
+        assert_eq!(
+            report.rejects,
+            RejectCounts {
+                unknown_protocol: 1,
+                connection_limit: 1,
+                session_limit: 1,
+                overloaded: 2,
+                bad_frame: 1,
+                shutting_down: 1,
+            }
+        );
+        assert_eq!(report.rejects.total(), 7);
+        let text = report.to_string();
+        assert!(text.contains("2 overloaded"), "{text}");
+        assert!(text.contains("1 bad-frame"), "{text}");
+        assert!(text.contains("io pass ns"), "{text}");
     }
 }

@@ -63,6 +63,9 @@ use zooid_runtime::wire::{
 use zooid_runtime::RuntimeError;
 
 use crate::metrics::{NetMetrics, NetReport, NetServerReport};
+use crate::obs::{
+    CloseReason, FlightEvent, FlightRecorder, Histogram, Incident, StatsSnapshot, FLIGHT_CAPACITY,
+};
 use crate::registry::{ProtocolId, ProtocolRegistry};
 use crate::server::{ServerConfig, SessionServer};
 use crate::session::{SessionId, SessionSpec};
@@ -193,6 +196,9 @@ struct NetConn {
     /// `max_connections`): it exists only to deliver the rejection frame
     /// and never counts against the connection limit.
     limit_reject: bool,
+    /// Why the connection earned its close, for the flight recorder (first
+    /// cause wins).
+    close_reason: Option<CloseReason>,
     /// The peer closed its write side while this connection was closing.
     peer_eof: bool,
     /// Write half shut down after the last queued byte was flushed.
@@ -212,6 +218,7 @@ impl NetConn {
             closing: false,
             outbuf_limit,
             limit_reject: false,
+            close_reason: None,
             peer_eof: false,
             fin_sent: false,
             linger_until: None,
@@ -235,8 +242,14 @@ impl NetConn {
             // The peer triggers frames faster than it reads them: abort the
             // connection rather than grow the buffer without bound.
             self.out.truncate(self.written);
-            self.closing = true;
+            self.close(CloseReason::WriteStalled);
         }
+    }
+
+    /// Marks the connection for closing, keeping the first recorded cause.
+    fn close(&mut self, reason: CloseReason) {
+        self.closing = true;
+        self.close_reason.get_or_insert(reason);
     }
 
     fn pending_out(&self) -> bool {
@@ -298,6 +311,8 @@ pub struct NetServer {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     metrics: Arc<NetMetrics>,
+    io_pass: Arc<Histogram>,
+    recorder: Arc<FlightRecorder>,
     handle: Option<JoinHandle<NetServerReport>>,
 }
 
@@ -329,18 +344,35 @@ impl NetServer {
 
         let stop = Arc::new(AtomicBool::new(false));
         let metrics = Arc::new(NetMetrics::default());
+        let io_pass = Arc::new(Histogram::new());
+        let recorder = Arc::new(FlightRecorder::new(FLIGHT_CAPACITY));
         let loop_stop = Arc::clone(&stop);
         let loop_metrics = Arc::clone(&metrics);
+        let loop_io_pass = Arc::clone(&io_pass);
+        let loop_recorder = Arc::clone(&recorder);
         let server = SessionServer::start(registry, config.server.clone());
         let handle = std::thread::Builder::new()
             .name("zooid-net-io".into())
-            .spawn(move || io_loop(listener, server, catalog, config, loop_stop, loop_metrics))
+            .spawn(move || {
+                io_loop(
+                    listener,
+                    server,
+                    catalog,
+                    config,
+                    loop_stop,
+                    loop_metrics,
+                    loop_io_pass,
+                    loop_recorder,
+                )
+            })
             .expect("spawning the IO thread");
 
         Ok(NetServer {
             local_addr,
             stop,
             metrics,
+            io_pass,
+            recorder,
             handle: Some(handle),
         })
     }
@@ -350,9 +382,18 @@ impl NetServer {
         self.local_addr
     }
 
-    /// Snapshots the IO loop's counters.
+    /// Snapshots the IO loop's counters (with the live pass-duration
+    /// histogram).
     pub fn net_report(&self) -> NetReport {
-        self.metrics.snapshot()
+        let mut report = self.metrics.snapshot();
+        report.io_pass_ns = self.io_pass.snapshot();
+        report
+    }
+
+    /// The IO loop's retained flight-recorder events (rejections,
+    /// connection closes), oldest first.
+    pub fn flight_events(&self) -> Vec<FlightEvent> {
+        self.recorder.snapshot()
     }
 
     /// Stops the IO loop and the shard scheduler, returning both reports.
@@ -363,7 +404,7 @@ impl NetServer {
         let handle = self.handle.take().expect("shutdown runs once");
         handle.join().unwrap_or_else(|_| NetServerReport {
             net: self.metrics.snapshot(),
-            shards: crate::ServerReport { shards: Vec::new() },
+            shards: crate::ServerReport::default(),
         })
     }
 }
@@ -384,6 +425,7 @@ fn io_err(e: std::io::Error) -> ServerError {
 }
 
 /// The IO event loop: accepts, reads, admits, drains outcomes, flushes.
+#[allow(clippy::too_many_arguments)]
 fn io_loop(
     listener: TcpListener,
     mut server: SessionServer,
@@ -391,6 +433,8 @@ fn io_loop(
     config: NetServerConfig,
     stop: Arc<AtomicBool>,
     metrics: Arc<NetMetrics>,
+    io_pass: Arc<Histogram>,
+    recorder: Arc<FlightRecorder>,
 ) -> NetServerReport {
     let mut conns: Vec<Option<NetConn>> = Vec::new();
     // Per-slot generation, bumped on every removal: slots are reused, so a
@@ -407,6 +451,7 @@ fn io_loop(
     let mut prev_busy = true;
 
     while !stop.load(Ordering::Acquire) {
+        let pass_started = Instant::now();
         let mut busy = false;
 
         // 1. Admit new connections (bounded per sweep).
@@ -417,6 +462,11 @@ fn io_loop(
                     let active = conns.iter().flatten().filter(|c| !c.limit_reject).count();
                     if active >= config.max_connections {
                         metrics.connections_rejected.fetch_add(1, Ordering::Relaxed);
+                        metrics.record_reject(RejectCode::ConnectionLimit);
+                        recorder.record(FlightEvent::Rejected {
+                            session: 0,
+                            code: RejectCode::ConnectionLimit,
+                        });
                         let pending =
                             conns.iter().flatten().filter(|c| c.limit_reject).count();
                         if pending >= MAX_PENDING_REJECTS
@@ -442,7 +492,7 @@ fn io_loop(
                             },
                             config.max_frame_bytes,
                         );
-                        conn.closing = true;
+                        conn.close(CloseReason::LingerExpired);
                         conn.limit_reject = true;
                         conn.linger_until = Some(Instant::now() + REJECT_LINGER);
                         install(&mut conns, &mut gens, conn);
@@ -528,6 +578,8 @@ fn io_loop(
                                 &mut routes,
                                 &mut open_sessions,
                                 &metrics,
+                                &io_pass,
+                                &recorder,
                             );
                         }
                         Err(e) => {
@@ -547,6 +599,11 @@ fn io_loop(
             match (hostile, fill) {
                 (Some(reason), _) => {
                     metrics.bad_frames.fetch_add(1, Ordering::Relaxed);
+                    metrics.record_reject(RejectCode::BadFrame);
+                    recorder.record(FlightEvent::Rejected {
+                        session: 0,
+                        code: RejectCode::BadFrame,
+                    });
                     conn.queue(
                         &MuxFrame::Rejected {
                             session: 0,
@@ -556,20 +613,22 @@ fn io_loop(
                         config.max_frame_bytes,
                     );
                     metrics.frames_written.fetch_add(1, Ordering::Relaxed);
-                    conn.closing = true;
+                    conn.close(CloseReason::BadFrame);
                 }
                 (None, Ok(FillStatus::Eof)) => {
                     if half_open {
                         metrics.bad_frames.fetch_add(1, Ordering::Relaxed);
+                        conn.close(CloseReason::BadFrame);
+                    } else {
+                        conn.close(CloseReason::PeerClosed);
                     }
-                    conn.closing = true;
                 }
                 (None, Err(_)) => {
-                    conn.closing = true;
+                    conn.close(CloseReason::PeerClosed);
                 }
                 (None, Ok(_)) => {
                     if eof {
-                        conn.closing = true;
+                        conn.close(CloseReason::PeerClosed);
                     }
                 }
             }
@@ -632,16 +691,23 @@ fn io_loop(
                 if !conn.limit_reject {
                     metrics.connections_closed.fetch_add(1, Ordering::Relaxed);
                 }
+                recorder.record(FlightEvent::ConnClosed {
+                    client: slot as u64,
+                    reason: conn.close_reason.unwrap_or(CloseReason::PeerClosed),
+                });
                 conns[slot] = None;
                 gens[slot] = gens[slot].wrapping_add(1);
             }
         }
         prev_busy = busy;
+        io_pass.record(u64::try_from(pass_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
     }
 
     // Shutdown: tell the lingering clients, then stop the scheduler (which
     // closes in-flight sessions as stalled).
-    for conn in conns.iter_mut().flatten() {
+    for (slot, conn) in conns.iter_mut().enumerate() {
+        let Some(conn) = conn else { continue };
+        metrics.record_reject(RejectCode::ShuttingDown);
         conn.queue(
             &MuxFrame::Rejected {
                 session: 0,
@@ -651,12 +717,15 @@ fn io_loop(
             config.max_frame_bytes,
         );
         let _ = conn.flush();
+        recorder.record(FlightEvent::ConnClosed {
+            client: slot as u64,
+            reason: CloseReason::Shutdown,
+        });
     }
     let shards = server.shutdown();
-    NetServerReport {
-        net: metrics.snapshot(),
-        shards,
-    }
+    let mut net = metrics.snapshot();
+    net.io_pass_ns = io_pass.snapshot();
+    NetServerReport { net, shards }
 }
 
 /// Installs a connection into the first free slot (or a new one), keeping
@@ -684,24 +753,58 @@ fn handle_frame(
     routes: &mut BTreeMap<SessionId, (usize, u64, u64)>,
     open_sessions: &mut usize,
     metrics: &NetMetrics,
+    io_pass: &Histogram,
+    recorder: &FlightRecorder,
 ) {
-    let MuxFrame::Open { session, protocol } = frame else {
-        // Clients may only send Open; anything else is a protocol error.
-        metrics.bad_frames.fetch_add(1, Ordering::Relaxed);
-        conn.queue(
-            &MuxFrame::Rejected {
+    let (session, protocol) = match frame {
+        MuxFrame::Open { session, protocol } => (session, protocol),
+        MuxFrame::Stats { session } => {
+            // Live introspection: ship the whole observability bundle —
+            // IO counters, shard report with histograms, incident
+            // summaries — as one codec-serialized value.
+            let mut net = metrics.snapshot();
+            net.io_pass_ns = io_pass.snapshot();
+            let stats = StatsSnapshot {
+                net,
+                shards: server.report(),
+                incidents: server.incidents().iter().map(Incident::summary).collect(),
+            };
+            conn.queue(
+                &MuxFrame::StatsReply {
+                    session,
+                    stats: stats.to_value(),
+                },
+                config.max_frame_bytes,
+            );
+            metrics.frames_written.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        _ => {
+            // Clients may only send Open or Stats; anything else is a
+            // protocol error.
+            metrics.bad_frames.fetch_add(1, Ordering::Relaxed);
+            metrics.record_reject(RejectCode::BadFrame);
+            recorder.record(FlightEvent::Rejected {
                 session: 0,
                 code: RejectCode::BadFrame,
-                reason: "only Open frames may be sent by clients".into(),
-            },
-            config.max_frame_bytes,
-        );
-        metrics.frames_written.fetch_add(1, Ordering::Relaxed);
-        conn.closing = true;
-        return;
+            });
+            conn.queue(
+                &MuxFrame::Rejected {
+                    session: 0,
+                    code: RejectCode::BadFrame,
+                    reason: "only Open and Stats frames may be sent by clients".into(),
+                },
+                config.max_frame_bytes,
+            );
+            metrics.frames_written.fetch_add(1, Ordering::Relaxed);
+            conn.close(CloseReason::BadFrame);
+            return;
+        }
     };
 
     let reject = |conn: &mut NetConn, code: RejectCode, reason: String| {
+        metrics.record_reject(code);
+        recorder.record(FlightEvent::Rejected { session, code });
         conn.queue(
             &MuxFrame::Rejected {
                 session,
@@ -818,6 +921,54 @@ impl NetClient {
         )?;
         self.stream.write_all(&buf)?;
         Ok(session)
+    }
+
+    /// Pulls the server's live observability bundle — IO counters and
+    /// pass-duration histogram, the merged shard report with latency
+    /// histograms, and recent incident summaries — over the wire.
+    ///
+    /// Frames for other sessions that arrive while waiting are decoded and
+    /// discarded; interleave stats pulls with session traffic on a
+    /// dedicated connection when every `Done` matters.
+    ///
+    /// Returns `Ok(None)` when the server stays silent past `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection loss, malformed server frames, or a stats
+    /// payload that does not decode as a [`StatsSnapshot`].
+    pub fn fetch_stats(
+        &mut self,
+        timeout: Duration,
+    ) -> zooid_runtime::Result<Option<StatsSnapshot>> {
+        let session = self.next_session;
+        self.next_session += 1;
+        let payload = encode_mux(&MuxFrame::Stats { session });
+        let mut buf = bytes::BytesMut::new();
+        put_frame(
+            &mut buf,
+            &payload,
+            zooid_runtime::wire::DEFAULT_MAX_FRAME_BYTES,
+        )?;
+        self.stream.write_all(&buf)?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.poll_event(remaining)? {
+                Some(MuxFrame::StatsReply {
+                    session: reply,
+                    stats,
+                }) if reply == session => {
+                    let snapshot =
+                        StatsSnapshot::from_value(&stats).ok_or(RuntimeError::Codec {
+                            reason: "malformed stats payload".into(),
+                        })?;
+                    return Ok(Some(snapshot));
+                }
+                Some(_) => {}
+                None => return Ok(None),
+            }
+        }
     }
 
     /// Waits up to `timeout` for the next server frame

@@ -15,14 +15,16 @@ use std::collections::VecDeque;
 use std::hash::Hasher;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use zooid_mpst::common::intern::FxHasher;
+use zooid_cfsm::CompiledSystem;
+use zooid_mpst::common::intern::{FxHashMap, FxHasher};
 use zooid_runtime::cbatch::{BatchLayout, BatchOutcome, SessionBatch};
 
 use crate::error::{Result, ServerError};
 use crate::metrics::{ServerReport, ShardMetrics};
+use crate::obs::{FlightEvent, Histogram, Incident, ObsReport, ShardObs, INCIDENT_PREFIX_CAP};
 use crate::registry::{ProtocolArtifacts, ProtocolRegistry, ProtocolId};
 use crate::session::{ActiveSession, SessionId, SessionOutcome, SessionSpec};
 
@@ -103,6 +105,7 @@ pub struct SessionServer {
     registry: Arc<ProtocolRegistry>,
     shards: Vec<Shard>,
     metrics: Vec<Arc<ShardMetrics>>,
+    obs: Vec<Arc<ShardObs>>,
     results_rx: Receiver<Vec<SessionOutcome>>,
     /// Outcomes received from a shard's batch but not yet handed to the
     /// caller (shards flush finished sessions in batches to keep channel
@@ -130,22 +133,27 @@ impl SessionServer {
         let (results_tx, results_rx) = unbounded();
         let mut shards = Vec::with_capacity(shard_count);
         let mut metrics = Vec::with_capacity(shard_count);
+        let mut obs = Vec::with_capacity(shard_count);
         for _ in 0..shard_count {
             let (tx, rx) = unbounded();
             let shard_metrics = Arc::new(ShardMetrics::default());
+            let shard_obs = Arc::new(ShardObs::new());
             let worker_metrics = Arc::clone(&shard_metrics);
+            let worker_obs = Arc::clone(&shard_obs);
             let worker_results = results_tx.clone();
             let quantum = config.quantum.max(1);
             let handle = std::thread::spawn(move || {
-                shard_worker(rx, worker_results, worker_metrics, quantum);
+                shard_worker(rx, worker_results, worker_metrics, worker_obs, quantum);
             });
             shards.push(Shard { tx, handle });
             metrics.push(shard_metrics);
+            obs.push(shard_obs);
         }
         SessionServer {
             registry,
             shards,
             metrics,
+            obs,
             results_rx,
             ready: VecDeque::new(),
             next_session: 0,
@@ -285,8 +293,13 @@ impl SessionServer {
         outcomes
     }
 
-    /// Snapshots the per-shard metrics.
+    /// Snapshots the per-shard metrics and the merged observability
+    /// figures.
     pub fn report(&self) -> ServerReport {
+        let mut obs = ObsReport::default();
+        for shard_obs in &self.obs {
+            shard_obs.merge_into(&mut obs);
+        }
         ServerReport {
             shards: self
                 .metrics
@@ -294,7 +307,26 @@ impl SessionServer {
                 .enumerate()
                 .map(|(i, m)| m.snapshot(i))
                 .collect(),
+            obs,
         }
+    }
+
+    /// The retained [`Incident`]s across all shards (each one a replayable
+    /// counterexample for one monitor violation), oldest first per shard.
+    pub fn incidents(&self) -> Vec<Incident> {
+        self.obs
+            .iter()
+            .flat_map(|o| o.incidents.snapshot())
+            .collect()
+    }
+
+    /// The retained flight-recorder events across all shards, oldest first
+    /// per shard.
+    pub fn flight_events(&self) -> Vec<FlightEvent> {
+        self.obs
+            .iter()
+            .flat_map(|o| o.recorder.snapshot())
+            .collect()
     }
 
     /// Stops the worker pool and returns the final metrics. Sessions still
@@ -344,6 +376,104 @@ struct ShardBatch {
     queued: bool,
 }
 
+/// Worker-local observability state: the shard's shared [`ShardObs`] plus
+/// the maps only the owning worker touches — admission timestamps for
+/// session wall time, the compiled system per protocol for incident
+/// capture, and cached per-protocol histogram handles (so the steady path
+/// never takes the `ShardObs` per-protocol lock).
+struct WorkerObs {
+    shared: Arc<ShardObs>,
+    admitted: FxHashMap<u64, Instant>,
+    systems: FxHashMap<ProtocolId, Arc<CompiledSystem>>,
+    proto_wall: FxHashMap<ProtocolId, Arc<Histogram>>,
+}
+
+impl WorkerObs {
+    fn new(shared: Arc<ShardObs>) -> Self {
+        WorkerObs {
+            shared,
+            admitted: FxHashMap::default(),
+            systems: FxHashMap::default(),
+            proto_wall: FxHashMap::default(),
+        }
+    }
+
+    /// Stamps a session's admission: wall-clock start, the compiled system
+    /// to replay its incidents against, and the flight-recorder event. The
+    /// caller supplies the stamp so one clock read covers a whole admission
+    /// sweep.
+    fn on_admit(
+        &mut self,
+        id: SessionId,
+        protocol: ProtocolId,
+        artifacts: &ProtocolArtifacts,
+        batched: bool,
+        at: Instant,
+    ) {
+        self.admitted.insert(id.0, at);
+        self.systems
+            .entry(protocol)
+            .or_insert_with(|| Arc::clone(artifacts.compiled()));
+        self.shared.recorder.record(FlightEvent::Admitted {
+            session: id.0,
+            batched,
+        });
+    }
+
+    /// Folds a finished session into the histograms, the flight recorder,
+    /// and — when its monitor rejected anything — the incident store. The
+    /// caller supplies `now` so one clock read covers every outcome of a
+    /// quantum.
+    fn on_outcome(&mut self, outcome: &SessionOutcome, now: Instant) {
+        if let Some(start) = self.admitted.remove(&outcome.id.0) {
+            let ns =
+                u64::try_from(now.saturating_duration_since(start).as_nanos()).unwrap_or(u64::MAX);
+            self.shared.session_wall.record(ns);
+            let hist = match self.proto_wall.get(&outcome.protocol) {
+                Some(h) => Arc::clone(h),
+                None => {
+                    let h = self.shared.protocol_wall(outcome.protocol);
+                    self.proto_wall.insert(outcome.protocol, Arc::clone(&h));
+                    h
+                }
+            };
+            hist.record(ns);
+        }
+        if outcome.stalled {
+            self.shared.recorder.record(FlightEvent::Stalled {
+                session: outcome.id.0,
+            });
+        }
+        if !outcome.violations.is_empty() {
+            self.shared.recorder.record(FlightEvent::Violation {
+                session: outcome.id.0,
+            });
+            if let Some(system) = self.systems.get(&outcome.protocol) {
+                for violation in &outcome.violations {
+                    self.shared.incidents.record(Incident::capture(
+                        outcome.protocol,
+                        outcome.id,
+                        system,
+                        violation,
+                        &outcome.global_trace,
+                        INCIDENT_PREFIX_CAP,
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Records one quantum's per-action cost (elapsed time amortised over
+    /// the actions it performed). Quantum granularity keeps the recorder
+    /// off the stepping loop: two clock reads per quantum, not per action.
+    fn on_quantum(&self, elapsed: Duration, actions: usize) {
+        if actions > 0 {
+            let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX) / actions as u64;
+            self.shared.action_cost.record(ns);
+        }
+    }
+}
+
 /// Places a validated session on its shard: into a matching columnar batch
 /// when the spec's endpoints compile to a batch-eligible layout, into the
 /// per-session slab otherwise.
@@ -357,6 +487,8 @@ fn admit_session(
     run_queue: &mut VecDeque<u32>,
     batches: &mut Vec<ShardBatch>,
     metrics: &ShardMetrics,
+    wobs: &mut WorkerObs,
+    at: Instant,
 ) {
     if let Some(layout) = artifacts.batch_layout(&spec.endpoints) {
         let max_steps = spec.options.max_steps;
@@ -391,6 +523,7 @@ fn admit_session(
             let admitted = sb.batch.admit(id.0);
             debug_assert!(admitted, "batch was checked for room");
             metrics.sessions_batched.fetch_add(1, Ordering::Relaxed);
+            wobs.on_admit(id, spec.protocol, &artifacts, true, at);
             if !sb.queued {
                 sb.queued = true;
                 run_queue.push_back(BATCH_BIT | u32::try_from(bi).expect("batch index fits"));
@@ -401,6 +534,7 @@ fn admit_session(
     // The spec was validated at submission; construction is the shard's
     // job so N shards build N sessions concurrently.
     metrics.sessions_slab.fetch_add(1, Ordering::Relaxed);
+    wobs.on_admit(id, spec.protocol, &artifacts, false, at);
     let session = ActiveSession::new(id, spec, &artifacts).expect("spec validated at submission");
     let slot = slab_admit(slab, free, session);
     run_queue.push_back(slot);
@@ -470,8 +604,10 @@ fn shard_worker(
     rx: Receiver<ShardMsg>,
     results: Sender<Vec<SessionOutcome>>,
     metrics: Arc<ShardMetrics>,
+    obs: Arc<ShardObs>,
     quantum: usize,
 ) {
+    let mut wobs = WorkerObs::new(obs);
     let mut slab: Vec<Option<ActiveSession>> = Vec::new();
     let mut free: Vec<u32> = Vec::new();
     let mut batches: Vec<ShardBatch> = Vec::new();
@@ -485,8 +621,10 @@ fn shard_worker(
     let mut pending: Vec<SessionOutcome> = Vec::new();
     let mut iters_since_flush = 0usize;
     loop {
-        // Pull new sessions without blocking while there is work.
+        // Pull new sessions without blocking while there is work. One clock
+        // read stamps the whole sweep's admissions.
         let mut shutting_down = false;
+        let mut sweep_stamp: Option<Instant> = None;
         loop {
             match rx.try_recv() {
                 Ok(ShardMsg::Run {
@@ -502,12 +640,15 @@ fn shard_worker(
                     &mut run_queue,
                     &mut batches,
                     &metrics,
+                    &mut wobs,
+                    *sweep_stamp.get_or_insert_with(Instant::now),
                 ),
                 Ok(ShardMsg::Shutdown) => shutting_down = true,
                 Err(_) => break,
             }
         }
         if shutting_down {
+            let now = Instant::now();
             for entry in run_queue.drain(..) {
                 if entry & BATCH_BIT != 0 {
                     let sb = &mut batches[(entry & !BATCH_BIT) as usize];
@@ -515,13 +656,15 @@ fn shard_worker(
                     for outcome in sb.batch.close_all() {
                         record_outcome(
                             &metrics,
+                            &mut wobs,
                             &mut pending,
                             batch_session_outcome(sb.protocol, outcome),
+                            now,
                         );
                     }
                 } else {
                     let session = slab[entry as usize].take().expect("queued slot is occupied");
-                    record_outcome(&metrics, &mut pending, session.close_stalled());
+                    record_outcome(&metrics, &mut wobs, &mut pending, session.close_stalled(), now);
                 }
             }
             // A send failure means the server is gone too: nothing left to
@@ -560,6 +703,8 @@ fn shard_worker(
                     &mut run_queue,
                     &mut batches,
                     &metrics,
+                    &mut wobs,
+                    Instant::now(),
                 ),
                 Ok(ShardMsg::Shutdown) => {
                     // The queue is empty: nothing to close.
@@ -576,7 +721,10 @@ fn shard_worker(
             // population, so it gets the quantum each member would have
             // gotten on the slab.
             let budget = quantum.saturating_mul(sb.batch.live_count().max(1));
+            let started = Instant::now();
             let result = sb.batch.run_quantum(budget);
+            let ended = Instant::now();
+            wobs.on_quantum(ended.saturating_duration_since(started), result.actions);
             metrics.quanta.fetch_add(1, Ordering::Relaxed);
             metrics
                 .actions_executed
@@ -590,17 +738,25 @@ fn shard_worker(
             metrics
                 .batch_cohort_sessions
                 .fetch_add(result.cohort_sessions as u64, Ordering::Relaxed);
+            for (bucket, &n) in result.cohort_widths.iter().enumerate() {
+                wobs.shared.cohort_width.add_count(bucket, n);
+            }
             let protocol = sb.protocol;
             let artifacts = Arc::clone(&sb.artifacts);
             for outcome in result.finished {
                 record_outcome(
                     &metrics,
+                    &mut wobs,
                     &mut pending,
                     batch_session_outcome(protocol, outcome),
+                    ended,
                 );
             }
             for demoted in result.demoted {
                 metrics.sessions_demoted.fetch_add(1, Ordering::Relaxed);
+                wobs.shared.recorder.record(FlightEvent::BatchDemoted {
+                    session: demoted.token,
+                });
                 let session = ActiveSession::from_demoted(
                     SessionId(demoted.token),
                     protocol,
@@ -621,7 +777,10 @@ fn shard_worker(
         let session = slab[entry as usize]
             .as_mut()
             .expect("queued slot is occupied");
+        let started = Instant::now();
         let result = session.run_quantum(quantum);
+        let ended = Instant::now();
+        wobs.on_quantum(ended.saturating_duration_since(started), result.actions);
         metrics.quanta.fetch_add(1, Ordering::Relaxed);
         metrics
             .actions_executed
@@ -633,19 +792,24 @@ fn shard_worker(
             Some(outcome) => {
                 slab[entry as usize] = None;
                 free.push(entry);
-                record_outcome(&metrics, &mut pending, outcome);
+                record_outcome(&metrics, &mut wobs, &mut pending, outcome, ended);
             }
             None => run_queue.push_back(entry),
         }
     }
 }
 
-/// Counts a finished session in the shard metrics and buffers its outcome
-/// for the next batched flush.
+/// Counts a finished session in the shard metrics, folds it into the
+/// observability plane (wall time, flight events, incident capture — every
+/// execution path funnels through here: slab, batch-finished,
+/// demoted-then-slab, and shutdown close), and buffers its outcome for the
+/// next batched flush.
 fn record_outcome(
     metrics: &ShardMetrics,
+    wobs: &mut WorkerObs,
     pending: &mut Vec<SessionOutcome>,
     outcome: SessionOutcome,
+    now: Instant,
 ) {
     if outcome.stalled {
         metrics.sessions_stalled.fetch_add(1, Ordering::Relaxed);
@@ -655,6 +819,7 @@ fn record_outcome(
     if !outcome.compliant {
         metrics.sessions_violated.fetch_add(1, Ordering::Relaxed);
     }
+    wobs.on_outcome(&outcome, now);
     pending.push(outcome);
 }
 

@@ -227,6 +227,10 @@ fn per_connection_cap_sheds_with_session_limit() {
     let report = server.shutdown();
     assert_eq!(report.net.sessions_shed, 1);
     assert_eq!(report.net.sessions_opened, 0);
+    // The shed is attributed to its own code, not a lumped counter.
+    assert_eq!(report.net.rejects.session_limit, 1, "{}", report.net);
+    assert_eq!(report.net.rejects.overloaded, 0, "{}", report.net);
+    assert_eq!(report.net.rejects.unknown_protocol, 0, "{}", report.net);
 }
 
 #[test]
@@ -248,7 +252,10 @@ fn global_cap_sheds_with_overloaded() {
         }
         other => panic!("expected Overloaded, got {other:?}"),
     }
-    assert_eq!(server.shutdown().net.sessions_shed, 1);
+    let report = server.shutdown();
+    assert_eq!(report.net.sessions_shed, 1);
+    assert_eq!(report.net.rejects.overloaded, 1, "{}", report.net);
+    assert_eq!(report.net.rejects.session_limit, 0, "{}", report.net);
 }
 
 #[test]
@@ -301,6 +308,7 @@ fn connection_limit_refuses_excess_connections() {
     let report = server.shutdown();
     assert!(report.net.connections_rejected >= 1, "{}", report.net);
     assert_eq!(report.net.connections_accepted, 2);
+    assert!(report.net.rejects.connection_limit >= 1, "{}", report.net);
 }
 
 #[test]
@@ -328,6 +336,8 @@ fn unknown_protocols_are_rejected_but_the_connection_survives() {
     let report = server.shutdown();
     assert_eq!(report.net.sessions_rejected, 1);
     assert_eq!(report.net.sessions_done, 1);
+    assert_eq!(report.net.rejects.unknown_protocol, 1, "{}", report.net);
+    assert_eq!(report.net.rejects.bad_frame, 0, "{}", report.net);
 }
 
 /// Reads frames off a raw socket until EOF, returning decoded mux frames.
@@ -396,6 +406,7 @@ fn hostile_bytes_cost_one_connection_not_the_server() {
 
     let report = server.shutdown();
     assert!(report.net.bad_frames >= 2, "{}", report.net);
+    assert!(report.net.rejects.bad_frame >= 2, "{}", report.net);
     assert_eq!(report.net.sessions_done, 1);
     assert_eq!(report.net.connections_accepted, 3);
 }
@@ -526,4 +537,51 @@ fn shutdown_tells_lingering_clients() {
             .any(|f| matches!(f, MuxFrame::Rejected { code: RejectCode::ShuttingDown, .. })),
         "expected a ShuttingDown notice, got {frames:?}"
     );
+}
+
+#[test]
+fn live_stats_are_fetchable_over_the_wire() {
+    let (registry, ids) = registry_with_case_studies();
+    let catalog = services(&registry, &ids);
+    let server = NetServer::start(registry, catalog, NetServerConfig::default()).unwrap();
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+
+    // Run a few sessions to completion so the histograms have substance.
+    let sessions: Vec<u64> = (0..6).map(|_| client.open("ring").unwrap()).collect();
+    await_done(&mut client, &sessions);
+    // One rejection so a per-code counter is visibly nonzero on the wire.
+    let bogus = client.open("no_such_protocol").unwrap();
+    match next_event(&mut client) {
+        MuxFrame::Rejected { session, code, .. } => {
+            assert_eq!(session, bogus);
+            assert_eq!(code, RejectCode::UnknownProtocol);
+        }
+        other => panic!("expected UnknownProtocol, got {other:?}"),
+    }
+
+    // The same connection pulls the whole observability bundle live — no
+    // shutdown, no side channel.
+    let stats = client
+        .fetch_stats(EVENT_TIMEOUT)
+        .unwrap()
+        .expect("stats reply within the timeout");
+    assert_eq!(stats.net.sessions_opened, 6);
+    assert_eq!(stats.net.sessions_done, 6);
+    assert_eq!(stats.net.rejects.unknown_protocol, 1);
+    assert!(stats.net.io_pass_ns.count() > 0, "pass durations recorded");
+    let obs = &stats.shards.obs;
+    assert_eq!(obs.session_wall_ns.count(), 6, "one wall sample per session");
+    assert!(obs.session_wall_ns.p50() <= obs.session_wall_ns.p99());
+    assert!(obs.action_cost_ns.count() > 0, "per-action cost recorded");
+    assert!(obs.flight_events >= 6, "admissions hit the flight recorder");
+    assert!(obs.per_protocol_wall_ns.len() == 1, "only ring sessions ran");
+    assert!(stats.incidents.is_empty(), "certified skeletons comply");
+    assert_eq!(obs.incidents_recorded, 0);
+    let started: u64 = stats.shards.shards.iter().map(|s| s.sessions_started).sum();
+    assert_eq!(started, 6);
+
+    // The stats exchange is accounted like any other frame traffic.
+    let report = server.net_report();
+    assert!(report.frames_read > stats.net.frames_read - 1);
+    server.shutdown();
 }

@@ -1,0 +1,121 @@
+//! Property-based tests for the observability histogram: merging shard
+//! snapshots must be a lossless commutative monoid, every recorded value
+//! must land inside the bounds of the bucket that reports it, and the
+//! surfaced percentiles must be monotone and bounded by the exact maximum
+//! — whatever the workload looks like.
+
+use proptest::prelude::*;
+
+use zooid_server::obs::{bucket_bounds, bucket_of, Histogram, HistogramSnapshot};
+
+/// Values spread over the whole log2 range, not just small integers: a mix
+/// of raw 64-bit draws and exact powers of two (bucket edges).
+fn values_strategy() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            any::<u64>(),
+            (0u32..64).prop_map(|s| 1u64 << s.min(63)),
+            0u64..1000,
+        ],
+        0..64,
+    )
+}
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn merge_is_commutative_and_associative(
+        a in values_strategy(),
+        b in values_strategy(),
+        c in values_strategy(),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        let mut ab = sa;
+        ab.merge(&sb);
+        let mut ba = sb;
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba, "merge must commute");
+
+        // (a ⊕ b) ⊕ c  =  a ⊕ (b ⊕ c)
+        let mut left = ab;
+        left.merge(&sc);
+        let mut bc = sb;
+        bc.merge(&sc);
+        let mut right = sa;
+        right.merge(&bc);
+        prop_assert_eq!(left, right, "merge must associate");
+
+        // ... and both equal recording everything into one histogram.
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(left, snapshot_of(&all), "merge must be lossless");
+    }
+
+    #[test]
+    fn merging_an_empty_snapshot_is_the_identity(a in values_strategy()) {
+        let sa = snapshot_of(&a);
+        let mut merged = sa;
+        merged.merge(&HistogramSnapshot::default());
+        prop_assert_eq!(merged, sa);
+    }
+
+    #[test]
+    fn every_recorded_value_is_inside_its_reported_bucket(v in any::<u64>()) {
+        let (lo, hi) = bucket_bounds(bucket_of(v));
+        prop_assert!(lo <= v && v <= hi, "{} outside [{}, {}]", v, lo, hi);
+        // The snapshot puts the observation in exactly that bucket.
+        let snap = snapshot_of(&[v]);
+        prop_assert_eq!(snap.buckets()[bucket_of(v)], 1);
+        prop_assert_eq!(snap.count(), 1);
+        prop_assert_eq!(snap.max(), v);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded(values in values_strategy()) {
+        let snap = snapshot_of(&values);
+        let p50 = snap.p50();
+        let p90 = snap.p90();
+        let p99 = snap.p99();
+        prop_assert!(p50 <= p90, "p50 {} > p90 {}", p50, p90);
+        prop_assert!(p90 <= p99, "p90 {} > p99 {}", p90, p99);
+        prop_assert!(p99 <= snap.max(), "p99 {} > max {}", p99, snap.max());
+        prop_assert_eq!(snap.max(), values.iter().copied().max().unwrap_or(0));
+        // Quantiles are monotone in q across the whole range, too.
+        let mut prev = 0u64;
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let cur = snap.quantile(q);
+            prop_assert!(prev <= cur, "quantile({}) regressed: {} < {}", q, cur, prev);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn quantiles_never_underestimate_their_rank(values in values_strategy(), q in 0.01f64..1.0) {
+        if !values.is_empty() {
+            let snap = snapshot_of(&values);
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            // Bucket resolution only ever rounds *up* (to the bucket's upper
+            // bound, capped at the true max): the reported quantile is always
+            // an upper bound of the exact order statistic.
+            prop_assert!(
+                snap.quantile(q) >= exact,
+                "quantile({}) = {} underestimates exact {}",
+                q,
+                snap.quantile(q),
+                exact
+            );
+        }
+    }
+}

@@ -7,6 +7,12 @@
 //! endpoint tasks stepped in bounded quanta by the sharded scheduler, and
 //! every communication is checked live by a compiled per-role monitor.
 //!
+//! It also exercises the observability plane: latency percentiles come off
+//! the lock-free shard histograms, and a tail of deliberately misbehaving
+//! sessions (certified against a decoy protocol) shows the monitor's
+//! violations being captured as incidents whose trace prefixes *replay* to
+//! the same verdict against the compiled system.
+//!
 //! Run with `cargo run --release --example load_sim`.
 
 use std::time::Instant;
@@ -18,6 +24,9 @@ use zooid::server::{ProtocolRegistry, ServerConfig, SessionServer, SessionSpec};
 
 const SESSIONS: usize = 1_000;
 const SHARDS: usize = 4;
+/// Deliberately misbehaving sessions appended after the main run to show
+/// incident capture and replay.
+const BAD_SESSIONS: usize = 4;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Register two protocols; each is projected and compiled exactly once.
@@ -57,9 +66,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert_eq!(compliant, SESSIONS, "every session must be compliant");
 
+    // Latency percentiles, straight from the lock-free shard histograms.
+    let obs = server.report().obs;
+    println!("\nlatency (session wall time): {}", obs.session_wall_ns);
+    println!("latency (per-action cost):   {}", obs.action_cost_ns);
+    println!("batch cohort width:          {}", obs.cohort_width);
+
+    // Incident demo: a handful of sessions certified against a *rotated*
+    // ring — same participants and per-role communication sites (so they
+    // batch), but the wrong global order. The monitor catches the first
+    // out-of-order send, demotes the session, and the flight recorder
+    // captures a replayable incident.
+    let rotated = Protocol::new("ring", generators::ring(&["w3", "w0", "w1", "w2"]))?;
+    let bad_endpoints = skeleton_endpoints(&rotated)?;
+    for _ in 0..BAD_SESSIONS {
+        server.submit(SessionSpec::new(ring, bad_endpoints.clone()))?;
+    }
+    let bad_outcomes = server.drain();
+    assert!(bad_outcomes.iter().all(|o| !o.compliant));
+
+    let system = std::sync::Arc::clone(server.registry().get(ring).unwrap().compiled());
+    let incidents = server.incidents();
+    println!("\ncaptured {} incidents:", incidents.len());
+    for incident in &incidents {
+        let s = incident.summary();
+        println!(
+            "  session {} role {} violated at position {} ({}): prefix of {} actions replays: {}",
+            s.session,
+            s.role,
+            s.position,
+            s.action,
+            s.prefix_len,
+            incident.replays_violation(&system),
+        );
+    }
+    assert!(incidents.iter().all(|i| i.replays_violation(&system)));
+
     let report = server.shutdown();
     println!("\n{report}");
-    assert_eq!(report.sessions_completed() as usize, SESSIONS);
-    assert_eq!(report.sessions_violated(), 0);
+    assert_eq!(
+        report.sessions_completed() as usize,
+        SESSIONS + BAD_SESSIONS
+    );
+    assert_eq!(report.sessions_violated() as usize, BAD_SESSIONS);
     Ok(())
 }

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 CI for the zooid workspace: release build, full test-suite, and a
 # bench-report smoke run that validates the machine-readable benchmark
-# report (BENCH_pr7.json schema) without paying full measurement budgets.
+# report (BENCH_pr8.json schema) without paying full measurement budgets.
 #
 # The smoke bench-report is also the explore_parallel smoke suite: it runs
 # the work-stealing explorer at threads=2 and asserts verdict and
@@ -33,10 +33,16 @@ cargo test --release -q -p zooid-runtime --test tcp_differential
 echo "== networked serving plane suite (mux protocol, admission control)"
 cargo test --release -q -p zooid-server --test net_plane
 
+echo "== incident capture suite (slab / batch-demotion / TCP-mux violations replay)"
+cargo test --release -q -p zooid-server --test incidents
+
+echo "== histogram property suite (merge monoid, bucket bounds, percentile monotonicity)"
+cargo test --release -q -p zooid-server --test obs_props
+
 echo "== bench-report smoke (includes explore_parallel threads=2 agreement checks)"
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
-report="$tmpdir/BENCH_pr7.json"
+report="$tmpdir/BENCH_pr8.json"
 cargo run --release -p zooid-bench --bin bench-report -- --smoke --out "$report" >/dev/null
 
 echo "== validating $report"
@@ -48,7 +54,7 @@ import sys
 with open(sys.argv[1]) as f:
     report = json.load(f)
 
-assert report["pr"] == 7, f"unexpected pr marker: {report['pr']}"
+assert report["pr"] == 8, f"unexpected pr marker: {report['pr']}"
 benches = report["benches"]
 families = {e["bench"] for e in benches}
 for family in (
@@ -57,6 +63,7 @@ for family in (
     "cfsm_explore_par",
     "endpoint_step",
     "batch_step",
+    "obs_overhead",
     "server_throughput",
     "server_throughput_tcp",
     "monitor_action",
@@ -79,6 +86,17 @@ assert any("ring/" in e["case"] for e in batch) and any(
 ), "batch_step must cover ring and fanout_loop"
 assert all("/w" in e["case"] and "peraction" in e["case"] for e in batch), \
     "batch_step cases must record batch width and per-action units"
+obs = [e for e in benches if e["bench"] == "obs_overhead"]
+assert all(e["median_ns"] > 0 and e["baseline_ns"] > 0 for e in obs), \
+    "obs_overhead medians must be positive"
+assert all("/w" in e["case"] and "peraction" in e["case"] for e in obs), \
+    "obs_overhead cases must record batch width and per-action units"
+# The observability plane must cost nearly nothing: instrumented stepping
+# within 10% of the bare loop (speedup = bare/instrumented >= 0.90), with
+# a small extra allowance for smoke-budget noise on the shared CI box.
+for e in obs:
+    assert e["speedup"] >= 0.85, \
+        f"obs instrumentation overhead out of budget: {e}"
 server = [e for e in benches if e["bench"] == "server_throughput"]
 assert all(e["median_ns"] > 0 for e in server), "server medians must be positive"
 assert any("shards4" in e["case"] for e in server), "expected a 4-shard case"
@@ -102,25 +120,26 @@ assert all(e["median_ns"] > 0 for e in par), "parallel medians must be positive"
 print(
     f"OK: {len(benches)} entries, {len(explore)} cfsm_explore, {len(por)} cfsm_explore_por, "
     f"{len(par)} cfsm_explore_par, {len(endpoint)} endpoint_step, {len(batch)} batch_step, "
-    f"{len(server)} server_throughput, {len(tcp)} server_throughput_tcp, "
-    f"{len(monitor)} monitor_action cases"
+    f"{len(obs)} obs_overhead, {len(server)} server_throughput, "
+    f"{len(tcp)} server_throughput_tcp, {len(monitor)} monitor_action cases"
 )
 EOF
 else
     # Fallback when python3 is unavailable: shape-check with grep.
-    grep -q '"pr": 7' "$report"
+    grep -q '"pr": 8' "$report"
     grep -q '"bench": "cfsm_explore"' "$report"
     grep -q '"bench": "cfsm_explore_por"' "$report"
     grep -q '"bench": "cfsm_explore_par"' "$report"
     grep -q 'threads2' "$report"
     grep -q '"bench": "endpoint_step"' "$report"
     grep -q '"bench": "batch_step"' "$report"
+    grep -q '"bench": "obs_overhead"' "$report"
     grep -q 'peraction' "$report"
     grep -q '"bench": "server_throughput"' "$report"
     grep -q '"bench": "server_throughput_tcp"' "$report"
     grep -q 'notrace' "$report"
     grep -q '"bench": "monitor_action"' "$report"
-    echo "OK (grep fallback): all eight bench families present"
+    echo "OK (grep fallback): all nine bench families present"
 fi
 
 echo "== CI green"
