@@ -1,4 +1,4 @@
-//! Emits a machine-readable benchmark report (`BENCH_pr8.json`) so future
+//! Emits a machine-readable benchmark report (`BENCH_pr9.json`) so future
 //! PRs can track the performance trajectory of the hot paths.
 //!
 //! For every scalable protocol family (`ring`, `chain`, `fanout`) at sizes
@@ -82,6 +82,16 @@
 //!   outcome) against the bare loop. The ratio is the whole cost of the
 //!   recorder and must stay within noise; `scripts/ci.sh` asserts it.
 //!
+//! One family tracks the hostile-world plane added in PR 9:
+//!
+//! * `fault_overhead` — whole sessions driven with every endpoint wrapped
+//!   in an **empty-plan** [`zooid_runtime::faults::FaultyTransport`] (the
+//!   bystander configuration of the hostile campaign suite) against the
+//!   same cooperative schedule on the bare in-memory transport. With no
+//!   fault specs the wrapper never consults its PRNG; the delta is pure
+//!   per-operation bookkeeping (the counted-op and tick clocks) and must
+//!   stay within noise; `scripts/ci.sh` asserts the ratio.
+//!
 //! Each remaining entry also carries a `baseline_ns`:
 //!
 //! * for `unravel`/`projection`, the seed implementation's medians, measured
@@ -96,7 +106,7 @@
 //!   engines visit identical configuration counts before timing them).
 //!
 //! Run with `cargo run --release -p zooid-bench --bin bench-report`; writes
-//! `BENCH_pr8.json` in the current directory. `--smoke` shrinks sizes and
+//! `BENCH_pr9.json` in the current directory. `--smoke` shrinks sizes and
 //! budgets for CI smoke runs, `--out PATH` redirects the report.
 
 use std::sync::Arc;
@@ -116,7 +126,8 @@ use zooid_proc::{erase, CompiledProc, Externals, Proc};
 use zooid_runtime::cbatch::{BatchLayout, SessionBatch};
 use zooid_runtime::cexec::{CompiledEndpointTask, EndpointProgram};
 use zooid_runtime::exec::{EndpointTask, ExecOptions, StepOutcome};
-use zooid_runtime::transport::{InMemoryNetwork, InMemoryTransport};
+use zooid_runtime::faults::{FaultPlan, FaultyTransport};
+use zooid_runtime::transport::{InMemoryNetwork, InMemoryTransport, Transport};
 use zooid_runtime::{CompiledMonitor, SessionHarness, TraceMonitor};
 use zooid_runtime::MuxFrame;
 use zooid_server::obs::ShardObs;
@@ -357,6 +368,51 @@ fn run_monitored_session(
     )
 }
 
+/// The cooperative tree-walking schedule over caller-supplied transports —
+/// the `fault_overhead` family uses it to drive the *same* session once on
+/// bare in-memory endpoints and once with every endpoint wrapped in an
+/// empty-plan [`FaultyTransport`], so the two sides differ in nothing but
+/// the wrapper.
+fn run_tree_session_over<T: Transport>(
+    procs: &[(Role, Proc)],
+    endpoints: Vec<(Role, T)>,
+    options: &ExecOptions,
+) -> usize {
+    let mut tasks: Vec<(EndpointTask, T)> = endpoints
+        .into_iter()
+        .map(|(role, transport)| {
+            let (_, proc) = procs
+                .iter()
+                .find(|(r, _)| *r == role)
+                .expect("every role has a process");
+            (
+                EndpointTask::new(proc.clone(), role, Externals::new(), options.clone()),
+                transport,
+            )
+        })
+        .collect();
+    let mut actions = 0usize;
+    loop {
+        let mut progressed = false;
+        for (task, transport) in &mut tasks {
+            while let StepOutcome::Progress = task.step_quiet(transport) {
+                progressed = true;
+                actions += 1;
+            }
+        }
+        if tasks.iter().all(|(t, _)| t.is_done()) {
+            break;
+        }
+        if !progressed {
+            for (task, _) in &mut tasks {
+                task.mark_stalled();
+            }
+            break;
+        }
+    }
+    actions
+}
+
 /// The same cooperative schedule over tree-walking tasks.
 fn run_tree_session(procs: &[(Role, Proc)], options: &ExecOptions) -> usize {
     let roles: Vec<Role> = procs.iter().map(|(r, _)| r.clone()).collect();
@@ -391,7 +447,7 @@ struct Options {
 fn parse_args() -> Options {
     let mut opts = Options {
         smoke: false,
-        out: "BENCH_pr8.json".to_owned(),
+        out: "BENCH_pr9.json".to_owned(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -967,6 +1023,88 @@ fn main() {
     }
 
     // ------------------------------------------------------------------
+    // fault_overhead: the hostile-world wrapper tax. Every endpoint of a
+    // session runs behind a FaultyTransport carrying an *empty* fault
+    // plan — the bystander configuration the hostile campaign suite
+    // wraps honest endpoints in — against the identical cooperative
+    // schedule on the bare in-memory transport. With no specs the
+    // wrapper never consults its PRNG, so the delta is pure counted-op
+    // and tick-clock bookkeeping; it must stay within noise of the bare
+    // transport (CI asserts the ratio).
+    // ------------------------------------------------------------------
+    let fault_cases: Vec<(String, GlobalType, Option<usize>)> = if opts.smoke {
+        vec![("ring/4".into(), generators::ring_n(4), None)]
+    } else {
+        vec![
+            // Short sessions: setup and teardown amortise over 8 actions —
+            // the wrapper's worst case.
+            ("ring/4".into(), generators::ring_n(4), None),
+            ("two_buyer".into(), generators::two_buyer(), None),
+            // Long sessions: steady-state per-operation cost dominates.
+            ("fanout_loop/4".into(), fanout_loop(4), Some(512)),
+        ]
+    };
+    for (case, g, max_steps) in &fault_cases {
+        let mut procs: Vec<(Role, Proc)> = project_all(g)
+            .expect("bench families are projectable")
+            .into_iter()
+            .map(|(role, local)| {
+                let proc = zooid_server::synth::skeleton_proc(&local)
+                    .expect("bench families synthesize");
+                (role, proc)
+            })
+            .collect();
+        procs.sort_by(|a, b| a.0.cmp(&b.0));
+        let roles: Vec<Role> = procs.iter().map(|(r, _)| r.clone()).collect();
+        let options = match max_steps {
+            Some(steps) => ExecOptions::with_max_steps(*steps),
+            None => ExecOptions::default(),
+        }
+        .record_actions(false);
+        let plan = FaultPlan::new(0xFA17);
+
+        let bare_endpoints = |roles: &[Role]| -> Vec<(Role, InMemoryTransport)> {
+            let mut network = InMemoryNetwork::new(roles.iter().cloned());
+            roles
+                .iter()
+                .map(|r| (r.clone(), network.take_endpoint(r).expect("unique roles")))
+                .collect()
+        };
+        let probe_actions = {
+            let actions = run_tree_session_over(&procs, bare_endpoints(&roles), &options);
+            assert!(actions > 0, "{case}: the probe session made no progress");
+            actions
+        };
+
+        let (ns, baseline_ns) = paired_median_ns(
+            |wrapped| {
+                if wrapped {
+                    let endpoints: Vec<(Role, FaultyTransport<InMemoryTransport>)> =
+                        bare_endpoints(&roles)
+                            .into_iter()
+                            .map(|(role, t)| (role, FaultyTransport::new(t, &plan)))
+                            .collect();
+                    std::hint::black_box(run_tree_session_over(&procs, endpoints, &options));
+                } else {
+                    std::hint::black_box(run_tree_session_over(
+                        &procs,
+                        bare_endpoints(&roles),
+                        &options,
+                    ));
+                }
+            },
+            if opts.smoke { 31 } else { 101 },
+        );
+        entries.push(Entry {
+            bench: "fault_overhead",
+            case: format!("{case}/actions{probe_actions}/peraction"),
+            median_ns: (ns / probe_actions as u64).max(1),
+            baseline_ns: (baseline_ns / probe_actions as u64).max(1),
+            baseline: "identical cooperative run on the bare in-memory transport",
+        });
+    }
+
+    // ------------------------------------------------------------------
     // server_throughput: a batch of concurrent sessions on the sharded
     // server vs the thread-per-participant harness.
     // ------------------------------------------------------------------
@@ -1209,7 +1347,7 @@ fn main() {
         });
     }
 
-    let mut json = String::from("{\n  \"pr\": 8,\n  \"benches\": [\n");
+    let mut json = String::from("{\n  \"pr\": 9,\n  \"benches\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let speedup = if e.median_ns > 0 && e.baseline_ns > 0 {
             e.baseline_ns as f64 / e.median_ns as f64

@@ -75,7 +75,16 @@
 //!   agree on accept/reject (checked differentially);
 //! * [`harness`] — a multi-threaded session harness that wires every
 //!   certified endpoint of a protocol to an in-memory network, runs them to
-//!   completion and reports the traces together with the monitor's verdict.
+//!   completion and reports the traces together with the monitor's verdict;
+//! * [`faults`] — deterministic fault injection for the hostile-world
+//!   suite: a seed-driven [`faults::FaultPlan`] of site-addressable,
+//!   budget-capped transport faults (delay, drop, duplicate, reorder,
+//!   truncate, mid-session disconnect) executed by the
+//!   [`faults::FaultyTransport`] wrapper over any [`Transport`], and a
+//!   [`faults::FaultReader`] that corrupts the byte stream below the codec
+//!   (bit flips, split deliveries, hostile length prefixes) at the
+//!   [`wire::FrameReader`] seam. Every injection is logged, so the same
+//!   seed reproduces the same schedule on every backend.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -86,6 +95,7 @@ pub mod cexec;
 pub mod codec;
 pub mod error;
 pub mod exec;
+pub mod faults;
 pub mod harness;
 pub mod monitor;
 pub mod poll;
@@ -98,6 +108,10 @@ pub use cexec::{CompiledEndpointTask, EndpointProgram};
 pub use codec::Message;
 pub use error::{Result, RuntimeError};
 pub use exec::{execute, EndpointReport, EndpointStatus, EndpointTask, ExecOptions, StepOutcome};
+pub use faults::{
+    FaultKind, FaultPlan, FaultReader, FaultSite, FaultSpec, FaultyTransport, InjectedFault,
+    WireFault,
+};
 pub use harness::{SessionHarness, SessionReport};
 pub use monitor::{CompiledMonitor, MonitorViolation, TraceMonitor};
 pub use transport::{InMemoryNetwork, Transport};

@@ -216,6 +216,10 @@ pub enum RejectCode {
     BadFrame = 5,
     /// The server is shutting down.
     ShuttingDown = 6,
+    /// A session hosted on this connection was quarantined (its monitor
+    /// rejected an action) and the server's policy tears the owning
+    /// connection down.
+    Quarantined = 7,
 }
 
 impl RejectCode {
@@ -227,6 +231,7 @@ impl RejectCode {
             4 => RejectCode::Overloaded,
             5 => RejectCode::BadFrame,
             6 => RejectCode::ShuttingDown,
+            7 => RejectCode::Quarantined,
             _ => return None,
         })
     }
@@ -241,6 +246,7 @@ impl std::fmt::Display for RejectCode {
             RejectCode::Overloaded => "overloaded",
             RejectCode::BadFrame => "bad-frame",
             RejectCode::ShuttingDown => "shutting-down",
+            RejectCode::Quarantined => "quarantined",
         };
         f.write_str(s)
     }

@@ -325,6 +325,45 @@ fn tcp_and_memory_agree_on_stalls() {
     assert!(!tcp.complete);
 }
 
+#[test]
+fn an_empty_fault_plan_is_behaviourally_invisible() {
+    // The fault-injection wrapper with no specs must be a passthrough on
+    // both backends: identical statuses, traces and verdicts to the bare
+    // transports, for looping protocols as well as terminating ones.
+    use zooid_runtime::faults::{FaultPlan, FaultyTransport};
+    let cases: Vec<(&str, GlobalType, ExecOptions)> = vec![
+        ("ring3", generators::ring3(), ExecOptions::default()),
+        ("two_buyer", generators::two_buyer(), ExecOptions::default()),
+        ("pipeline", generators::pipeline(), ExecOptions::with_max_steps(12)),
+    ];
+    for (name, g, options) in cases {
+        let procs = skeleton_endpoints(&g).expect("case studies synthesize");
+        let plan = FaultPlan::new(0xFA17);
+
+        let bare = run_memory(&g, &procs, &options);
+        let mut network = InMemoryNetwork::new(procs.iter().map(|(r, _)| r.clone()));
+        let mut endpoints: Vec<_> = procs
+            .iter()
+            .map(|(r, _)| {
+                let inner = network.take_endpoint(r).expect("unique roles");
+                (r.clone(), FaultyTransport::new(inner, &plan))
+            })
+            .collect();
+        endpoints.sort_by(|(a, _), (b, _)| a.cmp(b));
+        let wrapped = run(&g, &procs, &options, endpoints, Duration::ZERO);
+        assert_eq!(bare, wrapped, "{name}: empty plan changed the in-memory run");
+
+        let bare_tcp = run_tcp(&g, &procs, &options);
+        let roles: Vec<Role> = procs.iter().map(|(r, _)| r.clone()).collect();
+        let endpoints: Vec<_> = tcp_mesh(&roles)
+            .into_iter()
+            .map(|(r, t)| (r, FaultyTransport::new(t, &plan)))
+            .collect();
+        let wrapped_tcp = run(&g, &procs, &options, endpoints, Duration::from_millis(500));
+        assert_eq!(bare_tcp, wrapped_tcp, "{name}: empty plan changed the TCP run");
+    }
+}
+
 // ---------------------------------------------------------------------
 // Hostile framing: structured errors, bounded time, recv/try_recv lockstep
 // ---------------------------------------------------------------------

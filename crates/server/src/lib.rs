@@ -39,7 +39,11 @@
 //!   straggler a batch demotes mid-flight (stall, violation, runtime sort
 //!   mismatch), with its traces, monitor cursor and in-flight frames
 //!   intact — runs on the per-session **slab** (reusable slots, also the
-//!   behavioural oracle for the batched path);
+//!   behavioural oracle for the batched path). Under the default
+//!   [`QuarantinePolicy::Halt`] a session the monitor flags is
+//!   **quarantined**: never stepped again (slab and batch paths alike),
+//!   counted per shard and per protocol, and recorded as a
+//!   [`FlightEvent::Quarantined`];
 //! * [`metrics`] — per-shard counters (sessions started / completed /
 //!   violated / stalled, batched / slab / demoted, messages routed, cohort
 //!   widths, queue depths, per-[`zooid_runtime::wire::RejectCode`]
@@ -54,7 +58,12 @@
 //!   A live [`NetServer`] answers `MuxFrame::Stats` introspection frames
 //!   with the whole bundle ([`obs::StatsSnapshot`]) over the wire;
 //! * [`synth`] — skeleton endpoint implementations synthesized from
-//!   projections, used by the load generator and the differential tests;
+//!   projections, used by the load generator and the differential tests,
+//!   plus the **byzantine driver generator**: for a registered protocol it
+//!   synthesizes minimally-wrong endpoint casts — wrong label, wrong
+//!   payload sort, a message after termination, premature silence — one
+//!   mutation per driver, each with a known expected violation class, for
+//!   the hostile-world campaign (`tests/hostile_campaign.rs`);
 //! * [`net`] — the event-driven networked serving plane: a [`NetServer`]
 //!   fronts the [`SessionServer`] with one non-blocking IO thread (the
 //!   readiness-poll loop of [`zooid_runtime::poll`]) speaking the framed,
@@ -62,7 +71,11 @@
 //!   share one connection; admission control (bounded accepts, per-
 //!   connection and global in-flight caps) sheds load with structured
 //!   rejection frames, and hostile framing is a counted, bounded error —
-//!   never an allocation or a hang.
+//!   never an allocation or a hang. Connections that never produce a
+//!   decodable frame are reaped after
+//!   [`NetServerConfig::idle_timeout`], and quarantined sessions can
+//!   optionally tear down their opening connection
+//!   ([`NetServerConfig::close_on_quarantine`]).
 //!
 //! The harness-vs-server differential suite (`tests/differential.rs`)
 //! checks that a session hosted here is indistinguishable — per-endpoint
@@ -90,5 +103,6 @@ pub use obs::{
 };
 pub use net::{NetClient, NetServer, NetServerConfig, Service};
 pub use registry::{ProtocolArtifacts, ProtocolId, ProtocolRegistry, SafetyBudget};
-pub use server::{ServerConfig, SessionServer};
+pub use server::{QuarantinePolicy, ServerConfig, SessionServer};
+pub use synth::{ByzantineDriver, ByzantineMutation, ExpectedClass};
 pub use session::{SessionId, SessionOutcome, SessionSpec};

@@ -14,6 +14,7 @@ pub(crate) struct ShardMetrics {
     pub(crate) sessions_started: AtomicU64,
     pub(crate) sessions_completed: AtomicU64,
     pub(crate) sessions_violated: AtomicU64,
+    pub(crate) sessions_quarantined: AtomicU64,
     pub(crate) sessions_stalled: AtomicU64,
     pub(crate) messages_routed: AtomicU64,
     pub(crate) actions_executed: AtomicU64,
@@ -40,6 +41,7 @@ impl ShardMetrics {
             sessions_started: self.sessions_started.load(Ordering::Relaxed),
             sessions_completed: self.sessions_completed.load(Ordering::Relaxed),
             sessions_violated: self.sessions_violated.load(Ordering::Relaxed),
+            sessions_quarantined: self.sessions_quarantined.load(Ordering::Relaxed),
             sessions_stalled: self.sessions_stalled.load(Ordering::Relaxed),
             messages_routed: self.messages_routed.load(Ordering::Relaxed),
             actions_executed: self.actions_executed.load(Ordering::Relaxed),
@@ -65,6 +67,9 @@ pub struct ShardReport {
     pub sessions_completed: u64,
     /// Finished sessions whose monitor observed at least one violation.
     pub sessions_violated: u64,
+    /// Sessions the quarantine policy halted at their first rejected
+    /// action (a subset of `sessions_violated`).
+    pub sessions_quarantined: u64,
     /// Sessions the scheduler gave up on (every endpoint blocked).
     pub sessions_stalled: u64,
     /// Messages delivered between endpoints of this shard's sessions.
@@ -104,7 +109,7 @@ pub(crate) struct NetMetrics {
     pub(crate) frames_written: AtomicU64,
     pub(crate) bad_frames: AtomicU64,
     /// One counter per [`RejectCode`], indexed by `code as u8 - 1`.
-    pub(crate) rejects: [AtomicU64; 6],
+    pub(crate) rejects: [AtomicU64; 7],
 }
 
 impl NetMetrics {
@@ -132,6 +137,7 @@ impl NetMetrics {
                 overloaded: self.rejects[3].load(Ordering::Relaxed),
                 bad_frame: self.rejects[4].load(Ordering::Relaxed),
                 shutting_down: self.rejects[5].load(Ordering::Relaxed),
+                quarantined: self.rejects[6].load(Ordering::Relaxed),
             },
             io_pass_ns: HistogramSnapshot::default(),
         }
@@ -154,6 +160,9 @@ pub struct RejectCounts {
     pub bad_frame: u64,
     /// `RejectCode::ShuttingDown` rejections.
     pub shutting_down: u64,
+    /// `RejectCode::Quarantined` rejections (connection torn down because a
+    /// hosted session was quarantined).
+    pub quarantined: u64,
 }
 
 impl RejectCounts {
@@ -165,6 +174,7 @@ impl RejectCounts {
             + self.overloaded
             + self.bad_frame
             + self.shutting_down
+            + self.quarantined
     }
 }
 
@@ -222,13 +232,14 @@ impl fmt::Display for NetReport {
         writeln!(
             f,
             "  rejects: {} unknown-protocol, {} conn-limit, {} session-limit, \
-             {} overloaded, {} bad-frame, {} shutting-down",
+             {} overloaded, {} bad-frame, {} shutting-down, {} quarantined",
             self.rejects.unknown_protocol,
             self.rejects.connection_limit,
             self.rejects.session_limit,
             self.rejects.overloaded,
             self.rejects.bad_frame,
             self.rejects.shutting_down,
+            self.rejects.quarantined,
         )?;
         writeln!(f, "  io pass ns: {}", self.io_pass_ns)
     }
@@ -281,6 +292,12 @@ impl ServerReport {
         self.shards.iter().map(|s| s.sessions_stalled).sum()
     }
 
+    /// Total sessions the quarantine policy halted at their first rejected
+    /// action.
+    pub fn sessions_quarantined(&self) -> u64 {
+        self.shards.iter().map(|s| s.sessions_quarantined).sum()
+    }
+
     /// Total messages routed between endpoints.
     pub fn messages_routed(&self) -> u64 {
         self.shards.iter().map(|s| s.messages_routed).sum()
@@ -323,11 +340,12 @@ impl fmt::Display for ServerReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "server report: {} sessions started, {} completed ({} violated, {} stalled), \
-             {} messages routed, {} actions",
+            "server report: {} sessions started, {} completed ({} violated, {} quarantined, \
+             {} stalled), {} messages routed, {} actions",
             self.sessions_started(),
             self.sessions_completed(),
             self.sessions_violated(),
+            self.sessions_quarantined(),
             self.sessions_stalled(),
             self.messages_routed(),
             self.actions_executed(),
@@ -373,6 +391,7 @@ mod tests {
                     sessions_started: 3,
                     sessions_completed: 2,
                     sessions_violated: 1,
+                    sessions_quarantined: 1,
                     sessions_stalled: 0,
                     messages_routed: 10,
                     actions_executed: 20,
@@ -389,6 +408,7 @@ mod tests {
                     sessions_started: 4,
                     sessions_completed: 4,
                     sessions_violated: 0,
+                    sessions_quarantined: 0,
                     sessions_stalled: 0,
                     messages_routed: 6,
                     actions_executed: 12,
@@ -442,6 +462,7 @@ mod tests {
                 sessions_started: 5,
                 sessions_completed: 5,
                 sessions_violated: 0,
+                sessions_quarantined: 0,
                 sessions_stalled: 0,
                 messages_routed: 15,
                 actions_executed: 30,
@@ -469,6 +490,7 @@ mod tests {
         metrics.record_reject(RejectCode::ConnectionLimit);
         metrics.record_reject(RejectCode::SessionLimit);
         metrics.record_reject(RejectCode::ShuttingDown);
+        metrics.record_reject(RejectCode::Quarantined);
         let report = metrics.snapshot();
         assert_eq!(
             report.rejects,
@@ -479,9 +501,10 @@ mod tests {
                 overloaded: 2,
                 bad_frame: 1,
                 shutting_down: 1,
+                quarantined: 1,
             }
         );
-        assert_eq!(report.rejects.total(), 7);
+        assert_eq!(report.rejects.total(), 8);
         let text = report.to_string();
         assert!(text.contains("2 overloaded"), "{text}");
         assert!(text.contains("1 bad-frame"), "{text}");

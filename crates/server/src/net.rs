@@ -44,6 +44,13 @@
 //!   frame draws one [`RejectCode::BadFrame`] rejection and closes the
 //!   connection; the server itself stays healthy (see the counters in
 //!   [`NetReport`]).
+//! * **Idle reaper** — a connection that never delivers a decodable frame
+//!   within [`NetServerConfig::idle_timeout`] is closed with a
+//!   [`CloseReason::Idle`] flight event; silent peers cannot hold slots.
+//! * **Quarantine teardown** — with
+//!   [`NetServerConfig::close_on_quarantine`] set, a session the shards
+//!   quarantined also costs its opener the connection: `Done`, then a
+//!   [`RejectCode::Quarantined`] rejection, then the close.
 
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -159,6 +166,16 @@ pub struct NetServerConfig {
     /// bytes: a client that triggers response frames faster than it reads
     /// them is disconnected when its backlog passes this (default 256 KiB).
     pub max_conn_outbuf_bytes: usize,
+    /// A connection that has never delivered a decodable frame is reaped
+    /// after this long (default 30 s): a peer that connects and goes
+    /// silent cannot hold a slot forever. The deadline is disarmed by the
+    /// first decoded frame.
+    pub idle_timeout: Duration,
+    /// When set, a session quarantined by the shards also tears down the
+    /// TCP connection that opened it: the client sees its `Done` frame,
+    /// then a [`RejectCode::Quarantined`] rejection, then the close
+    /// (default `false` — quarantine stays a scheduler-side containment).
+    pub close_on_quarantine: bool,
 }
 
 impl Default for NetServerConfig {
@@ -171,6 +188,8 @@ impl Default for NetServerConfig {
             max_inflight_total: 16 * 1024,
             max_frame_bytes: zooid_runtime::wire::DEFAULT_MAX_FRAME_BYTES,
             max_conn_outbuf_bytes: 256 * 1024,
+            idle_timeout: Duration::from_secs(30),
+            close_on_quarantine: false,
         }
     }
 }
@@ -205,6 +224,9 @@ struct NetConn {
     fin_sent: bool,
     /// Hard deadline for a refused connection to drain and close.
     linger_until: Option<Instant>,
+    /// Reap deadline for a connection that has yet to deliver a decodable
+    /// frame; disarmed by the first decoded frame.
+    idle_until: Option<Instant>,
 }
 
 impl NetConn {
@@ -222,6 +244,7 @@ impl NetConn {
             peer_eof: false,
             fin_sent: false,
             linger_until: None,
+            idle_until: None,
         }
     }
 
@@ -503,8 +526,9 @@ fn io_loop(
                         continue;
                     }
                     metrics.connections_accepted.fetch_add(1, Ordering::Relaxed);
-                    let conn =
+                    let mut conn =
                         NetConn::new(stream, config.max_frame_bytes, config.max_conn_outbuf_bytes);
+                    conn.idle_until = Some(Instant::now() + config.idle_timeout);
                     install(&mut conns, &mut gens, conn);
                 }
                 Err(e)
@@ -567,6 +591,9 @@ fn io_loop(
                     Ok(Some(payload)) => match decode_mux(&payload) {
                         Ok(frame) => {
                             metrics.frames_read.fetch_add(1, Ordering::Relaxed);
+                            // A decodable frame proves the peer is live:
+                            // disarm the idle reaper for good.
+                            conn.idle_until = None;
                             handle_frame(
                                 frame,
                                 slot,
@@ -670,6 +697,25 @@ fn io_loop(
             );
             metrics.frames_written.fetch_add(1, Ordering::Relaxed);
             metrics.sessions_done.fetch_add(1, Ordering::Relaxed);
+            if outcome.quarantined && config.close_on_quarantine {
+                // Quarantine escalates to the transport: the opener reads
+                // its Done, a structured rejection, then EOF.
+                metrics.record_reject(RejectCode::Quarantined);
+                recorder.record(FlightEvent::Rejected {
+                    session: client_id,
+                    code: RejectCode::Quarantined,
+                });
+                conn.queue(
+                    &MuxFrame::Rejected {
+                        session: client_id,
+                        code: RejectCode::Quarantined,
+                        reason: "session quarantined by monitor".into(),
+                    },
+                    config.max_frame_bytes,
+                );
+                metrics.frames_written.fetch_add(1, Ordering::Relaxed);
+                conn.close(CloseReason::Quarantined);
+            }
         }
 
         // 5. Flush write buffers; collect the dead.
@@ -678,6 +724,11 @@ fn io_loop(
             let Some(conn) = conns[slot].as_mut() else {
                 continue;
             };
+            if !conn.closing && conn.idle_until.is_some_and(|t| now >= t) {
+                // Accepted, never sent a decodable frame, deadline hit:
+                // reap the slot.
+                conn.close(CloseReason::Idle);
+            }
             let alive = conn.flush();
             if alive && conn.limit_reject && !conn.pending_out() && !conn.fin_sent {
                 // The rejection is flushed: half-close so a peer reading to
@@ -921,6 +972,50 @@ impl NetClient {
         )?;
         self.stream.write_all(&buf)?;
         Ok(session)
+    }
+
+    /// Sends an `Open` and waits up to `timeout` for the admission verdict,
+    /// returning the client-side session id once the server `Accepted` it.
+    ///
+    /// Unlike [`NetClient::open`] + [`NetClient::poll_event`] by hand,
+    /// every failure mode is a structured error: a rejection maps to
+    /// [`RuntimeError::Codec`] naming the reject code, server silence past
+    /// `timeout` maps to [`RuntimeError::Timeout`], and a connection the
+    /// server closes mid-wait surfaces as [`RuntimeError::Disconnected`]
+    /// (never a silent `None`). Frames for other sessions that arrive while
+    /// waiting are decoded and discarded, as with
+    /// [`NetClient::fetch_stats`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection loss, malformed server frames, rejection, or
+    /// admission silence past `timeout`.
+    pub fn open_with(&mut self, protocol: &str, timeout: Duration) -> zooid_runtime::Result<u64> {
+        let session = self.open(protocol)?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.poll_event(remaining)? {
+                Some(MuxFrame::Accepted { session: reply }) if reply == session => {
+                    return Ok(session);
+                }
+                Some(MuxFrame::Rejected {
+                    session: reply,
+                    code,
+                    reason,
+                }) if reply == session || reply == 0 => {
+                    return Err(RuntimeError::Codec {
+                        reason: format!("open rejected ({code}): {reason}"),
+                    });
+                }
+                Some(_) => {}
+                None => {
+                    return Err(RuntimeError::Timeout {
+                        from: zooid_mpst::Role::new("server"),
+                    });
+                }
+            }
+        }
     }
 
     /// Pulls the server's live observability bundle — IO counters and

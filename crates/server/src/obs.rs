@@ -239,6 +239,11 @@ pub enum CloseReason {
     Shutdown = 4,
     /// A rejected connection's linger window expired.
     LingerExpired = 5,
+    /// The connection never sent a decodable frame within the idle timeout.
+    Idle = 6,
+    /// A session hosted on the connection was quarantined and the server's
+    /// policy tears the owning connection down.
+    Quarantined = 7,
 }
 
 impl CloseReason {
@@ -249,6 +254,8 @@ impl CloseReason {
             3 => CloseReason::WriteStalled,
             4 => CloseReason::Shutdown,
             5 => CloseReason::LingerExpired,
+            6 => CloseReason::Idle,
+            7 => CloseReason::Quarantined,
             _ => return None,
         })
     }
@@ -262,6 +269,8 @@ impl fmt::Display for CloseReason {
             CloseReason::WriteStalled => "write-stalled",
             CloseReason::Shutdown => "shutdown",
             CloseReason::LingerExpired => "linger-expired",
+            CloseReason::Idle => "idle",
+            CloseReason::Quarantined => "quarantined",
         })
     }
 }
@@ -272,6 +281,7 @@ const EV_STALLED: u8 = 3;
 const EV_VIOLATION: u8 = 4;
 const EV_REJECTED: u8 = 5;
 const EV_CONN_CLOSED: u8 = 6;
+const EV_QUARANTINED: u8 = 7;
 
 const PAYLOAD_MASK: u64 = (1 << 48) - 1;
 
@@ -283,6 +293,7 @@ fn reject_code_from_u8(v: u8) -> Option<RejectCode> {
         4 => RejectCode::Overloaded,
         5 => RejectCode::BadFrame,
         6 => RejectCode::ShuttingDown,
+        7 => RejectCode::Quarantined,
         _ => return None,
     })
 }
@@ -332,6 +343,11 @@ pub enum FlightEvent {
         /// Why it was closed.
         reason: CloseReason,
     },
+    /// The quarantine policy halted a session at its first rejected action.
+    Quarantined {
+        /// The session's dense id.
+        session: u64,
+    },
 }
 
 impl FlightEvent {
@@ -343,6 +359,7 @@ impl FlightEvent {
             FlightEvent::Violation { session } => (EV_VIOLATION, 0, session),
             FlightEvent::Rejected { session, code } => (EV_REJECTED, code as u8, session),
             FlightEvent::ConnClosed { client, reason } => (EV_CONN_CLOSED, reason as u8, client),
+            FlightEvent::Quarantined { session } => (EV_QUARANTINED, 0, session),
         };
         (u64::from(kind) << 56) | (u64::from(code) << 48) | (payload & PAYLOAD_MASK)
     }
@@ -367,6 +384,7 @@ impl FlightEvent {
                 client: payload,
                 reason: CloseReason::from_u8(code)?,
             },
+            EV_QUARANTINED => FlightEvent::Quarantined { session: payload },
             _ => return None,
         })
     }
@@ -595,6 +613,7 @@ pub struct ShardObs {
     /// The shard's retained incidents.
     pub incidents: IncidentStore,
     per_protocol: Mutex<Vec<(ProtocolId, Arc<Histogram>)>>,
+    quarantined: Mutex<Vec<(ProtocolId, u64)>>,
 }
 
 impl Default for ShardObs {
@@ -613,6 +632,7 @@ impl ShardObs {
             recorder: FlightRecorder::new(FLIGHT_CAPACITY),
             incidents: IncidentStore::new(INCIDENT_CAPACITY),
             per_protocol: Mutex::new(Vec::new()),
+            quarantined: Mutex::new(Vec::new()),
         }
     }
 
@@ -627,6 +647,17 @@ impl ShardObs {
         let h = Arc::new(Histogram::new());
         map.push((protocol, Arc::clone(&h)));
         h
+    }
+
+    /// Bumps the quarantine counter of one protocol (created on first
+    /// sighting). Quarantines are rare, so this takes the lock every time
+    /// rather than handing out cached handles.
+    pub fn quarantined_for(&self, protocol: ProtocolId) {
+        let mut map = self.quarantined.lock().unwrap_or_else(|e| e.into_inner());
+        match map.iter_mut().find(|(p, _)| *p == protocol) {
+            Some((_, n)) => *n += 1,
+            None => map.push((protocol, 1)),
+        }
     }
 
     /// Folds this shard's state into an aggregated [`ObsReport`].
@@ -647,6 +678,19 @@ impl ShardObs {
             }
         }
         report.per_protocol_wall_ns.sort_by_key(|(p, _)| *p);
+        let quarantined = self.quarantined.lock().unwrap_or_else(|e| e.into_inner());
+        for (protocol, count) in quarantined.iter() {
+            let id = protocol.index() as u32;
+            match report
+                .per_protocol_quarantined
+                .iter_mut()
+                .find(|(p, _)| *p == id)
+            {
+                Some((_, existing)) => *existing += count,
+                None => report.per_protocol_quarantined.push((id, *count)),
+            }
+        }
+        report.per_protocol_quarantined.sort_by_key(|(p, _)| *p);
     }
 }
 
@@ -661,6 +705,9 @@ pub struct ObsReport {
     pub cohort_width: HistogramSnapshot,
     /// Session wall time per protocol (dense registry index order).
     pub per_protocol_wall_ns: Vec<(u32, HistogramSnapshot)>,
+    /// Sessions quarantined per protocol (dense registry index order);
+    /// empty when no session was ever quarantined.
+    pub per_protocol_quarantined: Vec<(u32, u64)>,
     /// Incidents captured across all shards (including evicted ones).
     pub incidents_recorded: u64,
     /// Incidents currently retained and fetchable.
@@ -678,7 +725,11 @@ impl fmt::Display for ObsReport {
             f,
             "  incidents: {} recorded, {} held; {} flight events",
             self.incidents_recorded, self.incidents_held, self.flight_events
-        )
+        )?;
+        for (protocol, count) in &self.per_protocol_quarantined {
+            writeln!(f, "  quarantine: protocol #{protocol} x{count}")?;
+        }
+        Ok(())
     }
 }
 
@@ -805,6 +856,7 @@ fn shard_to_value(s: &ShardReport) -> Value {
         ("started", Value::Nat(s.sessions_started)),
         ("completed", Value::Nat(s.sessions_completed)),
         ("violated", Value::Nat(s.sessions_violated)),
+        ("quarantined", Value::Nat(s.sessions_quarantined)),
         ("stalled", Value::Nat(s.sessions_stalled)),
         ("routed", Value::Nat(s.messages_routed)),
         ("actions", Value::Nat(s.actions_executed)),
@@ -824,6 +876,7 @@ fn shard_from_value(value: &Value) -> Option<ShardReport> {
         sessions_started: nat_field(value, "started")?,
         sessions_completed: nat_field(value, "completed")?,
         sessions_violated: nat_field(value, "violated")?,
+        sessions_quarantined: nat_field(value, "quarantined")?,
         sessions_stalled: nat_field(value, "stalled")?,
         messages_routed: nat_field(value, "routed")?,
         actions_executed: nat_field(value, "actions")?,
@@ -851,6 +904,15 @@ fn obs_to_value(o: &ObsReport) -> Value {
                     .collect(),
             ),
         ),
+        (
+            "per_protocol_quarantined",
+            Value::Seq(
+                o.per_protocol_quarantined
+                    .iter()
+                    .map(|(p, n)| Value::pair(Value::Nat(u64::from(*p)), Value::Nat(*n)))
+                    .collect(),
+            ),
+        ),
         ("incidents_recorded", Value::Nat(o.incidents_recorded)),
         ("incidents_held", Value::Nat(o.incidents_held)),
         ("flight_events", Value::Nat(o.flight_events)),
@@ -872,11 +934,26 @@ fn obs_from_value(value: &Value) -> Option<ObsReport> {
     } else {
         return None;
     }
+    let mut quarantined = Vec::new();
+    if let Some(Value::Seq(entries)) = field(value, "per_protocol_quarantined") {
+        for entry in entries {
+            let Value::Pair(p, n) = entry else {
+                return None;
+            };
+            let (Value::Nat(p), Value::Nat(n)) = (&**p, &**n) else {
+                return None;
+            };
+            quarantined.push((*p as u32, *n));
+        }
+    } else {
+        return None;
+    }
     Some(ObsReport {
         session_wall_ns: hist_from_value(field(value, "session_wall_ns")?)?,
         action_cost_ns: hist_from_value(field(value, "action_cost_ns")?)?,
         cohort_width: hist_from_value(field(value, "cohort_width")?)?,
         per_protocol_wall_ns: per_protocol,
+        per_protocol_quarantined: quarantined,
         incidents_recorded: nat_field(value, "incidents_recorded")?,
         incidents_held: nat_field(value, "incidents_held")?,
         flight_events: nat_field(value, "flight_events")?,
@@ -901,6 +978,7 @@ fn net_to_value(n: &NetReport) -> Value {
         ("rej_overloaded", Value::Nat(n.rejects.overloaded)),
         ("rej_bad_frame", Value::Nat(n.rejects.bad_frame)),
         ("rej_shutting_down", Value::Nat(n.rejects.shutting_down)),
+        ("rej_quarantined", Value::Nat(n.rejects.quarantined)),
         ("io_pass_ns", hist_to_value(&n.io_pass_ns)),
     ])
 }
@@ -924,6 +1002,7 @@ fn net_from_value(value: &Value) -> Option<NetReport> {
             overloaded: nat_field(value, "rej_overloaded")?,
             bad_frame: nat_field(value, "rej_bad_frame")?,
             shutting_down: nat_field(value, "rej_shutting_down")?,
+            quarantined: nat_field(value, "rej_quarantined")?,
         },
         io_pass_ns: hist_from_value(field(value, "io_pass_ns")?)?,
     })
@@ -1136,6 +1215,19 @@ mod tests {
                 client: 5,
                 reason: CloseReason::WriteStalled,
             },
+            FlightEvent::ConnClosed {
+                client: 6,
+                reason: CloseReason::Idle,
+            },
+            FlightEvent::ConnClosed {
+                client: 7,
+                reason: CloseReason::Quarantined,
+            },
+            FlightEvent::Rejected {
+                session: 10,
+                code: RejectCode::Quarantined,
+            },
+            FlightEvent::Quarantined { session: 11 },
         ];
         for case in cases {
             assert_eq!(FlightEvent::unpack(case.pack()), Some(case), "{case:?}");
@@ -1275,6 +1367,7 @@ mod tests {
                     sessions_started: 7,
                     sessions_completed: 6,
                     sessions_violated: 1,
+                    sessions_quarantined: 1,
                     sessions_stalled: 0,
                     messages_routed: 21,
                     actions_executed: 42,
@@ -1289,6 +1382,7 @@ mod tests {
                 obs: ObsReport {
                     session_wall_ns: session_wall,
                     per_protocol_wall_ns: vec![(0, session_wall)],
+                    per_protocol_quarantined: vec![(0, 1)],
                     incidents_recorded: 1,
                     incidents_held: 1,
                     flight_events: 17,

@@ -28,6 +28,27 @@ use crate::obs::{FlightEvent, Histogram, Incident, ObsReport, ShardObs, INCIDENT
 use crate::registry::{ProtocolArtifacts, ProtocolRegistry, ProtocolId};
 use crate::session::{ActiveSession, SessionId, SessionOutcome, SessionSpec};
 
+/// What a worker shard does with a session whose monitor rejected an
+/// action.
+///
+/// Detection alone (PR 8's incidents) still lets a byzantine endpoint keep
+/// talking — burning shard budget and spraying messages at honest peers —
+/// for as long as the session takes to finish on its own. Quarantine is the
+/// policy beyond recording: the shard stops stepping the session the moment
+/// the monitor says no.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantinePolicy {
+    /// Record the violation (metrics, incident capture) but keep stepping
+    /// the session to its natural end.
+    Observe,
+    /// Halt the session at the first rejected action: zero further steps on
+    /// either execution path (a batch-demoted violator is closed instead of
+    /// re-admitted to the slab), endpoints still mid-protocol reported
+    /// stalled, the outcome flagged `quarantined`, and a `Quarantined`
+    /// flight-recorder event emitted. The default.
+    Halt,
+}
+
 /// Configuration of a [`SessionServer`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -36,6 +57,8 @@ pub struct ServerConfig {
     /// Maximum visible communications a session may perform per scheduling
     /// quantum before it is re-queued behind its shard neighbours.
     pub quantum: usize,
+    /// What to do with a session the monitor rejects.
+    pub quarantine: QuarantinePolicy,
 }
 
 impl Default for ServerConfig {
@@ -43,6 +66,7 @@ impl Default for ServerConfig {
         ServerConfig {
             shards: 4,
             quantum: 64,
+            quarantine: QuarantinePolicy::Halt,
         }
     }
 }
@@ -142,8 +166,16 @@ impl SessionServer {
             let worker_obs = Arc::clone(&shard_obs);
             let worker_results = results_tx.clone();
             let quantum = config.quantum.max(1);
+            let quarantine = config.quarantine;
             let handle = std::thread::spawn(move || {
-                shard_worker(rx, worker_results, worker_metrics, worker_obs, quantum);
+                shard_worker(
+                    rx,
+                    worker_results,
+                    worker_metrics,
+                    worker_obs,
+                    quantum,
+                    quarantine,
+                );
             });
             shards.push(Shard { tx, handle });
             metrics.push(shard_metrics);
@@ -574,6 +606,7 @@ fn batch_session_outcome(protocol: ProtocolId, outcome: BatchOutcome) -> Session
         complete: outcome.complete,
         violations: outcome.violations,
         stalled: outcome.stalled,
+        quarantined: false,
     }
 }
 
@@ -606,7 +639,9 @@ fn shard_worker(
     metrics: Arc<ShardMetrics>,
     obs: Arc<ShardObs>,
     quantum: usize,
+    quarantine: QuarantinePolicy,
 ) {
+    let halt_on_violation = quarantine == QuarantinePolicy::Halt;
     let mut wobs = WorkerObs::new(obs);
     let mut slab: Vec<Option<ActiveSession>> = Vec::new();
     let mut free: Vec<u32> = Vec::new();
@@ -763,6 +798,19 @@ fn shard_worker(
                     demoted,
                     &artifacts,
                 );
+                // Quarantine on the batch path: a session demoted *because
+                // its monitor rejected an action* is closed here instead of
+                // re-admitted — it takes zero steps on the slab.
+                if halt_on_violation && session.is_violating() {
+                    record_outcome(
+                        &metrics,
+                        &mut wobs,
+                        &mut pending,
+                        session.close_quarantined(),
+                        ended,
+                    );
+                    continue;
+                }
                 let slot = slab_admit(&mut slab, &mut free, session);
                 run_queue.push_back(slot);
             }
@@ -778,7 +826,7 @@ fn shard_worker(
             .as_mut()
             .expect("queued slot is occupied");
         let started = Instant::now();
-        let result = session.run_quantum(quantum);
+        let result = session.run_quantum(quantum, halt_on_violation);
         let ended = Instant::now();
         wobs.on_quantum(ended.saturating_duration_since(started), result.actions);
         metrics.quanta.fetch_add(1, Ordering::Relaxed);
@@ -818,6 +866,13 @@ fn record_outcome(
     }
     if !outcome.compliant {
         metrics.sessions_violated.fetch_add(1, Ordering::Relaxed);
+    }
+    if outcome.quarantined {
+        metrics.sessions_quarantined.fetch_add(1, Ordering::Relaxed);
+        wobs.shared.recorder.record(FlightEvent::Quarantined {
+            session: outcome.id.0,
+        });
+        wobs.shared.quarantined_for(outcome.protocol);
     }
     wobs.on_outcome(&outcome, now);
     pending.push(outcome);
@@ -881,6 +936,7 @@ mod tests {
         let config = ServerConfig {
             shards: 1,
             quantum: 1,
+            quarantine: QuarantinePolicy::Halt,
         };
         let mut server = SessionServer::start(registry, config);
         for _ in 0..50 {

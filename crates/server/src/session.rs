@@ -90,6 +90,10 @@ pub struct SessionOutcome {
     pub violations: Vec<MonitorViolation>,
     /// Whether the scheduler gave up because no endpoint could progress.
     pub stalled: bool,
+    /// Whether the quarantine policy halted the session on its first
+    /// monitor rejection (the session took zero steps after the violating
+    /// action).
+    pub quarantined: bool,
 }
 
 impl SessionOutcome {
@@ -197,6 +201,9 @@ pub(crate) struct ActiveSession {
     protocol: ProtocolId,
     monitor: CompiledMonitor,
     tasks: Vec<(Endpoint, InMemoryTransport)>,
+    /// Set when the quarantine policy halts the session: endpoints still
+    /// mid-protocol are closed as stalled and the outcome is flagged.
+    quarantined: bool,
 }
 
 /// Checks that a spec's endpoints cover the protocol's participants exactly
@@ -279,6 +286,7 @@ impl ActiveSession {
             protocol: spec.protocol,
             monitor,
             tasks,
+            quarantined: false,
         })
     }
 
@@ -338,7 +346,13 @@ impl ActiveSession {
             protocol,
             monitor,
             tasks,
+            quarantined: false,
         }
+    }
+
+    /// Whether the session's monitor has already rejected an action.
+    pub(crate) fn is_violating(&self) -> bool {
+        !self.monitor.is_compliant()
     }
 
     /// Runs the session for at most `budget` visible communications.
@@ -351,8 +365,13 @@ impl ActiveSession {
     /// remaining endpoints are marked [`EndpointStatus::Stalled`] and the
     /// session is closed.
     ///
+    /// With `quarantine` set, the first action the monitor rejects closes
+    /// the session immediately — the violating session takes **zero**
+    /// further steps, every endpoint still mid-protocol is reported
+    /// stalled, and the outcome carries `quarantined = true`.
+    ///
     /// [`EndpointStatus::Stalled`]: zooid_runtime::EndpointStatus::Stalled
-    pub(crate) fn run_quantum(&mut self, budget: usize) -> QuantumResult {
+    pub(crate) fn run_quantum(&mut self, budget: usize, quarantine: bool) -> QuantumResult {
         let mut actions = 0usize;
         let mut sends = 0usize;
         let ActiveSession { monitor, tasks, .. } = self;
@@ -370,6 +389,14 @@ impl ActiveSession {
                         StepOutcome::Progress => {
                             progressed = true;
                             actions += 1;
+                            if quarantine && !monitor.is_compliant() {
+                                self.quarantined = true;
+                                return QuantumResult {
+                                    actions,
+                                    sends,
+                                    outcome: Some(self.finish(false)),
+                                };
+                            }
                         }
                         StepOutcome::WouldBlock { .. } | StepOutcome::Done(_) => break,
                     }
@@ -408,10 +435,19 @@ impl ActiveSession {
         self.finish(true)
     }
 
+    /// Closes a session the quarantine policy refuses to keep stepping (a
+    /// batch-demoted session whose monitor already rejected an action):
+    /// endpoints still mid-protocol are reported stalled, and the outcome
+    /// carries `quarantined = true`.
+    pub(crate) fn close_quarantined(mut self) -> SessionOutcome {
+        self.quarantined = true;
+        self.finish(false)
+    }
+
     fn finish(&mut self, stalled: bool) -> SessionOutcome {
         let mut endpoints = BTreeMap::new();
         for (mut task, transport) in std::mem::take(&mut self.tasks) {
-            if stalled {
+            if stalled || self.quarantined {
                 task.mark_stalled();
             }
             let report = task.into_report();
@@ -431,6 +467,7 @@ impl ActiveSession {
             complete,
             violations: self.monitor.take_violations(),
             stalled,
+            quarantined: self.quarantined,
         }
     }
 }

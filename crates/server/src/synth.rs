@@ -12,8 +12,9 @@
 //! (which is what the harness-vs-server differential tests rely on).
 
 use zooid_dsl::{CertifiedProcess, Protocol};
+use zooid_mpst::global::GlobalType;
 use zooid_mpst::local::LocalType;
-use zooid_mpst::Sort;
+use zooid_mpst::{Label, Role, Sort};
 use zooid_proc::{Expr, Externals, Proc, RecvAlt};
 
 use crate::error::{Result, ServerError};
@@ -90,6 +91,247 @@ pub fn skeleton_endpoints(protocol: &Protocol) -> Result<Vec<(CertifiedProcess, 
         .collect()
 }
 
+/// The minimal protocol mutations a byzantine driver can embody — **one
+/// mutation per driver**, so every hostile-campaign case has a known
+/// expected outcome class.
+///
+/// Each mutation rewrites the protocol's global type at exactly one site
+/// (the first message, whose sender becomes the byzantine actor); the
+/// mutated actor is then *certified against the mutated decoy* — same name,
+/// same participants, so it passes submission validation — while every
+/// other role stays honest. The compiled monitor is the only line of
+/// defence that can notice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ByzantineMutation {
+    /// The actor sends a label the protocol does not allow at that point.
+    WrongLabel,
+    /// The actor sends the right label with a payload of the wrong sort.
+    WrongSort,
+    /// The actor sends one extra message after the protocol has terminated.
+    AfterTermination,
+    /// The actor stops participating after its first send: the session goes
+    /// silent instead of misbehaving observably.
+    PrematureSilence,
+}
+
+/// The outcome class a byzantine mutation is expected to produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExpectedClass {
+    /// The monitor records a violation and the session is quarantined.
+    Violation,
+    /// No observable protocol violation: the session ends compliant but
+    /// incomplete (silence is indistinguishable from slowness).
+    Silence,
+}
+
+impl ByzantineMutation {
+    /// Every mutation, for campaign matrices.
+    pub fn all() -> [ByzantineMutation; 4] {
+        [
+            ByzantineMutation::WrongLabel,
+            ByzantineMutation::WrongSort,
+            ByzantineMutation::AfterTermination,
+            ByzantineMutation::PrematureSilence,
+        ]
+    }
+
+    /// The expected outcome class when one actor carries this mutation and
+    /// every other role is honest.
+    pub fn expected(self) -> ExpectedClass {
+        match self {
+            ByzantineMutation::WrongLabel
+            | ByzantineMutation::WrongSort
+            | ByzantineMutation::AfterTermination => ExpectedClass::Violation,
+            ByzantineMutation::PrematureSilence => ExpectedClass::Silence,
+        }
+    }
+}
+
+impl std::fmt::Display for ByzantineMutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ByzantineMutation::WrongLabel => "wrong-label",
+            ByzantineMutation::WrongSort => "wrong-sort",
+            ByzantineMutation::AfterTermination => "after-termination",
+            ByzantineMutation::PrematureSilence => "premature-silence",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One synthesized byzantine driver: the full endpoint cast for a session
+/// in which exactly one role misbehaves in exactly one way.
+#[derive(Debug, Clone)]
+pub struct ByzantineDriver {
+    /// The mutation this driver embodies.
+    pub mutation: ByzantineMutation,
+    /// The misbehaving participant (the sender of the protocol's first
+    /// message).
+    pub actor: Role,
+    /// Endpoints for every participant: the actor certified against the
+    /// mutated decoy, everyone else honest.
+    pub endpoints: Vec<(CertifiedProcess, Externals)>,
+}
+
+/// The sender and receiver of the first message of a global type.
+fn first_message(g: &GlobalType) -> Option<(Role, Role)> {
+    match g {
+        GlobalType::End | GlobalType::Var(_) => None,
+        GlobalType::Rec(body) => first_message(body),
+        GlobalType::Msg { from, to, .. } => Some((from.clone(), to.clone())),
+    }
+}
+
+/// A sort with a default value that differs from `sort`.
+fn flipped_sort(sort: &Sort) -> Sort {
+    if matches!(sort, Sort::Bool) {
+        Sort::Nat
+    } else {
+        Sort::Bool
+    }
+}
+
+/// Rewrites the global type at the mutation site. Returns `None` when the
+/// mutation does not apply to this protocol's shape (e.g. no reachable
+/// `end` for [`ByzantineMutation::AfterTermination`]).
+fn mutate_global(
+    g: &GlobalType,
+    mutation: ByzantineMutation,
+    actor: &Role,
+    peer: &Role,
+) -> Option<GlobalType> {
+    match g {
+        GlobalType::End => match mutation {
+            ByzantineMutation::AfterTermination => Some(GlobalType::msg1(
+                actor.clone(),
+                peer.clone(),
+                "byz_extra",
+                Sort::Unit,
+                GlobalType::End,
+            )),
+            _ => None,
+        },
+        GlobalType::Var(_) => None,
+        GlobalType::Rec(body) => Some(GlobalType::rec(mutate_global(body, mutation, actor, peer)?)),
+        GlobalType::Msg { from, to, branches } => match mutation {
+            ByzantineMutation::WrongLabel => {
+                let mut branches = branches.clone();
+                let first = branches.first_mut()?;
+                first.label = Label::new(format!("byz_{}", first.label));
+                Some(GlobalType::msg(
+                    from.clone(),
+                    to.clone(),
+                    branches.into_iter().map(|b| (b.label, b.sort, b.cont)),
+                ))
+            }
+            ByzantineMutation::WrongSort => {
+                let mut branches = branches.clone();
+                let first = branches.first_mut()?;
+                first.sort = flipped_sort(&first.sort);
+                Some(GlobalType::msg(
+                    from.clone(),
+                    to.clone(),
+                    branches.into_iter().map(|b| (b.label, b.sort, b.cont)),
+                ))
+            }
+            ByzantineMutation::PrematureSilence => {
+                // The actor completes its first send and then goes silent.
+                // Every branch continues as `end` so the decoy still merges
+                // and projects for every role.
+                if branches.iter().all(|b| b.cont == GlobalType::End) {
+                    return None; // the protocol is already one message long
+                }
+                Some(GlobalType::msg(
+                    from.clone(),
+                    to.clone(),
+                    branches
+                        .iter()
+                        .map(|b| (b.label.clone(), b.sort.clone(), GlobalType::End)),
+                ))
+            }
+            ByzantineMutation::AfterTermination => {
+                // Recurse: replace every reachable `end` with one extra
+                // actor-sent message. All terminating paths must gain the
+                // same epilogue, or the decoy's branches stop merging for
+                // roles not involved in the choice.
+                let mut branches = branches.clone();
+                let mut rewritten = false;
+                for b in &mut branches {
+                    if let Some(cont) = mutate_global(&b.cont, mutation, actor, peer) {
+                        b.cont = cont;
+                        rewritten = true;
+                    }
+                }
+                if !rewritten {
+                    return None;
+                }
+                Some(GlobalType::msg(
+                    from.clone(),
+                    to.clone(),
+                    branches.into_iter().map(|b| (b.label, b.sort, b.cont)),
+                ))
+            }
+        },
+    }
+}
+
+/// Synthesizes a byzantine driver for a protocol: the sender of the first
+/// message misbehaves per `mutation`, everyone else runs the honest
+/// skeleton.
+///
+/// Returns `Ok(None)` when the mutation does not apply to the protocol's
+/// shape (no terminating path for an after-termination message, a protocol
+/// already one message long for premature silence, ...).
+///
+/// # Errors
+///
+/// Fails if the mutated decoy does not project or its skeleton cannot be
+/// certified — both indicate a generator bug rather than a hostile input.
+pub fn byzantine_driver(
+    protocol: &Protocol,
+    mutation: ByzantineMutation,
+) -> Result<Option<ByzantineDriver>> {
+    let Some((actor, peer)) = first_message(protocol.global()) else {
+        return Ok(None);
+    };
+    let Some(mutated) = mutate_global(protocol.global(), mutation, &actor, &peer) else {
+        return Ok(None);
+    };
+    // Same name, same participants: the decoy passes submission validation;
+    // only the monitor can tell the difference.
+    let decoy = Protocol::new(protocol.name(), mutated)?;
+    if decoy.roles() != protocol.roles() {
+        return Ok(None); // the mutation changed the cast; not minimal
+    }
+    let externals = Externals::new();
+    let mut endpoints = Vec::new();
+    for (role, local) in protocol.project_all()? {
+        let (certify_against, local) = if role == actor {
+            let local = decoy
+                .project_all()?
+                .into_iter()
+                .find(|(r, _)| *r == actor)
+                .map(|(_, l)| l)
+                .ok_or_else(|| ServerError::Unsupported {
+                    reason: format!("decoy lost participant `{actor}`"),
+                })?;
+            (&decoy, local)
+        } else {
+            (protocol, local)
+        };
+        let proc = skeleton_proc(&local).ok_or_else(|| ServerError::Unsupported {
+            reason: format!("no default payload for some sort in the projection onto `{role}`"),
+        })?;
+        let cert = certify_against.implement_against_projection(&role, proc, &externals)?;
+        endpoints.push((cert, externals.clone()));
+    }
+    Ok(Some(ByzantineDriver {
+        mutation,
+        actor,
+        endpoints,
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,6 +365,71 @@ mod tests {
             let report = harness.run().unwrap();
             assert!(report.compliant, "{name}: {:?}", report.violations);
         }
+    }
+
+    #[test]
+    fn byzantine_drivers_land_in_their_expected_class() {
+        for (name, g) in [
+            ("ring", generators::ring3()),
+            ("two_buyer", generators::two_buyer()),
+            ("fanout", generators::fanout_n(4)),
+        ] {
+            let protocol = Protocol::new(name, g).unwrap();
+            for mutation in ByzantineMutation::all() {
+                let Some(driver) = byzantine_driver(&protocol, mutation).unwrap() else {
+                    continue;
+                };
+                assert_eq!(driver.mutation, mutation);
+                let mut harness = SessionHarness::new(protocol.clone());
+                for (cert, ext) in driver.endpoints {
+                    harness.add_endpoint(cert, ext).unwrap();
+                }
+                harness.with_max_steps(64);
+                harness.with_recv_timeout(std::time::Duration::from_millis(300));
+                let report = harness.run().unwrap();
+                match mutation.expected() {
+                    ExpectedClass::Violation => assert!(
+                        !report.compliant,
+                        "{name}/{mutation}: expected a monitor violation"
+                    ),
+                    ExpectedClass::Silence => assert!(
+                        report.compliant && !report.complete,
+                        "{name}/{mutation}: expected compliant-but-incomplete silence \
+                         (compliant={}, complete={})",
+                        report.compliant,
+                        report.complete
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn byzantine_mutations_that_do_not_apply_return_none() {
+        // A single-message protocol has no continuation to silence.
+        let one_shot = Protocol::new(
+            "one_shot",
+            GlobalType::msg1(
+                Role::new("a"),
+                Role::new("b"),
+                "m",
+                Sort::Nat,
+                GlobalType::End,
+            ),
+        )
+        .unwrap();
+        assert!(
+            byzantine_driver(&one_shot, ByzantineMutation::PrematureSilence)
+                .unwrap()
+                .is_none()
+        );
+        // An infinite loop has no reachable `end` to speak after.
+        let pipeline = Protocol::new("pipeline", generators::pipeline()).unwrap();
+        assert!(
+            byzantine_driver(&pipeline, ByzantineMutation::AfterTermination)
+                .unwrap()
+                .is_none()
+        );
     }
 
     #[test]

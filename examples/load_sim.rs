@@ -13,14 +13,22 @@
 //! violations being captured as incidents whose trace prefixes *replay* to
 //! the same verdict against the compiled system.
 //!
+//! The final act is the hostile-world campaign: synthesized byzantine
+//! casts (one minimal mutation each) are thrown at the server, the default
+//! quarantine policy stops every flagged session at its first violation,
+//! and the per-protocol quarantine counters and a replayed incident show
+//! the containment working.
+//!
 //! Run with `cargo run --release --example load_sim`.
 
 use std::time::Instant;
 
 use zooid::dsl::Protocol;
 use zooid::mpst::generators;
-use zooid::server::synth::skeleton_endpoints;
-use zooid::server::{ProtocolRegistry, ServerConfig, SessionServer, SessionSpec};
+use zooid::server::synth::{byzantine_driver, skeleton_endpoints};
+use zooid::server::{
+    ByzantineMutation, ExpectedClass, ProtocolRegistry, ServerConfig, SessionServer, SessionSpec,
+};
 
 const SESSIONS: usize = 1_000;
 const SHARDS: usize = 4;
@@ -84,6 +92,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let bad_outcomes = server.drain();
     assert!(bad_outcomes.iter().all(|o| !o.compliant));
+    assert!(
+        bad_outcomes.iter().all(|o| o.quarantined),
+        "the default policy quarantines every flagged session"
+    );
 
     let system = std::sync::Arc::clone(server.registry().get(ring).unwrap().compiled());
     let incidents = server.incidents();
@@ -102,12 +114,70 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     assert!(incidents.iter().all(|i| i.replays_violation(&system)));
 
+    // Fault campaign: synthesized byzantine casts, one minimal mutation
+    // per driver, each with a known expected class. Sessions landing in
+    // the Violation class are quarantined — stopped at their first
+    // violation, never stepped again — and counted per protocol.
+    println!("\nbyzantine campaign against `ring`:");
+    let ring_protocol = Protocol::new("ring", generators::ring_n(4))?;
+    let mut expected_quarantines = BAD_SESSIONS;
+    for mutation in ByzantineMutation::all() {
+        let Some(driver) = byzantine_driver(&ring_protocol, mutation)? else {
+            println!("  {mutation}: not applicable to this protocol shape");
+            continue;
+        };
+        let id = server.submit(SessionSpec::new(ring, driver.endpoints.clone()))?;
+        let outcome = server
+            .drain()
+            .into_iter()
+            .find(|o| o.id == id)
+            .expect("submitted session drains");
+        match driver.mutation.expected() {
+            ExpectedClass::Violation => {
+                assert!(!outcome.compliant && outcome.quarantined);
+                expected_quarantines += 1;
+                println!(
+                    "  {mutation}: quarantined after {} violation(s), actor {}",
+                    outcome.violations.len(),
+                    driver.actor
+                );
+            }
+            ExpectedClass::Silence => {
+                assert!(outcome.compliant && !outcome.complete && !outcome.quarantined);
+                println!("  {mutation}: compliant silence (stalled, not quarantined)");
+            }
+        }
+    }
+
+    // One replayed incident from the campaign, re-certified against the
+    // compiled system.
+    let incident = server
+        .incidents()
+        .into_iter()
+        .last()
+        .expect("the campaign captured incidents");
+    let s = incident.summary();
+    println!(
+        "  last incident: session {} role {} at position {} ({}) — replays: {}",
+        s.session,
+        s.role,
+        s.position,
+        s.action,
+        incident.replays_violation(&system),
+    );
+    assert!(incident.replays_violation(&system));
+
     let report = server.shutdown();
     println!("\n{report}");
+    println!("quarantined sessions per protocol:");
+    for (protocol, count) in &report.obs.per_protocol_quarantined {
+        println!("  protocol #{protocol}: {count}");
+    }
     assert_eq!(
-        report.sessions_completed() as usize,
-        SESSIONS + BAD_SESSIONS
+        report.sessions_quarantined() as usize,
+        expected_quarantines,
+        "quarantine counters must match the campaign"
     );
-    assert_eq!(report.sessions_violated() as usize, BAD_SESSIONS);
+    assert_eq!(report.sessions_violated() as usize, expected_quarantines);
     Ok(())
 }

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 CI for the zooid workspace: release build, full test-suite, and a
 # bench-report smoke run that validates the machine-readable benchmark
-# report (BENCH_pr8.json schema) without paying full measurement budgets.
+# report (BENCH_pr9.json schema) without paying full measurement budgets.
 #
 # The smoke bench-report is also the explore_parallel smoke suite: it runs
 # the work-stealing explorer at threads=2 and asserts verdict and
@@ -39,10 +39,15 @@ cargo test --release -q -p zooid-server --test incidents
 echo "== histogram property suite (merge monoid, bucket bounds, percentile monotonicity)"
 cargo test --release -q -p zooid-server --test obs_props
 
+echo "== hostile-world campaign (fault injection, byzantine casts, quarantine; pinned seeds)"
+# Every fault schedule in the suite is pinned by seed (11, 42, 97, 98,
+# 0xFA17), so a failure here is a behavioural regression, never flake.
+cargo test --release -q -p zooid-server --test hostile_campaign
+
 echo "== bench-report smoke (includes explore_parallel threads=2 agreement checks)"
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
-report="$tmpdir/BENCH_pr8.json"
+report="$tmpdir/BENCH_pr9.json"
 cargo run --release -p zooid-bench --bin bench-report -- --smoke --out "$report" >/dev/null
 
 echo "== validating $report"
@@ -54,7 +59,7 @@ import sys
 with open(sys.argv[1]) as f:
     report = json.load(f)
 
-assert report["pr"] == 8, f"unexpected pr marker: {report['pr']}"
+assert report["pr"] == 9, f"unexpected pr marker: {report['pr']}"
 benches = report["benches"]
 families = {e["bench"] for e in benches}
 for family in (
@@ -64,6 +69,7 @@ for family in (
     "endpoint_step",
     "batch_step",
     "obs_overhead",
+    "fault_overhead",
     "server_throughput",
     "server_throughput_tcp",
     "monitor_action",
@@ -97,6 +103,17 @@ assert all("/w" in e["case"] and "peraction" in e["case"] for e in obs), \
 for e in obs:
     assert e["speedup"] >= 0.85, \
         f"obs instrumentation overhead out of budget: {e}"
+fault = [e for e in benches if e["bench"] == "fault_overhead"]
+assert all(e["median_ns"] > 0 and e["baseline_ns"] > 0 for e in fault), \
+    "fault_overhead medians must be positive"
+assert all("peraction" in e["case"] for e in fault), \
+    "fault_overhead cases must use per-action units"
+# An empty-plan FaultyTransport must be a near-free wrapper: wrapped
+# stepping within 10% of the bare transport (speedup = bare/wrapped
+# >= 0.90), with the same smoke-noise allowance as obs_overhead.
+for e in fault:
+    assert e["speedup"] >= 0.85, \
+        f"fault wrapper tax out of budget: {e}"
 server = [e for e in benches if e["bench"] == "server_throughput"]
 assert all(e["median_ns"] > 0 for e in server), "server medians must be positive"
 assert any("shards4" in e["case"] for e in server), "expected a 4-shard case"
@@ -120,13 +137,13 @@ assert all(e["median_ns"] > 0 for e in par), "parallel medians must be positive"
 print(
     f"OK: {len(benches)} entries, {len(explore)} cfsm_explore, {len(por)} cfsm_explore_por, "
     f"{len(par)} cfsm_explore_par, {len(endpoint)} endpoint_step, {len(batch)} batch_step, "
-    f"{len(obs)} obs_overhead, {len(server)} server_throughput, "
+    f"{len(obs)} obs_overhead, {len(fault)} fault_overhead, {len(server)} server_throughput, "
     f"{len(tcp)} server_throughput_tcp, {len(monitor)} monitor_action cases"
 )
 EOF
 else
     # Fallback when python3 is unavailable: shape-check with grep.
-    grep -q '"pr": 8' "$report"
+    grep -q '"pr": 9' "$report"
     grep -q '"bench": "cfsm_explore"' "$report"
     grep -q '"bench": "cfsm_explore_por"' "$report"
     grep -q '"bench": "cfsm_explore_par"' "$report"
@@ -134,12 +151,13 @@ else
     grep -q '"bench": "endpoint_step"' "$report"
     grep -q '"bench": "batch_step"' "$report"
     grep -q '"bench": "obs_overhead"' "$report"
+    grep -q '"bench": "fault_overhead"' "$report"
     grep -q 'peraction' "$report"
     grep -q '"bench": "server_throughput"' "$report"
     grep -q '"bench": "server_throughput_tcp"' "$report"
     grep -q 'notrace' "$report"
     grep -q '"bench": "monitor_action"' "$report"
-    echo "OK (grep fallback): all nine bench families present"
+    echo "OK (grep fallback): all ten bench families present"
 fi
 
 echo "== CI green"
