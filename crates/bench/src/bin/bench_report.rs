@@ -1,4 +1,4 @@
-//! Emits a machine-readable benchmark report (`BENCH_pr9.json`) so future
+//! Emits a machine-readable benchmark report (`BENCH_pr10.json`) so future
 //! PRs can track the performance trajectory of the hot paths.
 //!
 //! For every scalable protocol family (`ring`, `chain`, `fanout`) at sizes
@@ -106,7 +106,7 @@
 //!   engines visit identical configuration counts before timing them).
 //!
 //! Run with `cargo run --release -p zooid-bench --bin bench-report`; writes
-//! `BENCH_pr9.json` in the current directory. `--smoke` shrinks sizes and
+//! `BENCH_pr10.json` in the current directory. `--smoke` shrinks sizes and
 //! budgets for CI smoke runs, `--out PATH` redirects the report.
 
 use std::sync::Arc;
@@ -124,6 +124,8 @@ use zooid_mpst::{Action, Label, Role, Sort};
 use zooid_cfsm::CompiledSystem;
 use zooid_proc::{erase, CompiledProc, Externals, Proc};
 use zooid_runtime::cbatch::{BatchLayout, SessionBatch};
+use zooid_runtime::checkpoint::SessionCheckpoint;
+use zooid_runtime::wal::{encode_quantum, encode_quantum_naive, WalIndexer};
 use zooid_runtime::cexec::{CompiledEndpointTask, EndpointProgram};
 use zooid_runtime::exec::{EndpointTask, ExecOptions, StepOutcome};
 use zooid_runtime::faults::{FaultPlan, FaultyTransport};
@@ -447,7 +449,7 @@ struct Options {
 fn parse_args() -> Options {
     let mut opts = Options {
         smoke: false,
-        out: "BENCH_pr9.json".to_owned(),
+        out: "BENCH_pr10.json".to_owned(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -1347,7 +1349,198 @@ fn main() {
         });
     }
 
-    let mut json = String::from("{\n  \"pr\": 9,\n  \"benches\": [\n");
+    // ------------------------------------------------------------------
+    // checkpoint_restore: latency of bringing one mid-flight session back
+    // through the durability plane — decode the checkpoint blob and
+    // re-certify it against the compiled tables (`SessionCheckpoint::decode`
+    // + `into_demoted`) — vs recovery by replay: re-executing the session
+    // from its initial state to the same quantum boundary, which is what a
+    // server without checkpoints would have to do.
+    // ------------------------------------------------------------------
+    // Two regimes: a shallow kill point (restore pays the codec without
+    // much replay to beat) and a deep one (replay cost grows with history,
+    // the checkpoint stays near-constant — the durability win).
+    let ckpt_cases: Vec<(String, GlobalType, Option<usize>, usize)> = vec![
+        ("ring/8".into(), generators::ring_n(8), None, 4),
+        ("fanout_loop/4".into(), fanout_loop(4), Some(256), 200),
+    ];
+    for (case, g, max_steps, kill_after) in &ckpt_cases {
+        let mut procs: Vec<(Role, Proc)> = project_all(g)
+            .expect("bench families are projectable")
+            .into_iter()
+            .map(|(role, local)| {
+                let proc = zooid_server::synth::skeleton_proc(&local)
+                    .expect("bench families synthesize");
+                (role, proc)
+            })
+            .collect();
+        procs.sort_by(|a, b| a.0.cmp(&b.0));
+        let system = Arc::new(
+            System::from_global(g)
+                .expect("bench families are projectable")
+                .compile(),
+        );
+        let externals = Externals::new();
+        let programs: Vec<Arc<EndpointProgram>> = procs
+            .iter()
+            .map(|(role, proc)| {
+                let compiled =
+                    CompiledProc::compile(proc, role, &externals).expect("skeletons compile");
+                Arc::new(EndpointProgram::with_system(Arc::new(compiled), &system))
+            })
+            .collect();
+        let roles: Arc<[Role]> = procs
+            .iter()
+            .map(|(r, _)| r.clone())
+            .collect::<Vec<_>>()
+            .into();
+        let layout = BatchLayout::new(roles, programs.clone(), Arc::clone(&system))
+            .expect("bench skeletons are batch-eligible");
+        let options = match max_steps {
+            Some(steps) => ExecOptions::with_max_steps(*steps),
+            None => ExecOptions::default(),
+        };
+        // The mid-flight state under test: one session interrupted after
+        // `kill_after` budget-1 quanta.
+        let mut batch = SessionBatch::new(Arc::clone(&layout), options.clone(), 1);
+        assert!(batch.admit(0));
+        for _ in 0..*kill_after {
+            let out = batch.run_quantum(1);
+            assert!(
+                out.finished.is_empty() && out.demoted.is_empty(),
+                "{case}: the kill point must be mid-flight"
+            );
+        }
+        let demoted = batch.demote_now(0).expect("session still live");
+        let bytes = SessionCheckpoint::from_demoted(&demoted).encode();
+
+        let ns = median_ns(
+            || {
+                let restored = SessionCheckpoint::decode(std::hint::black_box(&bytes))
+                    .expect("own encoding decodes")
+                    .into_demoted(&programs, &system)
+                    .expect("own checkpoint re-validates");
+                std::hint::black_box(restored.endpoints.len());
+            },
+            if opts.smoke { 5 } else { 25 },
+            if opts.smoke { 300 } else { 3_000 },
+        );
+        let baseline_ns = median_ns(
+            || {
+                let mut replay = SessionBatch::new(Arc::clone(&layout), options.clone(), 1);
+                assert!(replay.admit(0));
+                for _ in 0..*kill_after {
+                    replay.run_quantum(1);
+                }
+                let state = replay.demote_now(0).expect("still live");
+                std::hint::black_box(state.endpoints.len());
+            },
+            if opts.smoke { 5 } else { 25 },
+            if opts.smoke { 300 } else { 3_000 },
+        );
+        entries.push(Entry {
+            bench: "checkpoint_restore",
+            case: format!("{case}/q{kill_after}/bytes{}/restore", bytes.len()),
+            median_ns: ns.max(1),
+            baseline_ns: baseline_ns.max(1),
+            baseline: "recovery by replay (re-run the session to the same quantum, same run)",
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // wal_append: audit-log density of the columnar write-ahead format —
+    // per-quantum records split into a skeleton column (session, role,
+    // per-program event-template id) and a value column — vs serializing
+    // each record's full `ValueAction` (roles, label, sort spelled out
+    // per record). Reported in bytes per logged action, so speedup is the
+    // density win of the structural-entropy split.
+    // ------------------------------------------------------------------
+    let wal_cases: Vec<(String, GlobalType, Option<usize>)> = vec![
+        ("ring/8".into(), generators::ring_n(8), None),
+        ("two_buyer".into(), generators::two_buyer(), None),
+        ("fanout_loop/4".into(), fanout_loop(4), Some(64)),
+    ];
+    for (case, g, max_steps) in &wal_cases {
+        let mut procs: Vec<(Role, Proc)> = project_all(g)
+            .expect("bench families are projectable")
+            .into_iter()
+            .map(|(role, local)| {
+                let proc = zooid_server::synth::skeleton_proc(&local)
+                    .expect("bench families synthesize");
+                (role, proc)
+            })
+            .collect();
+        procs.sort_by(|a, b| a.0.cmp(&b.0));
+        let system = Arc::new(
+            System::from_global(g)
+                .expect("bench families are projectable")
+                .compile(),
+        );
+        let externals = Externals::new();
+        let programs: Vec<Arc<EndpointProgram>> = procs
+            .iter()
+            .map(|(role, proc)| {
+                let compiled =
+                    CompiledProc::compile(proc, role, &externals).expect("skeletons compile");
+                Arc::new(EndpointProgram::with_system(Arc::new(compiled), &system))
+            })
+            .collect();
+        let roles: Arc<[Role]> = procs
+            .iter()
+            .map(|(r, _)| r.clone())
+            .collect::<Vec<_>>()
+            .into();
+        let layout = BatchLayout::new(roles, programs.clone(), Arc::clone(&system))
+            .expect("bench skeletons are batch-eligible");
+        let options = match max_steps {
+            Some(steps) => ExecOptions::with_max_steps(*steps),
+            None => ExecOptions::default(),
+        };
+        // One recorded session supplies the log: every visible action of
+        // every endpoint, columnarized through the shared indexer.
+        let mut batch = SessionBatch::new(Arc::clone(&layout), options, 1);
+        assert!(batch.admit(0));
+        let out = batch.run_quantum(usize::MAX);
+        let indexer = WalIndexer::new(layout.programs());
+        // Concluded sessions report their actions in `finished`; looping
+        // cases end at the step limit and leave as demoted stragglers.
+        let records: Vec<_> = out
+            .finished
+            .iter()
+            .flat_map(|o| o.endpoints.iter())
+            .flat_map(|r| r.actions.iter())
+            .chain(
+                out.demoted
+                    .iter()
+                    .flat_map(|d| d.endpoints.iter())
+                    .flat_map(|ep| ep.actions.iter()),
+            )
+            .map(|va| {
+                indexer
+                    .record(0, va)
+                    .expect("bench skeleton actions columnarize")
+            })
+            .collect();
+        assert!(!records.is_empty(), "{case}: the log must not be empty");
+        let actions = records.len() as u64;
+        let columnar = encode_quantum(&records).len() as u64;
+        let naive = encode_quantum_naive(&records, &indexer)
+            .expect("records resolve")
+            .len() as u64;
+        assert!(
+            columnar < naive,
+            "{case}: the columnar skeleton must be denser ({columnar} vs {naive} bytes)"
+        );
+        entries.push(Entry {
+            bench: "wal_append",
+            case: format!("{case}/n{actions}/bytesperaction"),
+            median_ns: (columnar / actions).max(1),
+            baseline_ns: (naive / actions).max(1),
+            baseline: "naive per-record serialization (encode_quantum_naive, same records)",
+        });
+    }
+
+    let mut json = String::from("{\n  \"pr\": 10,\n  \"benches\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let speedup = if e.median_ns > 0 && e.baseline_ns > 0 {
             e.baseline_ns as f64 / e.median_ns as f64

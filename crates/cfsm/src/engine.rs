@@ -595,6 +595,37 @@ impl CompiledSystem {
         }
     }
 
+    /// Rebuilds a [`MonitorCursor`] from raw state, validating every
+    /// component against the compiled tables: one state per machine, each in
+    /// range for that machine's state table; one queue per channel, each
+    /// queued [`MsgId`] in range for the interned message table.
+    ///
+    /// This is the trust boundary for persisted monitor state (checkpoints,
+    /// write-ahead logs): `None` means the raw state cannot have come from
+    /// this system, so the caller must refuse it rather than admit a cursor
+    /// whose indices would be read out of bounds.
+    pub fn restore_cursor(
+        &self,
+        states: Vec<u32>,
+        queues: Vec<VecDeque<MsgId>>,
+    ) -> Option<MonitorCursor> {
+        if states.len() != self.machine_count() || queues.len() != self.channels.len() {
+            return None;
+        }
+        for (m, &s) in states.iter().enumerate() {
+            if (s as usize) >= self.tables[m].len() {
+                return None;
+            }
+        }
+        let msgs = self.snapshot.msg_len();
+        for queue in &queues {
+            if queue.iter().any(|msg| msg.index() >= msgs) {
+                return None;
+            }
+        }
+        Some(MonitorCursor { states, queues })
+    }
+
     /// Advances `cursor` by one observed action, following the per-role
     /// transition tables with unbounded FIFO channels (the asynchronous
     /// semantics of the protocol, §3.4).
@@ -879,6 +910,20 @@ pub(crate) fn all_can_finish(preds: &[Vec<u32>], final_indices: Vec<u32>) -> boo
 pub struct MonitorCursor {
     states: Vec<u32>,
     queues: Vec<VecDeque<MsgId>>,
+}
+
+impl MonitorCursor {
+    /// The current machine state per role, in machine order. Raw material
+    /// for checkpoint serialization; rebuild a cursor with
+    /// [`CompiledSystem::restore_cursor`], never by hand.
+    pub fn states(&self) -> &[u32] {
+        &self.states
+    }
+
+    /// The queued interned message ids per dense channel, in channel order.
+    pub fn queues(&self) -> &[VecDeque<MsgId>] {
+        &self.queues
+    }
 }
 
 /// An observable action pre-resolved against a [`CompiledSystem`]'s tables:

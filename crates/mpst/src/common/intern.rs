@@ -151,6 +151,14 @@ impl MsgId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuilds a message id from a raw index, as produced by
+    /// [`MsgId::index`]. The result is only meaningful against the interner
+    /// (or snapshot) the index came from; callers restoring persisted state
+    /// must bounds-check it against that table before trusting it.
+    pub fn from_index(index: usize) -> Option<MsgId> {
+        u32::try_from(index).ok().map(MsgId)
+    }
 }
 
 /// One alternative of an interned choice: everything is a dense id, so

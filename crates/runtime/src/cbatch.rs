@@ -58,7 +58,14 @@ use zooid_proc::{Value, ValueAction};
 use crate::cexec::{ActionTemplate, EndpointProgram, ADMIN_FUEL};
 use crate::error::RuntimeError;
 use crate::exec::{sort_of_value, EndpointReport, EndpointStatus, ExecOptions};
+use crate::faults::{ArenaFaults, FaultKind, FaultPlan, InjectedFault};
 use crate::monitor::{CompiledMonitor, MonitorViolation};
+
+/// The wire id an arena [`FaultKind::Truncate`] injection writes in place
+/// of the real one. Deliberately out of range for every layout (`u32::MAX`
+/// doubles as `BatchLayout::label_wire`'s "no site" sentinel), so the
+/// receiver surfaces it as a codec failure rather than a mis-delivery.
+const CORRUPT_WIRE: u32 = u32::MAX;
 
 /// The shared skeleton of a batch: the per-role compiled programs plus the
 /// routing tables derived from them once — dense peer indices
@@ -338,6 +345,9 @@ pub struct SessionBatch {
     queues: Vec<FrameQueue>,
     // (pc, session) scratch for cohort grouping, reused across passes.
     scratch: Vec<(u32, u32)>,
+    // Fault evaluator for the arena write path (hostile-world suite);
+    // `None` outside fault campaigns, costing one branch per send.
+    arena_faults: Option<ArenaFaults>,
 }
 
 impl SessionBatch {
@@ -377,7 +387,23 @@ impl SessionBatch {
             slots,
             queues,
             scratch: Vec::new(),
+            arena_faults: None,
         }
+    }
+
+    /// Arms deterministic fault injection on the arena write path. In-batch
+    /// sends never cross a [`Transport`](crate::transport::Transport), so
+    /// [`crate::faults::FaultyTransport`] cannot reach them; this is the
+    /// batch plane's counterpart. See [`ArenaFaults`] for which
+    /// [`FaultKind`]s are meaningful at this seam.
+    pub fn set_arena_faults(&mut self, plan: &FaultPlan) {
+        self.arena_faults = Some(ArenaFaults::new(plan));
+    }
+
+    /// The deterministic log of arena faults injected so far (empty when
+    /// no plan is armed).
+    pub fn arena_fault_schedule(&self) -> &[InjectedFault] {
+        self.arena_faults.as_ref().map_or(&[], ArenaFaults::schedule)
     }
 
     /// The shared layout the batch runs.
@@ -474,6 +500,14 @@ impl SessionBatch {
     pub fn demote_now(&mut self, token: u64) -> Option<DemotedSession> {
         let s = (0..self.cap).find(|&s| self.live[s] && self.tokens[s] == token)?;
         Some(self.extract_demoted(s))
+    }
+
+    /// Demotes **every** live session out of the batch (shard drain /
+    /// migration): each leaves with its full resumable state, exactly as a
+    /// mid-flight straggler demotion would, and the batch ends empty.
+    pub fn demote_all(&mut self) -> Vec<DemotedSession> {
+        let live: Vec<usize> = (0..self.cap).filter(|&s| self.live[s]).collect();
+        live.into_iter().map(|s| self.extract_demoted(s)).collect()
     }
 
     fn run_pass(&mut self, layout: &BatchLayout, out: &mut BatchQuantum) {
@@ -693,7 +727,22 @@ impl SessionBatch {
                 value.clone(),
             ));
         }
-        self.queues[ch + s].push(wire, value);
+        // The arena seam: by this point the send is observed and recorded —
+        // exactly like a transport-level fault, which strikes after the
+        // sender has committed the action.
+        match self
+            .arena_faults
+            .as_mut()
+            .and_then(|f| f.decide(&template.peer, &template.label))
+        {
+            Some(FaultKind::Drop) => {}
+            Some(FaultKind::Duplicate) => {
+                self.queues[ch + s].push(wire, value.clone());
+                self.queues[ch + s].push(wire, value);
+            }
+            Some(FaultKind::Truncate) => self.queues[ch + s].push(CORRUPT_WIRE, value),
+            _ => self.queues[ch + s].push(wire, value),
+        }
         self.steps[idx] += 1;
         self.pcs[idx] = next;
         self.progress[s] = true;
@@ -734,14 +783,21 @@ impl SessionBatch {
             .iter()
             .find(|arm| layout.label_wire[r][arm.label.index()] == wire)
         else {
-            self.fail(
-                idx,
-                s,
-                RuntimeError::UnexpectedMessage {
+            // A wire id outside the label table is a corrupted frame (the
+            // arena Truncate fault, or a bug), not a mis-labelled message.
+            let err = match layout.labels.get(wire as usize) {
+                Some(label) => RuntimeError::UnexpectedMessage {
                     from: layout.roles[q].clone(),
-                    label: layout.labels[wire as usize].clone(),
+                    label: label.clone(),
                 },
-            );
+                None => RuntimeError::Codec {
+                    reason: format!(
+                        "corrupted frame in the batch arena from `{}` (wire id {wire})",
+                        layout.roles[q]
+                    ),
+                },
+            };
+            self.fail(idx, s, err);
             return;
         };
         let template = &layout.programs[r].templates()[arm.event as usize];
@@ -883,12 +939,15 @@ impl SessionBatch {
             for to in 0..n {
                 let queue = &mut self.queues[(from * n + to) * cap + s];
                 while let Some((wire, value)) = queue.pop() {
-                    frames.push((
-                        from as u32,
-                        to as u32,
-                        layout.labels[wire as usize].clone(),
-                        value,
-                    ));
+                    // A corrupted in-flight frame keeps a deliberately
+                    // unknown label, so the slab receiver rejects it just
+                    // as the batch receiver would have.
+                    let label = layout
+                        .labels
+                        .get(wire as usize)
+                        .cloned()
+                        .unwrap_or_else(|| Label::new("\u{fffd}corrupt"));
+                    frames.push((from as u32, to as u32, label, value));
                 }
             }
         }

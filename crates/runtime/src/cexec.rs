@@ -354,6 +354,35 @@ impl CompiledEndpointTask {
         self.steps
     }
 
+    /// The current program counter: the flat-table instruction index the
+    /// next step will execute. Together with [`CompiledEndpointTask::slots`]
+    /// and [`CompiledEndpointTask::status`] this is the whole resumable
+    /// execution state a checkpoint must carry for
+    /// [`CompiledEndpointTask::resume`].
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// The current value slots, indexed by the program's slot assignment.
+    pub fn slots(&self) -> &[Value] {
+        &self.slots
+    }
+
+    /// The endpoint's conclusion, or `None` while it is still running.
+    pub fn status(&self) -> Option<&EndpointStatus> {
+        self.status.as_ref()
+    }
+
+    /// The execution options the task runs under.
+    pub fn options(&self) -> &ExecOptions {
+        &self.options
+    }
+
+    /// The compiled program the task executes.
+    pub fn program(&self) -> &Arc<EndpointProgram> {
+        &self.program
+    }
+
     /// Returns `true` once the execution is over.
     pub fn is_done(&self) -> bool {
         self.status.is_some()

@@ -1,0 +1,657 @@
+//! Durable session checkpoints: a live session serialized through the wire
+//! codec and restored under re-validation.
+//!
+//! A compiled session is a tiny resumable value — per-role program counter
+//! and slot array, the monitor's [`MonitorCursor`] position, and the frames
+//! still in flight — and the batch plane already extracts exactly that
+//! shape when it demotes a straggler ([`DemotedSession`]). This module
+//! makes that shape *durable*: [`SessionCheckpoint::from_demoted`] captures
+//! it, [`SessionCheckpoint::encode`]/[`SessionCheckpoint::decode`] move it
+//! through the same self-describing binary codec the wire uses
+//! ([`crate::codec`]), and [`SessionCheckpoint::into_demoted`] rebuilds a
+//! `DemotedSession` that [`CompiledEndpointTask::resume`] and
+//! [`CompiledMonitor::resume`] continue exactly where the checkpoint was
+//! taken.
+//!
+//! Restoration is a trust boundary, not a deserializer: every index in the
+//! checkpoint — program counters, slot counts, monitor states, queued
+//! message ids, frame endpoints — is validated against the compiled
+//! programs and transition tables it claims to resume
+//! ([`zooid_cfsm::CompiledSystem::restore_cursor`] does the cursor half).
+//! Bytes that decode but describe a state the protocol's tables do not
+//! admit are refused with [`RuntimeError::Recovery`]; a corrupted or
+//! hostile checkpoint never becomes a running session.
+//!
+//! [`MonitorCursor`]: zooid_cfsm::MonitorCursor
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use bytes::{BufMut, Bytes, BytesMut};
+use zooid_cfsm::CompiledSystem;
+use zooid_mpst::common::intern::MsgId;
+use zooid_mpst::{Action, Label, Role, Sort, Trace};
+use zooid_proc::{Value, ValueAction};
+
+use crate::cbatch::{DemotedEndpoint, DemotedSession};
+use crate::cexec::{CompiledEndpointTask, EndpointProgram};
+use crate::codec::{get_str, get_u32, get_u64, get_u8, get_value, put_str, put_value};
+use crate::error::{Result, RuntimeError};
+use crate::exec::{EndpointStatus, ExecOptions};
+use crate::monitor::{CompiledMonitor, MonitorViolation};
+
+/// Format magic leading every encoded checkpoint (`"ZCKP"`).
+const MAGIC: u32 = 0x5A43_4B50;
+/// Format version; bumped on any incompatible layout change.
+const VERSION: u8 = 1;
+
+/// One endpoint's serialized execution state.
+#[derive(Debug, Clone, PartialEq)]
+struct EndpointState {
+    role: Role,
+    pc: u32,
+    slots: Vec<Value>,
+    actions: Vec<ValueAction>,
+    steps: u64,
+    status: Option<EndpointStatus>,
+}
+
+/// A serializable snapshot of one live session: everything
+/// [`CompiledEndpointTask::resume`] and [`CompiledMonitor::resume`] need to
+/// continue it, in a form the codec can move to disk or across the wire.
+///
+/// The compiled programs themselves are **not** part of a checkpoint — they
+/// are code, shared and cached per protocol, and the restoring side supplies
+/// them to [`SessionCheckpoint::into_demoted`] (which verifies the
+/// checkpoint actually fits them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionCheckpoint {
+    token: u64,
+    max_steps: Option<u64>,
+    record_actions: bool,
+    endpoints: Vec<EndpointState>,
+    /// Monitor cursor: machine states in machine order.
+    states: Vec<u32>,
+    /// Monitor cursor: queued interned message ids per dense channel.
+    queues: Vec<Vec<u32>>,
+    trace: Vec<Action>,
+    violations: Vec<(Action, u64, u64)>,
+    accepted: u64,
+    observed: u64,
+    record_trace: bool,
+    /// In-flight frames as `(from, to, label, value)` role indices, in
+    /// per-channel delivery order.
+    frames: Vec<(u32, u32, Label, Value)>,
+}
+
+impl SessionCheckpoint {
+    /// Captures a demoted session's full resumable state. This is the one
+    /// construction path: both the slab executor (via
+    /// [`checkpoint_task`]-built [`DemotedSession`]s) and the columnar batch
+    /// plane (via
+    /// [`SessionBatch::demote_now`](crate::cbatch::SessionBatch::demote_now))
+    /// produce `DemotedSession`s, so one capture covers both execution
+    /// paths.
+    pub fn from_demoted(demoted: &DemotedSession) -> Self {
+        let monitor = &demoted.monitor;
+        let cursor = monitor.cursor();
+        SessionCheckpoint {
+            token: demoted.token,
+            max_steps: demoted.options.max_steps.map(|n| n as u64),
+            record_actions: demoted.options.record_actions,
+            endpoints: demoted
+                .endpoints
+                .iter()
+                .map(|ep| EndpointState {
+                    role: ep.role.clone(),
+                    pc: ep.pc,
+                    slots: ep.slots.clone(),
+                    actions: ep.actions.clone(),
+                    steps: ep.steps as u64,
+                    status: ep.status.clone(),
+                })
+                .collect(),
+            states: cursor.states().to_vec(),
+            queues: cursor
+                .queues()
+                .iter()
+                .map(|q| q.iter().map(|m| m.index() as u32).collect())
+                .collect(),
+            trace: monitor.trace().iter().cloned().collect(),
+            violations: monitor
+                .violations()
+                .iter()
+                .map(|v| (v.action.clone(), v.position as u64, v.trace_len as u64))
+                .collect(),
+            accepted: monitor.accepted() as u64,
+            observed: monitor.observed() as u64,
+            record_trace: monitor.records_trace(),
+            frames: demoted.frames.clone(),
+        }
+    }
+
+    /// The caller-supplied session token the checkpoint carries.
+    pub fn token(&self) -> u64 {
+        self.token
+    }
+
+    /// The roles of the checkpointed endpoints, in checkpoint order.
+    pub fn roles(&self) -> impl Iterator<Item = &Role> {
+        self.endpoints.iter().map(|ep| &ep.role)
+    }
+
+    /// Serializes the checkpoint with the wire codec: one-byte tags,
+    /// big-endian integers, length-prefixed strings.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u32(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u64(self.token);
+        put_opt_u64(&mut buf, self.max_steps);
+        buf.put_u8(u8::from(self.record_actions));
+        buf.put_u32(self.endpoints.len() as u32);
+        for ep in &self.endpoints {
+            put_str(&mut buf, ep.role.name());
+            buf.put_u32(ep.pc);
+            buf.put_u32(ep.slots.len() as u32);
+            for slot in &ep.slots {
+                put_value(&mut buf, slot);
+            }
+            buf.put_u32(ep.actions.len() as u32);
+            for action in &ep.actions {
+                put_value_action(&mut buf, action);
+            }
+            buf.put_u64(ep.steps);
+            put_status(&mut buf, ep.status.as_ref());
+        }
+        buf.put_u32(self.states.len() as u32);
+        for &s in &self.states {
+            buf.put_u32(s);
+        }
+        buf.put_u32(self.queues.len() as u32);
+        for queue in &self.queues {
+            buf.put_u32(queue.len() as u32);
+            for &m in queue {
+                buf.put_u32(m);
+            }
+        }
+        buf.put_u32(self.trace.len() as u32);
+        for action in &self.trace {
+            put_action(&mut buf, action);
+        }
+        buf.put_u32(self.violations.len() as u32);
+        for (action, position, trace_len) in &self.violations {
+            put_action(&mut buf, action);
+            buf.put_u64(*position);
+            buf.put_u64(*trace_len);
+        }
+        buf.put_u64(self.accepted);
+        buf.put_u64(self.observed);
+        buf.put_u8(u8::from(self.record_trace));
+        buf.put_u32(self.frames.len() as u32);
+        for (from, to, label, value) in &self.frames {
+            buf.put_u32(*from);
+            buf.put_u32(*to);
+            put_str(&mut buf, label.name());
+            put_value(&mut buf, value);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Codec`] on truncated or malformed input, including
+    /// trailing bytes — the checkpoint codec inherits the wire codec's
+    /// strictness.
+    pub fn decode(mut bytes: &[u8]) -> Result<Self> {
+        let bytes = &mut bytes;
+        if get_u32(bytes)? != MAGIC {
+            return Err(RuntimeError::Codec {
+                reason: "not a session checkpoint (bad magic)".to_owned(),
+            });
+        }
+        let version = get_u8(bytes)?;
+        if version != VERSION {
+            return Err(RuntimeError::Codec {
+                reason: format!("unsupported checkpoint version {version}"),
+            });
+        }
+        let token = get_u64(bytes)?;
+        let max_steps = get_opt_u64(bytes)?;
+        let record_actions = get_bool(bytes)?;
+        let n = get_u32(bytes)? as usize;
+        let mut endpoints = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let role = Role::new(get_str(bytes)?);
+            let pc = get_u32(bytes)?;
+            let slot_count = get_u32(bytes)? as usize;
+            let mut slots = Vec::with_capacity(slot_count.min(1024));
+            for _ in 0..slot_count {
+                slots.push(get_value(bytes)?);
+            }
+            let action_count = get_u32(bytes)? as usize;
+            let mut actions = Vec::with_capacity(action_count.min(1024));
+            for _ in 0..action_count {
+                actions.push(get_value_action(bytes)?);
+            }
+            let steps = get_u64(bytes)?;
+            let status = get_status(bytes)?;
+            endpoints.push(EndpointState {
+                role,
+                pc,
+                slots,
+                actions,
+                steps,
+                status,
+            });
+        }
+        let state_count = get_u32(bytes)? as usize;
+        let mut states = Vec::with_capacity(state_count.min(1024));
+        for _ in 0..state_count {
+            states.push(get_u32(bytes)?);
+        }
+        let queue_count = get_u32(bytes)? as usize;
+        let mut queues = Vec::with_capacity(queue_count.min(1024));
+        for _ in 0..queue_count {
+            let len = get_u32(bytes)? as usize;
+            let mut queue = Vec::with_capacity(len.min(1024));
+            for _ in 0..len {
+                queue.push(get_u32(bytes)?);
+            }
+            queues.push(queue);
+        }
+        let trace_len = get_u32(bytes)? as usize;
+        let mut trace = Vec::with_capacity(trace_len.min(1024));
+        for _ in 0..trace_len {
+            trace.push(get_action(bytes)?);
+        }
+        let violation_count = get_u32(bytes)? as usize;
+        let mut violations = Vec::with_capacity(violation_count.min(1024));
+        for _ in 0..violation_count {
+            let action = get_action(bytes)?;
+            let position = get_u64(bytes)?;
+            let trace_len = get_u64(bytes)?;
+            violations.push((action, position, trace_len));
+        }
+        let accepted = get_u64(bytes)?;
+        let observed = get_u64(bytes)?;
+        let record_trace = get_bool(bytes)?;
+        let frame_count = get_u32(bytes)? as usize;
+        let mut frames = Vec::with_capacity(frame_count.min(1024));
+        for _ in 0..frame_count {
+            let from = get_u32(bytes)?;
+            let to = get_u32(bytes)?;
+            let label = Label::new(get_str(bytes)?);
+            let value = get_value(bytes)?;
+            frames.push((from, to, label, value));
+        }
+        if !bytes.is_empty() {
+            return Err(RuntimeError::Codec {
+                reason: format!("{} trailing bytes after the checkpoint", bytes.len()),
+            });
+        }
+        Ok(SessionCheckpoint {
+            token,
+            max_steps,
+            record_actions,
+            endpoints,
+            states,
+            queues,
+            trace,
+            violations,
+            accepted,
+            observed,
+            record_trace,
+            frames,
+        })
+    }
+
+    /// Rebuilds the resumable session, re-validating every piece of the
+    /// checkpoint against the compiled programs (one per endpoint, in
+    /// checkpoint role order) and the protocol's compiled transition tables.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Recovery`] when the checkpoint does not fit the
+    /// supplied programs and system: wrong role set, a program counter or
+    /// slot array the program does not have, a monitor cursor the tables
+    /// refuse ([`CompiledSystem::restore_cursor`]), inconsistent monitor
+    /// counters, or frames between roles the session does not contain.
+    pub fn into_demoted(
+        self,
+        programs: &[Arc<EndpointProgram>],
+        system: &Arc<CompiledSystem>,
+    ) -> Result<DemotedSession> {
+        let refuse = |reason: String| Err(RuntimeError::Recovery { reason });
+        if programs.len() != self.endpoints.len() {
+            return refuse(format!(
+                "checkpoint has {} endpoints but the protocol compiles {} programs",
+                self.endpoints.len(),
+                programs.len()
+            ));
+        }
+        let n = self.endpoints.len() as u32;
+        let mut endpoints = Vec::with_capacity(self.endpoints.len());
+        for (ep, program) in self.endpoints.into_iter().zip(programs) {
+            let compiled = program.program();
+            if compiled.role() != &ep.role {
+                return refuse(format!(
+                    "checkpoint role `{}` does not match program role `{}`",
+                    ep.role,
+                    compiled.role()
+                ));
+            }
+            if ep.pc as usize >= compiled.instrs().len() {
+                return refuse(format!(
+                    "program counter {} is outside `{}`'s instruction table",
+                    ep.pc, ep.role
+                ));
+            }
+            if ep.slots.len() != compiled.slot_count() {
+                return refuse(format!(
+                    "`{}` carries {} slots but its program declares {}",
+                    ep.role,
+                    ep.slots.len(),
+                    compiled.slot_count()
+                ));
+            }
+            endpoints.push(DemotedEndpoint {
+                role: ep.role,
+                program: Arc::clone(program),
+                pc: ep.pc,
+                slots: ep.slots,
+                actions: ep.actions,
+                steps: ep.steps as usize,
+                status: ep.status,
+            });
+        }
+        let queues: Vec<VecDeque<MsgId>> = self
+            .queues
+            .iter()
+            .map(|q| {
+                q.iter()
+                    .map(|&m| MsgId::from_index(m as usize).expect("u32 index fits"))
+                    .collect()
+            })
+            .collect();
+        let Some(cursor) = system.restore_cursor(self.states, queues) else {
+            return refuse(
+                "monitor cursor does not fit the protocol's compiled tables".to_owned(),
+            );
+        };
+        if self.accepted > self.observed {
+            return refuse(format!(
+                "monitor claims {} accepted actions out of {} observed",
+                self.accepted, self.observed
+            ));
+        }
+        if self.accepted + self.violations.len() as u64 != self.observed {
+            return refuse(
+                "monitor counters disagree with the recorded violations".to_owned(),
+            );
+        }
+        for (from, to, _, _) in &self.frames {
+            if *from >= n || *to >= n || from == to {
+                return refuse(format!(
+                    "in-flight frame between role indices {from} and {to} of {n} roles"
+                ));
+            }
+        }
+        let violations = self
+            .violations
+            .into_iter()
+            .map(|(action, position, trace_len)| MonitorViolation {
+                action,
+                position: position as usize,
+                trace_len: trace_len as usize,
+            })
+            .collect();
+        let monitor = CompiledMonitor::resume(
+            Arc::clone(system),
+            cursor,
+            Trace::new(self.trace),
+            self.accepted as usize,
+            violations,
+            self.observed as usize,
+            self.record_trace,
+        );
+        Ok(DemotedSession {
+            token: self.token,
+            options: ExecOptions {
+                max_steps: self.max_steps.map(|n| n as usize),
+                record_actions: self.record_actions,
+            },
+            endpoints,
+            monitor,
+            frames: self.frames,
+        })
+    }
+}
+
+/// Extracts one slab task's resumable state (the checkpoint counterpart of
+/// what [`SessionBatch`](crate::cbatch::SessionBatch) extracts when it
+/// demotes a session): the task keeps running, the extraction only clones.
+pub fn checkpoint_task(task: &CompiledEndpointTask) -> DemotedEndpoint {
+    DemotedEndpoint {
+        role: task.role().clone(),
+        program: Arc::clone(task.program()),
+        pc: task.pc(),
+        slots: task.slots().to_vec(),
+        actions: task.actions().to_vec(),
+        steps: task.steps(),
+        status: task.status().cloned(),
+    }
+}
+
+/// The *initial* certified checkpoint of a session that has not stepped
+/// yet: every program at its entry point with unit-initialized slots, a
+/// fresh monitor, no frames. The empty trace is trivially certified, so
+/// this is the restart point of last resort when no later certified
+/// checkpoint exists (e.g. a batch session that violated before its first
+/// snapshot).
+pub fn initial_demoted(
+    token: u64,
+    options: ExecOptions,
+    programs: &[Arc<EndpointProgram>],
+    system: &Arc<CompiledSystem>,
+) -> DemotedSession {
+    let endpoints = programs
+        .iter()
+        .map(|program| {
+            let compiled = program.program();
+            DemotedEndpoint {
+                role: compiled.role().clone(),
+                program: Arc::clone(program),
+                pc: compiled.entry(),
+                slots: vec![Value::Unit; compiled.slot_count()],
+                actions: Vec::new(),
+                steps: 0,
+                status: None,
+            }
+        })
+        .collect();
+    let mut monitor = CompiledMonitor::new(Arc::clone(system));
+    monitor.set_record_trace(options.record_actions);
+    DemotedSession {
+        token,
+        options,
+        endpoints,
+        monitor,
+        frames: Vec::new(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sub-codecs shared with the write-ahead log
+// ---------------------------------------------------------------------
+
+const SORT_UNIT: u8 = 0;
+const SORT_NAT: u8 = 1;
+const SORT_INT: u8 = 2;
+const SORT_BOOL: u8 = 3;
+const SORT_STR: u8 = 4;
+const SORT_SUM: u8 = 5;
+const SORT_PROD: u8 = 6;
+const SORT_SEQ: u8 = 7;
+
+pub(crate) fn put_sort(buf: &mut BytesMut, sort: &Sort) {
+    match sort {
+        Sort::Unit => buf.put_u8(SORT_UNIT),
+        Sort::Nat => buf.put_u8(SORT_NAT),
+        Sort::Int => buf.put_u8(SORT_INT),
+        Sort::Bool => buf.put_u8(SORT_BOOL),
+        Sort::Str => buf.put_u8(SORT_STR),
+        Sort::Sum(a, b) => {
+            buf.put_u8(SORT_SUM);
+            put_sort(buf, a);
+            put_sort(buf, b);
+        }
+        Sort::Prod(a, b) => {
+            buf.put_u8(SORT_PROD);
+            put_sort(buf, a);
+            put_sort(buf, b);
+        }
+        Sort::Seq(inner) => {
+            buf.put_u8(SORT_SEQ);
+            put_sort(buf, inner);
+        }
+    }
+}
+
+pub(crate) fn get_sort(bytes: &mut &[u8]) -> Result<Sort> {
+    Ok(match get_u8(bytes)? {
+        SORT_UNIT => Sort::Unit,
+        SORT_NAT => Sort::Nat,
+        SORT_INT => Sort::Int,
+        SORT_BOOL => Sort::Bool,
+        SORT_STR => Sort::Str,
+        SORT_SUM => {
+            let a = get_sort(bytes)?;
+            let b = get_sort(bytes)?;
+            Sort::Sum(Box::new(a), Box::new(b))
+        }
+        SORT_PROD => {
+            let a = get_sort(bytes)?;
+            let b = get_sort(bytes)?;
+            Sort::Prod(Box::new(a), Box::new(b))
+        }
+        SORT_SEQ => Sort::Seq(Box::new(get_sort(bytes)?)),
+        other => {
+            return Err(RuntimeError::Codec {
+                reason: format!("unknown sort tag {other}"),
+            })
+        }
+    })
+}
+
+pub(crate) fn put_action(buf: &mut BytesMut, action: &Action) {
+    buf.put_u8(u8::from(action.is_send()));
+    put_str(buf, action.from().name());
+    put_str(buf, action.to().name());
+    put_str(buf, action.label().name());
+    put_sort(buf, action.sort());
+}
+
+pub(crate) fn get_action(bytes: &mut &[u8]) -> Result<Action> {
+    let is_send = get_bool(bytes)?;
+    let from = Role::new(get_str(bytes)?);
+    let to = Role::new(get_str(bytes)?);
+    let label = Label::new(get_str(bytes)?);
+    let sort = get_sort(bytes)?;
+    Ok(if is_send {
+        Action::send(from, to, label, sort)
+    } else {
+        Action::recv(to, from, label, sort)
+    })
+}
+
+pub(crate) fn put_value_action(buf: &mut BytesMut, action: &ValueAction) {
+    buf.put_u8(u8::from(action.is_send));
+    put_str(buf, action.from.name());
+    put_str(buf, action.to.name());
+    put_str(buf, action.label.name());
+    put_sort(buf, &action.sort);
+    put_value(buf, &action.value);
+}
+
+pub(crate) fn get_value_action(bytes: &mut &[u8]) -> Result<ValueAction> {
+    let is_send = get_bool(bytes)?;
+    let from = Role::new(get_str(bytes)?);
+    let to = Role::new(get_str(bytes)?);
+    let label = Label::new(get_str(bytes)?);
+    let sort = get_sort(bytes)?;
+    let value = get_value(bytes)?;
+    Ok(if is_send {
+        ValueAction::send(from, to, label, sort, value)
+    } else {
+        ValueAction::recv(to, from, label, sort, value)
+    })
+}
+
+const STATUS_RUNNING: u8 = 0;
+const STATUS_FINISHED: u8 = 1;
+const STATUS_STEP_LIMIT: u8 = 2;
+const STATUS_STALLED: u8 = 3;
+const STATUS_FAILED: u8 = 4;
+
+fn put_status(buf: &mut BytesMut, status: Option<&EndpointStatus>) {
+    match status {
+        None => buf.put_u8(STATUS_RUNNING),
+        Some(EndpointStatus::Finished) => buf.put_u8(STATUS_FINISHED),
+        Some(EndpointStatus::StepLimitReached) => buf.put_u8(STATUS_STEP_LIMIT),
+        Some(EndpointStatus::Stalled) => buf.put_u8(STATUS_STALLED),
+        Some(EndpointStatus::Failed { error }) => {
+            buf.put_u8(STATUS_FAILED);
+            put_str(buf, error);
+        }
+    }
+}
+
+fn get_status(bytes: &mut &[u8]) -> Result<Option<EndpointStatus>> {
+    Ok(match get_u8(bytes)? {
+        STATUS_RUNNING => None,
+        STATUS_FINISHED => Some(EndpointStatus::Finished),
+        STATUS_STEP_LIMIT => Some(EndpointStatus::StepLimitReached),
+        STATUS_STALLED => Some(EndpointStatus::Stalled),
+        STATUS_FAILED => Some(EndpointStatus::Failed {
+            error: get_str(bytes)?,
+        }),
+        other => {
+            return Err(RuntimeError::Codec {
+                reason: format!("unknown status tag {other}"),
+            })
+        }
+    })
+}
+
+fn put_opt_u64(buf: &mut BytesMut, value: Option<u64>) {
+    match value {
+        None => buf.put_u8(0),
+        Some(v) => {
+            buf.put_u8(1);
+            buf.put_u64(v);
+        }
+    }
+}
+
+fn get_opt_u64(bytes: &mut &[u8]) -> Result<Option<u64>> {
+    match get_u8(bytes)? {
+        0 => Ok(None),
+        1 => Ok(Some(get_u64(bytes)?)),
+        other => Err(RuntimeError::Codec {
+            reason: format!("unknown option tag {other}"),
+        }),
+    }
+}
+
+fn get_bool(bytes: &mut &[u8]) -> Result<bool> {
+    match get_u8(bytes)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(RuntimeError::Codec {
+            reason: format!("unknown boolean tag {other}"),
+        }),
+    }
+}

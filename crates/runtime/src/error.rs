@@ -73,6 +73,14 @@ pub enum RuntimeError {
         /// The role whose thread panicked.
         role: Role,
     },
+    /// Persisted session state (a checkpoint or a write-ahead log) failed
+    /// re-certification on restore: the bytes decoded, but the state they
+    /// describe is not one the protocol's compiled tables admit. The session
+    /// is refused — durability never readmits an uncertified session.
+    Recovery {
+        /// What the re-certification rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -100,6 +108,9 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::EndpointPanicked { role } => {
                 write!(f, "the endpoint thread for `{role}` panicked")
+            }
+            RuntimeError::Recovery { reason } => {
+                write!(f, "recovery refused: {reason}")
             }
         }
     }
@@ -161,6 +172,9 @@ mod tests {
             RuntimeError::StepLimitReached { limit: 10 },
             RuntimeError::EndpointPanicked {
                 role: Role::new("q"),
+            },
+            RuntimeError::Recovery {
+                reason: "monitor rejected the replayed trace".into(),
             },
         ];
         for e in cases {

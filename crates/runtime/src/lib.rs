@@ -84,7 +84,24 @@
 //!   [`faults::FaultReader`] that corrupts the byte stream below the codec
 //!   (bit flips, split deliveries, hostile length prefixes) at the
 //!   [`wire::FrameReader`] seam. Every injection is logged, so the same
-//!   seed reproduces the same schedule on every backend.
+//!   seed reproduces the same schedule on every backend. The columnar batch
+//!   plane has its own injection point — [`cbatch::SessionBatch`] takes a
+//!   `FaultPlan` for its in-arena sends, which never cross a `Transport` —
+//!   so the hostile-world suite covers both data planes;
+//! * [`checkpoint`] — durable sessions: a live session (per-role pc, value
+//!   slots, monitor cursor, in-flight frames in channel order) serialized
+//!   through the wire codec as a [`checkpoint::SessionCheckpoint`] and
+//!   restored under re-validation — every index is checked against the
+//!   compiled programs and transition tables before anything resumes, so a
+//!   corrupted or hostile checkpoint is refused
+//!   ([`RuntimeError::Recovery`]), never admitted;
+//! * [`wal`] — an append-only write-ahead trace log whose records are
+//!   columnarized before framing (skeleton = per-site template ids,
+//!   variables = payload values — the batch plane's structural-entropy
+//!   trick buying audit-log density), group-committed per quantum with
+//!   torn-tail detection on reopen, and recovered by **replaying** each
+//!   session's suffix through a fresh [`monitor::CompiledMonitor`]: a
+//!   restored trace is re-certified, not just restored.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -92,6 +109,7 @@
 
 pub mod cbatch;
 pub mod cexec;
+pub mod checkpoint;
 pub mod codec;
 pub mod error;
 pub mod exec;
@@ -101,18 +119,23 @@ pub mod monitor;
 pub mod poll;
 pub mod tcp;
 pub mod transport;
+pub mod wal;
 pub mod wire;
 
-pub use cbatch::{BatchLayout, BatchOutcome, BatchQuantum, DemotedSession, SessionBatch};
+pub use cbatch::{
+    BatchLayout, BatchOutcome, BatchQuantum, DemotedEndpoint, DemotedSession, SessionBatch,
+};
+pub use checkpoint::SessionCheckpoint;
 pub use cexec::{CompiledEndpointTask, EndpointProgram};
 pub use codec::Message;
 pub use error::{Result, RuntimeError};
 pub use exec::{execute, EndpointReport, EndpointStatus, EndpointTask, ExecOptions, StepOutcome};
 pub use faults::{
-    FaultKind, FaultPlan, FaultReader, FaultSite, FaultSpec, FaultyTransport, InjectedFault,
-    WireFault,
+    ArenaFaults, FaultKind, FaultPlan, FaultReader, FaultSite, FaultSpec, FaultyTransport,
+    InjectedFault, WireFault,
 };
 pub use harness::{SessionHarness, SessionReport};
 pub use monitor::{CompiledMonitor, MonitorViolation, TraceMonitor};
 pub use transport::{InMemoryNetwork, Transport};
+pub use wal::{WalIndexer, WalRecord, WalScan, WalWriter};
 pub use wire::{FrameReader, MuxFrame, RejectCode, DEFAULT_MAX_FRAME_BYTES};

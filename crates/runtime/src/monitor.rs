@@ -323,6 +323,25 @@ impl CompiledMonitor {
     pub fn system(&self) -> &Arc<CompiledSystem> {
         &self.system
     }
+
+    /// How many observed actions the monitor has accepted so far. Together
+    /// with [`CompiledMonitor::observed`] this is the resumable position a
+    /// checkpoint must carry for [`CompiledMonitor::resume`].
+    pub fn accepted(&self) -> usize {
+        self.accepted
+    }
+
+    /// How many actions the monitor has observed in total (accepted plus
+    /// rejected).
+    pub fn observed(&self) -> usize {
+        self.observed
+    }
+
+    /// Whether the compliant trace is being recorded (see
+    /// [`CompiledMonitor::set_record_trace`]).
+    pub fn records_trace(&self) -> bool {
+        self.record_trace
+    }
 }
 
 #[cfg(test)]

@@ -220,6 +220,9 @@ pub enum RejectCode {
     /// rejected an action) and the server's policy tears the owning
     /// connection down.
     Quarantined = 7,
+    /// The connection accumulated too many byzantine strikes (quarantined
+    /// sessions) and further `Open`s from it are refused.
+    Banned = 8,
 }
 
 impl RejectCode {
@@ -232,6 +235,7 @@ impl RejectCode {
             5 => RejectCode::BadFrame,
             6 => RejectCode::ShuttingDown,
             7 => RejectCode::Quarantined,
+            8 => RejectCode::Banned,
             _ => return None,
         })
     }
@@ -247,6 +251,7 @@ impl std::fmt::Display for RejectCode {
             RejectCode::BadFrame => "bad-frame",
             RejectCode::ShuttingDown => "shutting-down",
             RejectCode::Quarantined => "quarantined",
+            RejectCode::Banned => "banned",
         };
         f.write_str(s)
     }

@@ -56,6 +56,10 @@ pub enum ServerError {
         /// The underlying IO error, rendered.
         reason: String,
     },
+    /// A runtime-layer failure surfaced through the server API — a
+    /// migrated checkpoint that fails to decode or re-certify, or a
+    /// transport error while checkpointing a live session.
+    Runtime(zooid_runtime::RuntimeError),
 }
 
 impl fmt::Display for ServerError {
@@ -80,6 +84,7 @@ impl fmt::Display for ServerError {
             ServerError::Unsupported { reason } => write!(f, "unsupported: {reason}"),
             ServerError::Shutdown => write!(f, "the server has been shut down"),
             ServerError::Net { reason } => write!(f, "network error: {reason}"),
+            ServerError::Runtime(e) => write!(f, "{e}"),
         }
     }
 }
@@ -89,6 +94,7 @@ impl std::error::Error for ServerError {
         match self {
             ServerError::Dsl(e) => Some(e),
             ServerError::Cfsm(e) => Some(e),
+            ServerError::Runtime(e) => Some(e),
             _ => None,
         }
     }
@@ -103,6 +109,12 @@ impl From<zooid_dsl::DslError> for ServerError {
 impl From<zooid_cfsm::CfsmError> for ServerError {
     fn from(e: zooid_cfsm::CfsmError) -> Self {
         ServerError::Cfsm(e)
+    }
+}
+
+impl From<zooid_runtime::RuntimeError> for ServerError {
+    fn from(e: zooid_runtime::RuntimeError) -> Self {
+        ServerError::Runtime(e)
     }
 }
 
@@ -126,6 +138,9 @@ mod tests {
             ServerError::Net {
                 reason: "address in use".into(),
             },
+            ServerError::Runtime(zooid_runtime::RuntimeError::Recovery {
+                reason: "checkpoint magic mismatch".into(),
+            }),
         ];
         for e in cases {
             let msg = e.to_string();

@@ -47,7 +47,7 @@
 //! * [`metrics`] — per-shard counters (sessions started / completed /
 //!   violated / stalled, batched / slab / demoted, messages routed, cohort
 //!   widths, queue depths, per-[`zooid_runtime::wire::RejectCode`]
-//!   rejections) aggregated into a [`ServerReport`];
+//!   rejections, restarts) aggregated into a [`ServerReport`];
 //! * [`obs`] — the observability plane: lock-free log2-bucket latency
 //!   [`obs::Histogram`]s (session wall time, per-action cost, cohort
 //!   widths, IO-pass duration) with `p50/p90/p99/max` in the reports, a
@@ -75,7 +75,29 @@
 //!   decodable frame are reaped after
 //!   [`NetServerConfig::idle_timeout`], and quarantined sessions can
 //!   optionally tear down their opening connection
-//!   ([`NetServerConfig::close_on_quarantine`]).
+//!   ([`NetServerConfig::close_on_quarantine`]) — or, with
+//!   [`NetServerConfig::ban_after_quarantines`], a connection whose
+//!   sessions keep getting quarantined has its further opens rejected
+//!   while it stays up for in-flight work.
+//!
+//! Sessions are **durable** (PR 10): [`SessionServer::drain_shard`] takes
+//! every in-flight session off a shard as a [`MigratedSession`] — an
+//! encoded [`zooid_runtime::checkpoint::SessionCheckpoint`] plus its
+//! compiled programs — and [`SessionServer::migrate_session`] re-admits
+//! one on any shard after the decoder re-validates every index against
+//! the protocol's compiled artifacts (a tampered or foreign checkpoint is
+//! a structured [`error`], never a panic). Quarantine is now a *policy
+//! family*: [`QuarantinePolicy::Observe`] records violations but keeps
+//! stepping, [`QuarantinePolicy::Halt`] (the default) stops a flagged
+//! session at its first violation, and
+//! [`QuarantinePolicy::RestartFromCheckpoint`] re-admits it from its last
+//! certified compliant snapshot until `max_retries` restarts are spent
+//! (counted as `sessions_restarted`, each one a
+//! [`FlightEvent::Restarted`]). Per-protocol violation thresholds
+//! ([`ServerConfig::with_violation_threshold`]) let designated lenient
+//! protocols absorb violations Observe-style while everything else stays
+//! strict. `tests/crash_recovery.rs` drives drain/migrate conservation,
+//! checkpoint tampering, restart-to-exhaustion and connection bans.
 //!
 //! The harness-vs-server differential suite (`tests/differential.rs`)
 //! checks that a session hosted here is indistinguishable — per-endpoint
@@ -103,6 +125,6 @@ pub use obs::{
 };
 pub use net::{NetClient, NetServer, NetServerConfig, Service};
 pub use registry::{ProtocolArtifacts, ProtocolId, ProtocolRegistry, SafetyBudget};
-pub use server::{QuarantinePolicy, ServerConfig, SessionServer};
+pub use server::{MigratedSession, QuarantinePolicy, ServerConfig, SessionServer};
 pub use synth::{ByzantineDriver, ByzantineMutation, ExpectedClass};
 pub use session::{SessionId, SessionOutcome, SessionSpec};

@@ -15,6 +15,7 @@ pub(crate) struct ShardMetrics {
     pub(crate) sessions_completed: AtomicU64,
     pub(crate) sessions_violated: AtomicU64,
     pub(crate) sessions_quarantined: AtomicU64,
+    pub(crate) sessions_restarted: AtomicU64,
     pub(crate) sessions_stalled: AtomicU64,
     pub(crate) messages_routed: AtomicU64,
     pub(crate) actions_executed: AtomicU64,
@@ -42,6 +43,7 @@ impl ShardMetrics {
             sessions_completed: self.sessions_completed.load(Ordering::Relaxed),
             sessions_violated: self.sessions_violated.load(Ordering::Relaxed),
             sessions_quarantined: self.sessions_quarantined.load(Ordering::Relaxed),
+            sessions_restarted: self.sessions_restarted.load(Ordering::Relaxed),
             sessions_stalled: self.sessions_stalled.load(Ordering::Relaxed),
             messages_routed: self.messages_routed.load(Ordering::Relaxed),
             actions_executed: self.actions_executed.load(Ordering::Relaxed),
@@ -70,6 +72,9 @@ pub struct ShardReport {
     /// Sessions the quarantine policy halted at their first rejected
     /// action (a subset of `sessions_violated`).
     pub sessions_quarantined: u64,
+    /// Quarantined sessions re-admitted from their last certified
+    /// checkpoint ([`crate::QuarantinePolicy::RestartFromCheckpoint`]).
+    pub sessions_restarted: u64,
     /// Sessions the scheduler gave up on (every endpoint blocked).
     pub sessions_stalled: u64,
     /// Messages delivered between endpoints of this shard's sessions.
@@ -109,7 +114,7 @@ pub(crate) struct NetMetrics {
     pub(crate) frames_written: AtomicU64,
     pub(crate) bad_frames: AtomicU64,
     /// One counter per [`RejectCode`], indexed by `code as u8 - 1`.
-    pub(crate) rejects: [AtomicU64; 7],
+    pub(crate) rejects: [AtomicU64; 8],
 }
 
 impl NetMetrics {
@@ -138,6 +143,7 @@ impl NetMetrics {
                 bad_frame: self.rejects[4].load(Ordering::Relaxed),
                 shutting_down: self.rejects[5].load(Ordering::Relaxed),
                 quarantined: self.rejects[6].load(Ordering::Relaxed),
+                banned: self.rejects[7].load(Ordering::Relaxed),
             },
             io_pass_ns: HistogramSnapshot::default(),
         }
@@ -163,6 +169,9 @@ pub struct RejectCounts {
     /// `RejectCode::Quarantined` rejections (connection torn down because a
     /// hosted session was quarantined).
     pub quarantined: u64,
+    /// `RejectCode::Banned` rejections (`Open`s refused because the
+    /// connection crossed the byzantine-strike threshold).
+    pub banned: u64,
 }
 
 impl RejectCounts {
@@ -175,6 +184,7 @@ impl RejectCounts {
             + self.bad_frame
             + self.shutting_down
             + self.quarantined
+            + self.banned
     }
 }
 
@@ -232,7 +242,8 @@ impl fmt::Display for NetReport {
         writeln!(
             f,
             "  rejects: {} unknown-protocol, {} conn-limit, {} session-limit, \
-             {} overloaded, {} bad-frame, {} shutting-down, {} quarantined",
+             {} overloaded, {} bad-frame, {} shutting-down, {} quarantined, \
+             {} banned",
             self.rejects.unknown_protocol,
             self.rejects.connection_limit,
             self.rejects.session_limit,
@@ -240,6 +251,7 @@ impl fmt::Display for NetReport {
             self.rejects.bad_frame,
             self.rejects.shutting_down,
             self.rejects.quarantined,
+            self.rejects.banned,
         )?;
         writeln!(f, "  io pass ns: {}", self.io_pass_ns)
     }
@@ -298,6 +310,12 @@ impl ServerReport {
         self.shards.iter().map(|s| s.sessions_quarantined).sum()
     }
 
+    /// Total quarantined sessions re-admitted from their last certified
+    /// checkpoint.
+    pub fn sessions_restarted(&self) -> u64 {
+        self.shards.iter().map(|s| s.sessions_restarted).sum()
+    }
+
     /// Total messages routed between endpoints.
     pub fn messages_routed(&self) -> u64 {
         self.shards.iter().map(|s| s.messages_routed).sum()
@@ -341,11 +359,12 @@ impl fmt::Display for ServerReport {
         writeln!(
             f,
             "server report: {} sessions started, {} completed ({} violated, {} quarantined, \
-             {} stalled), {} messages routed, {} actions",
+             {} restarted, {} stalled), {} messages routed, {} actions",
             self.sessions_started(),
             self.sessions_completed(),
             self.sessions_violated(),
             self.sessions_quarantined(),
+            self.sessions_restarted(),
             self.sessions_stalled(),
             self.messages_routed(),
             self.actions_executed(),
@@ -392,6 +411,7 @@ mod tests {
                     sessions_completed: 2,
                     sessions_violated: 1,
                     sessions_quarantined: 1,
+                    sessions_restarted: 0,
                     sessions_stalled: 0,
                     messages_routed: 10,
                     actions_executed: 20,
@@ -409,6 +429,7 @@ mod tests {
                     sessions_completed: 4,
                     sessions_violated: 0,
                     sessions_quarantined: 0,
+                    sessions_restarted: 0,
                     sessions_stalled: 0,
                     messages_routed: 6,
                     actions_executed: 12,
@@ -463,6 +484,7 @@ mod tests {
                 sessions_completed: 5,
                 sessions_violated: 0,
                 sessions_quarantined: 0,
+                sessions_restarted: 0,
                 sessions_stalled: 0,
                 messages_routed: 15,
                 actions_executed: 30,
@@ -491,6 +513,8 @@ mod tests {
         metrics.record_reject(RejectCode::SessionLimit);
         metrics.record_reject(RejectCode::ShuttingDown);
         metrics.record_reject(RejectCode::Quarantined);
+        metrics.record_reject(RejectCode::Banned);
+        metrics.record_reject(RejectCode::Banned);
         let report = metrics.snapshot();
         assert_eq!(
             report.rejects,
@@ -502,9 +526,11 @@ mod tests {
                 bad_frame: 1,
                 shutting_down: 1,
                 quarantined: 1,
+                banned: 2,
             }
         );
-        assert_eq!(report.rejects.total(), 8);
+        assert_eq!(report.rejects.total(), 10);
+        assert!(report.to_string().contains("2 banned"));
         let text = report.to_string();
         assert!(text.contains("2 overloaded"), "{text}");
         assert!(text.contains("1 bad-frame"), "{text}");

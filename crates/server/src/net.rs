@@ -176,6 +176,13 @@ pub struct NetServerConfig {
     /// then a [`RejectCode::Quarantined`] rejection, then the close
     /// (default `false` — quarantine stays a scheduler-side containment).
     pub close_on_quarantine: bool,
+    /// Reject-then-ban: once a connection has accumulated this many
+    /// quarantined sessions (byzantine *strikes*), its further `Open`s are
+    /// shed with [`RejectCode::Banned`] — the connection stays up (its
+    /// compliant sessions finish and its `Done`/`Stats` traffic still
+    /// flows), but it can open nothing new. `0` disables banning
+    /// (the default).
+    pub ban_after_quarantines: usize,
 }
 
 impl Default for NetServerConfig {
@@ -190,6 +197,7 @@ impl Default for NetServerConfig {
             max_conn_outbuf_bytes: 256 * 1024,
             idle_timeout: Duration::from_secs(30),
             close_on_quarantine: false,
+            ban_after_quarantines: 0,
         }
     }
 }
@@ -227,6 +235,9 @@ struct NetConn {
     /// Reap deadline for a connection that has yet to deliver a decodable
     /// frame; disarmed by the first decoded frame.
     idle_until: Option<Instant>,
+    /// Quarantined sessions this connection has opened (byzantine
+    /// strikes), for [`NetServerConfig::ban_after_quarantines`].
+    strikes: usize,
 }
 
 impl NetConn {
@@ -245,6 +256,7 @@ impl NetConn {
             fin_sent: false,
             linger_until: None,
             idle_until: None,
+            strikes: 0,
         }
     }
 
@@ -697,6 +709,11 @@ fn io_loop(
             );
             metrics.frames_written.fetch_add(1, Ordering::Relaxed);
             metrics.sessions_done.fetch_add(1, Ordering::Relaxed);
+            if outcome.quarantined {
+                // A byzantine strike against the opening connection, for
+                // the reject-then-ban admission check.
+                conn.strikes += 1;
+            }
             if outcome.quarantined && config.close_on_quarantine {
                 // Quarantine escalates to the transport: the opener reads
                 // its Done, a structured rejection, then EOF.
@@ -867,6 +884,21 @@ fn handle_frame(
         metrics.frames_written.fetch_add(1, Ordering::Relaxed);
     };
 
+    if config.ban_after_quarantines > 0 && conn.strikes >= config.ban_after_quarantines {
+        // Reject-then-ban: the connection has spent its byzantine-strike
+        // budget; its in-flight sessions finish but nothing new is
+        // admitted from it.
+        metrics.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+        reject(
+            conn,
+            RejectCode::Banned,
+            format!(
+                "connection banned after {} quarantined sessions",
+                conn.strikes
+            ),
+        );
+        return;
+    }
     let Some(service) = catalog.get(&protocol) else {
         metrics.sessions_rejected.fetch_add(1, Ordering::Relaxed);
         reject(

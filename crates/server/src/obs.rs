@@ -282,6 +282,7 @@ const EV_VIOLATION: u8 = 4;
 const EV_REJECTED: u8 = 5;
 const EV_CONN_CLOSED: u8 = 6;
 const EV_QUARANTINED: u8 = 7;
+const EV_RESTARTED: u8 = 8;
 
 const PAYLOAD_MASK: u64 = (1 << 48) - 1;
 
@@ -294,6 +295,7 @@ fn reject_code_from_u8(v: u8) -> Option<RejectCode> {
         5 => RejectCode::BadFrame,
         6 => RejectCode::ShuttingDown,
         7 => RejectCode::Quarantined,
+        8 => RejectCode::Banned,
         _ => return None,
     })
 }
@@ -348,6 +350,14 @@ pub enum FlightEvent {
         /// The session's dense id.
         session: u64,
     },
+    /// A quarantined session was re-admitted from its last certified
+    /// checkpoint ([`crate::QuarantinePolicy::RestartFromCheckpoint`]).
+    Restarted {
+        /// The session's dense id.
+        session: u64,
+        /// Which retry this was (1-based, saturating at 255).
+        retry: u8,
+    },
 }
 
 impl FlightEvent {
@@ -360,6 +370,7 @@ impl FlightEvent {
             FlightEvent::Rejected { session, code } => (EV_REJECTED, code as u8, session),
             FlightEvent::ConnClosed { client, reason } => (EV_CONN_CLOSED, reason as u8, client),
             FlightEvent::Quarantined { session } => (EV_QUARANTINED, 0, session),
+            FlightEvent::Restarted { session, retry } => (EV_RESTARTED, retry, session),
         };
         (u64::from(kind) << 56) | (u64::from(code) << 48) | (payload & PAYLOAD_MASK)
     }
@@ -385,6 +396,10 @@ impl FlightEvent {
                 reason: CloseReason::from_u8(code)?,
             },
             EV_QUARANTINED => FlightEvent::Quarantined { session: payload },
+            EV_RESTARTED => FlightEvent::Restarted {
+                session: payload,
+                retry: code,
+            },
             _ => return None,
         })
     }
@@ -857,6 +872,7 @@ fn shard_to_value(s: &ShardReport) -> Value {
         ("completed", Value::Nat(s.sessions_completed)),
         ("violated", Value::Nat(s.sessions_violated)),
         ("quarantined", Value::Nat(s.sessions_quarantined)),
+        ("restarted", Value::Nat(s.sessions_restarted)),
         ("stalled", Value::Nat(s.sessions_stalled)),
         ("routed", Value::Nat(s.messages_routed)),
         ("actions", Value::Nat(s.actions_executed)),
@@ -877,6 +893,7 @@ fn shard_from_value(value: &Value) -> Option<ShardReport> {
         sessions_completed: nat_field(value, "completed")?,
         sessions_violated: nat_field(value, "violated")?,
         sessions_quarantined: nat_field(value, "quarantined")?,
+        sessions_restarted: nat_field(value, "restarted")?,
         sessions_stalled: nat_field(value, "stalled")?,
         messages_routed: nat_field(value, "routed")?,
         actions_executed: nat_field(value, "actions")?,
@@ -979,6 +996,7 @@ fn net_to_value(n: &NetReport) -> Value {
         ("rej_bad_frame", Value::Nat(n.rejects.bad_frame)),
         ("rej_shutting_down", Value::Nat(n.rejects.shutting_down)),
         ("rej_quarantined", Value::Nat(n.rejects.quarantined)),
+        ("rej_banned", Value::Nat(n.rejects.banned)),
         ("io_pass_ns", hist_to_value(&n.io_pass_ns)),
     ])
 }
@@ -1003,6 +1021,7 @@ fn net_from_value(value: &Value) -> Option<NetReport> {
             bad_frame: nat_field(value, "rej_bad_frame")?,
             shutting_down: nat_field(value, "rej_shutting_down")?,
             quarantined: nat_field(value, "rej_quarantined")?,
+            banned: nat_field(value, "rej_banned")?,
         },
         io_pass_ns: hist_from_value(field(value, "io_pass_ns")?)?,
     })
@@ -1228,6 +1247,14 @@ mod tests {
                 code: RejectCode::Quarantined,
             },
             FlightEvent::Quarantined { session: 11 },
+            FlightEvent::Restarted {
+                session: 12,
+                retry: 1,
+            },
+            FlightEvent::Restarted {
+                session: 13,
+                retry: 255,
+            },
         ];
         for case in cases {
             assert_eq!(FlightEvent::unpack(case.pack()), Some(case), "{case:?}");
@@ -1368,6 +1395,7 @@ mod tests {
                     sessions_completed: 6,
                     sessions_violated: 1,
                     sessions_quarantined: 1,
+                    sessions_restarted: 1,
                     sessions_stalled: 0,
                     messages_routed: 21,
                     actions_executed: 42,

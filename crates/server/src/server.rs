@@ -20,7 +20,9 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use zooid_cfsm::CompiledSystem;
 use zooid_mpst::common::intern::{FxHashMap, FxHasher};
-use zooid_runtime::cbatch::{BatchLayout, BatchOutcome, SessionBatch};
+use zooid_runtime::cbatch::{BatchLayout, BatchOutcome, DemotedSession, SessionBatch};
+use zooid_runtime::cexec::EndpointProgram;
+use zooid_runtime::checkpoint::{initial_demoted, SessionCheckpoint};
 
 use crate::error::{Result, ServerError};
 use crate::metrics::{ServerReport, ShardMetrics};
@@ -47,6 +49,18 @@ pub enum QuarantinePolicy {
     /// stalled, the outcome flagged `quarantined`, and a `Quarantined`
     /// flight-recorder event emitted. The default.
     Halt,
+    /// Halt the violating run, then re-admit the session from its **last
+    /// certified checkpoint** — the encoded [`SessionCheckpoint`] the shard
+    /// took the last time the session was rescheduled while still compliant
+    /// (or, if it violated before its first reschedule, a fresh session at
+    /// the protocol's initial states). Each restart re-validates the
+    /// checkpoint against the compiled tables before anything resumes. A
+    /// session that keeps violating is restarted at most `max_retries`
+    /// times, then closed exactly as under [`QuarantinePolicy::Halt`].
+    RestartFromCheckpoint {
+        /// Restart budget per session; `0` behaves like `Halt`.
+        max_retries: u32,
+    },
 }
 
 /// Configuration of a [`SessionServer`].
@@ -59,6 +73,12 @@ pub struct ServerConfig {
     pub quantum: usize,
     /// What to do with a session the monitor rejects.
     pub quarantine: QuarantinePolicy,
+    /// Per-protocol violation thresholds: a session of a listed protocol is
+    /// only quarantined once its monitor has rejected that many actions
+    /// (the adaptive knob for lenient protocols whose occasional stray
+    /// message is tolerable); unlisted protocols quarantine at the first
+    /// rejection. Ignored under [`QuarantinePolicy::Observe`].
+    pub violation_thresholds: Vec<(ProtocolId, u32)>,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +87,7 @@ impl Default for ServerConfig {
             shards: 4,
             quantum: 64,
             quarantine: QuarantinePolicy::Halt,
+            violation_thresholds: Vec::new(),
         }
     }
 }
@@ -77,6 +98,52 @@ impl ServerConfig {
         ServerConfig {
             shards: shards.max(1),
             ..ServerConfig::default()
+        }
+    }
+
+    /// Tolerates up to `threshold - 1` monitor rejections for sessions of
+    /// `protocol` before quarantining (a threshold of `0` is treated as 1).
+    pub fn with_violation_threshold(mut self, protocol: ProtocolId, threshold: u32) -> Self {
+        self.violation_thresholds.push((protocol, threshold.max(1)));
+        self
+    }
+}
+
+/// The worker-side view of the quarantine configuration: the policy plus
+/// the per-protocol violation thresholds resolved into a map.
+#[derive(Debug, Clone)]
+struct QuarantineConfig {
+    policy: QuarantinePolicy,
+    thresholds: FxHashMap<ProtocolId, u32>,
+}
+
+impl QuarantineConfig {
+    fn new(config: &ServerConfig) -> Self {
+        let mut thresholds = FxHashMap::default();
+        for &(protocol, threshold) in &config.violation_thresholds {
+            thresholds.insert(protocol, threshold.max(1));
+        }
+        QuarantineConfig {
+            policy: config.quarantine,
+            thresholds,
+        }
+    }
+
+    /// How many monitor rejections a session of `protocol` may accumulate
+    /// before the shard stops stepping it; `None` means never (observe).
+    fn threshold_for(&self, protocol: ProtocolId) -> Option<u32> {
+        match self.policy {
+            QuarantinePolicy::Observe => None,
+            _ => Some(self.thresholds.get(&protocol).copied().unwrap_or(1)),
+        }
+    }
+
+    /// The per-session restart budget (zero unless the policy is
+    /// [`QuarantinePolicy::RestartFromCheckpoint`]).
+    fn max_retries(&self) -> u32 {
+        match self.policy {
+            QuarantinePolicy::RestartFromCheckpoint { max_retries } => max_retries,
+            _ => 0,
         }
     }
 }
@@ -90,7 +157,38 @@ enum ShardMsg {
         spec: SessionSpec,
         artifacts: Arc<crate::registry::ProtocolArtifacts>,
     },
+    /// Checkpoint every queued session and hand the encoded checkpoints
+    /// back — the evacuation half of a session migration.
+    Drain {
+        reply: Sender<Vec<MigratedSession>>,
+    },
+    /// Re-admit a session restored from a checkpoint (already decoded and
+    /// re-certified on the submitter thread) — the arrival half.
+    Restore {
+        id: SessionId,
+        protocol: ProtocolId,
+        demoted: DemotedSession,
+        artifacts: Arc<crate::registry::ProtocolArtifacts>,
+    },
     Shutdown,
+}
+
+/// A live session evacuated from a shard as an encoded, re-certifiable
+/// checkpoint (see [`SessionServer::drain_shard`]). The bytes are the
+/// [`SessionCheckpoint`] wire encoding — opaque but inspectable, so tests
+/// can tamper with them and watch [`SessionServer::migrate_session`] refuse
+/// the damage with a structured error instead of admitting it.
+#[derive(Debug)]
+pub struct MigratedSession {
+    /// The session's id (stable across the migration).
+    pub id: SessionId,
+    /// The protocol the session runs.
+    pub protocol: ProtocolId,
+    /// The encoded [`SessionCheckpoint`].
+    pub bytes: Vec<u8>,
+    /// The compiled per-role programs the checkpoint's indices refer to,
+    /// in the checkpoint's endpoint order.
+    programs: Vec<Arc<EndpointProgram>>,
 }
 
 struct Shard {
@@ -166,7 +264,7 @@ impl SessionServer {
             let worker_obs = Arc::clone(&shard_obs);
             let worker_results = results_tx.clone();
             let quantum = config.quantum.max(1);
-            let quarantine = config.quarantine;
+            let quarantine = QuarantineConfig::new(&config);
             let handle = std::thread::spawn(move || {
                 shard_worker(
                     rx,
@@ -359,6 +457,85 @@ impl SessionServer {
             .iter()
             .flat_map(|o| o.recorder.snapshot())
             .collect()
+    }
+
+    /// Evacuates every session queued on one shard: each is checkpointed
+    /// (per-role pc, value slots, monitor cursor, in-flight frames), encoded
+    /// through the wire codec, and returned as a [`MigratedSession`] ready
+    /// for [`SessionServer::migrate_session`]. Sessions a checkpoint cannot
+    /// carry (tree-walking endpoints) are closed as stalled and report
+    /// through the normal outcome stream instead.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the shard index is out of range or the worker is gone.
+    pub fn drain_shard(&mut self, shard: usize) -> Result<Vec<MigratedSession>> {
+        if shard >= self.shards.len() {
+            return Err(ServerError::Unsupported {
+                reason: format!("shard index {shard} out of range (server has {})", self.shards.len()),
+            });
+        }
+        let (reply_tx, reply_rx) = unbounded();
+        self.shards[shard]
+            .tx
+            .send(ShardMsg::Drain { reply: reply_tx })
+            .map_err(|_| ServerError::Shutdown)?;
+        let migrated = reply_rx.recv().map_err(|_| ServerError::Shutdown)?;
+        // Evacuated sessions will not report outcomes until re-admitted.
+        self.in_flight = self.in_flight.saturating_sub(migrated.len());
+        Ok(migrated)
+    }
+
+    /// Re-admits an evacuated session on the given shard. The checkpoint is
+    /// decoded and re-certified against the protocol's compiled tables
+    /// *before* the shard sees it: a corrupted or tampered checkpoint is
+    /// refused here with the runtime's structured recovery error, and the
+    /// target shard never hosts unvalidated state.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a bad shard index, an unregistered protocol, a server
+    /// already degraded or shut down, or a checkpoint that does not decode
+    /// and re-validate ([`ServerError::Runtime`]).
+    pub fn migrate_session(&mut self, migrated: MigratedSession, to_shard: usize) -> Result<SessionId> {
+        if self.degraded {
+            return Err(ServerError::Shutdown);
+        }
+        if to_shard >= self.shards.len() {
+            return Err(ServerError::Unsupported {
+                reason: format!(
+                    "shard index {to_shard} out of range (server has {})",
+                    self.shards.len()
+                ),
+            });
+        }
+        let artifacts = self
+            .registry
+            .get(migrated.protocol)
+            .ok_or(ServerError::UnknownProtocol)?;
+        let checkpoint = SessionCheckpoint::decode(&migrated.bytes)?;
+        if checkpoint.token() != migrated.id.0 {
+            return Err(zooid_runtime::RuntimeError::Recovery {
+                reason: format!(
+                    "checkpoint token {} does not match migrated session id {}",
+                    checkpoint.token(),
+                    migrated.id.0
+                ),
+            }
+            .into());
+        }
+        let demoted = checkpoint.into_demoted(&migrated.programs, artifacts.compiled())?;
+        self.shards[to_shard]
+            .tx
+            .send(ShardMsg::Restore {
+                id: migrated.id,
+                protocol: migrated.protocol,
+                demoted,
+                artifacts: Arc::clone(artifacts),
+            })
+            .map_err(|_| ServerError::Shutdown)?;
+        self.in_flight += 1;
+        Ok(migrated.id)
     }
 
     /// Stops the worker pool and returns the final metrics. Sessions still
@@ -610,6 +787,140 @@ fn batch_session_outcome(protocol: ProtocolId, outcome: BatchOutcome) -> Session
     }
 }
 
+/// Per-session restart bookkeeping under
+/// [`QuarantinePolicy::RestartFromCheckpoint`].
+#[derive(Default)]
+struct RestartState {
+    /// The last certified checkpoint: its wire encoding plus the compiled
+    /// programs its dense indices refer to (in checkpoint endpoint order).
+    /// `None` until the session's first compliant reschedule.
+    bytes: Option<(Vec<u8>, Vec<Arc<EndpointProgram>>)>,
+    /// Restarts already burned.
+    retries: u32,
+}
+
+/// Decides whether a quarantined session gets another run, and builds the
+/// state it restarts from: the stored last-certified checkpoint when there
+/// is one (decoded and re-certified — a checkpoint that fails validation
+/// forfeits the restart), else `fallback`'s fresh initial state. Returns
+/// `None` when the policy grants no (further) restart.
+fn try_restart(
+    quarantine: &QuarantineConfig,
+    restarts: &mut FxHashMap<u64, RestartState>,
+    token: u64,
+    fallback: Option<(&zooid_runtime::ExecOptions, &[Arc<EndpointProgram>])>,
+    artifacts: &ProtocolArtifacts,
+    metrics: &ShardMetrics,
+    wobs: &mut WorkerObs,
+) -> Option<DemotedSession> {
+    let max_retries = quarantine.max_retries();
+    if max_retries == 0 {
+        return None;
+    }
+    let state = restarts.entry(token).or_default();
+    if state.retries >= max_retries {
+        return None;
+    }
+    let fresh = match &state.bytes {
+        Some((bytes, programs)) => SessionCheckpoint::decode(bytes)
+            .and_then(|c| c.into_demoted(programs, artifacts.compiled()))
+            .ok()?,
+        None => {
+            let (options, programs) = fallback?;
+            let fresh = initial_demoted(token, options.clone(), programs, artifacts.compiled());
+            // The initial state becomes the stored restart point, so a
+            // session that violates again before its first certified
+            // snapshot still gets its remaining retries.
+            state.bytes = Some((
+                SessionCheckpoint::from_demoted(&fresh).encode().to_vec(),
+                programs.to_vec(),
+            ));
+            fresh
+        }
+    };
+    state.retries += 1;
+    metrics.sessions_restarted.fetch_add(1, Ordering::Relaxed);
+    wobs.shared.recorder.record(FlightEvent::Restarted {
+        session: token,
+        retry: state.retries.min(255) as u8,
+    });
+    Some(fresh)
+}
+
+/// Stores a session's freshly taken checkpoint as its restart point. Only
+/// called for compliant sessions under `RestartFromCheckpoint`.
+fn store_checkpoint(
+    restarts: &mut FxHashMap<u64, RestartState>,
+    token: u64,
+    demoted: &DemotedSession,
+) {
+    let bytes = SessionCheckpoint::from_demoted(demoted).encode().to_vec();
+    let programs = demoted
+        .endpoints
+        .iter()
+        .map(|e| Arc::clone(&e.program))
+        .collect();
+    restarts.entry(token).or_default().bytes = Some((bytes, programs));
+}
+
+/// Evacuates every session in the run queue as an encoded checkpoint:
+/// batch members are demoted in place and serialized, slab sessions are
+/// checkpointed live (non-destructively, then dropped). Sessions a
+/// checkpoint cannot carry — tree-walking endpoints — close as stalled and
+/// report through the ordinary outcome stream.
+#[allow(clippy::too_many_arguments)]
+fn drain_for_migration(
+    run_queue: &mut VecDeque<u32>,
+    batches: &mut [ShardBatch],
+    slab: &mut Vec<Option<ActiveSession>>,
+    free: &mut Vec<u32>,
+    restarts: &mut FxHashMap<u64, RestartState>,
+    metrics: &ShardMetrics,
+    wobs: &mut WorkerObs,
+    pending: &mut Vec<SessionOutcome>,
+) -> Vec<MigratedSession> {
+    let now = Instant::now();
+    let mut migrated = Vec::new();
+    let push = |migrated: &mut Vec<MigratedSession>,
+                    restarts: &mut FxHashMap<u64, RestartState>,
+                    wobs: &mut WorkerObs,
+                    protocol: ProtocolId,
+                    demoted: &DemotedSession| {
+        restarts.remove(&demoted.token);
+        wobs.admitted.remove(&demoted.token);
+        migrated.push(MigratedSession {
+            id: SessionId(demoted.token),
+            protocol,
+            bytes: SessionCheckpoint::from_demoted(demoted).encode().to_vec(),
+            programs: demoted
+                .endpoints
+                .iter()
+                .map(|e| Arc::clone(&e.program))
+                .collect(),
+        });
+    };
+    for entry in run_queue.drain(..) {
+        if entry & BATCH_BIT != 0 {
+            let sb = &mut batches[(entry & !BATCH_BIT) as usize];
+            sb.queued = false;
+            let protocol = sb.protocol;
+            for demoted in sb.batch.demote_all() {
+                push(&mut migrated, restarts, wobs, protocol, &demoted);
+            }
+        } else {
+            let mut session = slab[entry as usize].take().expect("queued slot is occupied");
+            free.push(entry);
+            match session.checkpoint() {
+                Ok(demoted) => push(&mut migrated, restarts, wobs, session.protocol(), &demoted),
+                // Tree-walking endpoints have no checkpoint form: close the
+                // session as stalled instead of migrating it.
+                Err(_) => record_outcome(metrics, wobs, pending, session.close_stalled(), now),
+            }
+        }
+    }
+    migrated
+}
+
 /// One worker shard: drains its inbox, steps the front of its run queue for
 /// one quantum, re-queues or finishes the work item, repeats. On shutdown
 /// the sessions still in the run queue are closed as stalled — a session of
@@ -639,14 +950,22 @@ fn shard_worker(
     metrics: Arc<ShardMetrics>,
     obs: Arc<ShardObs>,
     quantum: usize,
-    quarantine: QuarantinePolicy,
+    quarantine: QuarantineConfig,
 ) {
-    let halt_on_violation = quarantine == QuarantinePolicy::Halt;
     let mut wobs = WorkerObs::new(obs);
     let mut slab: Vec<Option<ActiveSession>> = Vec::new();
     let mut free: Vec<u32> = Vec::new();
     let mut batches: Vec<ShardBatch> = Vec::new();
     let mut run_queue: VecDeque<u32> = VecDeque::new();
+    // Restart bookkeeping for `RestartFromCheckpoint`: per session, the
+    // last certified checkpoint (encoded) with the programs its indices
+    // refer to, and how many restarts it has burned. Empty under any other
+    // policy (`try_restart` bails before touching it).
+    let mut restarts: FxHashMap<u64, RestartState> = FxHashMap::default();
+    // Protocol artifacts seen by this shard, for rebuilding restarted slab
+    // sessions whose outcome no longer carries an artifacts handle.
+    let mut artifacts_by_protocol: FxHashMap<ProtocolId, Arc<ProtocolArtifacts>> =
+        FxHashMap::default();
     // Finished sessions are reported in batches: one channel operation per
     // FLUSH_AT outcomes while the shard is loaded, with a freshness bound
     // (FLUSH_EVERY_ITERS main-loop iterations) so outcomes of short
@@ -666,18 +985,60 @@ fn shard_worker(
                     id,
                     spec,
                     artifacts,
-                }) => admit_session(
+                }) => {
+                    artifacts_by_protocol
+                        .entry(spec.protocol)
+                        .or_insert_with(|| Arc::clone(&artifacts));
+                    admit_session(
+                        id,
+                        spec,
+                        artifacts,
+                        &mut slab,
+                        &mut free,
+                        &mut run_queue,
+                        &mut batches,
+                        &metrics,
+                        &mut wobs,
+                        *sweep_stamp.get_or_insert_with(Instant::now),
+                    );
+                }
+                Ok(ShardMsg::Drain { reply }) => {
+                    let migrated = drain_for_migration(
+                        &mut run_queue,
+                        &mut batches,
+                        &mut slab,
+                        &mut free,
+                        &mut restarts,
+                        &metrics,
+                        &mut wobs,
+                        &mut pending,
+                    );
+                    let _ = reply.send(migrated);
+                }
+                Ok(ShardMsg::Restore {
                     id,
-                    spec,
+                    protocol,
+                    demoted,
                     artifacts,
-                    &mut slab,
-                    &mut free,
-                    &mut run_queue,
-                    &mut batches,
-                    &metrics,
-                    &mut wobs,
-                    *sweep_stamp.get_or_insert_with(Instant::now),
-                ),
+                }) => {
+                    metrics.sessions_slab.fetch_add(1, Ordering::Relaxed);
+                    wobs.on_admit(
+                        id,
+                        protocol,
+                        &artifacts,
+                        false,
+                        *sweep_stamp.get_or_insert_with(Instant::now),
+                    );
+                    artifacts_by_protocol
+                        .entry(protocol)
+                        .or_insert_with(|| Arc::clone(&artifacts));
+                    if quarantine.max_retries() > 0 && demoted.monitor.is_compliant() {
+                        store_checkpoint(&mut restarts, id.0, &demoted);
+                    }
+                    let session = ActiveSession::from_demoted(id, protocol, demoted, &artifacts);
+                    let slot = slab_admit(&mut slab, &mut free, session);
+                    run_queue.push_back(slot);
+                }
                 Ok(ShardMsg::Shutdown) => shutting_down = true,
                 Err(_) => break,
             }
@@ -729,18 +1090,45 @@ fn shard_worker(
                     id,
                     spec,
                     artifacts,
-                }) => admit_session(
+                }) => {
+                    artifacts_by_protocol
+                        .entry(spec.protocol)
+                        .or_insert_with(|| Arc::clone(&artifacts));
+                    admit_session(
+                        id,
+                        spec,
+                        artifacts,
+                        &mut slab,
+                        &mut free,
+                        &mut run_queue,
+                        &mut batches,
+                        &metrics,
+                        &mut wobs,
+                        Instant::now(),
+                    );
+                }
+                // The queue is empty: a drain carries nothing away.
+                Ok(ShardMsg::Drain { reply }) => {
+                    let _ = reply.send(Vec::new());
+                }
+                Ok(ShardMsg::Restore {
                     id,
-                    spec,
+                    protocol,
+                    demoted,
                     artifacts,
-                    &mut slab,
-                    &mut free,
-                    &mut run_queue,
-                    &mut batches,
-                    &metrics,
-                    &mut wobs,
-                    Instant::now(),
-                ),
+                }) => {
+                    metrics.sessions_slab.fetch_add(1, Ordering::Relaxed);
+                    wobs.on_admit(id, protocol, &artifacts, false, Instant::now());
+                    artifacts_by_protocol
+                        .entry(protocol)
+                        .or_insert_with(|| Arc::clone(&artifacts));
+                    if quarantine.max_retries() > 0 && demoted.monitor.is_compliant() {
+                        store_checkpoint(&mut restarts, id.0, &demoted);
+                    }
+                    let session = ActiveSession::from_demoted(id, protocol, demoted, &artifacts);
+                    let slot = slab_admit(&mut slab, &mut free, session);
+                    run_queue.push_back(slot);
+                }
                 Ok(ShardMsg::Shutdown) => {
                     // The queue is empty: nothing to close.
                     return;
@@ -792,25 +1180,60 @@ fn shard_worker(
                 wobs.shared.recorder.record(FlightEvent::BatchDemoted {
                     session: demoted.token,
                 });
-                let session = ActiveSession::from_demoted(
-                    SessionId(demoted.token),
-                    protocol,
-                    demoted,
-                    &artifacts,
-                );
-                // Quarantine on the batch path: a session demoted *because
-                // its monitor rejected an action* is closed here instead of
-                // re-admitted — it takes zero steps on the slab.
-                if halt_on_violation && session.is_violating() {
-                    record_outcome(
+                let token = demoted.token;
+                let violations = demoted.monitor.violations().len();
+                // Quarantine on the batch path: a session demoted with its
+                // violation budget spent is not re-admitted to the slab —
+                // it either restarts from its last certified checkpoint
+                // (policy permitting) or closes having taken zero further
+                // steps.
+                let over = quarantine
+                    .threshold_for(protocol)
+                    .is_some_and(|n| violations >= n as usize);
+                if over {
+                    let programs: Vec<Arc<EndpointProgram>> = demoted
+                        .endpoints
+                        .iter()
+                        .map(|e| Arc::clone(&e.program))
+                        .collect();
+                    if let Some(fresh) = try_restart(
+                        &quarantine,
+                        &mut restarts,
+                        token,
+                        Some((&demoted.options, &programs)),
+                        &artifacts,
                         &metrics,
                         &mut wobs,
-                        &mut pending,
-                        session.close_quarantined(),
-                        ended,
-                    );
+                    ) {
+                        let session =
+                            ActiveSession::from_demoted(SessionId(token), protocol, fresh, &artifacts);
+                        let slot = slab_admit(&mut slab, &mut free, session);
+                        run_queue.push_back(slot);
+                    } else {
+                        restarts.remove(&token);
+                        let session = ActiveSession::from_demoted(
+                            SessionId(token),
+                            protocol,
+                            demoted,
+                            &artifacts,
+                        );
+                        record_outcome(
+                            &metrics,
+                            &mut wobs,
+                            &mut pending,
+                            session.close_quarantined(),
+                            ended,
+                        );
+                    }
                     continue;
                 }
+                // Checkpoint-on-demote: a compliant session crossing from
+                // the batch plane to the slab is a natural restart point.
+                if quarantine.max_retries() > 0 && demoted.monitor.is_compliant() {
+                    store_checkpoint(&mut restarts, token, &demoted);
+                }
+                let session =
+                    ActiveSession::from_demoted(SessionId(token), protocol, demoted, &artifacts);
                 let slot = slab_admit(&mut slab, &mut free, session);
                 run_queue.push_back(slot);
             }
@@ -825,8 +1248,9 @@ fn shard_worker(
         let session = slab[entry as usize]
             .as_mut()
             .expect("queued slot is occupied");
+        let threshold = quarantine.threshold_for(session.protocol());
         let started = Instant::now();
-        let result = session.run_quantum(quantum, halt_on_violation);
+        let result = session.run_quantum(quantum, threshold);
         let ended = Instant::now();
         wobs.on_quantum(ended.saturating_duration_since(started), result.actions);
         metrics.quanta.fetch_add(1, Ordering::Relaxed);
@@ -838,11 +1262,52 @@ fn shard_worker(
             .fetch_add(result.sends as u64, Ordering::Relaxed);
         match result.outcome {
             Some(outcome) => {
+                if outcome.quarantined {
+                    // A restart re-uses the session's slab slot; only when
+                    // the policy grants none does the outcome report out.
+                    let restarted = artifacts_by_protocol
+                        .get(&outcome.protocol)
+                        .map(Arc::clone)
+                        .and_then(|artifacts| {
+                            let fresh = try_restart(
+                                &quarantine,
+                                &mut restarts,
+                                outcome.id.0,
+                                None,
+                                &artifacts,
+                                &metrics,
+                                &mut wobs,
+                            )?;
+                            Some(ActiveSession::from_demoted(
+                                outcome.id,
+                                outcome.protocol,
+                                fresh,
+                                &artifacts,
+                            ))
+                        });
+                    if let Some(session) = restarted {
+                        slab[entry as usize] = Some(session);
+                        run_queue.push_back(entry);
+                        continue;
+                    }
+                }
+                restarts.remove(&outcome.id.0);
                 slab[entry as usize] = None;
                 free.push(entry);
                 record_outcome(&metrics, &mut wobs, &mut pending, outcome, ended);
             }
-            None => run_queue.push_back(entry),
+            None => {
+                // Group commit of the restart point: once per reschedule,
+                // not per action — and only while the monitor still
+                // certifies the state being saved.
+                if quarantine.max_retries() > 0 && !session.is_violating() {
+                    let token = session.id().0;
+                    if let Ok(demoted) = session.checkpoint() {
+                        store_checkpoint(&mut restarts, token, &demoted);
+                    }
+                }
+                run_queue.push_back(entry);
+            }
         }
     }
 }
@@ -936,7 +1401,7 @@ mod tests {
         let config = ServerConfig {
             shards: 1,
             quantum: 1,
-            quarantine: QuarantinePolicy::Halt,
+            ..ServerConfig::default()
         };
         let mut server = SessionServer::start(registry, config);
         for _ in 0..50 {

@@ -17,8 +17,10 @@ use std::sync::Arc;
 use zooid_dsl::CertifiedProcess;
 use zooid_mpst::{Role, Trace};
 use zooid_proc::{erase, Externals};
-use zooid_runtime::cbatch::DemotedSession;
+use zooid_runtime::cbatch::{DemotedEndpoint, DemotedSession};
 use zooid_runtime::cexec::CompiledEndpointTask;
+use zooid_runtime::checkpoint::checkpoint_task;
+use zooid_runtime::error::RuntimeError;
 use zooid_runtime::exec::{EndpointReport, EndpointTask, ExecOptions, StepOutcome};
 use zooid_runtime::monitor::{CompiledMonitor, MonitorViolation};
 use zooid_runtime::transport::{InMemoryNetwork, InMemoryTransport, Transport};
@@ -234,6 +236,16 @@ pub(crate) fn validate_spec(spec: &SessionSpec, artifacts: &ProtocolArtifacts) -
 }
 
 impl ActiveSession {
+    /// The session's id.
+    pub(crate) fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// The protocol the session runs.
+    pub(crate) fn protocol(&self) -> ProtocolId {
+        self.protocol
+    }
+
     /// Builds the session. The spec must already have passed
     /// [`validate_spec`] for these artifacts — the server validates at
     /// submission, then ships the spec to a worker shard which constructs
@@ -355,6 +367,82 @@ impl ActiveSession {
         !self.monitor.is_compliant()
     }
 
+    /// Extracts a restorable snapshot of the live session without
+    /// disturbing it: per-role task state (pc, slots, recorded actions,
+    /// step counts), the monitor mid-stream, and every in-flight frame in
+    /// per-channel FIFO order. Endpoints are emitted in **sorted role
+    /// order** — the batch role order, which is also what
+    /// [`zooid_runtime::SessionCheckpoint::into_demoted`] validates its
+    /// programs against.
+    ///
+    /// In-flight frames are captured by draining each receiver's channels
+    /// and immediately re-injecting every frame through its sender's
+    /// transport, so the session is byte-for-byte unchanged afterwards.
+    ///
+    /// Sessions with a tree-walking endpoint cannot checkpoint — their
+    /// state is a process tree mid-substitution, not a pc plus slots — and
+    /// are refused with [`RuntimeError::Recovery`].
+    pub(crate) fn checkpoint(&mut self) -> std::result::Result<DemotedSession, RuntimeError> {
+        let mut roles = Vec::with_capacity(self.tasks.len());
+        for (task, _) in &self.tasks {
+            match task {
+                Endpoint::Compiled(t) => roles.push(t.role().clone()),
+                Endpoint::Tree(_) => {
+                    return Err(RuntimeError::Recovery {
+                        reason: "session has a tree-walking endpoint; only compiled \
+                                 sessions can checkpoint"
+                            .into(),
+                    })
+                }
+            }
+        }
+        let mut order: Vec<usize> = (0..self.tasks.len()).collect();
+        order.sort_by(|&a, &b| roles[a].cmp(&roles[b]));
+        let endpoints: Vec<DemotedEndpoint> = order
+            .iter()
+            .map(|&i| match &self.tasks[i].0 {
+                Endpoint::Compiled(t) => checkpoint_task(t),
+                Endpoint::Tree(_) => unreachable!("tree endpoints were refused above"),
+            })
+            .collect();
+        let options = match &self.tasks[order[0]].0 {
+            Endpoint::Compiled(t) => t.options().clone(),
+            Endpoint::Tree(_) => unreachable!("tree endpoints were refused above"),
+        };
+        // Capture in-flight frames: drain every (sender, receiver) channel
+        // in FIFO order, then re-inject each frame through its sender so
+        // the live session keeps running as if nothing happened. Frame
+        // indices are positions in the sorted endpoint order above.
+        let mut frames: Vec<(u32, u32, zooid_mpst::Label, zooid_proc::Value)> = Vec::new();
+        for (to_pos, &ti) in order.iter().enumerate() {
+            for (from_pos, &fi) in order.iter().enumerate() {
+                if fi == ti {
+                    continue;
+                }
+                let (_, transport) = &mut self.tasks[ti];
+                let Some(peer) = transport.peer_index(&roles[fi]) else {
+                    continue;
+                };
+                while let Some((label, value)) = transport.try_recv_indexed(peer)? {
+                    frames.push((from_pos as u32, to_pos as u32, label, value));
+                }
+            }
+        }
+        for (from_pos, to_pos, label, value) in &frames {
+            let sender = order[*from_pos as usize];
+            let receiver_role = &roles[order[*to_pos as usize]];
+            let (_, transport) = &mut self.tasks[sender];
+            transport.send(receiver_role, label, value)?;
+        }
+        Ok(DemotedSession {
+            token: self.id.0,
+            options,
+            endpoints,
+            monitor: self.monitor.clone(),
+            frames,
+        })
+    }
+
     /// Runs the session for at most `budget` visible communications.
     ///
     /// Endpoints are stepped round-robin, each until it blocks; the quantum
@@ -365,13 +453,19 @@ impl ActiveSession {
     /// remaining endpoints are marked [`EndpointStatus::Stalled`] and the
     /// session is closed.
     ///
-    /// With `quarantine` set, the first action the monitor rejects closes
-    /// the session immediately — the violating session takes **zero**
-    /// further steps, every endpoint still mid-protocol is reported
-    /// stalled, and the outcome carries `quarantined = true`.
+    /// With a `violation_threshold` of `Some(n)`, the session is closed as
+    /// soon as the monitor has rejected `n` actions — at the default
+    /// threshold of 1 the violating session takes **zero** further steps —
+    /// every endpoint still mid-protocol is reported stalled, and the
+    /// outcome carries `quarantined = true`. `None` never quarantines
+    /// (violations are recorded and the session runs on).
     ///
     /// [`EndpointStatus::Stalled`]: zooid_runtime::EndpointStatus::Stalled
-    pub(crate) fn run_quantum(&mut self, budget: usize, quarantine: bool) -> QuantumResult {
+    pub(crate) fn run_quantum(
+        &mut self,
+        budget: usize,
+        violation_threshold: Option<u32>,
+    ) -> QuantumResult {
         let mut actions = 0usize;
         let mut sends = 0usize;
         let ActiveSession { monitor, tasks, .. } = self;
@@ -389,7 +483,9 @@ impl ActiveSession {
                         StepOutcome::Progress => {
                             progressed = true;
                             actions += 1;
-                            if quarantine && !monitor.is_compliant() {
+                            if violation_threshold
+                                .is_some_and(|n| monitor.violations().len() >= n as usize)
+                            {
                                 self.quarantined = true;
                                 return QuantumResult {
                                     actions,

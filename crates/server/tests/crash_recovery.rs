@@ -1,0 +1,462 @@
+//! Crash recovery on the serving plane: shard evacuation, re-certified
+//! migration, checkpoint-restart quarantine, adaptive violation
+//! thresholds, and the wire-level reject-then-ban escalation.
+//!
+//! The durable-session covenant is tested at the server boundary here (the
+//! runtime-level kill-at-every-quantum differential lives in the runtime
+//! crate's `durability` suite):
+//!
+//! * [`SessionServer::drain_shard`] checkpoints every session queued on a
+//!   shard and hands the encoded blobs to the caller; the sessions go
+//!   silent — no outcomes — until re-admitted.
+//! * [`SessionServer::migrate_session`] decodes and **re-certifies** a
+//!   blob against the protocol's compiled tables before any shard hosts
+//!   it: tampered bytes are refused with the runtime's structured errors
+//!   and never become sessions.
+//! * [`QuarantinePolicy::RestartFromCheckpoint`] grants a violating
+//!   session a bounded number of restarts from its last certified
+//!   checkpoint (or its initial state), then closes it like `Halt`.
+//! * [`ServerConfig::with_violation_threshold`] tolerates a per-protocol
+//!   number of monitor rejections before quarantining.
+//! * [`NetServerConfig::ban_after_quarantines`] rejects further `Open`s
+//!   from a connection that keeps submitting quarantined sessions, without
+//!   tearing the connection down.
+
+use std::time::{Duration, Instant};
+
+use zooid_dsl::Protocol;
+use zooid_mpst::generators;
+use zooid_runtime::{MuxFrame, RuntimeError};
+use zooid_server::synth::{byzantine_driver, skeleton_endpoints};
+use zooid_server::{
+    ByzantineMutation, ExpectedClass, FlightEvent, NetClient, NetServer, NetServerConfig,
+    ProtocolRegistry, QuarantinePolicy, ServerConfig, ServerError, Service, SessionServer,
+    SessionSpec,
+};
+
+const EVENT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// `mu X. A -> B : tick(nat). B -> A : tock(nat). X` — no choice, so the
+/// skeleton cast loops forever. Sessions of this protocol are caught
+/// mid-flight by a drain deterministically (they can never finish first).
+fn metronome() -> zooid_mpst::global::GlobalType {
+    use zooid_mpst::global::GlobalType;
+    use zooid_mpst::{Role, Sort};
+    GlobalType::rec(GlobalType::msg1(
+        Role::new("A"),
+        Role::new("B"),
+        "tick",
+        Sort::Nat,
+        GlobalType::msg1(
+            Role::new("B"),
+            Role::new("A"),
+            "tock",
+            Sort::Nat,
+            GlobalType::var(0),
+        ),
+    ))
+}
+
+/// A registry with one protocol, plus its skeleton cast.
+fn registry_with(
+    name: &str,
+    g: zooid_mpst::global::GlobalType,
+) -> (
+    ProtocolRegistry,
+    zooid_server::ProtocolId,
+    Vec<(zooid_dsl::CertifiedProcess, zooid_proc::Externals)>,
+) {
+    let mut registry = ProtocolRegistry::new();
+    let protocol = Protocol::new(name, g).expect("well-formed");
+    let endpoints = skeleton_endpoints(&protocol).expect("synthesizes");
+    let id = registry.register(protocol).expect("registers");
+    (registry, id, endpoints)
+}
+
+// ---------------------------------------------------------------------
+// Evacuation and re-admission
+// ---------------------------------------------------------------------
+
+#[test]
+fn drained_sessions_go_silent_and_migrate_to_another_shard() {
+    // Unbounded ping-pong sessions loop forever, so the evacuation count
+    // is deterministic: every submitted session is still mid-flight when
+    // the drain request reaches its shard (FIFO per shard mailbox).
+    let (registry, id, endpoints) = registry_with("metronome", metronome());
+    let mut server = SessionServer::start(registry, ServerConfig::with_shards(2));
+    let mut submitted = Vec::new();
+    for _ in 0..8 {
+        submitted.push(
+            server
+                .submit(SessionSpec::new(id, endpoints.clone()))
+                .unwrap(),
+        );
+    }
+    let mut migrated = server.drain_shard(0).unwrap();
+    migrated.extend(server.drain_shard(1).unwrap());
+    assert_eq!(
+        migrated.len(),
+        8,
+        "every unbounded session is caught mid-flight"
+    );
+    let mut ids: Vec<_> = migrated.iter().map(|m| m.id).collect();
+    ids.sort();
+    assert_eq!(ids, submitted, "identity survives evacuation");
+    for m in &migrated {
+        assert_eq!(m.protocol, id);
+        assert!(!m.bytes.is_empty(), "the checkpoint blob is the session");
+    }
+
+    // Re-admit everything on shard 0, then evacuate shard 0 again: the
+    // same eight sessions come back — they were live on the new shard.
+    for m in migrated {
+        let sid = m.id;
+        assert_eq!(server.migrate_session(m, 0).unwrap(), sid);
+    }
+    let again = server.drain_shard(0).unwrap();
+    assert_eq!(again.len(), 8, "migrated sessions run on their new shard");
+    let mut ids: Vec<_> = again.iter().map(|m| m.id).collect();
+    ids.sort();
+    assert_eq!(ids, submitted);
+    server.shutdown();
+}
+
+#[test]
+fn migration_preserves_every_outcome_of_bounded_sessions() {
+    // Bounded sessions race the drain: however many are caught and moved,
+    // exactly one compliant outcome per submission must still arrive —
+    // migration neither loses nor duplicates sessions.
+    let (registry, id, endpoints) = registry_with("metronome", metronome());
+    let config = ServerConfig {
+        shards: 2,
+        quantum: 1,
+        ..ServerConfig::default()
+    };
+    let mut server = SessionServer::start(registry, config);
+    let mut submitted = Vec::new();
+    for _ in 0..12 {
+        submitted.push(
+            server
+                .submit(SessionSpec::new(id, endpoints.clone()).with_max_steps(40))
+                .unwrap(),
+        );
+    }
+    let mut migrated = server.drain_shard(0).unwrap();
+    migrated.extend(server.drain_shard(1).unwrap());
+    for m in migrated {
+        server.migrate_session(m, 0).unwrap();
+    }
+    let outcomes = server.drain();
+    assert_eq!(outcomes.len(), 12, "one outcome per submission");
+    let mut ids: Vec<_> = outcomes.iter().map(|o| o.id).collect();
+    ids.sort();
+    assert_eq!(ids, submitted, "no session lost or duplicated");
+    for outcome in &outcomes {
+        assert!(outcome.compliant, "migration must not corrupt a session");
+        assert!(!outcome.quarantined);
+    }
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// The migration trust boundary
+// ---------------------------------------------------------------------
+
+#[test]
+fn tampered_checkpoints_are_refused_with_structured_errors() {
+    let (registry, id, endpoints) = registry_with("metronome", metronome());
+    let mut server = SessionServer::start(registry, ServerConfig::with_shards(1));
+    for _ in 0..3 {
+        server
+            .submit(SessionSpec::new(id, endpoints.clone()))
+            .unwrap();
+    }
+    let migrated = server.drain_shard(0).unwrap();
+    assert_eq!(migrated.len(), 3);
+    let mut migrated = migrated.into_iter();
+
+    // Garbage bytes: the codec refuses before anything is re-certified.
+    let mut garbage = migrated.next().unwrap();
+    garbage.bytes = vec![0; 4];
+    match server.migrate_session(garbage, 0) {
+        Err(ServerError::Runtime(RuntimeError::Codec { .. })) => {}
+        other => panic!("garbage must be a structured codec error, got {other:?}"),
+    }
+
+    // A truncated blob: same refusal, never a panic.
+    let mut truncated = migrated.next().unwrap();
+    truncated.bytes.truncate(truncated.bytes.len() / 2);
+    match server.migrate_session(truncated, 0) {
+        Err(ServerError::Runtime(RuntimeError::Codec { .. })) => {}
+        other => panic!("truncation must be a structured codec error, got {other:?}"),
+    }
+
+    // A decodable checkpoint whose token does not match the claimed
+    // session id: refused by the identity check (byte 5 is inside the
+    // big-endian token that follows the 4-byte magic and 1-byte version).
+    let mut forged = migrated.next().unwrap();
+    forged.bytes[5] ^= 0x01;
+    match server.migrate_session(forged, 0) {
+        Err(ServerError::Runtime(RuntimeError::Recovery { reason })) => {
+            assert!(reason.contains("does not match"), "{reason}");
+        }
+        other => panic!("token forgery must be a recovery refusal, got {other:?}"),
+    }
+
+    // Out-of-range shard indexes are structured errors on both calls.
+    match server.drain_shard(99) {
+        Err(ServerError::Unsupported { reason }) => {
+            assert!(reason.contains("out of range"), "{reason}")
+        }
+        other => panic!("want Unsupported, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Restart-from-checkpoint quarantine
+// ---------------------------------------------------------------------
+
+#[test]
+fn violators_restart_from_checkpoint_until_retries_exhaust() {
+    // The rotated-ring cast violates deterministically on its first send;
+    // restarting it from its (initial-state) checkpoint replays the same
+    // violation, so the retry budget is consumed exactly.
+    let mut registry = ProtocolRegistry::new();
+    let id = registry
+        .register(Protocol::new("ring", generators::ring_n(3)).unwrap())
+        .unwrap();
+    let decoy = Protocol::new("ring", generators::ring(&["w2", "w0", "w1"])).unwrap();
+    let endpoints = skeleton_endpoints(&decoy).unwrap();
+    let config = ServerConfig {
+        shards: 1,
+        quarantine: QuarantinePolicy::RestartFromCheckpoint { max_retries: 2 },
+        ..ServerConfig::default()
+    };
+    let mut server = SessionServer::start(registry, config);
+    let sid = server
+        .submit(SessionSpec::new(id, endpoints.clone()))
+        .unwrap();
+    let outcomes = server.drain();
+    assert_eq!(outcomes.len(), 1, "the session reports exactly once");
+    let outcome = &outcomes[0];
+    assert_eq!(outcome.id, sid);
+    assert!(!outcome.compliant);
+    assert!(
+        outcome.quarantined,
+        "after the retry budget the close is Halt-like"
+    );
+
+    let report = server.report();
+    assert_eq!(
+        report.sessions_restarted(),
+        2,
+        "exactly max_retries restarts: {report}"
+    );
+    assert_eq!(report.sessions_quarantined(), 1, "{report}");
+    let events = server.flight_events();
+    let retries: Vec<u8> = events
+        .iter()
+        .filter_map(|e| match e {
+            FlightEvent::Restarted { session, retry } if *session == sid.0 => Some(*retry),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(retries, vec![1, 2], "restart events carry the retry count");
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, FlightEvent::Quarantined { .. })),
+        "the final close is still a quarantine"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn restart_zero_behaves_like_halt() {
+    let mut registry = ProtocolRegistry::new();
+    let id = registry
+        .register(Protocol::new("ring", generators::ring_n(3)).unwrap())
+        .unwrap();
+    let decoy = Protocol::new("ring", generators::ring(&["w2", "w0", "w1"])).unwrap();
+    let endpoints = skeleton_endpoints(&decoy).unwrap();
+    let config = ServerConfig {
+        shards: 1,
+        quarantine: QuarantinePolicy::RestartFromCheckpoint { max_retries: 0 },
+        ..ServerConfig::default()
+    };
+    let mut server = SessionServer::start(registry, config);
+    server
+        .submit(SessionSpec::new(id, endpoints.clone()))
+        .unwrap();
+    let outcomes = server.drain();
+    assert_eq!(outcomes.len(), 1);
+    assert!(outcomes[0].quarantined);
+    assert_eq!(outcomes[0].violations.len(), 1, "zero post-violation steps");
+    let report = server.report();
+    assert_eq!(report.sessions_restarted(), 0, "{report}");
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Adaptive per-protocol violation thresholds
+// ---------------------------------------------------------------------
+
+#[test]
+fn lenient_protocols_tolerate_violations_and_strict_ones_do_not() {
+    // Two registrations of structurally identical rings; only "lenient"
+    // gets a threshold. The same rotated decoy cast violates both; the
+    // lenient session runs to its natural conclusion un-quarantined, the
+    // strict one is quarantined at the first rejection.
+    let mut registry = ProtocolRegistry::new();
+    let lenient = registry
+        .register(Protocol::new("lenient", generators::ring_n(3)).unwrap())
+        .unwrap();
+    let strict = registry
+        .register(Protocol::new("strict", generators::ring_n(3)).unwrap())
+        .unwrap();
+    let lenient_decoy = Protocol::new("lenient", generators::ring(&["w2", "w0", "w1"])).unwrap();
+    let strict_decoy = Protocol::new("strict", generators::ring(&["w2", "w0", "w1"])).unwrap();
+    let config =
+        ServerConfig::with_shards(1).with_violation_threshold(lenient, 100);
+    let mut server = SessionServer::start(registry, config);
+    let lenient_sid = server
+        .submit(SessionSpec::new(
+            lenient,
+            skeleton_endpoints(&lenient_decoy).unwrap(),
+        ))
+        .unwrap();
+    let strict_sid = server
+        .submit(SessionSpec::new(
+            strict,
+            skeleton_endpoints(&strict_decoy).unwrap(),
+        ))
+        .unwrap();
+    let outcomes = server.drain();
+    assert_eq!(outcomes.len(), 2);
+
+    let lenient_out = outcomes.iter().find(|o| o.id == lenient_sid).unwrap();
+    assert!(!lenient_out.compliant, "the cast still violates");
+    assert!(
+        !lenient_out.quarantined,
+        "under its threshold the session keeps running"
+    );
+    assert!(
+        !lenient_out.violations.is_empty(),
+        "the violations are still recorded"
+    );
+
+    let strict_out = outcomes.iter().find(|o| o.id == strict_sid).unwrap();
+    assert!(strict_out.quarantined, "no threshold means quarantine at 1");
+    assert_eq!(strict_out.violations.len(), 1);
+
+    let report = server.report();
+    assert_eq!(report.sessions_quarantined(), 1, "{report}");
+    server.shutdown();
+}
+
+#[test]
+fn observe_policy_ignores_thresholds_entirely() {
+    let mut registry = ProtocolRegistry::new();
+    let id = registry
+        .register(Protocol::new("ring", generators::ring_n(3)).unwrap())
+        .unwrap();
+    let decoy = Protocol::new("ring", generators::ring(&["w2", "w0", "w1"])).unwrap();
+    let endpoints = skeleton_endpoints(&decoy).unwrap();
+    let config = ServerConfig {
+        shards: 1,
+        quarantine: QuarantinePolicy::Observe,
+        ..ServerConfig::default()
+    }
+    .with_violation_threshold(id, 1);
+    let mut server = SessionServer::start(registry, config);
+    server
+        .submit(SessionSpec::new(id, endpoints.clone()))
+        .unwrap();
+    let outcomes = server.drain();
+    assert_eq!(outcomes.len(), 1);
+    assert!(!outcomes[0].compliant);
+    assert!(!outcomes[0].quarantined, "Observe never quarantines");
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// The wire: reject-then-ban
+// ---------------------------------------------------------------------
+
+fn wait_for_done(client: &mut NetClient, session: u64) -> bool {
+    let deadline = Instant::now() + EVENT_TIMEOUT;
+    loop {
+        match client.poll_event(Duration::from_millis(100)).unwrap() {
+            Some(MuxFrame::Done {
+                session: s,
+                compliant,
+                ..
+            }) if s == session => return compliant,
+            Some(_) => {}
+            None => assert!(Instant::now() < deadline, "no Done within {EVENT_TIMEOUT:?}"),
+        }
+    }
+}
+
+#[test]
+fn connections_that_keep_getting_quarantined_are_banned_but_not_torn_down() {
+    let mut registry = ProtocolRegistry::new();
+    let byz_id = registry
+        .register(Protocol::new("byz_ring", generators::ring_n(3)).unwrap())
+        .unwrap();
+    let ok_id = registry
+        .register(Protocol::new("ok_ring", generators::ring_n(3)).unwrap())
+        .unwrap();
+    let byz_protocol = Protocol::new("byz_ring", generators::ring_n(3)).unwrap();
+    let driver = byzantine_driver(&byz_protocol, ByzantineMutation::WrongLabel)
+        .unwrap()
+        .expect("wrong-label applies to the ring");
+    assert_eq!(driver.mutation.expected(), ExpectedClass::Violation);
+    let byz_service = Service {
+        protocol: byz_id,
+        endpoints: driver.endpoints.into(),
+        options: zooid_runtime::ExecOptions::default(),
+    };
+    let ok_service = Service::skeleton(&registry, ok_id).unwrap();
+    let config = NetServerConfig {
+        ban_after_quarantines: 1,
+        ..NetServerConfig::default()
+    };
+    let server = NetServer::start(registry, [byz_service, ok_service], config).unwrap();
+
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    let session = client.open_with("byz_ring", EVENT_TIMEOUT).unwrap();
+    let compliant = wait_for_done(&mut client, session);
+    assert!(!compliant, "the byzantine session must violate");
+
+    // The strike is recorded with the outcome, so the next open on this
+    // connection is refused — the connection itself stays up (no
+    // close_on_quarantine teardown).
+    match client.open_with("ok_ring", EVENT_TIMEOUT) {
+        Err(RuntimeError::Codec { reason }) => {
+            assert!(reason.contains("open rejected"), "{reason}");
+            assert!(reason.contains("banned"), "{reason}");
+        }
+        other => panic!("want a structured ban rejection, got {other:?}"),
+    }
+    // Still refused — the ban is sticky for the connection's lifetime.
+    match client.open_with("byz_ring", EVENT_TIMEOUT) {
+        Err(RuntimeError::Codec { reason }) => {
+            assert!(reason.contains("banned"), "{reason}")
+        }
+        other => panic!("the ban must be sticky, got {other:?}"),
+    }
+
+    // The ban is per-connection, not per-peer: a fresh connection serves.
+    let mut fresh = NetClient::connect(server.local_addr()).unwrap();
+    let ok_session = fresh.open_with("ok_ring", EVENT_TIMEOUT).unwrap();
+    assert!(
+        wait_for_done(&mut fresh, ok_session),
+        "a fresh connection is unaffected"
+    );
+
+    let report = server.shutdown();
+    assert_eq!(report.net.rejects.banned, 2, "both refusals are counted");
+    assert_eq!(report.shards.sessions_quarantined(), 1);
+}

@@ -2,7 +2,7 @@
 //! fault-injecting transport and a synthesized byzantine cast, and the
 //! serving plane must contain the damage.
 //!
-//! Three fronts, mirroring the three layers under test:
+//! Four fronts, mirroring the four layers under test:
 //!
 //! 1. **Transport faults** — the seed-driven [`FaultyTransport`] injects
 //!    delays, drops, duplicates, reorders, truncations and mid-session
@@ -25,6 +25,13 @@
 //!    (`Done`, a `Quarantined` rejection, then EOF) while a compliant
 //!    neighbour connection keeps serving; and a connection that never
 //!    sends a decodable frame is reaped at the idle deadline.
+//! 4. **The batch arena** — the same [`FaultPlan`] drives
+//!    [`SessionBatch::set_arena_faults`], corrupting the columnar data
+//!    plane's shared frame arena from below. Damage must stay contained to
+//!    the victim session (co-resident sessions in the same batch conclude
+//!    compliant), land in the fault kind's expected class (a drop strands,
+//!    a truncation is a structured arena-codec failure), and replay
+//!    byte-identically for a pinned seed.
 
 use std::collections::BTreeMap;
 use std::net::{IpAddr, Ipv4Addr, TcpListener, TcpStream};
@@ -35,7 +42,9 @@ use zooid_cfsm::System;
 use zooid_dsl::Protocol;
 use zooid_mpst::global::GlobalType;
 use zooid_mpst::{generators, Role};
-use zooid_proc::{Externals, Proc};
+use zooid_proc::{CompiledProc, Externals, Proc};
+use zooid_runtime::cbatch::{BatchLayout, SessionBatch};
+use zooid_runtime::cexec::EndpointProgram;
 use zooid_runtime::exec::{EndpointStatus, EndpointTask, ExecOptions, StepOutcome};
 use zooid_runtime::monitor::{CompiledMonitor, TraceMonitor};
 use zooid_runtime::tcp::TcpTransport;
@@ -722,4 +731,150 @@ fn open_with_surfaces_structured_rejections_and_timeouts() {
         other => panic!("want a structured rejection, got {other:?}"),
     }
     server.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Front 4: the batch arena under fault injection
+// ---------------------------------------------------------------------
+
+/// Compiles the campaign's skeleton casts into a batch layout (the same
+/// construction the batch differential suite uses).
+fn arena_layout(g: &GlobalType, procs: &[(Role, Proc)]) -> Arc<BatchLayout> {
+    let system = Arc::new(System::from_global(g).expect("projectable").compile());
+    let mut sorted = procs.to_vec();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    let roles: Arc<[Role]> = sorted
+        .iter()
+        .map(|(r, _)| r.clone())
+        .collect::<Vec<_>>()
+        .into();
+    let programs: Vec<Arc<EndpointProgram>> = sorted
+        .iter()
+        .map(|(role, proc)| {
+            Arc::new(EndpointProgram::with_system(
+                Arc::new(
+                    CompiledProc::compile(proc, role, &Externals::new())
+                        .expect("skeletons compile"),
+                ),
+                &system,
+            ))
+        })
+        .collect();
+    BatchLayout::new(roles, programs, system).expect("case studies are batch-eligible")
+}
+
+/// A faulted batch run: four co-resident sessions, one budgeted arena fault.
+/// Returns `(clean_tokens, stranded, arena_codec_failures, schedule)`.
+fn arena_run(
+    layout: &Arc<BatchLayout>,
+    plan: &FaultPlan,
+) -> (Vec<u64>, bool, Vec<String>, Vec<InjectedFault>) {
+    const WIDTH: u64 = 4;
+    let mut batch = SessionBatch::new(Arc::clone(layout), ExecOptions::default(), WIDTH as usize);
+    for token in 0..WIDTH {
+        assert!(batch.admit(token), "width-{WIDTH} batch admits {token}");
+    }
+    batch.set_arena_faults(plan);
+    let out = batch.run_quantum(usize::MAX);
+
+    let clean: Vec<u64> = out
+        .finished
+        .iter()
+        .filter(|o| {
+            o.compliant
+                && o.complete
+                && !o.stalled
+                && o.endpoints
+                    .iter()
+                    .all(|r| r.status == EndpointStatus::Finished)
+        })
+        .map(|o| o.token)
+        .collect();
+    let stranded = out
+        .demoted
+        .iter()
+        .flat_map(|d| d.endpoints.iter())
+        .any(|ep| ep.status.is_none() || ep.status == Some(EndpointStatus::Stalled))
+        || out.finished.iter().any(|o| o.stalled);
+    let failures: Vec<String> = out
+        .finished
+        .iter()
+        .flat_map(|o| o.endpoints.iter())
+        .filter_map(|r| match &r.status {
+            EndpointStatus::Failed { error } => Some(error.clone()),
+            _ => None,
+        })
+        .chain(
+            out.demoted
+                .iter()
+                .flat_map(|d| d.endpoints.iter())
+                .filter_map(|ep| match &ep.status {
+                    Some(EndpointStatus::Failed { error }) => Some(error.clone()),
+                    _ => None,
+                }),
+        )
+        .collect();
+    (clean, stranded, failures, batch.arena_fault_schedule().to_vec())
+}
+
+#[test]
+fn arena_faults_damage_only_the_victim_session_in_every_case_study() {
+    for (idx, (name, g)) in case_studies().into_iter().enumerate() {
+        let procs = skeleton_procs(name, &g);
+        let layout = arena_layout(&g, &procs);
+        for kind in [FaultKind::Drop, FaultKind::Truncate] {
+            let seed = 0xA7E0 + idx as u64;
+            let plan = FaultPlan::new(seed)
+                .with(FaultSpec::new(kind, FaultSite::Send).budget(1));
+            let (clean, stranded, failures, schedule) = arena_run(&layout, &plan);
+            let context = format!("{name}/{kind:?}");
+            assert_eq!(schedule.len(), 1, "{context}: the budgeted fault fires once");
+            assert_eq!(schedule[0].kind, kind, "{context}");
+            // Containment: the one corrupted frame belongs to one session;
+            // its three co-residents must conclude compliant and complete.
+            assert_eq!(
+                clean.len(),
+                3,
+                "{context}: exactly the victim is unclean, clean = {clean:?}"
+            );
+            match kind {
+                FaultKind::Drop => assert!(
+                    stranded,
+                    "{context}: a dropped frame must strand an endpoint"
+                ),
+                FaultKind::Truncate => assert!(
+                    failures
+                        .iter()
+                        .any(|e| e.contains("corrupted frame in the batch arena")),
+                    "{context}: truncation must be a structured arena-codec \
+                     failure, got {failures:?}"
+                ),
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+#[test]
+fn arena_fault_schedules_replay_byte_identically_for_a_pinned_seed() {
+    for (idx, (name, g)) in case_studies().into_iter().enumerate() {
+        let procs = skeleton_procs(name, &g);
+        let layout = arena_layout(&g, &procs);
+        for kind in [FaultKind::Drop, FaultKind::Duplicate, FaultKind::Truncate] {
+            let plan = FaultPlan::new(0xD1CE + idx as u64)
+                .with(FaultSpec::new(kind, FaultSite::Send).budget(1));
+            let (_, _, _, first) = arena_run(&layout, &plan);
+            let (_, _, _, second) = arena_run(&layout, &plan);
+            assert_eq!(
+                first, second,
+                "{name}/{kind:?}: same seed, same plan, same schedule"
+            );
+            assert_eq!(first.len(), 1, "{name}/{kind:?}: the budget caps firing");
+        }
+        // The empty plan is the bystander configuration: no schedule at all.
+        let (clean, stranded, failures, schedule) = arena_run(&layout, &FaultPlan::new(0));
+        assert!(schedule.is_empty(), "{name}: empty plan injects nothing");
+        assert_eq!(clean.len(), 4, "{name}: all four sessions conclude clean");
+        assert!(!stranded && failures.is_empty(), "{name}");
+    }
 }

@@ -13,11 +13,19 @@
 //! violations being captured as incidents whose trace prefixes *replay* to
 //! the same verdict against the compiled system.
 //!
-//! The final act is the hostile-world campaign: synthesized byzantine
-//! casts (one minimal mutation each) are thrown at the server, the default
+//! Then comes the hostile-world campaign: synthesized byzantine casts
+//! (one minimal mutation each) are thrown at the server, the default
 //! quarantine policy stops every flagged session at its first violation,
 //! and the per-protocol quarantine counters and a replayed incident show
 //! the containment working.
+//!
+//! The final act is durability: a second server (single-action quanta, so
+//! sessions stay in flight) is drained shard by shard — every in-flight
+//! session leaves as an encoded, re-certifiable checkpoint — and the
+//! checkpoints are migrated onto other shards where they resume and finish
+//! compliant. Violators submitted under
+//! [`QuarantinePolicy::RestartFromCheckpoint`] get restarted from their
+//! last certified snapshot until their retry budget runs out.
 //!
 //! Run with `cargo run --release --example load_sim`.
 
@@ -27,7 +35,8 @@ use zooid::dsl::Protocol;
 use zooid::mpst::generators;
 use zooid::server::synth::{byzantine_driver, skeleton_endpoints};
 use zooid::server::{
-    ByzantineMutation, ExpectedClass, ProtocolRegistry, ServerConfig, SessionServer, SessionSpec,
+    ByzantineMutation, ExpectedClass, ProtocolRegistry, QuarantinePolicy, ServerConfig,
+    SessionServer, SessionSpec,
 };
 
 const SESSIONS: usize = 1_000;
@@ -179,5 +188,77 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "quarantine counters must match the campaign"
     );
     assert_eq!(report.sessions_violated() as usize, expected_quarantines);
+
+    // Durability act: drain shards mid-flight, migrate the checkpoints,
+    // and restart violators from their last certified snapshot. A fresh
+    // server with single-action quanta keeps sessions in flight long
+    // enough to catch them between quanta.
+    println!("\ndrain-and-recover:");
+    let mut registry = ProtocolRegistry::new();
+    let ring = registry.register(Protocol::new("ring", generators::ring_n(4))?)?;
+    let ring_endpoints = skeleton_endpoints(registry.get(ring).unwrap().protocol())?;
+    let mut server = SessionServer::start(
+        registry,
+        ServerConfig {
+            shards: 2,
+            quantum: 1,
+            quarantine: QuarantinePolicy::RestartFromCheckpoint { max_retries: 2 },
+            ..ServerConfig::default()
+        },
+    );
+    const MIGRATED_SESSIONS: usize = 64;
+    for _ in 0..MIGRATED_SESSIONS {
+        server.submit(SessionSpec::new(ring, ring_endpoints.clone()))?;
+    }
+
+    // Drain both shards: every session still in flight leaves as an
+    // encoded checkpoint (already-finished ones deliver outcomes instead).
+    let mut migrated = Vec::new();
+    for shard in 0..server.shard_count() {
+        migrated.extend(server.drain_shard(shard)?);
+    }
+    let bytes: usize = migrated.iter().map(|m| m.bytes.len()).sum();
+    println!(
+        "  drained {} in-flight sessions ({bytes} checkpoint bytes)",
+        migrated.len()
+    );
+
+    // Migrate each checkpoint onto the *other* shard; decode re-validates
+    // every index before the session is re-admitted, so a restored session
+    // is re-certified, not just trusted.
+    for m in migrated {
+        let home = m.id.0 as usize % server.shard_count();
+        server.migrate_session(m, (home + 1) % server.shard_count())?;
+    }
+
+    // Violators under RestartFromCheckpoint: each gets restarted from its
+    // last certified snapshot, violates again, and after `max_retries`
+    // restarts is quarantined for good.
+    for _ in 0..BAD_SESSIONS {
+        server.submit(SessionSpec::new(ring, bad_endpoints.clone()))?;
+    }
+
+    let outcomes = server.drain();
+    assert_eq!(outcomes.len(), MIGRATED_SESSIONS + BAD_SESSIONS);
+    let compliant = outcomes
+        .iter()
+        .filter(|o| o.all_finished_and_compliant())
+        .count();
+    assert_eq!(compliant, MIGRATED_SESSIONS, "migrated sessions finish compliant");
+    assert_eq!(
+        outcomes.iter().filter(|o| o.quarantined).count(),
+        BAD_SESSIONS,
+        "violators quarantine once their retries run out"
+    );
+
+    let report = server.shutdown();
+    println!(
+        "  {} sessions finished compliant after migration; {} restarts granted, {} sessions quarantined",
+        compliant,
+        report.sessions_restarted(),
+        report.sessions_quarantined(),
+    );
+    assert_eq!(report.sessions_restarted() as usize, 2 * BAD_SESSIONS);
+    assert_eq!(report.sessions_quarantined() as usize, BAD_SESSIONS);
     Ok(())
 }

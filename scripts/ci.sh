@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 CI for the zooid workspace: release build, full test-suite, and a
 # bench-report smoke run that validates the machine-readable benchmark
-# report (BENCH_pr9.json schema) without paying full measurement budgets.
+# report (BENCH_pr10.json schema) without paying full measurement budgets.
 #
 # The smoke bench-report is also the explore_parallel smoke suite: it runs
 # the work-stealing explorer at threads=2 and asserts verdict and
@@ -44,10 +44,16 @@ echo "== hostile-world campaign (fault injection, byzantine casts, quarantine; p
 # 0xFA17), so a failure here is a behavioural regression, never flake.
 cargo test --release -q -p zooid-server --test hostile_campaign
 
+echo "== durability suite (kill-at-every-quantum checkpoints, WAL round-trips, arena faults)"
+cargo test --release -q -p zooid-runtime --test durability
+
+echo "== crash-recovery suite (drain/migrate, tampered checkpoints, restart-from-checkpoint)"
+cargo test --release -q -p zooid-server --test crash_recovery
+
 echo "== bench-report smoke (includes explore_parallel threads=2 agreement checks)"
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
-report="$tmpdir/BENCH_pr9.json"
+report="$tmpdir/BENCH_pr10.json"
 cargo run --release -p zooid-bench --bin bench-report -- --smoke --out "$report" >/dev/null
 
 echo "== validating $report"
@@ -59,7 +65,7 @@ import sys
 with open(sys.argv[1]) as f:
     report = json.load(f)
 
-assert report["pr"] == 9, f"unexpected pr marker: {report['pr']}"
+assert report["pr"] == 10, f"unexpected pr marker: {report['pr']}"
 benches = report["benches"]
 families = {e["bench"] for e in benches}
 for family in (
@@ -73,6 +79,8 @@ for family in (
     "server_throughput",
     "server_throughput_tcp",
     "monitor_action",
+    "checkpoint_restore",
+    "wal_append",
 ):
     assert family in families, f"missing {family} family, got {sorted(families)}"
 for entry in benches:
@@ -125,6 +133,24 @@ assert any("conns" in e["case"] and "shards" in e["case"] for e in tcp), \
     "server_throughput_tcp cases must record connection and shard counts"
 monitor = [e for e in benches if e["bench"] == "monitor_action"]
 assert all(e["median_ns"] > 0 and e["baseline_ns"] > 0 for e in monitor)
+ckpt = [e for e in benches if e["bench"] == "checkpoint_restore"]
+assert all(e["median_ns"] > 0 and e["baseline_ns"] > 0 for e in ckpt), \
+    "checkpoint_restore medians must be positive"
+assert all("/restore" in e["case"] and "/bytes" in e["case"] for e in ckpt), \
+    "checkpoint_restore cases must record checkpoint sizes"
+# No speedup floor here on purpose: restore pays full re-validation on
+# decode, so replay can win at shallow kill points. The family tracks the
+# latency trajectory; it does not claim restore beats replay.
+wal = [e for e in benches if e["bench"] == "wal_append"]
+assert all(e["median_ns"] > 0 and e["baseline_ns"] > 0 for e in wal), \
+    "wal_append densities must be positive"
+assert all("bytesperaction" in e["case"] for e in wal), \
+    "wal_append cases must use bytes-per-action units"
+# The columnar WAL encoding must beat naive per-record serialization
+# decisively on every case (speedup = naive/columnar bytes per action).
+for e in wal:
+    assert e["speedup"] >= 1.3, \
+        f"columnar WAL density win below 1.3x: {e}"
 explore = [e for e in benches if e["bench"] == "cfsm_explore"]
 assert all(e["median_ns"] > 0 for e in explore), "cfsm_explore medians must be positive"
 por = [e for e in benches if e["bench"] == "cfsm_explore_por"]
@@ -138,12 +164,13 @@ print(
     f"OK: {len(benches)} entries, {len(explore)} cfsm_explore, {len(por)} cfsm_explore_por, "
     f"{len(par)} cfsm_explore_par, {len(endpoint)} endpoint_step, {len(batch)} batch_step, "
     f"{len(obs)} obs_overhead, {len(fault)} fault_overhead, {len(server)} server_throughput, "
-    f"{len(tcp)} server_throughput_tcp, {len(monitor)} monitor_action cases"
+    f"{len(tcp)} server_throughput_tcp, {len(monitor)} monitor_action, "
+    f"{len(ckpt)} checkpoint_restore, {len(wal)} wal_append cases"
 )
 EOF
 else
     # Fallback when python3 is unavailable: shape-check with grep.
-    grep -q '"pr": 9' "$report"
+    grep -q '"pr": 10' "$report"
     grep -q '"bench": "cfsm_explore"' "$report"
     grep -q '"bench": "cfsm_explore_por"' "$report"
     grep -q '"bench": "cfsm_explore_par"' "$report"
@@ -157,7 +184,10 @@ else
     grep -q '"bench": "server_throughput_tcp"' "$report"
     grep -q 'notrace' "$report"
     grep -q '"bench": "monitor_action"' "$report"
-    echo "OK (grep fallback): all ten bench families present"
+    grep -q '"bench": "checkpoint_restore"' "$report"
+    grep -q '"bench": "wal_append"' "$report"
+    grep -q 'bytesperaction' "$report"
+    echo "OK (grep fallback): all twelve bench families present"
 fi
 
 echo "== CI green"
